@@ -1,0 +1,66 @@
+// Ablation A (§3.2): pair-input discriminator vs naive mask-only
+// discriminator.
+//
+// The paper argues a mask-only discriminator cannot enforce the one-one
+// target->mask mapping (Eq. 6): the generator can satisfy it by emitting ANY
+// reference-like mask regardless of the input target. We train both variants
+// with the SAME budget and report the L2-to-reference trajectory; the paired
+// variant should reach a lower final L2.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+namespace {
+
+float tail(const std::vector<float>& v) {
+  const std::size_t take = std::max<std::size_t>(1, v.size() / 10);
+  return std::accumulate(v.end() - static_cast<std::ptrdiff_t>(take), v.end(), 0.0f) /
+         static_cast<float>(take);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ganopc;
+  core::GanOpcConfig cfg = bench::bench_config();
+  cfg.gan_iterations = std::min(cfg.gan_iterations, 250);
+  // Isolate the adversarial signal: drop the L2 regression term so the
+  // discriminator alone drives the mapping (this is where pairing matters).
+  cfg.alpha_l2 = 0.05f;
+  std::printf("== Ablation: paired vs unpaired discriminator (§3.2) ==\n");
+  std::printf("%d iterations, alpha_l2=%.2f (adversarial-dominated)\n\n",
+              cfg.gan_iterations, cfg.alpha_l2);
+
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const core::Dataset dataset = bench::get_dataset(cfg, sim);
+
+  CsvWriter csv("ablation_discriminator.csv", {"iteration", "paired_l2", "unpaired_l2"});
+  std::vector<float> curves[2];
+  for (const bool paired : {true, false}) {
+    Prng rng(cfg.seed + 7);
+    core::Generator g(cfg.gan_grid, cfg.base_channels, rng);
+    core::Discriminator d(cfg.gan_grid, cfg.base_channels, rng, paired);
+    Prng train_rng(cfg.seed + 8);
+    core::GanOpcTrainer trainer(cfg, g, d, dataset, sim, train_rng);
+    const core::TrainStats stats = trainer.train(cfg.gan_iterations);
+    curves[paired ? 0 : 1] = stats.l2_history;
+    std::printf("%-9s discriminator: L2 %.1f -> %.1f (tail mean %.1f)\n",
+                paired ? "paired" : "unpaired", stats.l2_history.front(),
+                stats.l2_history.back(), tail(stats.l2_history));
+  }
+  for (std::size_t i = 0; i < std::min(curves[0].size(), curves[1].size()); ++i)
+    csv.row_numeric({static_cast<double>(i), curves[0][i], curves[1][i]});
+
+  const float paired_tail = tail(curves[0]), unpaired_tail = tail(curves[1]);
+  std::printf("\n%s (paired %.1f vs unpaired %.1f)\n",
+              paired_tail <= unpaired_tail
+                  ? "paired discriminator reaches lower L2 — matches §3.2's claim"
+                  : "WARNING: unpaired won — §3.2 predicts the opposite",
+              paired_tail, unpaired_tail);
+  std::printf("wrote ablation_discriminator.csv\n");
+  return 0;
+}

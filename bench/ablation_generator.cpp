@@ -1,0 +1,67 @@
+// Ablation: generator backbone — the paper's auto-encoder vs a UNet with
+// skip connections (the architecture GAN-OPC's follow-up work adopts).
+//
+// Both train with identical budget, data and seeds; the bench reports the
+// Eq. (9) L2-to-reference trajectory. Skips typically help the generator
+// keep the fine geometry of the target, lowering the regression loss.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+namespace {
+
+float tail(const std::vector<float>& v) {
+  const std::size_t take = std::max<std::size_t>(1, v.size() / 10);
+  return std::accumulate(v.end() - static_cast<std::ptrdiff_t>(take), v.end(), 0.0f) /
+         static_cast<float>(take);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ganopc;
+  core::GanOpcConfig cfg = bench::bench_config();
+  cfg.gan_iterations = std::min(cfg.gan_iterations, 300);
+  std::printf("== Ablation: auto-encoder vs UNet generator ==\n");
+  std::printf("%d adversarial iterations, gan %dx%d, %lld base channels\n\n",
+              cfg.gan_iterations, cfg.gan_grid, cfg.gan_grid,
+              static_cast<long long>(cfg.base_channels));
+
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const core::Dataset dataset = bench::get_dataset(cfg, sim);
+
+  std::vector<float> curves[2];
+  double seconds[2] = {0, 0};
+  const core::GeneratorArch archs[2] = {core::GeneratorArch::AutoEncoder,
+                                        core::GeneratorArch::UNet};
+  const char* names[2] = {"auto-encoder", "unet"};
+  for (int a = 0; a < 2; ++a) {
+    Prng rng(cfg.seed + 31);
+    core::Generator g(cfg.gan_grid, cfg.base_channels, rng, archs[a]);
+    core::Discriminator d(cfg.gan_grid, cfg.base_channels, rng);
+    Prng train_rng(cfg.seed + 32);
+    core::GanOpcTrainer trainer(cfg, g, d, dataset, sim, train_rng);
+    const core::TrainStats stats = trainer.train(cfg.gan_iterations);
+    curves[a] = stats.l2_history;
+    seconds[a] = stats.seconds;
+    std::printf("%-13s: L2 %.1f -> tail %.1f (%.1fs)\n", names[a],
+                stats.l2_history.front(), tail(stats.l2_history), stats.seconds);
+  }
+
+  CsvWriter csv("ablation_generator.csv", {"iteration", "autoencoder_l2", "unet_l2"});
+  for (std::size_t i = 0; i < std::min(curves[0].size(), curves[1].size()); ++i)
+    csv.row_numeric({static_cast<double>(i), curves[0][i], curves[1][i]});
+
+  std::printf("\n%s (AE %.1f vs UNet %.1f); UNet costs %.1fx the training time\n",
+              tail(curves[1]) < tail(curves[0])
+                  ? "skip connections reach a lower regression loss"
+                  : "the plain auto-encoder held its own here",
+              tail(curves[0]), tail(curves[1]),
+              seconds[0] > 0 ? seconds[1] / seconds[0] : 0.0);
+  std::printf("wrote ablation_generator.csv\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: sub-resolution assist features on isolated wires.
+//
+// SRAFs [9] are the classic companion to OPC for process-window robustness:
+// scatter bars steepen the image slope of isolated features. This bench
+// measures the +/-2% dose PV band and the nominal L2 with and without bars
+// on a sweep of isolated-wire clips, and verifies the bars do not print.
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "litho/lithosim.hpp"
+#include "sraf/sraf.hpp"
+
+int main() {
+  using namespace ganopc;
+  std::printf("== Ablation: SRAF insertion on isolated wires ==\n\n");
+  litho::OpticsConfig optics;
+  const litho::LithoSim sim(optics, litho::ResistConfig{}, 256, 8);
+
+  CsvWriter csv("ablation_sraf.csv",
+                {"wire_width_nm", "bars", "pvb_plain", "pvb_sraf", "l2_plain",
+                 "l2_sraf", "sraf_prints"});
+  std::printf("%-8s %5s | %10s %10s | %9s %9s | %6s\n", "width", "bars", "PVB plain",
+              "PVB +SRAF", "L2 plain", "L2 +SRAF", "prints");
+  for (const std::int32_t width : {80, 100, 120, 160}) {
+    geom::Layout clip(geom::Rect{0, 0, 2048, 2048});
+    clip.add({1024 - width / 2, 424, 1024 + width / 2, 1624});
+    const auto decorated = sraf::insert_srafs(clip);
+
+    const geom::Grid target = geom::rasterize(clip, 8, /*threshold=*/true);
+    const geom::Grid plain_mask = target;
+    const geom::Grid sraf_mask =
+        geom::rasterize(decorated.decorated, 8, /*threshold=*/true);
+
+    const auto pvb_plain = sim.pv_band(plain_mask).area_nm2;
+    const auto pvb_sraf = sim.pv_band(sraf_mask).area_nm2;
+    const double l2_plain = sim.l2_error(plain_mask, target) * 64.0;
+    const double l2_sraf = sim.l2_error(sraf_mask, target) * 64.0;
+
+    // Sub-resolution check: printing the bars alone must leave no resist.
+    geom::Layout bars_only(clip.clip());
+    for (const auto& bar : decorated.bars) bars_only.add(bar);
+    const geom::Grid bars_print = sim.simulate(
+        geom::rasterize(bars_only, 8, /*threshold=*/true));
+    const std::int64_t printed_px = geom::on_count(bars_print);
+
+    std::printf("%-8d %5zu | %10ld %10ld | %9.0f %9.0f | %6s\n", width,
+                decorated.bars.size(), static_cast<long>(pvb_plain),
+                static_cast<long>(pvb_sraf), l2_plain, l2_sraf,
+                printed_px == 0 ? "no" : "YES!");
+    csv.row_numeric({static_cast<double>(width),
+                     static_cast<double>(decorated.bars.size()),
+                     static_cast<double>(pvb_plain), static_cast<double>(pvb_sraf),
+                     l2_plain, l2_sraf, static_cast<double>(printed_px)});
+  }
+  std::printf("\n(PVB deltas depend on the optical model; scatter bars must never\n"
+              " print on their own — wrote ablation_sraf.csv)\n");
+  return 0;
+}

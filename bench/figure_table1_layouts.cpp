@@ -1,0 +1,48 @@
+// Table 1 reproduction: the design rules driving training-layout synthesis,
+// plus an audit that the synthesizer honours them at library scale.
+#include <algorithm>
+#include <cstdio>
+
+#include "layout/benchmark_suite.hpp"
+#include "layout/drc.hpp"
+#include "layout/synthesizer.hpp"
+
+int main() {
+  using namespace ganopc;
+  const layout::DesignRules rules = layout::table1_rules();
+  std::printf("== Table 1: the design rules used ==\n");
+  std::printf("%-24s %10s\n", "Item", "Min Size (nm)");
+  std::printf("%-24s %10d\n", "M1 Critical Dimension", rules.min_cd);
+  std::printf("%-24s %10d\n", "Pitch", rules.min_pitch);
+  std::printf("%-24s %10d\n", "Tip to tip distance", rules.min_tip_to_tip);
+
+  std::printf("\naudit: synthesizing 200 training clips (paper uses 4000)...\n");
+  layout::SynthesisConfig cfg;
+  const auto library = layout::synthesize_library(cfg, 200, 1847);
+  std::size_t violations = 0, shapes = 0;
+  std::int32_t min_cd = 1 << 30, min_gap = 1 << 30;
+  for (const auto& clip : library) {
+    violations += layout::check_design_rules(clip, rules).size();
+    shapes += clip.size();
+    for (const auto& r : clip.rects())
+      min_cd = std::min(min_cd, std::min(r.width(), r.height()));
+    for (std::size_t i = 0; i < clip.size(); ++i)
+      for (std::size_t j = i + 1; j < clip.size(); ++j)
+        min_gap = std::min(min_gap, clip.rects()[i].gap_to(clip.rects()[j]));
+  }
+  std::printf("clips=%zu shapes=%zu violations=%zu min_cd=%dnm min_gap=%dnm\n",
+              library.size(), shapes, violations, min_cd, min_gap);
+
+  std::printf("\nbenchmark suite (areas matched to Table 2):\n");
+  const auto suite = layout::make_benchmark_suite();
+  std::printf("%-4s %12s %12s %8s\n", "ID", "paper nm^2", "ours nm^2", "err %%");
+  for (const auto& bc : suite) {
+    const double err = 100.0 *
+                       (static_cast<double>(bc.layout.union_area()) -
+                        static_cast<double>(bc.target_area)) /
+                       static_cast<double>(bc.target_area);
+    std::printf("%-4d %12ld %12ld %+8.2f\n", bc.id, static_cast<long>(bc.target_area),
+                static_cast<long>(bc.layout.union_area()), err);
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// Micro benchmarks (google-benchmark): the computational kernels whose cost
+// dominates the flows — FFT, GEMM, aerial imaging, the Eq. (14) gradient,
+// one full ILT step, and generator inference.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "core/generator.hpp"
+#include "fft/fft.hpp"
+#include "geometry/grid.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+#include "nn/gemm.hpp"
+
+namespace {
+
+using namespace ganopc;
+
+void BM_Fft2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(1);
+  std::vector<fft::cfloat> data(n * n);
+  for (auto& v : data)
+    v = {static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1))};
+  for (auto _ : state) {
+    fft::fft_2d(data, n, n, false);
+    fft::fft_2d(data, n, n, true);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Sgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(2);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::matmul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+const litho::LithoSim& shared_sim(std::int32_t grid) {
+  static litho::LithoSim sim128 = [] {
+    litho::OpticsConfig optics;
+    return litho::LithoSim(optics, litho::ResistConfig{}, 128, 16);
+  }();
+  static litho::LithoSim sim256 = [] {
+    litho::OpticsConfig optics;
+    return litho::LithoSim(optics, litho::ResistConfig{}, 256, 8);
+  }();
+  return grid == 128 ? sim128 : sim256;
+}
+
+geom::Grid bench_mask(std::int32_t grid) {
+  geom::Grid mask(grid, grid, 2048 / grid);
+  for (std::int32_t r = grid / 4; r < 3 * grid / 4; ++r)
+    for (std::int32_t c = grid / 2 - grid / 16; c < grid / 2 + grid / 16; ++c)
+      mask.at(r, c) = 1.0f;
+  return mask;
+}
+
+void BM_LithoAerial(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  for (auto _ : state) {
+    auto aerial = sim.aerial(mask);
+    benchmark::DoNotOptimize(aerial.data.data());
+  }
+}
+BENCHMARK(BM_LithoAerial)->Arg(128)->Arg(256);
+
+void BM_LithoGradient(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  for (auto _ : state) {
+    auto grad = sim.gradient(mask, mask);
+    benchmark::DoNotOptimize(grad.data.data());
+  }
+}
+BENCHMARK(BM_LithoGradient)->Arg(128)->Arg(256);
+
+void BM_PvBand(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  for (auto _ : state) {
+    auto band = sim.pv_band(mask);
+    benchmark::DoNotOptimize(band.area_nm2);
+  }
+}
+BENCHMARK(BM_PvBand)->Arg(128)->Arg(256);
+
+void BM_IltFullRun(benchmark::State& state) {
+  const auto& sim = shared_sim(128);
+  const geom::Grid target = bench_mask(128);
+  ilt::IltConfig cfg;
+  cfg.max_iterations = static_cast<int>(state.range(0));
+  cfg.check_every = 10;
+  const ilt::IltEngine engine(sim, cfg);
+  for (auto _ : state) {
+    auto result = engine.optimize(target);
+    benchmark::DoNotOptimize(result.l2_px);
+  }
+}
+BENCHMARK(BM_IltFullRun)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratorInference(benchmark::State& state) {
+  const auto size = static_cast<std::int64_t>(state.range(0));
+  Prng rng(3);
+  core::Generator g(size, 8, rng);
+  geom::Grid target(static_cast<std::int32_t>(size), static_cast<std::int32_t>(size),
+                    2048 / static_cast<std::int32_t>(size));
+  for (std::int32_t r = 8; r < size - 8; ++r) target.at(r, static_cast<std::int32_t>(size) / 2) = 1.0f;
+  for (auto _ : state) {
+    auto mask = g.infer(target);
+    benchmark::DoNotOptimize(mask.data.data());
+  }
+}
+BENCHMARK(BM_GeneratorInference)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ganopc {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  GANOPC_CHECK_MSG(out_.good(), "cannot open " << path);
+  GANOPC_CHECK(!header.empty());
+  write_cells(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  GANOPC_CHECK_MSG(cells.size() == columns_, "CSV row arity mismatch in " << path_);
+  write_cells(cells);
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    formatted.emplace_back(buf);
+  }
+  row(formatted);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  GANOPC_CHECK_MSG(out_.good(), "write failed: " << path_);
+}
+
+}  // namespace ganopc

@@ -1,0 +1,32 @@
+// CSV emission for bench harnesses (training curves, per-case tables).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ganopc {
+
+/// Streams rows to a CSV file; the header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Append one row of numeric cells (formatted with %.6g).
+  void row_numeric(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace ganopc

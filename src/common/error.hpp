@@ -1,0 +1,46 @@
+// Lightweight invariant checking used across the library.
+//
+// GANOPC_CHECK is always on (release included): the EDA flows here are batch
+// tools where a wrong answer is worse than an abort, and the checks guard
+// user-facing API preconditions (shape mismatches, invalid configs).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ganopc {
+
+/// Error type thrown by all GANOPC_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "GANOPC_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+}  // namespace detail
+
+}  // namespace ganopc
+
+#define GANOPC_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ganopc::detail::throw_check_failure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GANOPC_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream oss_;                                           \
+      oss_ << msg;                                                       \
+      ::ganopc::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                            oss_.str());                 \
+    }                                                                    \
+  } while (0)

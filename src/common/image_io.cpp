@@ -1,0 +1,66 @@
+#include "common/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ganopc {
+
+GrayImage to_gray(const float* data, int width, int height, float lo, float hi) {
+  GANOPC_CHECK(width > 0 && height > 0 && hi > lo);
+  GrayImage img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) * height);
+  const float scale = 255.0f / (hi - lo);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i) {
+    const float v = std::clamp((data[i] - lo) * scale, 0.0f, 255.0f);
+    img.pixels[i] = static_cast<std::uint8_t>(std::lround(v));
+  }
+  return img;
+}
+
+void write_pgm(const std::string& path, const GrayImage& img) {
+  GANOPC_CHECK(img.pixels.size() == static_cast<std::size_t>(img.width) * img.height);
+  std::ofstream out(path, std::ios::binary);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "P5\n" << img.width << " " << img.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels.data()),
+            static_cast<std::streamsize>(img.pixels.size()));
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void write_ppm(const std::string& path, const RgbImage& img) {
+  GANOPC_CHECK(img.pixels.size() == 3 * static_cast<std::size_t>(img.width) * img.height);
+  std::ofstream out(path, std::ios::binary);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "P6\n" << img.width << " " << img.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels.data()),
+            static_cast<std::streamsize>(img.pixels.size()));
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string magic;
+  in >> magic;
+  GANOPC_CHECK_MSG(magic == "P5", "not a binary PGM: " << path);
+  int w = 0, h = 0, maxval = 0;
+  in >> w >> h >> maxval;
+  GANOPC_CHECK_MSG(w > 0 && h > 0 && maxval == 255, "unsupported PGM header: " << path);
+  in.get();  // single whitespace after header
+  GrayImage img;
+  img.width = w;
+  img.height = h;
+  img.pixels.resize(static_cast<std::size_t>(w) * h);
+  in.read(reinterpret_cast<char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  GANOPC_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(img.pixels.size()),
+                   "truncated PGM: " << path);
+  return img;
+}
+
+}  // namespace ganopc

@@ -1,0 +1,120 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace ganopc {
+
+namespace {
+// Set while a pool worker runs a task; nested parallel_blocks calls from
+// inside a task run serially instead of deadlocking on the pool.
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    std::exception_ptr err;
+    try {
+      tls_in_worker = true;
+      task.fn(task.block, task.begin, task.end);
+      tls_in_worker = false;
+    } catch (...) {
+      tls_in_worker = false;
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (tls_in_worker) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t blocks = std::min(n, workers_.size());
+  const std::size_t base = n / blocks, rem = n % blocks;
+  {
+    std::lock_guard lock(mutex_);
+    std::size_t begin = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t len = base + (b < rem ? 1 : 0);
+      queue_.push_back(Task{fn, begin, begin + len, b});
+      begin += len;
+    }
+    pending_ += blocks;
+  }
+  cv_task_.notify_all();
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (n < serial_threshold || ThreadPool::instance().size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  ThreadPool::instance().parallel_blocks(
+      n, [&](std::size_t /*block*/, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) body(begin + i);
+      });
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t serial_threshold) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (n < serial_threshold || ThreadPool::instance().size() == 1) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool::instance().parallel_blocks(
+      n, [&](std::size_t /*block*/, std::size_t b, std::size_t e) {
+        body(begin + b, begin + e);
+      });
+}
+
+}  // namespace ganopc

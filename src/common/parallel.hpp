@@ -1,0 +1,66 @@
+// A small persistent thread pool with a deterministic parallel_for.
+//
+// Work is partitioned into contiguous index blocks so each worker touches a
+// fixed slice regardless of scheduling; combined with per-slice accumulators
+// this keeps floating-point reductions reproducible run-to-run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ganopc {
+
+/// Process-wide worker pool. Lazily constructed on first use.
+class ThreadPool {
+ public:
+  /// The shared pool (hardware_concurrency workers, at least 1).
+  static ThreadPool& instance();
+
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(block_index, begin, end) over [0, n) split into size() blocks,
+  /// blocking until every block completes. Exceptions from workers are
+  /// rethrown on the calling thread (first one wins).
+  void parallel_blocks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void(std::size_t, std::size_t, std::size_t)> fn;
+    std::size_t begin = 0, end = 0, block = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_, cv_done_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Parallel loop over [begin, end): body(i) for each index.
+/// Falls back to serial execution for small ranges.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t serial_threshold = 256);
+
+/// Parallel loop over contiguous chunks: body(chunk_begin, chunk_end).
+/// Use when per-index dispatch overhead matters (inner loops stay fused).
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t serial_threshold = 256);
+
+}  // namespace ganopc

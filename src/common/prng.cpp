@@ -1,0 +1,83 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Prng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Prng::randint(std::int64_t lo, std::int64_t hi) {
+  GANOPC_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  // Lemire-style rejection-free-enough bounded draw (unbiased via rejection).
+  const std::uint64_t limit = Prng::max() - Prng::max() % span;
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Prng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Prng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Prng::bernoulli(double p) { return uniform() < p; }
+
+Prng Prng::split() {
+  Prng child(0);
+  for (auto& s : child.s_) s = (*this)();
+  return child;
+}
+
+}  // namespace ganopc

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (layout synthesis, weight
+// initialization, mini-batch sampling) draw from Prng so that a single seed
+// reproduces an entire experiment bit-for-bit, independent of the platform's
+// std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ganopc {
+
+/// xoshiro256** 1.0 generator (Blackman & Vigna), with splitmix64 seeding.
+///
+/// Satisfies UniformRandomBitGenerator, but the distribution helpers below
+/// are hand-rolled so results are identical across standard libraries.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0xC0FFEE0DDBA11ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(randint(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-worker streams).
+  Prng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ganopc

@@ -1,0 +1,27 @@
+// Wall-clock timing used for the runtime ("RT") columns of the benches.
+#pragma once
+
+#include <chrono>
+
+namespace ganopc {
+
+/// Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ganopc

@@ -1,0 +1,162 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "layout/synthesizer.hpp"
+
+namespace ganopc::core {
+
+Dataset Dataset::generate(const GanOpcConfig& config, const litho::LithoSim& sim) {
+  config.validate();
+  GANOPC_CHECK_MSG(sim.grid_size() == config.litho_grid,
+                   "dataset: simulator grid does not match config");
+  layout::SynthesisConfig synth;
+  synth.clip_nm = config.clip_nm;
+  const auto clips = layout::synthesize_library(synth, config.library_size, config.seed);
+
+  Dataset ds;
+  ds.examples_.resize(clips.size());
+  const ilt::IltEngine engine(sim, config.ilt);
+  const std::int32_t pool = config.pool_factor();
+  parallel_for(0, clips.size(), [&](std::size_t i) {
+    TrainingExample ex;
+    ex.target_litho = geom::rasterize(clips[i], config.litho_pixel_nm(), /*threshold=*/true);
+    const ilt::IltResult ref = engine.optimize(ex.target_litho);
+    ex.target_gan = geom::downsample_avg(ex.target_litho, pool);
+    ex.mask_gan = geom::downsample_avg(ref.mask_relaxed, pool);
+    ds.examples_[i] = std::move(ex);
+  }, /*serial_threshold=*/1);
+  GANOPC_INFO("dataset: generated " << ds.size() << " examples (litho "
+                                    << config.litho_grid << ", gan " << config.gan_grid
+                                    << ")");
+  return ds;
+}
+
+namespace {
+
+constexpr char kDatasetMagic[8] = {'G', 'O', 'P', 'C', 'D', 'S', 'E', 'T'};
+
+void write_grid(std::ofstream& out, const geom::Grid& g) {
+  const std::int32_t header[5] = {g.rows, g.cols, g.pixel_nm, g.origin_x, g.origin_y};
+  out.write(reinterpret_cast<const char*>(header), sizeof header);
+  out.write(reinterpret_cast<const char*>(g.data.data()),
+            static_cast<std::streamsize>(g.data.size() * sizeof(float)));
+}
+
+geom::Grid read_grid(std::ifstream& in) {
+  std::int32_t header[5];
+  in.read(reinterpret_cast<char*>(header), sizeof header);
+  GANOPC_CHECK_MSG(in.good() && header[0] > 0 && header[1] > 0, "corrupt dataset grid");
+  geom::Grid g(header[0], header[1], header[2], header[3], header[4]);
+  in.read(reinterpret_cast<char*>(g.data.data()),
+          static_cast<std::streamsize>(g.data.size() * sizeof(float)));
+  GANOPC_CHECK_MSG(in.good(), "truncated dataset grid");
+  return g;
+}
+
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+  out.write(kDatasetMagic, sizeof kDatasetMagic);
+  const auto count = static_cast<std::uint64_t>(examples_.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& ex : examples_) {
+    write_grid(out, ex.target_litho);
+    write_grid(out, ex.target_gan);
+    write_grid(out, ex.mask_gan);
+  }
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+Dataset Dataset::load(const std::string& path, const GanOpcConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  GANOPC_CHECK_MSG(std::equal(magic, magic + 8, kDatasetMagic), "bad dataset magic");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  Dataset ds;
+  ds.examples_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TrainingExample ex;
+    ex.target_litho = read_grid(in);
+    ex.target_gan = read_grid(in);
+    ex.mask_gan = read_grid(in);
+    GANOPC_CHECK_MSG(ex.target_litho.rows == config.litho_grid &&
+                         ex.target_gan.rows == config.gan_grid,
+                     "dataset " << path << " does not match config geometry");
+    ds.examples_.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+namespace {
+
+geom::Grid flip_h(const geom::Grid& g) {
+  geom::Grid out = g;
+  for (std::int32_t r = 0; r < g.rows; ++r)
+    for (std::int32_t c = 0; c < g.cols; ++c) out.at(r, g.cols - 1 - c) = g.at(r, c);
+  return out;
+}
+
+geom::Grid flip_v(const geom::Grid& g) {
+  geom::Grid out = g;
+  for (std::int32_t r = 0; r < g.rows; ++r)
+    for (std::int32_t c = 0; c < g.cols; ++c) out.at(g.rows - 1 - r, c) = g.at(r, c);
+  return out;
+}
+
+geom::Grid transpose(const geom::Grid& g) {
+  geom::Grid out(g.cols, g.rows, g.pixel_nm, g.origin_y, g.origin_x);
+  for (std::int32_t r = 0; r < g.rows; ++r)
+    for (std::int32_t c = 0; c < g.cols; ++c) out.at(c, r) = g.at(r, c);
+  return out;
+}
+
+}  // namespace
+
+void Dataset::augment_symmetries() {
+  const std::size_t base = examples_.size();
+  examples_.reserve(base * 4);
+  for (std::size_t i = 0; i < base; ++i) {
+    const TrainingExample& ex = examples_[i];
+    for (auto* op : {&flip_h, &flip_v, &transpose}) {
+      TrainingExample aug;
+      aug.target_litho = (*op)(ex.target_litho);
+      aug.target_gan = (*op)(ex.target_gan);
+      aug.mask_gan = (*op)(ex.mask_gan);
+      examples_.push_back(std::move(aug));
+    }
+  }
+}
+
+void Dataset::sample_batch(Prng& rng, int m, nn::Tensor& targets, nn::Tensor& masks) const {
+  GANOPC_CHECK(m > 0 && !examples_.empty());
+  const auto& first = examples_.front();
+  const std::int64_t s = first.target_gan.rows;
+  targets = nn::Tensor({m, 1, s, s});
+  masks = nn::Tensor({m, 1, s, s});
+
+  std::vector<std::size_t> order(examples_.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::int64_t plane = s * s;
+  for (int j = 0; j < m; ++j) {
+    const auto& ex = examples_[order[static_cast<std::size_t>(j) % order.size()]];
+    std::copy(ex.target_gan.data.begin(), ex.target_gan.data.end(),
+              targets.data() + j * plane);
+    std::copy(ex.mask_gan.data.begin(), ex.mask_gan.data.end(), masks.data() + j * plane);
+  }
+}
+
+}  // namespace ganopc::core

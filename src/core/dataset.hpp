@@ -1,0 +1,58 @@
+// Training dataset: synthesized target clips paired with ILT ground-truth
+// masks (§4 of the paper: 4000 synthesized clips; reference masks come from
+// the ILT engine, exactly as GAN-OPC's M* do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "common/prng.hpp"
+#include "geometry/grid.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+#include "nn/tensor.hpp"
+
+namespace ganopc::core {
+
+struct TrainingExample {
+  geom::Grid target_litho;  ///< binary target at lithography resolution
+  geom::Grid target_gan;    ///< pooled target at GAN resolution
+  geom::Grid mask_gan;      ///< pooled ILT reference mask M* at GAN resolution
+};
+
+class Dataset {
+ public:
+  /// Synthesize `config.library_size` clips, run the ILT engine on each for
+  /// the reference mask, and pool both images to GAN resolution. Clips run
+  /// in parallel across the thread pool. Deterministic in config.seed.
+  static Dataset generate(const GanOpcConfig& config, const litho::LithoSim& sim);
+
+  /// Symmetry augmentation: appends the horizontal mirror, vertical mirror
+  /// and transpose of every example (4x size). Valid because the imaging
+  /// system and the Table 1 rules are symmetric under these maps — the same
+  /// reasoning the paper uses when synthesizing uniformly distributed
+  /// topologies to fight over-fitting.
+  void augment_symmetries();
+
+  std::size_t size() const { return examples_.size(); }
+  const TrainingExample& example(std::size_t i) const { return examples_.at(i); }
+
+  /// Sample a mini-batch of m examples into NCHW tensors (with replacement
+  /// semantics: a random subset without repeats when m <= size).
+  void sample_batch(Prng& rng, int m, nn::Tensor& targets, nn::Tensor& masks) const;
+
+  /// Append an example (used by tests to build tiny datasets by hand).
+  void add(TrainingExample example) { examples_.push_back(std::move(example)); }
+
+  /// Binary save/load so bench harnesses can reuse expensive ILT ground
+  /// truth across runs. Load verifies grid geometry against `config`.
+  void save(const std::string& path) const;
+  static Dataset load(const std::string& path, const GanOpcConfig& config);
+
+ private:
+  std::vector<TrainingExample> examples_;
+};
+
+}  // namespace ganopc::core

@@ -1,0 +1,63 @@
+#include "core/flow.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+
+namespace ganopc::core {
+
+GanOpcFlow::GanOpcFlow(const GanOpcConfig& config, Generator* generator,
+                       const litho::LithoSim& sim)
+    : config_(config), generator_(generator), sim_(sim), engine_(sim, config.ilt) {
+  config.validate();
+  GANOPC_CHECK_MSG(sim.grid_size() == config.litho_grid, "flow: simulator grid mismatch");
+  if (generator_ != nullptr)
+    GANOPC_CHECK_MSG(generator_->image_size() == config.gan_grid,
+                     "flow: generator size mismatch");
+}
+
+FlowResult GanOpcFlow::run(const geom::Layout& clip) const {
+  GANOPC_CHECK_MSG(generator_ != nullptr, "flow: no generator attached");
+  const geom::Grid target =
+      geom::rasterize(clip, config_.litho_pixel_nm(), /*threshold=*/true);
+
+  WallTimer gen_timer;
+  const geom::Grid target_gan = geom::downsample_avg(target, config_.pool_factor());
+  const geom::Grid mask_gan = generator_->infer(target_gan);
+  const geom::Grid mask_init = geom::upsample_bilinear(mask_gan, config_.pool_factor());
+  const double gen_seconds = gen_timer.seconds();
+
+  return refine_and_score(target, mask_init, gen_seconds);
+}
+
+FlowResult GanOpcFlow::run_ilt_only(const geom::Layout& clip) const {
+  const geom::Grid target =
+      geom::rasterize(clip, config_.litho_pixel_nm(), /*threshold=*/true);
+  return refine_and_score(target, target, 0.0);
+}
+
+FlowResult GanOpcFlow::evaluate_mask(const geom::Grid& target, const geom::Grid& mask) const {
+  FlowResult result;
+  result.target = target;
+  result.mask = mask;
+  result.wafer = sim_.simulate(mask);
+  result.l2_px = geom::squared_l2(result.wafer, target);
+  const double px_area = static_cast<double>(sim_.pixel_nm()) * sim_.pixel_nm();
+  result.l2_nm2 = result.l2_px * px_area;
+  result.pvb_nm2 = sim_.pv_band(mask).area_nm2;
+  return result;
+}
+
+FlowResult GanOpcFlow::refine_and_score(const geom::Grid& target,
+                                        const geom::Grid& initial_mask,
+                                        double generator_seconds) const {
+  const ilt::IltResult refined = engine_.optimize(target, initial_mask);
+  FlowResult result = evaluate_mask(target, refined.mask);
+  result.generator_seconds = generator_seconds;
+  result.ilt_seconds = refined.runtime_s;
+  result.ilt_iterations = refined.iterations;
+  return result;
+}
+
+}  // namespace ganopc::core

@@ -1,0 +1,59 @@
+// The end-to-end mask optimization flows compared in Table 2.
+//
+//   run()          — Figure 6: generator inference (at GAN resolution, with
+//                    the 8x8-pool-in / interpolate-out wrapping of §4)
+//                    followed by ILT refinement from that quasi-optimal mask.
+//   run_ilt_only() — the conventional ILT flow of [7]: refinement starts
+//                    from the target pattern itself.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/generator.hpp"
+#include "geometry/grid.hpp"
+#include "geometry/layout.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+
+namespace ganopc::core {
+
+struct FlowResult {
+  geom::Grid target;         ///< binary target at litho resolution
+  geom::Grid mask;           ///< final optimized mask (binary)
+  geom::Grid wafer;          ///< nominal print of the final mask
+  double l2_px = 0.0;        ///< squared L2 (pixels) under nominal condition
+  double l2_nm2 = 0.0;       ///< scaled by pixel area (Table 2 units)
+  std::int64_t pvb_nm2 = 0;  ///< +/-2% dose PV band area
+  double generator_seconds = 0.0;
+  double ilt_seconds = 0.0;
+  int ilt_iterations = 0;
+  double total_seconds() const { return generator_seconds + ilt_seconds; }
+};
+
+class GanOpcFlow {
+ public:
+  /// `sim` must run at config.litho_grid. The generator may be null for a
+  /// baseline-only flow object.
+  GanOpcFlow(const GanOpcConfig& config, Generator* generator, const litho::LithoSim& sim);
+
+  /// Full GAN-OPC flow on one clip (requires a generator).
+  FlowResult run(const geom::Layout& clip) const;
+
+  /// Conventional ILT from the target pattern (the paper's [7] baseline).
+  FlowResult run_ilt_only(const geom::Layout& clip) const;
+
+  /// Evaluate an externally produced mask (utility for tests/benches).
+  FlowResult evaluate_mask(const geom::Grid& target, const geom::Grid& mask) const;
+
+ private:
+  FlowResult refine_and_score(const geom::Grid& target, const geom::Grid& initial_mask,
+                              double generator_seconds) const;
+
+  const GanOpcConfig& config_;
+  Generator* generator_;
+  const litho::LithoSim& sim_;
+  ilt::IltEngine engine_;
+};
+
+}  // namespace ganopc::core

@@ -1,0 +1,60 @@
+// Training strategies for GAN-OPC.
+//
+// GanOpcTrainer::pretrain  — Algorithm 2 (ILT-guided pre-training): the
+//   lithography error gradient dE/dM flows from the litho engine through the
+//   bilinear-interpolation adjoint into the generator's weights.
+// GanOpcTrainer::train     — Algorithm 1 (adversarial training with the
+//   combined objective Eq. 10): alternating D / G mini-batch updates, with
+//   l_g = -log D(Z_t, G(Z_t)) + alpha ||M* - G(Z_t)||_2^2.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/discriminator.hpp"
+#include "core/generator.hpp"
+#include "litho/lithosim.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ganopc::core {
+
+struct TrainStats {
+  /// Mean per-instance ||M* - G(Z_t)||_2^2 at each iteration (the y-axis of
+  /// Figure 7).
+  std::vector<float> l2_history;
+  std::vector<float> g_adv_history;   ///< generator adversarial loss
+  std::vector<float> d_loss_history;  ///< discriminator loss
+  std::vector<float> litho_history;   ///< pretraining litho error E (Alg. 2)
+  double seconds = 0.0;
+};
+
+class GanOpcTrainer {
+ public:
+  /// `sim` must run at config.litho_grid resolution; it is used only by
+  /// pretrain(). Generator/discriminator operate at config.gan_grid.
+  GanOpcTrainer(const GanOpcConfig& config, Generator& generator,
+                Discriminator& discriminator, const Dataset& dataset,
+                const litho::LithoSim& sim, Prng& rng);
+
+  /// Algorithm 2: ILT-guided pre-training of the generator.
+  TrainStats pretrain(int iterations);
+
+  /// Algorithm 1: adversarial training. Records the Eq. (9) L2 per
+  /// iteration for the Figure 7 curves.
+  TrainStats train(int iterations);
+
+ private:
+  const GanOpcConfig& config_;
+  Generator& generator_;
+  Discriminator& discriminator_;
+  const Dataset& dataset_;
+  const litho::LithoSim& sim_;
+  Prng& rng_;
+  std::unique_ptr<nn::Adam> g_opt_;
+  std::unique_ptr<nn::Adam> d_opt_;
+  std::unique_ptr<nn::Adam> pre_opt_;
+};
+
+}  // namespace ganopc::core

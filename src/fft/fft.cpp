@@ -1,0 +1,158 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ganopc::fft {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+// Iterative Cooley-Tukey on a gathered (contiguous) buffer.
+void fft_inplace(cfloat* a, std::size_t n, bool inverse) {
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cfloat wlen(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cfloat w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cfloat u = a[i + k];
+        const cfloat v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_1d(std::vector<cfloat>& data, bool inverse) {
+  GANOPC_CHECK_MSG(is_pow2(data.size()), "FFT size must be a power of two");
+  fft_inplace(data.data(), data.size(), inverse);
+}
+
+void fft_1d_strided(cfloat* data, std::size_t n, std::size_t stride, bool inverse) {
+  GANOPC_CHECK_MSG(is_pow2(n), "FFT size must be a power of two");
+  if (stride == 1) {
+    fft_inplace(data, n, inverse);
+    return;
+  }
+  std::vector<cfloat> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = data[i * stride];
+  fft_inplace(tmp.data(), n, inverse);
+  for (std::size_t i = 0; i < n; ++i) data[i * stride] = tmp[i];
+}
+
+void fft_2d(cfloat* data, std::size_t height, std::size_t width, bool inverse) {
+  GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "FFT dims must be powers of two");
+  // Rows: note we do NOT apply 1/N scaling per axis separately; fft_inplace
+  // scales by 1/len for inverse, so a row pass scales 1/W and a column pass
+  // 1/H, composing to the desired 1/(W*H).
+  parallel_for_chunks(0, height, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r)
+      fft_inplace(data + r * width, width, inverse);
+  }, /*serial_threshold=*/8);
+  // Columns, with a per-column gather to keep memory access linear.
+  parallel_for_chunks(0, width, [&](std::size_t c0, std::size_t c1) {
+    std::vector<cfloat> tmp(height);
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t r = 0; r < height; ++r) tmp[r] = data[r * width + c];
+      fft_inplace(tmp.data(), height, inverse);
+      for (std::size_t r = 0; r < height; ++r) data[r * width + c] = tmp[r];
+    }
+  }, /*serial_threshold=*/8);
+}
+
+void fft_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width, bool inverse) {
+  GANOPC_CHECK(data.size() == height * width);
+  fft_2d(data.data(), height, width, inverse);
+}
+
+void fftshift_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width) {
+  GANOPC_CHECK(data.size() == height * width);
+  GANOPC_CHECK_MSG(height % 2 == 0 && width % 2 == 0, "fftshift requires even dims");
+  const std::size_t hh = height / 2, hw = width / 2;
+  for (std::size_t r = 0; r < hh; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t rc = (r + hh) % height;
+      const std::size_t cc = (c + hw) % width;
+      std::swap(data[r * width + c], data[rc * width + cc]);
+    }
+  }
+}
+
+std::vector<float> fourier_upsample_2d(const std::vector<float>& in, std::size_t height,
+                                       std::size_t width, std::size_t factor) {
+  GANOPC_CHECK(in.size() == height * width);
+  GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "dims must be powers of two");
+  GANOPC_CHECK(factor >= 1 && is_pow2(factor));
+  if (factor == 1) return in;
+  const std::size_t oh = height * factor, ow = width * factor;
+
+  std::vector<cfloat> spec(in.begin(), in.end());
+  fft_2d(spec, height, width, false);
+  // Place the low-frequency quadrants of the small spectrum into the corners
+  // of the large spectrum. The input Nyquist rows/columns are split evenly
+  // between their +/- images to keep the interpolant real and symmetric.
+  std::vector<cfloat> big(oh * ow, {0.0f, 0.0f});
+  const std::size_t hh = height / 2, hw = width / 2;
+  for (std::size_t r = 0; r < height; ++r) {
+    const bool r_nyq = (r == hh);
+    const std::size_t ro = r <= hh ? r : oh - (height - r);
+    for (std::size_t c = 0; c < width; ++c) {
+      const bool c_nyq = (c == hw);
+      const std::size_t co = c <= hw ? c : ow - (width - c);
+      cfloat v = spec[r * width + c];
+      if (r_nyq) v *= 0.5f;
+      if (c_nyq) v *= 0.5f;
+      big[ro * ow + co] += v;
+      // Mirror copies for split Nyquist bins.
+      if (r_nyq) big[(oh - hh) * ow + co] += v;
+      if (c_nyq) big[ro * ow + (ow - hw)] += v;
+      if (r_nyq && c_nyq) big[(oh - hh) * ow + (ow - hw)] += v;
+    }
+  }
+  fft_2d(big, oh, ow, true);
+  std::vector<float> out(oh * ow);
+  const auto scale = static_cast<float>(factor) * factor;  // FFT normalization
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = big[i].real() * scale;
+  return out;
+}
+
+std::vector<float> circular_convolve_2d(const std::vector<float>& a,
+                                        const std::vector<float>& b,
+                                        std::size_t height, std::size_t width) {
+  GANOPC_CHECK(a.size() == height * width && b.size() == height * width);
+  std::vector<cfloat> fa(a.begin(), a.end()), fb(b.begin(), b.end());
+  fft_2d(fa, height, width, /*inverse=*/false);
+  fft_2d(fb, height, width, /*inverse=*/false);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  fft_2d(fa, height, width, /*inverse=*/true);
+  std::vector<float> out(height * width);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace ganopc::fft

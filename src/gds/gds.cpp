@@ -1,0 +1,387 @@
+#include "gds/gds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ganopc::gds {
+
+namespace {
+
+// GDSII record types (the subset we emit / understand).
+enum RecordType : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kPath = 0x09,
+  kSref = 0x0A,
+  kAref = 0x0B,
+  kText = 0x0C,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+  kSname = 0x12,
+  kStrans = 0x1A,
+  kMag = 0x1B,
+  kAngle = 0x1C,
+};
+
+// GDSII data type codes (byte 3 of the header).
+enum DataType : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  out.push_back(static_cast<char>(u >> 24));
+  out.push_back(static_cast<char>((u >> 16) & 0xFF));
+  out.push_back(static_cast<char>((u >> 8) & 0xFF));
+  out.push_back(static_cast<char>(u & 0xFF));
+}
+
+// GDSII 8-byte real: excess-64 exponent (base 16), 56-bit mantissa, sign bit.
+void put_real8(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  if (value != 0.0) {
+    const bool negative = value < 0.0;
+    double mag = std::fabs(value);
+    int exponent = 64;
+    while (mag >= 1.0) {
+      mag /= 16.0;
+      ++exponent;
+    }
+    while (mag < 1.0 / 16.0) {
+      mag *= 16.0;
+      --exponent;
+    }
+    const auto mantissa = static_cast<std::uint64_t>(mag * 72057594037927936.0);  // 2^56
+    bits = (static_cast<std::uint64_t>(negative) << 63) |
+           (static_cast<std::uint64_t>(exponent & 0x7F) << 56) | (mantissa & ((1ULL << 56) - 1));
+  }
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+}
+
+double get_real8(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8) | p[i];
+  if (bits == 0) return 0.0;
+  const bool negative = (bits >> 63) != 0;
+  const int exponent = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const double mantissa =
+      static_cast<double>(bits & ((1ULL << 56) - 1)) / 72057594037927936.0;
+  const double value = mantissa * std::pow(16.0, exponent);
+  return negative ? -value : value;
+}
+
+void emit(std::ofstream& out, RecordType type, DataType dtype,
+          const std::string& payload = {}) {
+  std::string record;
+  GANOPC_CHECK_MSG(payload.size() + 4 <= 0xFFFF, "GDS record too long");
+  put_u16(record, static_cast<std::uint16_t>(payload.size() + 4));
+  record.push_back(static_cast<char>(type));
+  record.push_back(static_cast<char>(dtype));
+  record += payload;
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+}
+
+std::string ascii_payload(const std::string& s) {
+  std::string payload = s;
+  if (payload.size() % 2) payload.push_back('\0');  // records are even-length
+  return payload;
+}
+
+struct Record {
+  RecordType type;
+  DataType dtype;
+  std::vector<std::uint8_t> payload;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    GANOPC_CHECK_MSG(in_.good(), "cannot open " << path);
+  }
+
+  bool next(Record& record) {
+    std::uint8_t header[4];
+    in_.read(reinterpret_cast<char*>(header), 4);
+    if (in_.gcount() == 0) return false;
+    GANOPC_CHECK_MSG(in_.gcount() == 4, "truncated GDS record header");
+    const std::uint16_t length = static_cast<std::uint16_t>((header[0] << 8) | header[1]);
+    GANOPC_CHECK_MSG(length >= 4, "malformed GDS record length");
+    record.type = static_cast<RecordType>(header[2]);
+    record.dtype = static_cast<DataType>(header[3]);
+    record.payload.resize(length - 4u);
+    in_.read(reinterpret_cast<char*>(record.payload.data()),
+             static_cast<std::streamsize>(record.payload.size()));
+    GANOPC_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(record.payload.size()),
+                     "truncated GDS record payload");
+    return true;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+std::int16_t payload_i16(const Record& r) {
+  GANOPC_CHECK_MSG(r.payload.size() >= 2, "short GDS int16 payload");
+  return static_cast<std::int16_t>((r.payload[0] << 8) | r.payload[1]);
+}
+
+std::int32_t payload_i32(const std::uint8_t* p) {
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(p[0]) << 24) |
+                                   (static_cast<std::uint32_t>(p[1]) << 16) |
+                                   (static_cast<std::uint32_t>(p[2]) << 8) | p[3]);
+}
+
+std::string payload_ascii(const Record& r) {
+  std::string s(r.payload.begin(), r.payload.end());
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+void write_gds(const std::string& path, const Library& library) {
+  std::ofstream out(path, std::ios::binary);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+
+  std::string payload;
+  put_u16(payload, 600);  // stream version 6
+  emit(out, kHeader, kInt16, payload);
+
+  payload.clear();
+  for (int i = 0; i < 12; ++i) put_u16(payload, 0);  // timestamps: zeroed
+  emit(out, kBgnLib, kInt16, payload);
+  emit(out, kLibName, kAscii, ascii_payload(library.name));
+
+  payload.clear();
+  put_real8(payload, library.user_units_per_dbu);
+  put_real8(payload, library.meters_per_dbu);
+  emit(out, kUnits, kReal8, payload);
+
+  for (const auto& structure : library.structures) {
+    payload.clear();
+    for (int i = 0; i < 12; ++i) put_u16(payload, 0);
+    emit(out, kBgnStr, kInt16, payload);
+    emit(out, kStrName, kAscii, ascii_payload(structure.name));
+    for (const auto& boundary : structure.boundaries) {
+      emit(out, kBoundary, kNoData);
+      payload.clear();
+      put_u16(payload, static_cast<std::uint16_t>(boundary.layer));
+      emit(out, kLayer, kInt16, payload);
+      payload.clear();
+      put_u16(payload, static_cast<std::uint16_t>(boundary.datatype));
+      emit(out, kDatatype, kInt16, payload);
+      payload.clear();
+      const auto& pts = boundary.polygon.vertices();
+      GANOPC_CHECK_MSG(pts.size() >= 3, "boundary with fewer than 3 vertices");
+      for (const auto& p : pts) {
+        put_i32(payload, p.x);
+        put_i32(payload, p.y);
+      }
+      put_i32(payload, pts.front().x);  // GDS closes the ring explicitly
+      put_i32(payload, pts.front().y);
+      emit(out, kXy, kInt32, payload);
+      emit(out, kEndEl, kNoData);
+    }
+    for (const auto& sref : structure.srefs) {
+      emit(out, kSref, kNoData);
+      emit(out, kSname, kAscii, ascii_payload(sref.child));
+      payload.clear();
+      put_i32(payload, sref.x);
+      put_i32(payload, sref.y);
+      emit(out, kXy, kInt32, payload);
+      emit(out, kEndEl, kNoData);
+    }
+    emit(out, kEndStr, kNoData);
+  }
+  emit(out, kEndLib, kNoData);
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+Library read_gds(const std::string& path) {
+  Reader reader(path);
+  Library library;
+  library.structures.clear();
+
+  Record record;
+  GANOPC_CHECK_MSG(reader.next(record) && record.type == kHeader,
+                   "not a GDS file: " << path);
+  Structure* current_structure = nullptr;
+  Boundary current_boundary;
+  Sref current_sref;
+  enum class State { TopLevel, InStructure, InBoundary, InSref, InSkippedElement };
+  State state = State::TopLevel;
+
+  while (reader.next(record)) {
+    switch (record.type) {
+      case kLibName:
+        library.name = payload_ascii(record);
+        break;
+      case kUnits:
+        GANOPC_CHECK_MSG(record.payload.size() == 16, "malformed UNITS record");
+        library.user_units_per_dbu = get_real8(record.payload.data());
+        library.meters_per_dbu = get_real8(record.payload.data() + 8);
+        break;
+      case kBgnStr:
+        library.structures.emplace_back();
+        current_structure = &library.structures.back();
+        state = State::InStructure;
+        break;
+      case kStrName:
+        if (current_structure != nullptr) current_structure->name = payload_ascii(record);
+        break;
+      case kEndStr:
+        current_structure = nullptr;
+        state = State::TopLevel;
+        break;
+      case kBoundary:
+        GANOPC_CHECK_MSG(current_structure != nullptr, "BOUNDARY outside structure");
+        current_boundary = Boundary{};
+        state = State::InBoundary;
+        break;
+      case kSref:
+        GANOPC_CHECK_MSG(current_structure != nullptr, "SREF outside structure");
+        current_sref = Sref{};
+        state = State::InSref;
+        break;
+      case kSname:
+        if (state == State::InSref) current_sref.child = payload_ascii(record);
+        break;
+      case kMag:
+        GANOPC_CHECK_MSG(state != State::InSref ||
+                             std::fabs(get_real8(record.payload.data()) - 1.0) < 1e-9,
+                         "SREF magnification unsupported");
+        break;
+      case kAngle:
+        GANOPC_CHECK_MSG(state != State::InSref ||
+                             std::fabs(get_real8(record.payload.data())) < 1e-9,
+                         "SREF rotation unsupported");
+        break;
+      case kStrans:
+        break;  // flag word itself carries no transform we honour beyond MAG/ANGLE
+      case kPath:
+      case kAref:
+      case kText:
+        state = State::InSkippedElement;
+        break;
+      case kLayer:
+        if (state == State::InBoundary) current_boundary.layer = payload_i16(record);
+        break;
+      case kDatatype:
+        if (state == State::InBoundary) current_boundary.datatype = payload_i16(record);
+        break;
+      case kXy:
+        if (state == State::InSref) {
+          GANOPC_CHECK_MSG(record.payload.size() >= 8, "malformed SREF XY record");
+          current_sref.x = payload_i32(record.payload.data());
+          current_sref.y = payload_i32(record.payload.data() + 4);
+        }
+        if (state == State::InBoundary) {
+          GANOPC_CHECK_MSG(record.payload.size() % 8 == 0, "malformed XY record");
+          std::vector<geom::Point> pts;
+          for (std::size_t i = 0; i + 8 <= record.payload.size(); i += 8) {
+            pts.push_back({payload_i32(record.payload.data() + i),
+                           payload_i32(record.payload.data() + i + 4)});
+          }
+          // Drop the explicit closing vertex.
+          if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+          current_boundary.polygon = geom::Polygon(std::move(pts));
+        }
+        break;
+      case kEndEl:
+        if (state == State::InBoundary)
+          current_structure->boundaries.push_back(std::move(current_boundary));
+        if (state == State::InSref)
+          current_structure->srefs.push_back(std::move(current_sref));
+        state = State::InStructure;
+        break;
+      case kEndLib:
+        return library;
+      default:
+        break;  // unknown records are skipped
+    }
+  }
+  GANOPC_CHECK_MSG(false, "GDS file ended without ENDLIB: " << path);
+}
+
+Library layout_to_gds(const geom::Layout& layout, const std::string& cell_name,
+                      std::int16_t layer) {
+  Library library;
+  Structure structure;
+  structure.name = cell_name;
+  for (const auto& r : layout.rects()) {
+    Boundary b;
+    b.layer = layer;
+    b.polygon = geom::Polygon::from_rect(r);
+    structure.boundaries.push_back(std::move(b));
+  }
+  library.structures.push_back(std::move(structure));
+  return library;
+}
+
+namespace {
+
+const Structure& find_structure(const Library& library, const std::string& name) {
+  auto it = std::find_if(library.structures.begin(), library.structures.end(),
+                         [&](const Structure& s) { return s.name == name; });
+  GANOPC_CHECK_MSG(it != library.structures.end(), "structure '" << name << "' not found");
+  return *it;
+}
+
+void flatten_into(const Library& library, const Structure& structure, std::int16_t layer,
+                  std::int32_t dx, std::int32_t dy, int depth, geom::Layout& layout) {
+  GANOPC_CHECK_MSG(depth < 64, "SREF hierarchy too deep (cycle?) at '"
+                                   << structure.name << "'");
+  for (const auto& boundary : structure.boundaries) {
+    if (boundary.layer != layer) continue;
+    GANOPC_CHECK_MSG(boundary.polygon.is_rectilinear(),
+                     "non-rectilinear boundary in structure '" << structure.name << "'");
+    for (auto r : boundary.polygon.decompose()) {
+      r.x0 += dx;
+      r.x1 += dx;
+      r.y0 += dy;
+      r.y1 += dy;
+      layout.add(r);
+    }
+  }
+  for (const auto& sref : structure.srefs)
+    flatten_into(library, find_structure(library, sref.child), layer, dx + sref.x,
+                 dy + sref.y, depth + 1, layout);
+}
+
+}  // namespace
+
+geom::Layout gds_to_layout(const Library& library, const geom::Rect& clip,
+                           const std::string& structure_name, std::int16_t layer) {
+  GANOPC_CHECK_MSG(!library.structures.empty(), "GDS library has no structures");
+  const Structure& structure = structure_name.empty()
+                                   ? library.structures.front()
+                                   : find_structure(library, structure_name);
+  geom::Layout layout(clip);
+  flatten_into(library, structure, layer, 0, 0, 0, layout);
+  return layout;
+}
+
+}  // namespace ganopc::gds

@@ -1,0 +1,150 @@
+#include "geometry/bitmap_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc::geom {
+
+Grid downsample_avg(const Grid& grid, std::int32_t k) {
+  GANOPC_CHECK(k > 0);
+  GANOPC_CHECK_MSG(grid.rows % k == 0 && grid.cols % k == 0,
+                   "downsample_avg: dims not divisible by k");
+  Grid out(grid.rows / k, grid.cols / k, grid.pixel_nm * k, grid.origin_x, grid.origin_y);
+  const float inv = 1.0f / (static_cast<float>(k) * k);
+  for (std::int32_t r = 0; r < out.rows; ++r)
+    for (std::int32_t c = 0; c < out.cols; ++c) {
+      float acc = 0.0f;
+      for (std::int32_t dr = 0; dr < k; ++dr)
+        for (std::int32_t dc = 0; dc < k; ++dc) acc += grid.at(r * k + dr, c * k + dc);
+      out.at(r, c) = acc * inv;
+    }
+  return out;
+}
+
+Grid upsample_bilinear(const Grid& grid, std::int32_t k) {
+  GANOPC_CHECK(k > 0);
+  GANOPC_CHECK_MSG(grid.pixel_nm % k == 0, "upsample: pixel size not divisible by k");
+  Grid out(grid.rows * k, grid.cols * k, grid.pixel_nm / k, grid.origin_x, grid.origin_y);
+  // Sample positions align pixel centers (align_corners = false semantics).
+  for (std::int32_t r = 0; r < out.rows; ++r) {
+    const float src_r = (static_cast<float>(r) + 0.5f) / k - 0.5f;
+    const std::int32_t r0 = static_cast<std::int32_t>(std::floor(src_r));
+    const float fr = src_r - static_cast<float>(r0);
+    const std::int32_t r0c = std::clamp(r0, 0, grid.rows - 1);
+    const std::int32_t r1c = std::clamp(r0 + 1, 0, grid.rows - 1);
+    for (std::int32_t c = 0; c < out.cols; ++c) {
+      const float src_c = (static_cast<float>(c) + 0.5f) / k - 0.5f;
+      const std::int32_t c0 = static_cast<std::int32_t>(std::floor(src_c));
+      const float fc = src_c - static_cast<float>(c0);
+      const std::int32_t c0c = std::clamp(c0, 0, grid.cols - 1);
+      const std::int32_t c1c = std::clamp(c0 + 1, 0, grid.cols - 1);
+      out.at(r, c) = (1 - fr) * ((1 - fc) * grid.at(r0c, c0c) + fc * grid.at(r0c, c1c)) +
+                     fr * ((1 - fc) * grid.at(r1c, c0c) + fc * grid.at(r1c, c1c));
+    }
+  }
+  return out;
+}
+
+Grid upsample_bilinear_adjoint(const Grid& fine_grad, std::int32_t k,
+                               const Grid& coarse_like) {
+  GANOPC_CHECK(k > 0);
+  GANOPC_CHECK_MSG(fine_grad.rows == coarse_like.rows * k &&
+                       fine_grad.cols == coarse_like.cols * k,
+                   "upsample_bilinear_adjoint: geometry mismatch");
+  Grid out(coarse_like.rows, coarse_like.cols, coarse_like.pixel_nm, coarse_like.origin_x,
+           coarse_like.origin_y);
+  // Scatter each fine pixel's gradient to the same four coarse pixels (with
+  // the same weights) that upsample_bilinear gathered from.
+  for (std::int32_t r = 0; r < fine_grad.rows; ++r) {
+    const float src_r = (static_cast<float>(r) + 0.5f) / k - 0.5f;
+    const std::int32_t r0 = static_cast<std::int32_t>(std::floor(src_r));
+    const float fr = src_r - static_cast<float>(r0);
+    const std::int32_t r0c = std::clamp(r0, 0, out.rows - 1);
+    const std::int32_t r1c = std::clamp(r0 + 1, 0, out.rows - 1);
+    for (std::int32_t c = 0; c < fine_grad.cols; ++c) {
+      const float src_c = (static_cast<float>(c) + 0.5f) / k - 0.5f;
+      const std::int32_t c0 = static_cast<std::int32_t>(std::floor(src_c));
+      const float fc = src_c - static_cast<float>(c0);
+      const std::int32_t c0c = std::clamp(c0, 0, out.cols - 1);
+      const std::int32_t c1c = std::clamp(c0 + 1, 0, out.cols - 1);
+      const float g = fine_grad.at(r, c);
+      out.at(r0c, c0c) += (1 - fr) * (1 - fc) * g;
+      out.at(r0c, c1c) += (1 - fr) * fc * g;
+      out.at(r1c, c0c) += fr * (1 - fc) * g;
+      out.at(r1c, c1c) += fr * fc * g;
+    }
+  }
+  return out;
+}
+
+Grid upsample_nearest(const Grid& grid, std::int32_t k) {
+  GANOPC_CHECK(k > 0);
+  GANOPC_CHECK_MSG(grid.pixel_nm % k == 0, "upsample: pixel size not divisible by k");
+  Grid out(grid.rows * k, grid.cols * k, grid.pixel_nm / k, grid.origin_x, grid.origin_y);
+  for (std::int32_t r = 0; r < out.rows; ++r)
+    for (std::int32_t c = 0; c < out.cols; ++c) out.at(r, c) = grid.at(r / k, c / k);
+  return out;
+}
+
+void binarize(Grid& grid, float thr) {
+  for (auto& v : grid.data) v = v >= thr ? 1.0f : 0.0f;
+}
+
+std::int64_t xor_count(const Grid& a, const Grid& b) {
+  GANOPC_CHECK_MSG(a.rows == b.rows && a.cols == b.cols, "xor_count: dim mismatch");
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    n += (a.data[i] >= 0.5f) != (b.data[i] >= 0.5f);
+  return n;
+}
+
+std::int64_t on_count(const Grid& grid) {
+  std::int64_t n = 0;
+  for (float v : grid.data) n += v >= 0.5f;
+  return n;
+}
+
+std::vector<std::int32_t> connected_components(const Grid& grid,
+                                               std::int32_t& num_components) {
+  std::vector<std::int32_t> labels(grid.size(), 0);
+  num_components = 0;
+  std::vector<std::int32_t> stack;
+  for (std::int32_t r = 0; r < grid.rows; ++r) {
+    for (std::int32_t c = 0; c < grid.cols; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(r) * grid.cols + c;
+      if (grid.data[idx] < 0.5f || labels[idx] != 0) continue;
+      const std::int32_t label = ++num_components;
+      stack.push_back(static_cast<std::int32_t>(idx));
+      labels[idx] = label;
+      while (!stack.empty()) {
+        const std::int32_t cur = stack.back();
+        stack.pop_back();
+        const std::int32_t cr = cur / grid.cols, cc = cur % grid.cols;
+        const std::int32_t nbr[4][2] = {{cr - 1, cc}, {cr + 1, cc}, {cr, cc - 1}, {cr, cc + 1}};
+        for (const auto& n : nbr) {
+          if (!grid.in_bounds(n[0], n[1])) continue;
+          const std::size_t nidx = static_cast<std::size_t>(n[0]) * grid.cols + n[1];
+          if (grid.data[nidx] >= 0.5f && labels[nidx] == 0) {
+            labels[nidx] = label;
+            stack.push_back(static_cast<std::int32_t>(nidx));
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+double squared_l2(const Grid& a, const Grid& b) {
+  GANOPC_CHECK_MSG(a.rows == b.rows && a.cols == b.cols, "squared_l2: dim mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double d = static_cast<double>(a.data[i]) - b.data[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace ganopc::geom

@@ -1,0 +1,48 @@
+// Pixel-level operations on Grids: resampling, binarization, morphology-ish
+// helpers and connected components. Used by the GAN pre/post-processing
+// (8x8 average pooling + linear interpolation, §4 of the paper) and by the
+// printability metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/grid.hpp"
+
+namespace ganopc::geom {
+
+/// Non-overlapping k x k average pooling; dims must divide by k. The result's
+/// pixel_nm scales by k. This is the paper's down-sampling before the GAN.
+Grid downsample_avg(const Grid& grid, std::int32_t k);
+
+/// Bilinear up-sampling by integer factor k (the paper's "simple linear
+/// interpolation" back to full resolution). pixel_nm must divide by k.
+Grid upsample_bilinear(const Grid& grid, std::int32_t k);
+
+/// Nearest-neighbour up-sampling by factor k.
+Grid upsample_nearest(const Grid& grid, std::int32_t k);
+
+/// Adjoint (transpose) of upsample_bilinear: maps a gradient on the fine
+/// grid back to the coarse grid. Used by ILT-guided pre-training, where the
+/// lithography error at simulation resolution back-propagates through the
+/// interpolation into the generator (Algorithm 2).
+Grid upsample_bilinear_adjoint(const Grid& fine_grad, std::int32_t k,
+                               const Grid& coarse_like);
+
+/// In-place hard threshold: v >= thr -> 1, else 0.
+void binarize(Grid& grid, float thr = 0.5f);
+
+/// Count of pixels where (a >= 0.5) != (b >= 0.5). Grids must match.
+std::int64_t xor_count(const Grid& a, const Grid& b);
+
+/// Count of pixels >= 0.5.
+std::int64_t on_count(const Grid& grid);
+
+/// 4-connected component labeling of pixels >= 0.5. Returns label grid
+/// (0 = background, 1..n = components) and sets num_components.
+std::vector<std::int32_t> connected_components(const Grid& grid, std::int32_t& num_components);
+
+/// Per-pixel squared L2 error sum over the grid pair (Definition 1).
+double squared_l2(const Grid& a, const Grid& b);
+
+}  // namespace ganopc::geom

@@ -1,0 +1,120 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace ganopc::geom {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {}
+
+bool Polygon::is_rectilinear() const {
+  if (vertices_.size() < 4) return false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    const bool horizontal = (a.y == b.y && a.x != b.x);
+    const bool vertical = (a.x == b.x && a.y != b.y);
+    if (!horizontal && !vertical) return false;
+    // Consecutive edges must alternate orientation (no collinear splits —
+    // callers can pre-merge, but GDS files in the wild include them, so
+    // treat collinear continuation as a failure only if diagonal).
+    const Point& c = vertices_[(i + 2) % n];
+    const bool next_horizontal = (b.y == c.y && b.x != c.x);
+    const bool next_vertical = (b.x == c.x && b.y != c.y);
+    if (!next_horizontal && !next_vertical) return false;
+  }
+  return true;
+}
+
+std::int64_t Polygon::signed_area() const {
+  const std::size_t n = vertices_.size();
+  if (n < 3) return 0;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += static_cast<std::int64_t>(a.x) * b.y - static_cast<std::int64_t>(b.x) * a.y;
+  }
+  return acc / 2;
+}
+
+Rect Polygon::bbox() const {
+  if (vertices_.empty()) return {};
+  Rect b{vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const auto& p : vertices_) {
+    b.x0 = std::min(b.x0, p.x);
+    b.y0 = std::min(b.y0, p.y);
+    b.x1 = std::max(b.x1, p.x);
+    b.y1 = std::max(b.y1, p.y);
+  }
+  return b;
+}
+
+std::vector<Rect> Polygon::decompose() const {
+  GANOPC_CHECK_MSG(is_rectilinear(), "decompose: polygon is not rectilinear");
+  const std::size_t n = vertices_.size();
+
+  // Horizontal edges as (x_lo, x_hi, y).
+  struct HEdge {
+    std::int32_t x0, x1, y;
+  };
+  std::vector<HEdge> hedges;
+  std::vector<std::int32_t> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    xs.push_back(a.x);
+    if (a.y == b.y && a.x != b.x)
+      hedges.push_back({std::min(a.x, b.x), std::max(a.x, b.x), a.y});
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  // Sweep vertical slabs; inside y-intervals come from the sorted crossing
+  // edges (even-odd pairing). Merge slabs that share the same interval.
+  struct OpenRect {
+    std::int32_t y0, y1, x_start;
+    std::size_t out_index;
+  };
+  std::vector<Rect> out;
+  std::vector<OpenRect> open;
+  for (std::size_t s = 0; s + 1 < xs.size(); ++s) {
+    const std::int32_t x0 = xs[s], x1 = xs[s + 1];
+    const std::int32_t mid2 = x0 + x1;  // 2*midpoint, avoids fractions
+    std::vector<std::int32_t> crossings;
+    for (const auto& e : hedges)
+      if (2 * e.x0 < mid2 && mid2 < 2 * e.x1) crossings.push_back(e.y);
+    std::sort(crossings.begin(), crossings.end());
+    GANOPC_CHECK_MSG(crossings.size() % 2 == 0, "decompose: malformed polygon");
+
+    std::vector<OpenRect> next_open;
+    for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const std::int32_t y0 = crossings[i], y1 = crossings[i + 1];
+      // Extend a matching open rect from the previous slab, else start one.
+      auto match = std::find_if(open.begin(), open.end(), [&](const OpenRect& r) {
+        return r.y0 == y0 && r.y1 == y1;
+      });
+      if (match != open.end()) {
+        out[match->out_index].x1 = x1;
+        next_open.push_back(*match);
+        open.erase(match);
+      } else {
+        OpenRect fresh{y0, y1, x0, out.size()};
+        out.push_back({x0, y0, x1, y1});
+        next_open.push_back(fresh);
+      }
+    }
+    open = std::move(next_open);
+  }
+  return out;
+}
+
+Polygon Polygon::from_rect(const Rect& r) {
+  GANOPC_CHECK(!r.empty());
+  return Polygon({{r.x0, r.y0}, {r.x1, r.y0}, {r.x1, r.y1}, {r.x0, r.y1}});
+}
+
+}  // namespace ganopc::geom

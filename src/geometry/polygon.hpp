@@ -1,0 +1,53 @@
+// Rectilinear (Manhattan) polygons and their decomposition into rectangles.
+//
+// GDSII boundaries arrive as closed point lists; everything downstream of
+// the geometry layer works on rectangle sets, so polygons are decomposed by
+// vertical-slab sweeping. Only simple (non-self-intersecting) rectilinear
+// polygons are supported — the universe of mask layout shapes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ganopc::geom {
+
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  bool operator==(const Point&) const = default;
+};
+
+/// A closed rectilinear polygon. Vertices are listed in order (either
+/// orientation); the closing edge from back() to front() is implicit.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// True iff every edge is axis-parallel and consecutive edges alternate
+  /// direction (no zero-length edges, at least 4 vertices).
+  bool is_rectilinear() const;
+
+  /// Signed area (positive for counter-clockwise orientation).
+  std::int64_t signed_area() const;
+
+  /// Axis-aligned bounding box.
+  Rect bbox() const;
+
+  /// Decompose into disjoint rectangles covering exactly the interior.
+  /// Requires is_rectilinear(). Works for either orientation.
+  std::vector<Rect> decompose() const;
+
+  /// Build the rectangle's polygon (counter-clockwise, 4 vertices).
+  static Polygon from_rect(const Rect& r);
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace ganopc::geom

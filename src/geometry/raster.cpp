@@ -1,0 +1,90 @@
+#include "geometry/raster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ganopc::geom {
+
+Grid rasterize(const Layout& layout, std::int32_t pixel_nm, bool threshold) {
+  const Rect& clip = layout.clip();
+  GANOPC_CHECK_MSG(!clip.empty(), "rasterize: layout has empty clip");
+  GANOPC_CHECK(pixel_nm > 0);
+  GANOPC_CHECK_MSG(clip.width() % pixel_nm == 0 && clip.height() % pixel_nm == 0,
+                   "clip extent not divisible by pixel size");
+  Grid grid(clip.height() / pixel_nm, clip.width() / pixel_nm, pixel_nm, clip.x0, clip.y0);
+  const float inv_area = 1.0f / (static_cast<float>(pixel_nm) * pixel_nm);
+
+  // Accumulate per-rect coverage. Exact for disjoint rects (the design rules
+  // keep pattern shapes disjoint); overlaps are clamped to full coverage.
+  for (const Rect& r : layout.rects()) {
+    const Rect v = r.intersection(clip);
+    if (v.empty()) continue;
+    const std::int32_t c0 = (v.x0 - clip.x0) / pixel_nm;
+    const std::int32_t c1 = (v.x1 - clip.x0 + pixel_nm - 1) / pixel_nm;
+    const std::int32_t r0 = (v.y0 - clip.y0) / pixel_nm;
+    const std::int32_t r1 = (v.y1 - clip.y0 + pixel_nm - 1) / pixel_nm;
+    for (std::int32_t row = r0; row < r1; ++row) {
+      const std::int32_t py0 = clip.y0 + row * pixel_nm;
+      const std::int32_t oy =
+          std::min(v.y1, py0 + pixel_nm) - std::max(v.y0, py0);
+      for (std::int32_t col = c0; col < c1; ++col) {
+        const std::int32_t px0 = clip.x0 + col * pixel_nm;
+        const std::int32_t ox =
+            std::min(v.x1, px0 + pixel_nm) - std::max(v.x0, px0);
+        grid.at(row, col) += static_cast<float>(ox) * oy * inv_area;
+      }
+    }
+  }
+  for (auto& v : grid.data) v = std::min(v, 1.0f);
+  if (threshold)
+    for (auto& v : grid.data) v = v >= 0.5f ? 1.0f : 0.0f;
+  return grid;
+}
+
+Layout vectorize(const Grid& grid) {
+  Layout layout(Rect{grid.origin_x, grid.origin_y,
+                     grid.origin_x + grid.cols * grid.pixel_nm,
+                     grid.origin_y + grid.rows * grid.pixel_nm});
+  // Horizontal runs per row, merged with an identical run directly above.
+  struct Run {
+    std::int32_t c0, c1;  // pixel columns [c0, c1)
+    std::size_t rect_idx;
+  };
+  std::vector<Run> prev_runs;
+  std::vector<Rect> rects;
+  for (std::int32_t r = 0; r < grid.rows; ++r) {
+    std::vector<Run> runs;
+    std::int32_t c = 0;
+    while (c < grid.cols) {
+      if (grid.at(r, c) < 0.5f) {
+        ++c;
+        continue;
+      }
+      const std::int32_t c0 = c;
+      while (c < grid.cols && grid.at(r, c) >= 0.5f) ++c;
+      runs.push_back({c0, c, 0});
+    }
+    for (auto& run : runs) {
+      // Extend the rect from the previous row when x-extents match exactly.
+      auto match = std::find_if(prev_runs.begin(), prev_runs.end(), [&](const Run& p) {
+        return p.c0 == run.c0 && p.c1 == run.c1;
+      });
+      if (match != prev_runs.end()) {
+        run.rect_idx = match->rect_idx;
+        rects[run.rect_idx].y1 += grid.pixel_nm;
+      } else {
+        run.rect_idx = rects.size();
+        rects.push_back({grid.origin_x + run.c0 * grid.pixel_nm,
+                         grid.origin_y + r * grid.pixel_nm,
+                         grid.origin_x + run.c1 * grid.pixel_nm,
+                         grid.origin_y + (r + 1) * grid.pixel_nm});
+      }
+    }
+    prev_runs = std::move(runs);
+  }
+  for (const auto& rect : rects) layout.add(rect);
+  return layout;
+}
+
+}  // namespace ganopc::geom

@@ -1,0 +1,20 @@
+// Rasterization between Manhattan layouts and Grids.
+#pragma once
+
+#include "geometry/grid.hpp"
+#include "geometry/layout.hpp"
+
+namespace ganopc::geom {
+
+/// Rasterize a layout onto a grid covering its clip window with the given
+/// pixel size. The clip extent must be divisible by pixel_nm. A pixel's value
+/// is the exact fraction of its area covered by the pattern union, so
+/// sub-pixel edges anti-alias correctly; pass threshold=true for a hard 0/1
+/// raster (pixel center coverage).
+Grid rasterize(const Layout& layout, std::int32_t pixel_nm, bool threshold = false);
+
+/// Convert a binarized grid (values >= 0.5 are pattern) back into a layout of
+/// maximal horizontal run rectangles, merged vertically where possible.
+Layout vectorize(const Grid& grid);
+
+}  // namespace ganopc::geom

@@ -1,0 +1,32 @@
+#include "geometry/rect.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ganopc::geom {
+
+Rect Rect::intersection(const Rect& o) const {
+  Rect r{std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1), std::min(y1, o.y1)};
+  if (r.empty()) return Rect{};
+  return r;
+}
+
+Rect Rect::bounding_union(const Rect& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  return {std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1), std::max(y1, o.y1)};
+}
+
+std::int32_t Rect::gap_to(const Rect& o) const {
+  const std::int32_t dx = std::max({o.x0 - x1, x0 - o.x1, 0});
+  const std::int32_t dy = std::max({o.y0 - y1, y0 - o.y1, 0});
+  return std::max(dx, dy);
+}
+
+std::string Rect::str() const {
+  std::ostringstream oss;
+  oss << "(" << x0 << "," << y0 << ")-(" << x1 << "," << y1 << ")";
+  return oss.str();
+}
+
+}  // namespace ganopc::geom

@@ -1,0 +1,50 @@
+// Axis-aligned integer rectangles in nanometer coordinates.
+//
+// Layout geometry is Manhattan (rectilinear) throughout: M1 patterns are
+// unions of axis-aligned rectangles, matching the ICCAD-2013 benchmark
+// format and the Table 1 design rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ganopc::geom {
+
+/// Half-open rectangle [x0, x1) x [y0, y1) in integer nm. Valid iff
+/// x0 < x1 and y0 < y1 (use empty() for degenerate rects).
+struct Rect {
+  std::int32_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  std::int32_t width() const { return x1 - x0; }
+  std::int32_t height() const { return y1 - y0; }
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  bool contains(std::int32_t x, std::int32_t y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// Intersection; empty() if disjoint.
+  Rect intersection(const Rect& o) const;
+
+  /// Smallest rect covering both.
+  Rect bounding_union(const Rect& o) const;
+
+  /// Rect grown by d on every side (d may be negative to shrink).
+  Rect inflated(std::int32_t d) const { return {x0 - d, y0 - d, x1 + d, y1 + d}; }
+
+  /// Minimum L-infinity gap to another rect (0 if touching/overlapping).
+  std::int32_t gap_to(const Rect& o) const;
+
+  bool operator==(const Rect& o) const = default;
+
+  std::string str() const;
+};
+
+}  // namespace ganopc::geom

@@ -1,0 +1,65 @@
+#include "geometry/rect_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ganopc::geom {
+
+namespace {
+std::int32_t floor_div(std::int32_t a, std::int32_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+}  // namespace
+
+template <typename Fn>
+void RectIndex::for_cells(const Rect& r, Fn&& fn) const {
+  const std::int32_t cx0 = floor_div(r.x0, cell_nm_);
+  const std::int32_t cx1 = floor_div(r.x1 - 1, cell_nm_);
+  const std::int32_t cy0 = floor_div(r.y0, cell_nm_);
+  const std::int32_t cy1 = floor_div(r.y1 - 1, cell_nm_);
+  for (std::int32_t cy = cy0; cy <= cy1; ++cy)
+    for (std::int32_t cx = cx0; cx <= cx1; ++cx) fn(CellKey{cx, cy});
+}
+
+RectIndex::RectIndex(const std::vector<Rect>& rects, std::int32_t cell_nm)
+    : rects_(rects), cell_nm_(cell_nm) {
+  GANOPC_CHECK(cell_nm > 0);
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    GANOPC_CHECK_MSG(!rects_[i].empty(), "RectIndex: degenerate rect at " << i);
+    for_cells(rects_[i], [&](const CellKey& key) { cells_[key].push_back(i); });
+  }
+}
+
+std::vector<std::size_t> RectIndex::query(const Rect& region) const {
+  if (region.empty()) return {};
+  std::vector<std::size_t> hits;
+  for_cells(region, [&](const CellKey& key) {
+    auto it = cells_.find(key);
+    if (it == cells_.end()) return;
+    for (std::size_t i : it->second)
+      if (rects_[i].intersects(region)) hits.push_back(i);
+  });
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+bool RectIndex::any_intersecting(const Rect& region, std::size_t exclude) const {
+  if (region.empty()) return false;
+  bool found = false;
+  for_cells(region, [&](const CellKey& key) {
+    if (found) return;
+    auto it = cells_.find(key);
+    if (it == cells_.end()) return;
+    for (std::size_t i : it->second) {
+      if (i != exclude && rects_[i].intersects(region)) {
+        found = true;
+        return;
+      }
+    }
+  });
+  return found;
+}
+
+}  // namespace ganopc::geom

@@ -1,0 +1,55 @@
+// Uniform-grid spatial index over a rectangle set.
+//
+// DRC and SRAF isolation checks are neighbourhood queries; the naive
+// all-pairs scan is O(n^2) and dominates once clips carry thousands of
+// shapes. The index buckets rectangles into fixed-size cells, making
+// "anything within distance d of this rect?" O(1) amortized.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ganopc::geom {
+
+class RectIndex {
+ public:
+  /// Index `rects` (kept by reference — the vector must outlive the index).
+  /// cell_nm trades memory for query selectivity; use roughly the typical
+  /// query window size.
+  explicit RectIndex(const std::vector<Rect>& rects, std::int32_t cell_nm = 256);
+
+  /// Indices of all rectangles intersecting `region` (each exactly once,
+  /// ascending order).
+  std::vector<std::size_t> query(const Rect& region) const;
+
+  /// True iff any rectangle other than `exclude` intersects `region`.
+  bool any_intersecting(const Rect& region,
+                        std::size_t exclude = std::numeric_limits<std::size_t>::max()) const;
+
+  std::size_t size() const { return rects_.size(); }
+
+ private:
+  struct CellKey {
+    std::int32_t cx, cy;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const {
+      return std::hash<std::int64_t>()((static_cast<std::int64_t>(k.cx) << 32) ^
+                                       static_cast<std::uint32_t>(k.cy));
+    }
+  };
+
+  template <typename Fn>
+  void for_cells(const Rect& r, Fn&& fn) const;
+
+  const std::vector<Rect>& rects_;
+  std::int32_t cell_nm_;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellHash> cells_;
+};
+
+}  // namespace ganopc::geom

@@ -1,0 +1,133 @@
+#include "ilt/ilt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace ganopc::ilt {
+
+IltEngine::IltEngine(const litho::LithoSim& sim, const IltConfig& config)
+    : sim_(sim), config_(config) {
+  GANOPC_CHECK(config.max_iterations > 0 && config.step_size > 0.0f && config.beta > 0.0f);
+  GANOPC_CHECK(config.check_every > 0 && config.patience > 0);
+  GANOPC_CHECK_MSG(!config.dose_corners.empty(), "ILT needs at least one dose corner");
+  for (const float d : config.dose_corners) GANOPC_CHECK(d > 0.0f);
+}
+
+geom::Grid IltEngine::smoothness_gradient(const geom::Grid& mask) {
+  // E = sum over horizontal+vertical neighbour pairs of (M_a - M_b)^2 with
+  // clamped boundaries; dE/dM_p = 2 * sum_{q ~ p} (M_p - M_q).
+  geom::Grid grad(mask.rows, mask.cols, mask.pixel_nm, mask.origin_x, mask.origin_y);
+  for (std::int32_t r = 0; r < mask.rows; ++r) {
+    for (std::int32_t c = 0; c < mask.cols; ++c) {
+      const float m = mask.at(r, c);
+      float acc = 0.0f;
+      if (r > 0) acc += m - mask.at(r - 1, c);
+      if (r + 1 < mask.rows) acc += m - mask.at(r + 1, c);
+      if (c > 0) acc += m - mask.at(r, c - 1);
+      if (c + 1 < mask.cols) acc += m - mask.at(r, c + 1);
+      grad.at(r, c) = 2.0f * acc;
+    }
+  }
+  return grad;
+}
+
+IltResult IltEngine::optimize(const geom::Grid& target,
+                              const geom::Grid& initial_mask) const {
+  GANOPC_CHECK_MSG(target.rows == sim_.grid_size() && target.cols == sim_.grid_size(),
+                   "ILT: target geometry mismatch");
+  GANOPC_CHECK_MSG(initial_mask.rows == target.rows && initial_mask.cols == target.cols,
+                   "ILT: initial mask geometry mismatch");
+  WallTimer timer;
+  const std::size_t npx = target.data.size();
+  const float beta = config_.beta;
+
+  // Unbounded parameter P such that M_b = sigmoid(beta * P). Map the initial
+  // mask's [0,1] values to P = 2m - 1, clamped away from saturation.
+  std::vector<float> p(npx);
+  for (std::size_t i = 0; i < npx; ++i)
+    p[i] = 2.0f * std::clamp(initial_mask.data[i], 0.0f, 1.0f) - 1.0f;
+
+  geom::Grid mask_b(target.rows, target.cols, target.pixel_nm, target.origin_x,
+                    target.origin_y);
+  auto refresh_mask_b = [&] {
+    for (std::size_t i = 0; i < npx; ++i)
+      mask_b.data[i] = 1.0f / (1.0f + std::exp(-beta * p[i]));
+  };
+  auto hard_l2 = [&]() -> double {
+    geom::Grid hard = mask_b;
+    for (auto& v : hard.data) v = v >= 0.5f ? 1.0f : 0.0f;
+    return sim_.l2_error(hard, target);
+  };
+
+  IltResult result;
+  refresh_mask_b();
+  double best_l2 = hard_l2();
+  geom::Grid best_mask_b = mask_b;
+  result.l2_history.push_back(best_l2);
+  int stall_checks = 0;
+  int iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    // dE/dM_b (Eq. 14 core), averaged over the configured dose corners,
+    // plus the optional smoothness term; chained through the mask
+    // relaxation (Eq. 13).
+    geom::Grid grad_mb = sim_.gradient(mask_b, target, config_.dose_corners.front());
+    if (config_.dose_corners.size() > 1) {
+      for (std::size_t d = 1; d < config_.dose_corners.size(); ++d) {
+        const geom::Grid extra = sim_.gradient(mask_b, target, config_.dose_corners[d]);
+        for (std::size_t i = 0; i < npx; ++i) grad_mb.data[i] += extra.data[i];
+      }
+      const float inv = 1.0f / static_cast<float>(config_.dose_corners.size());
+      for (auto& v : grad_mb.data) v *= inv;
+    }
+    if (config_.smoothness_lambda > 0.0f) {
+      const geom::Grid reg = smoothness_gradient(mask_b);
+      for (std::size_t i = 0; i < npx; ++i)
+        grad_mb.data[i] += config_.smoothness_lambda * reg.data[i];
+    }
+    float max_abs = 0.0f;
+    std::vector<float> grad_p(npx);
+    for (std::size_t i = 0; i < npx; ++i) {
+      const float mb = mask_b.data[i];
+      grad_p[i] = grad_mb.data[i] * beta * mb * (1.0f - mb);
+      max_abs = std::max(max_abs, std::fabs(grad_p[i]));
+    }
+    const float scale = config_.normalize_gradient && max_abs > 0.0f
+                            ? config_.step_size / max_abs
+                            : config_.step_size;
+    for (std::size_t i = 0; i < npx; ++i) p[i] -= scale * grad_p[i];
+    refresh_mask_b();
+
+    if ((iter + 1) % config_.check_every == 0) {
+      const double l2 = hard_l2();
+      result.l2_history.push_back(l2);
+      if (l2 < best_l2) {
+        best_l2 = l2;
+        best_mask_b = mask_b;
+        stall_checks = 0;
+      } else {
+        ++stall_checks;
+      }
+      if (best_l2 <= config_.target_l2_px || stall_checks >= config_.patience) {
+        ++iter;
+        break;
+      }
+    }
+  }
+
+  result.iterations = iter;
+  result.mask_relaxed = std::move(best_mask_b);
+  result.mask = result.mask_relaxed;
+  for (auto& v : result.mask.data) v = v >= 0.5f ? 1.0f : 0.0f;
+  result.l2_px = best_l2;
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+IltResult IltEngine::optimize(const geom::Grid& target) const {
+  return optimize(target, target);
+}
+
+}  // namespace ganopc::ilt

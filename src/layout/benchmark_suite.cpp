@@ -1,0 +1,121 @@
+#include "layout/benchmark_suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace ganopc::layout {
+
+namespace {
+
+// Places wire segments on successive vertical tracks, top to bottom, keeping
+// Table 1 pitch and tip-to-tip rules. Hands out one slot at a time so the
+// caller can trim lengths to hit an exact area budget.
+class TrackPlacer {
+ public:
+  TrackPlacer(std::int32_t lo, std::int32_t hi, std::int32_t pitch, std::int32_t t2t)
+      : lo_(lo), hi_(hi), pitch_(pitch), t2t_(t2t), track_(lo), cursor_(lo) {}
+
+  /// Reserve a slot of the given length on the current track (advancing to
+  /// the next track when full). Returns false when the clip is exhausted.
+  bool place(std::int32_t width, std::int32_t length, geom::Rect& out) {
+    while (true) {
+      if (track_ + width > hi_) return false;
+      if (cursor_ + length <= hi_) {
+        out = geom::Rect{track_, cursor_, track_ + width, cursor_ + length};
+        cursor_ += length + t2t_;
+        return true;
+      }
+      track_ += pitch_;
+      cursor_ = lo_;
+    }
+  }
+
+ private:
+  std::int32_t lo_, hi_, pitch_, t2t_;
+  std::int32_t track_, cursor_;
+};
+
+geom::Layout build_case(std::int64_t target_area, std::int32_t clip_nm, Prng& rng) {
+  const DesignRules rules = table1_rules();
+  const std::int32_t margin = 200;
+  const std::int32_t lo = margin, hi = clip_nm - margin;
+  const std::int32_t max_width = 120;
+  const std::int32_t pitch = std::max(rules.min_pitch, max_width + rules.min_spacing());
+  TrackPlacer placer(lo, hi, pitch, rules.min_tip_to_tip);
+  geom::Layout clip(geom::Rect{0, 0, clip_nm, clip_nm});
+
+  // Filler geometry: an 80nm-wide wire between 160 and 800nm long; the
+  // random phase stops once one exact filler pass can absorb the remainder.
+  const std::int32_t fill_w = rules.min_cd;
+  const std::int32_t fill_min = 160, fill_max = 800;
+  const std::int64_t fill_quantum = static_cast<std::int64_t>(fill_w) * fill_min;
+
+  std::int64_t remaining = target_area;
+  // Random phase: diverse widths/lengths, each capped so the filler phase
+  // stays feasible.
+  while (remaining > 4 * fill_quantum) {
+    const auto width = static_cast<std::int32_t>(rng.randint(rules.min_cd, max_width));
+    auto length = static_cast<std::int32_t>(rng.randint(fill_min, fill_max));
+    const std::int64_t cap = remaining - fill_quantum;
+    length = static_cast<std::int32_t>(
+        std::min<std::int64_t>(length, cap / width));
+    if (length < fill_min) break;
+    geom::Rect r;
+    if (!placer.place(width, length, r)) break;
+    // Randomize the tip gap a little for topology diversity.
+    if (rng.bernoulli(0.5)) {
+      geom::Rect skip;
+      placer.place(width, static_cast<std::int32_t>(rng.randint(0, 1)) + 1, skip);
+      // tiny throwaway slot advances the cursor; remove it from the area
+      // budget by never adding it to the clip.
+    }
+    clip.add(r);
+    remaining -= r.area();
+  }
+  // Filler phase: exact-length 80nm wires until the remainder is < one
+  // pixel-scale sliver.
+  while (remaining >= fill_quantum) {
+    const std::int32_t length = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(remaining / fill_w, fill_min, fill_max));
+    geom::Rect r;
+    if (!placer.place(fill_w, length, r)) break;
+    clip.add(r);
+    remaining -= r.area();
+  }
+  return clip;
+}
+
+}  // namespace
+
+std::vector<BenchmarkCase> make_benchmark_suite(std::int32_t clip_nm, std::uint64_t seed,
+                                                double area_tolerance) {
+  GANOPC_CHECK(clip_nm >= 1024);
+  Prng rng(seed);
+  std::vector<BenchmarkCase> suite;
+  suite.reserve(kTable2AreasNm2.size());
+  for (std::size_t i = 0; i < kTable2AreasNm2.size(); ++i) {
+    const std::int64_t target = kTable2AreasNm2[i];
+    BenchmarkCase bc;
+    bc.id = static_cast<int>(i) + 1;
+    bc.target_area = target;
+    // Retry with fresh randomness until the area lands inside tolerance
+    // (the placer can run out of room on unlucky draws).
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      bc.layout = build_case(target, clip_nm, rng);
+      const double err = std::abs(static_cast<double>(bc.layout.union_area() - target)) /
+                         static_cast<double>(target);
+      if (err <= area_tolerance) break;
+    }
+    const double err = std::abs(static_cast<double>(bc.layout.union_area() - target)) /
+                       static_cast<double>(target);
+    GANOPC_CHECK_MSG(err <= area_tolerance,
+                     "benchmark case " << bc.id << " area error " << err << " > tolerance");
+    suite.push_back(std::move(bc));
+  }
+  return suite;
+}
+
+}  // namespace ganopc::layout

@@ -1,0 +1,37 @@
+// The 10-case evaluation suite standing in for the ICCAD-2013 contest
+// benchmarks (Table 2 of the paper).
+//
+// The contest's industrial M1 clips are not redistributable, so we
+// synthesize rule-clean clips whose *total pattern areas match Table 2's
+// Area column per case*. The generator adds wire segments until it reaches
+// the target area and trims the final segment to land exactly on it
+// (subject to minimum-length rules), so the workload sizes mirror the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ganopc::layout {
+
+/// Table 2 "Area (nm^2)" column, cases 1..10.
+inline constexpr std::array<std::int64_t, 10> kTable2AreasNm2 = {
+    215344, 169280, 213504, 82560, 281958, 286234, 229149, 128544, 317581, 102400};
+
+struct BenchmarkCase {
+  int id = 0;                   ///< 1-based case id, matching Table 2
+  std::int64_t target_area = 0; ///< paper's area for this case
+  geom::Layout layout;
+};
+
+/// Deterministically generate the 10-case suite inside clip_nm x clip_nm
+/// windows. Every case is rule-clean under Table 1 rules and its union area
+/// is within `area_tolerance` (relative) of the paper's figure.
+std::vector<BenchmarkCase> make_benchmark_suite(std::int32_t clip_nm = 2048,
+                                                std::uint64_t seed = 20130013,
+                                                double area_tolerance = 0.02);
+
+}  // namespace ganopc::layout

@@ -1,0 +1,3 @@
+#include "layout/design_rules.hpp"
+
+// Header-only rule struct; this TU anchors the library target.

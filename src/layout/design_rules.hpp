@@ -1,0 +1,26 @@
+// Table 1 of the paper: the design rules used to synthesize training
+// layouts for the 32nm M1 layer.
+#pragma once
+
+#include <cstdint>
+
+namespace ganopc::layout {
+
+struct DesignRules {
+  std::int32_t min_cd = 80;         ///< M1 critical dimension (nm)
+  std::int32_t min_pitch = 140;     ///< wire pitch (nm)
+  std::int32_t min_tip_to_tip = 60; ///< line-end to line-end distance (nm)
+
+  /// Minimum side-to-side spacing implied by pitch and CD.
+  std::int32_t min_spacing() const { return min_pitch - min_cd; }
+
+  /// True iff the rule set is self-consistent.
+  bool valid() const {
+    return min_cd > 0 && min_tip_to_tip > 0 && min_pitch > min_cd;
+  }
+};
+
+/// The paper's Table 1 values.
+inline DesignRules table1_rules() { return DesignRules{}; }
+
+}  // namespace ganopc::layout

@@ -1,0 +1,65 @@
+#include "layout/drc.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "geometry/rect_index.hpp"
+
+namespace ganopc::layout {
+
+std::string DrcViolation::str() const {
+  std::ostringstream oss;
+  switch (rule) {
+    case DrcRule::MinCd:
+      oss << "CD: rect " << rect_a << " short side " << measured << " < " << required;
+      break;
+    case DrcRule::Spacing:
+      oss << "SPACING: rects " << rect_a << "/" << rect_b << " gap " << measured << " < "
+          << required;
+      break;
+    case DrcRule::Overlap:
+      oss << "OVERLAP: rects " << rect_a << "/" << rect_b;
+      break;
+  }
+  return oss.str();
+}
+
+std::vector<DrcViolation> check_design_rules(const geom::Layout& layout,
+                                             const DesignRules& rules) {
+  GANOPC_CHECK_MSG(rules.valid(), "invalid design rules");
+  std::vector<DrcViolation> violations;
+  const auto& rects = layout.rects();
+  constexpr auto kNone = std::numeric_limits<std::size_t>::max();
+
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const std::int32_t cd = std::min(rects[i].width(), rects[i].height());
+    if (cd < rules.min_cd)
+      violations.push_back({DrcRule::MinCd, i, kNone, cd, rules.min_cd});
+  }
+
+  // Pairwise checks through the spatial index: only neighbours within the
+  // spacing window are candidates, so large clips stay near-linear.
+  const std::int32_t min_gap = std::min(rules.min_tip_to_tip, rules.min_spacing());
+  const geom::RectIndex index(rects);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j : index.query(rects[i].inflated(min_gap))) {
+      if (j <= i) continue;  // each pair once
+      if (rects[i].intersects(rects[j])) {
+        violations.push_back({DrcRule::Overlap, i, j, 0, 0});
+        continue;
+      }
+      const std::int32_t gap = rects[i].gap_to(rects[j]);
+      if (gap < min_gap)
+        violations.push_back({DrcRule::Spacing, i, j, gap, min_gap});
+    }
+  }
+  return violations;
+}
+
+bool is_rule_clean(const geom::Layout& layout, const DesignRules& rules) {
+  return check_design_rules(layout, rules).empty();
+}
+
+}  // namespace ganopc::layout

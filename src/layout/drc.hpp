@@ -1,0 +1,38 @@
+// Design-rule checking against Table 1.
+//
+// Checks:
+//   CD       — every rectangle's short side >= min_cd
+//   SPACING  — any two disjoint rectangles keep an L-infinity gap of at
+//              least min_tip_to_tip (covers tip-to-tip and, together with
+//              track-pitch placement, side spacing)
+//   OVERLAP  — shapes must not overlap (synthesized clips are disjoint)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ganopc::layout {
+
+enum class DrcRule { MinCd, Spacing, Overlap };
+
+struct DrcViolation {
+  DrcRule rule;
+  std::size_t rect_a;  ///< index into layout.rects()
+  std::size_t rect_b;  ///< second index for pairwise rules, SIZE_MAX otherwise
+  std::int32_t measured;
+  std::int32_t required;
+
+  std::string str() const;
+};
+
+/// Run all checks; returns every violation found.
+std::vector<DrcViolation> check_design_rules(const geom::Layout& layout,
+                                             const DesignRules& rules);
+
+/// Convenience: true iff no violations.
+bool is_rule_clean(const geom::Layout& layout, const DesignRules& rules);
+
+}  // namespace ganopc::layout

@@ -1,0 +1,69 @@
+#include "layout/glp.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/polygon.hpp"
+
+namespace ganopc::layout {
+
+geom::Layout read_glp(const std::string& path, const geom::Rect& clip) {
+  std::ifstream in(path);
+  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  geom::Layout layout(clip);
+  std::string line;
+  bool saw_begin = false;
+  while (std::getline(in, line)) {
+    std::istringstream iss(line);
+    std::string keyword;
+    if (!(iss >> keyword)) continue;
+    if (keyword == "BEGIN") {
+      saw_begin = true;
+    } else if (keyword == "RECT") {
+      // RECT <dir> <layer> <x> <y> <w> <h>
+      std::string dir, layer;
+      std::int32_t x = 0, y = 0, w = 0, h = 0;
+      GANOPC_CHECK_MSG(static_cast<bool>(iss >> dir >> layer >> x >> y >> w >> h),
+                       "malformed RECT line: " << line);
+      GANOPC_CHECK_MSG(w > 0 && h > 0, "degenerate RECT in " << path);
+      layout.add({x, y, x + w, y + h});
+    } else if (keyword == "PGON") {
+      std::string dir, layer;
+      GANOPC_CHECK_MSG(static_cast<bool>(iss >> dir >> layer),
+                       "malformed PGON line: " << line);
+      std::vector<geom::Point> pts;
+      std::int32_t x = 0, y = 0;
+      while (iss >> x >> y) pts.push_back({x, y});
+      GANOPC_CHECK_MSG(pts.size() >= 4, "PGON with fewer than 4 vertices: " << line);
+      const geom::Polygon polygon(std::move(pts));
+      GANOPC_CHECK_MSG(polygon.is_rectilinear(),
+                       "non-rectilinear PGON in " << path);
+      for (const auto& r : polygon.decompose()) layout.add(r);
+    }
+    // EQUIV / CNAME / LEVEL / CELL / ENDMSG / END and unknown records are
+    // metadata; skip.
+  }
+  GANOPC_CHECK_MSG(saw_begin, "not a GLP file (missing BEGIN): " << path);
+  return layout;
+}
+
+void write_glp(const std::string& path, const geom::Layout& layout,
+               const std::string& cell_name) {
+  std::ofstream out(path);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "BEGIN\n";
+  out << "EQUIV  1  1000  MICRON  +X,+Y\n";
+  out << "CNAME " << cell_name << "\n";
+  out << "LEVEL M1\n\n";
+  out << "  CELL " << cell_name << " PRIME\n";
+  for (const auto& r : layout.rects())
+    out << "    RECT N M1 " << r.x0 << " " << r.y0 << " " << r.width() << " "
+        << r.height() << "\n";
+  out << "  ENDMSG\n";
+  out << "END\n";
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+}  // namespace ganopc::layout

@@ -1,0 +1,32 @@
+// GLP layout I/O — the text format of the ICCAD-2013 mask-optimization
+// contest benchmarks (and of follow-up repos such as OpenILT).
+//
+//   BEGIN
+//   EQUIV  1  1000  MICRON  +X,+Y
+//   CNAME <cell>
+//   LEVEL M1
+//     CELL <cell> PRIME
+//       RECT N M1 <x> <y> <width> <height>
+//       PGON N M1 <x1> <y1> <x2> <y2> ...
+//     ENDMSG
+//   END
+//
+// The reader accepts RECT and PGON records (PGONs must be rectilinear and
+// are decomposed into rectangles); unknown lines are skipped so real contest
+// files parse. Coordinates are nm.
+#pragma once
+
+#include <string>
+
+#include "geometry/layout.hpp"
+
+namespace ganopc::layout {
+
+/// Parse a GLP file into a layout with the given clip window.
+geom::Layout read_glp(const std::string& path, const geom::Rect& clip);
+
+/// Write a layout as GLP (one RECT record per rectangle).
+void write_glp(const std::string& path, const geom::Layout& layout,
+               const std::string& cell_name = "CLIP");
+
+}  // namespace ganopc::layout

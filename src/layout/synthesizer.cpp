@@ -1,0 +1,77 @@
+#include "layout/synthesizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ganopc::layout {
+
+namespace {
+
+// Fill one track (a 1-D usable interval) with wire segments separated by at
+// least the tip-to-tip rule. Returns [start, end) intervals in nm.
+std::vector<std::pair<std::int32_t, std::int32_t>> fill_track(
+    std::int32_t lo, std::int32_t hi, const SynthesisConfig& cfg, Prng& rng) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> segments;
+  std::int32_t cursor = lo + static_cast<std::int32_t>(rng.randint(0, 120));
+  while (cursor + cfg.min_segment_len <= hi) {
+    const std::int32_t max_len = std::min<std::int32_t>(cfg.max_segment_len, hi - cursor);
+    const auto len = static_cast<std::int32_t>(rng.randint(cfg.min_segment_len, max_len));
+    segments.emplace_back(cursor, cursor + len);
+    cursor += len + cfg.rules.min_tip_to_tip +
+              static_cast<std::int32_t>(rng.randint(0, 200));
+  }
+  return segments;
+}
+
+}  // namespace
+
+geom::Layout synthesize_clip(const SynthesisConfig& cfg, Prng& rng) {
+  GANOPC_CHECK_MSG(cfg.rules.valid(), "invalid design rules");
+  GANOPC_CHECK(cfg.clip_nm > 2 * cfg.margin_nm);
+  GANOPC_CHECK(cfg.max_wire_width >= cfg.rules.min_cd);
+
+  geom::Layout clip(geom::Rect{0, 0, cfg.clip_nm, cfg.clip_nm});
+  const bool vertical = cfg.allow_horizontal ? rng.bernoulli(0.5) : true;
+  const std::int32_t lo = cfg.margin_nm;
+  const std::int32_t hi = cfg.clip_nm - cfg.margin_nm;
+
+  // Track pitch: wide enough that the widest wire still keeps min spacing.
+  const std::int32_t pitch =
+      std::max(cfg.rules.min_pitch, cfg.max_wire_width + cfg.rules.min_spacing());
+  for (std::int32_t track = lo; track + cfg.max_wire_width <= hi; track += pitch) {
+    if (!rng.bernoulli(cfg.track_fill_prob)) continue;
+    const auto width =
+        static_cast<std::int32_t>(rng.randint(cfg.rules.min_cd, cfg.max_wire_width));
+    for (const auto& [s0, s1] : fill_track(lo, hi, cfg, rng)) {
+      // Occasionally widen a segment into a pad/landing shape; the pad stays
+      // within the track's width budget so pitch still guarantees spacing.
+      std::int32_t w = width;
+      if (rng.bernoulli(cfg.pad_prob))
+        w = std::min<std::int32_t>(cfg.max_wire_width,
+                                   width + static_cast<std::int32_t>(rng.randint(10, 40)));
+      if (vertical) {
+        clip.add(geom::Rect{track, s0, track + w, s1});
+      } else {
+        clip.add(geom::Rect{s0, track, s1, track + w});
+      }
+    }
+  }
+  return clip;
+}
+
+std::vector<geom::Layout> synthesize_library(const SynthesisConfig& cfg, std::size_t count,
+                                             std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<geom::Layout> library;
+  library.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    geom::Layout clip = synthesize_clip(cfg, rng);
+    // Avoid degenerate empty clips in the training set.
+    while (clip.empty()) clip = synthesize_clip(cfg, rng);
+    library.push_back(std::move(clip));
+  }
+  return library;
+}
+
+}  // namespace ganopc::layout

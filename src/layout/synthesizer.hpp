@@ -1,0 +1,40 @@
+// Synthetic M1 clip generation (§4 of the paper).
+//
+// "We synthesize a training layout library with 4000 instances based on the
+//  design specifications from existing 32nm M1 layout topologies... all the
+//  shapes are randomly placed together based on simple design rules."
+//
+// Each clip places wire segments on a track grid whose pitch honours
+// Table 1; segment widths, lengths and tip gaps are sampled within rule
+// bounds, giving rule-clean, uniformly distributed local topologies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "geometry/layout.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ganopc::layout {
+
+struct SynthesisConfig {
+  DesignRules rules = table1_rules();
+  std::int32_t clip_nm = 2048;        ///< clip is clip_nm x clip_nm
+  std::int32_t margin_nm = 200;       ///< keep-out border inside the clip
+  std::int32_t max_wire_width = 120;  ///< sampled in [min_cd, max_wire_width]
+  std::int32_t min_segment_len = 160;
+  std::int32_t max_segment_len = 900;
+  double track_fill_prob = 0.75;      ///< probability a track carries wires
+  double pad_prob = 0.15;             ///< chance a segment widens into a pad
+  bool allow_horizontal = true;       ///< else always vertical wires
+};
+
+/// Generate one rule-clean clip. Deterministic in `rng`.
+geom::Layout synthesize_clip(const SynthesisConfig& config, Prng& rng);
+
+/// Generate `count` clips (the training library; the paper uses 4000).
+std::vector<geom::Layout> synthesize_library(const SynthesisConfig& config,
+                                             std::size_t count, std::uint64_t seed);
+
+}  // namespace ganopc::layout

@@ -1,0 +1,53 @@
+// SOCS kernel set on a concrete simulation grid.
+//
+// Kernels are stored in the frequency domain (unshifted FFT layout), so the
+// aerial image of Eq. (2) is one forward FFT of the mask, num_kernels complex
+// multiplies, and num_kernels inverse FFTs:
+//   A_k = IFFT( H_k_hat .* FFT(M) ),   I = sum_k w_k |A_k|^2.
+// Each H_k_hat is a pupil disk shifted by its Abbe source point, with an
+// optional paraxial defocus phase. Flipped kernels H_k_hat(-f) are
+// precomputed for the ILT gradient (Eq. 14).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "litho/optics.hpp"
+
+namespace ganopc::litho {
+
+class SocsKernels {
+ public:
+  /// Build kernels for a grid_size x grid_size simulation window with the
+  /// given physical pixel size. grid_size must be a power of two.
+  SocsKernels(const OpticsConfig& config, std::int32_t grid_size, std::int32_t pixel_nm);
+
+  std::int32_t grid_size() const { return grid_; }
+  std::int32_t pixel_nm() const { return pixel_nm_; }
+  int count() const { return static_cast<int>(weights_.size()); }
+  const OpticsConfig& config() const { return config_; }
+
+  /// Frequency-domain kernel k (grid*grid complex values, unshifted layout).
+  const std::vector<std::complex<float>>& freq_kernel(int k) const;
+
+  /// Frequency-domain kernel evaluated at negated frequencies,
+  /// H_k_hat[(-f) mod N] — the transfer function of the flipped kernel.
+  const std::vector<std::complex<float>>& freq_kernel_flipped(int k) const;
+
+  float weight(int k) const { return weights_.at(static_cast<std::size_t>(k)); }
+
+  /// Spatial-domain kernel (centered via fftshift) — used by tests and for
+  /// kernel visualization; the hot paths never leave the frequency domain.
+  std::vector<std::complex<float>> spatial_kernel(int k) const;
+
+ private:
+  OpticsConfig config_;
+  std::int32_t grid_;
+  std::int32_t pixel_nm_;
+  std::vector<float> weights_;
+  std::vector<std::vector<std::complex<float>>> freq_kernels_;
+  std::vector<std::vector<std::complex<float>>> freq_kernels_flipped_;
+};
+
+}  // namespace ganopc::litho

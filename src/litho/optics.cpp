@@ -1,0 +1,55 @@
+#include "litho/optics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc::litho {
+
+std::vector<SourcePoint> sample_annular_source(const OpticsConfig& config, int count) {
+  GANOPC_CHECK_MSG(config.valid(), "invalid optics configuration");
+  GANOPC_CHECK(count > 0);
+  std::vector<SourcePoint> points;
+  points.reserve(static_cast<std::size_t>(count));
+
+  // Distribute the samples over concentric rings inside the annulus. Ring
+  // count grows with the sample budget; each ring gets samples proportional
+  // to its circumference so the source density stays uniform.
+  const int rings = count <= 8 ? 1 : (count <= 24 ? 2 : 3);
+  const double cutoff = config.cutoff();
+  const double s_in = config.sigma_inner, s_out = config.sigma_outer;
+
+  // Ring radii at the centers of equal-width annular strips.
+  std::vector<double> radii(rings);
+  for (int r = 0; r < rings; ++r)
+    radii[r] = s_in + (s_out - s_in) * (r + 0.5) / rings;
+
+  double circumference_total = 0.0;
+  for (double rad : radii) circumference_total += rad;
+
+  int assigned = 0;
+  for (int r = 0; r < rings; ++r) {
+    int n = (r == rings - 1)
+                ? count - assigned
+                : static_cast<int>(std::lround(count * radii[r] / circumference_total));
+    n = std::max(n, 1);
+    if (assigned + n > count) n = count - assigned;
+    assigned += n;
+    // Stagger rings so samples do not align radially.
+    const double phase = M_PI * r / (rings * std::max(n, 1));
+    for (int i = 0; i < n; ++i) {
+      const double theta = 2.0 * M_PI * i / n + phase;
+      SourcePoint p;
+      p.fx = radii[r] * cutoff * std::cos(theta);
+      p.fy = radii[r] * cutoff * std::sin(theta);
+      points.push_back(p);
+    }
+    if (assigned == count) break;
+  }
+  GANOPC_CHECK(static_cast<int>(points.size()) == count);
+  const double w = 1.0 / count;
+  for (auto& p : points) p.weight = w;
+  return points;
+}
+
+}  // namespace ganopc::litho

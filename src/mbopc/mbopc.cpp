@@ -1,0 +1,186 @@
+#include "mbopc/mbopc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "metrics/epe.hpp"
+
+namespace ganopc::mbopc {
+
+namespace {
+
+// Split [lo, hi) into pieces no longer than seg_len, as evenly as possible.
+std::vector<std::pair<std::int32_t, std::int32_t>> split_edge(std::int32_t lo,
+                                                              std::int32_t hi,
+                                                              std::int32_t seg_len) {
+  const std::int32_t length = hi - lo;
+  const std::int32_t pieces = std::max(1, (length + seg_len - 1) / seg_len);
+  std::vector<std::pair<std::int32_t, std::int32_t>> out;
+  out.reserve(static_cast<std::size_t>(pieces));
+  for (std::int32_t i = 0; i < pieces; ++i) {
+    const std::int32_t a = lo + static_cast<std::int32_t>(
+                                    static_cast<std::int64_t>(length) * i / pieces);
+    const std::int32_t b = lo + static_cast<std::int32_t>(
+                                    static_cast<std::int64_t>(length) * (i + 1) / pieces);
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+// Paint (value 1) or erase (value 0) a nm-space rectangle on the grid, with
+// pixel-center semantics so rendering matches rasterize(threshold=true).
+void paint(geom::Grid& grid, const geom::Rect& r, float value) {
+  // A pixel is on iff the rect covers at least half of it along each axis;
+  // exactly-half coverage counts as on, matching rasterize's >= 0.5 rule.
+  const std::int32_t half = grid.pixel_nm / 2;
+  const std::int32_t c0 = std::max(0, (r.x0 - grid.origin_x + half - 1) / grid.pixel_nm);
+  const std::int32_t c1 =
+      std::min(grid.cols, (r.x1 - grid.origin_x + half) / grid.pixel_nm);
+  const std::int32_t r0 = std::max(0, (r.y0 - grid.origin_y + half - 1) / grid.pixel_nm);
+  const std::int32_t r1 =
+      std::min(grid.rows, (r.y1 - grid.origin_y + half) / grid.pixel_nm);
+  for (std::int32_t row = r0; row < r1; ++row)
+    for (std::int32_t col = c0; col < c1; ++col) grid.at(row, col) = value;
+}
+
+}  // namespace
+
+MbOpcEngine::MbOpcEngine(const litho::LithoSim& sim, const MbOpcConfig& config)
+    : sim_(sim), config_(config) {
+  GANOPC_CHECK(config.segment_len_nm > 0 && config.max_move_nm > 0);
+  GANOPC_CHECK(config.max_iterations > 0 && config.gain > 0.0f);
+}
+
+std::vector<Segment> MbOpcEngine::fragment(const geom::Layout& target,
+                                           std::int32_t segment_len_nm) {
+  GANOPC_CHECK(segment_len_nm > 0);
+  std::vector<Segment> segments;
+  const auto& rects = target.rects();
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const auto& r = rects[i];
+    for (const auto& [a, b] : split_edge(r.x0, r.x1, segment_len_nm)) {
+      segments.push_back({a, r.y0, b, r.y0, 0, -1, i, 0, 0});  // top
+      segments.push_back({a, r.y1, b, r.y1, 0, +1, i, 0, 0});  // bottom
+    }
+    for (const auto& [a, b] : split_edge(r.y0, r.y1, segment_len_nm)) {
+      segments.push_back({r.x0, a, r.x0, b, -1, 0, i, 0, 0});  // left
+      segments.push_back({r.x1, a, r.x1, b, +1, 0, i, 0, 0});  // right
+    }
+  }
+  return segments;
+}
+
+geom::Grid MbOpcEngine::render(const geom::Layout& target,
+                               const std::vector<Segment>& segments,
+                               const std::vector<geom::Rect>& assists) const {
+  const geom::Rect& clip = target.clip();
+  GANOPC_CHECK_MSG(clip.width() / sim_.pixel_nm() == sim_.grid_size(),
+                   "mbopc: clip does not match simulator window");
+  geom::Grid mask(sim_.grid_size(), sim_.grid_size(), sim_.pixel_nm(), clip.x0, clip.y0);
+  // Base pattern plus outward bulges.
+  for (const auto& r : target.rects()) paint(mask, r, 1.0f);
+  for (const auto& s : segments) {
+    if (s.offset_nm <= 0) continue;
+    geom::Rect strip{std::min(s.x0, s.x1), std::min(s.y0, s.y1), std::max(s.x0, s.x1),
+                     std::max(s.y0, s.y1)};
+    if (s.nx > 0) strip.x1 += s.offset_nm;
+    if (s.nx < 0) strip.x0 -= s.offset_nm;
+    if (s.ny > 0) strip.y1 += s.offset_nm;
+    if (s.ny < 0) strip.y0 -= s.offset_nm;
+    paint(mask, strip, 1.0f);
+  }
+  // Inward pullbacks, clipped to the owning rectangle so neighbours are
+  // untouched (synthesized targets are disjoint).
+  for (const auto& s : segments) {
+    if (s.offset_nm >= 0) continue;
+    const geom::Rect& owner = target.rects()[s.rect_index];
+    geom::Rect strip{std::min(s.x0, s.x1), std::min(s.y0, s.y1), std::max(s.x0, s.x1),
+                     std::max(s.y0, s.y1)};
+    const std::int32_t pull = -s.offset_nm;
+    if (s.nx > 0) strip.x0 -= pull;
+    if (s.nx < 0) strip.x1 += pull;
+    if (s.ny > 0) strip.y0 -= pull;
+    if (s.ny < 0) strip.y1 += pull;
+    const geom::Rect clipped = strip.intersection(owner);
+    if (!clipped.empty()) paint(mask, clipped, 0.0f);
+  }
+  // Assist features last: pullbacks of main edges never erase them.
+  for (const auto& bar : assists) paint(mask, bar, 1.0f);
+  return mask;
+}
+
+MbOpcResult MbOpcEngine::optimize(const geom::Layout& target,
+                                  const std::vector<geom::Rect>& assists) const {
+  WallTimer timer;
+  MbOpcResult result;
+  result.segments = fragment(target, config_.segment_len_nm);
+  const geom::Grid target_grid =
+      geom::rasterize(target, sim_.pixel_nm(), /*threshold=*/true);
+
+  metrics::EpeConfig epe_cfg;
+  epe_cfg.max_search_nm = 4 * config_.max_move_nm;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    result.mask = render(target, result.segments, assists);
+    const geom::Grid wafer = sim_.simulate(result.mask);
+
+    // Measure the EPE at each segment midpoint — relative to the *drawn*
+    // edge, not the moved one — and apply proportional feedback: a contour
+    // bulging outward (positive EPE) pulls the mask edge in, a pullback
+    // pushes it out.
+    double abs_sum = 0.0;
+    std::int32_t worst = 0;
+    for (auto& s : result.segments) {
+      std::int32_t mx = (s.x0 + s.x1) / 2;
+      std::int32_t my = (s.y0 + s.y1) / 2;
+      // Snap the control point onto the *rasterized* target's edge: that is
+      // the contour the squared-L2 objective scores against, and it can sit
+      // half a pixel off the drawn edge when the edge falls mid-pixel.
+      const std::int32_t px = target_grid.pixel_nm;
+      const std::int32_t half = px / 2;
+      if (s.nx < 0) mx = target_grid.origin_x + px * ((mx - target_grid.origin_x + half - 1) / px);
+      if (s.nx > 0) mx = target_grid.origin_x + px * ((mx - target_grid.origin_x + half) / px);
+      if (s.ny < 0) my = target_grid.origin_y + px * ((my - target_grid.origin_y + half - 1) / px);
+      if (s.ny > 0) my = target_grid.origin_y + px * ((my - target_grid.origin_y + half) / px);
+      bool found = false;
+      std::int32_t epe = metrics::probe_edge_displacement(wafer, mx, my, s.nx, s.ny,
+                                                          epe_cfg.max_search_nm, found);
+      if (!found) {
+        // No contour within range: saturate with the sign given by whether
+        // the print covers the point just inside the drawn edge.
+        const std::int32_t probe_x = mx - s.nx * wafer.pixel_nm;
+        const std::int32_t probe_y = my - s.ny * wafer.pixel_nm;
+        const std::int32_t col = (probe_x - wafer.origin_x) / wafer.pixel_nm;
+        const std::int32_t row = (probe_y - wafer.origin_y) / wafer.pixel_nm;
+        const bool on = wafer.in_bounds(row, col) && wafer.at(row, col) >= 0.5f;
+        epe = on ? epe_cfg.max_search_nm : -epe_cfg.max_search_nm;
+      }
+      s.last_epe_nm = epe;
+      abs_sum += std::abs(epe);
+      worst = std::max(worst, std::abs(epe));
+      // Deadband: segments already within tolerance stay put, so converged
+      // edges do not oscillate around the pixel quantization.
+      if (std::abs(epe) <= config_.epe_tol_nm) continue;
+      const auto move = static_cast<std::int32_t>(std::lround(config_.gain * epe));
+      s.offset_nm = std::clamp(s.offset_nm - move, -config_.max_move_nm,
+                               config_.max_move_nm);
+    }
+    result.mean_abs_epe_history.push_back(abs_sum /
+                                          static_cast<double>(result.segments.size()));
+    result.max_epe_nm = worst;
+    if (worst <= config_.epe_tol_nm) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.mask = render(target, result.segments, assists);
+  result.l2_px = sim_.l2_error(result.mask, target_grid);
+  result.runtime_s = timer.seconds();
+  return result;
+}
+
+}  // namespace ganopc::mbopc

@@ -1,0 +1,114 @@
+#include "metrics/defects.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "geometry/bitmap_ops.hpp"
+
+namespace ganopc::metrics {
+
+namespace {
+
+bool wafer_on(const geom::Grid& wafer, std::int32_t x_nm, std::int32_t y_nm) {
+  const std::int32_t c = (x_nm - wafer.origin_x) / wafer.pixel_nm;
+  const std::int32_t r = (y_nm - wafer.origin_y) / wafer.pixel_nm;
+  if (!wafer.in_bounds(r, c)) return false;
+  return wafer.at(r, c) >= 0.5f;
+}
+
+// Printed width through (x, y) along direction (dx, dy), in nm.
+std::int32_t printed_run(const geom::Grid& wafer, std::int32_t x, std::int32_t y,
+                         std::int32_t dx, std::int32_t dy, std::int32_t limit_nm) {
+  if (!wafer_on(wafer, x, y)) return 0;
+  const std::int32_t step = wafer.pixel_nm;
+  std::int32_t run = step;
+  for (std::int32_t t = step; t <= limit_nm; t += step) {
+    if (!wafer_on(wafer, x + dx * t, y + dy * t)) break;
+    run += step;
+  }
+  for (std::int32_t t = step; t <= limit_nm; t += step) {
+    if (!wafer_on(wafer, x - dx * t, y - dy * t)) break;
+    run += step;
+  }
+  return run;
+}
+
+}  // namespace
+
+std::vector<NeckDefect> detect_necks(const geom::Layout& target, const geom::Grid& wafer,
+                                     const NeckConfig& config) {
+  GANOPC_CHECK(config.min_cd_ratio > 0.0 && config.min_cd_ratio <= 1.0);
+  GANOPC_CHECK(config.sample_step_nm > 0);
+  std::vector<NeckDefect> defects;
+  for (const auto& r : target.rects()) {
+    const bool vertical = r.height() >= r.width();
+    const std::int32_t drawn_cd = vertical ? r.width() : r.height();
+    // Spine sample positions along the long axis, inset from the line ends
+    // (tip pullback is EPE's job, not the neck detector's).
+    const std::int32_t lo = (vertical ? r.y0 : r.x0) + drawn_cd / 2;
+    const std::int32_t hi = (vertical ? r.y1 : r.x1) - drawn_cd / 2;
+    const std::int32_t center = vertical ? (r.x0 + r.x1) / 2 : (r.y0 + r.y1) / 2;
+    const std::int32_t limit = 4 * drawn_cd;
+    for (std::int32_t p = lo; p <= hi; p += config.sample_step_nm) {
+      const std::int32_t x = vertical ? center : p;
+      const std::int32_t y = vertical ? p : center;
+      const std::int32_t cd =
+          vertical ? printed_run(wafer, x, y, 1, 0, limit) : printed_run(wafer, x, y, 0, 1, limit);
+      if (cd < static_cast<std::int32_t>(config.min_cd_ratio * drawn_cd))
+        defects.push_back({x, y, cd, drawn_cd});
+    }
+  }
+  return defects;
+}
+
+std::vector<BridgeDefect> detect_bridges(const geom::Grid& target_raster,
+                                         const geom::Grid& wafer) {
+  GANOPC_CHECK_MSG(target_raster.rows == wafer.rows && target_raster.cols == wafer.cols,
+                   "bridge detector: grid mismatch");
+  std::int32_t n_wafer = 0, n_target = 0;
+  const auto wafer_labels = geom::connected_components(wafer, n_wafer);
+  const auto target_labels = geom::connected_components(target_raster, n_target);
+
+  // For every wafer blob, which target shapes does it touch?
+  std::map<std::int32_t, std::set<std::int32_t>> touched;
+  for (std::size_t i = 0; i < wafer_labels.size(); ++i) {
+    if (wafer_labels[i] == 0 || target_labels[i] == 0) continue;
+    touched[wafer_labels[i]].insert(target_labels[i]);
+  }
+  std::vector<BridgeDefect> defects;
+  for (const auto& [wlabel, tset] : touched) {
+    if (tset.size() >= 2) {
+      BridgeDefect d;
+      d.wafer_component = wlabel;
+      d.targets.assign(tset.begin(), tset.end());
+      defects.push_back(std::move(d));
+    }
+  }
+  return defects;
+}
+
+std::vector<BreakDefect> detect_breaks(const geom::Grid& target_raster,
+                                       const geom::Grid& wafer) {
+  GANOPC_CHECK_MSG(target_raster.rows == wafer.rows && target_raster.cols == wafer.cols,
+                   "break detector: grid mismatch");
+  std::int32_t n_wafer = 0, n_target = 0;
+  const auto wafer_labels = geom::connected_components(wafer, n_wafer);
+  const auto target_labels = geom::connected_components(target_raster, n_target);
+
+  std::map<std::int32_t, std::set<std::int32_t>> pieces;  // target -> wafer labels
+  for (std::int32_t t = 1; t <= n_target; ++t) pieces[t] = {};
+  for (std::size_t i = 0; i < target_labels.size(); ++i) {
+    if (target_labels[i] == 0) continue;
+    if (wafer_labels[i] != 0) pieces[target_labels[i]].insert(wafer_labels[i]);
+  }
+  std::vector<BreakDefect> defects;
+  for (const auto& [tlabel, wset] : pieces) {
+    if (wset.size() != 1)
+      defects.push_back({tlabel, static_cast<std::int32_t>(wset.size())});
+  }
+  return defects;
+}
+
+}  // namespace ganopc::metrics

@@ -1,0 +1,49 @@
+// Neck, bridge and break defect detectors — Figure 2 of the paper.
+//
+// Neck:   printed critical dimension, measured perpendicular to each target
+//         wire's spine, pinches below a fraction of the drawn CD.
+// Bridge: one printed blob connects two (or more) distinct target shapes.
+// Break:  a single target shape prints as multiple blobs, or not at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/grid.hpp"
+#include "geometry/layout.hpp"
+
+namespace ganopc::metrics {
+
+struct NeckConfig {
+  double min_cd_ratio = 0.7;        ///< violation when printed CD < ratio * drawn CD
+  std::int32_t sample_step_nm = 40; ///< spine sampling distance
+};
+
+struct NeckDefect {
+  std::int32_t x = 0, y = 0;       ///< spine sample (nm)
+  std::int32_t printed_cd_nm = 0;
+  std::int32_t drawn_cd_nm = 0;
+};
+
+std::vector<NeckDefect> detect_necks(const geom::Layout& target, const geom::Grid& wafer,
+                                     const NeckConfig& config = {});
+
+struct BridgeDefect {
+  std::int32_t wafer_component = 0;     ///< label in the wafer component map
+  std::vector<std::int32_t> targets;    ///< >= 2 target components shorted
+};
+
+/// target_raster must be the hard raster of the target layout on the wafer's
+/// grid geometry.
+std::vector<BridgeDefect> detect_bridges(const geom::Grid& target_raster,
+                                         const geom::Grid& wafer);
+
+struct BreakDefect {
+  std::int32_t target_component = 0;
+  std::int32_t printed_pieces = 0;  ///< 0 = missing entirely
+};
+
+std::vector<BreakDefect> detect_breaks(const geom::Grid& target_raster,
+                                       const geom::Grid& wafer);
+
+}  // namespace ganopc::metrics

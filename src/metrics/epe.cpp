@@ -1,0 +1,202 @@
+#include "metrics/epe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc::metrics {
+
+namespace {
+
+// Sample the wafer at an nm position (pixel-center semantics); outside the
+// grid reads as background.
+bool wafer_on(const geom::Grid& wafer, std::int32_t x_nm, std::int32_t y_nm) {
+  const std::int32_t c = (x_nm - wafer.origin_x) / wafer.pixel_nm;
+  const std::int32_t r = (y_nm - wafer.origin_y) / wafer.pixel_nm;
+  if (!wafer.in_bounds(r, c)) return false;
+  return wafer.at(r, c) >= 0.5f;
+}
+
+struct Edge {
+  std::int32_t x0, y0, x1, y1;  // along the edge
+  std::int32_t nx, ny;          // outward normal
+};
+
+}  // namespace
+
+std::int32_t probe_edge_displacement(const geom::Grid& wafer, std::int32_t x,
+                                     std::int32_t y, std::int32_t nx, std::int32_t ny,
+                                     std::int32_t max_search, bool& found) {
+  const std::int32_t step = wafer.pixel_nm;
+  // Start half a pixel inside so the probe begins on the pattern side.
+  const std::int32_t sx = x - nx * step / 2, sy = y - ny * step / 2;
+  found = true;
+  if (wafer_on(wafer, sx, sy)) {
+    // Pattern present at the edge: walk outward until the contour.
+    for (std::int32_t t = step; t <= max_search; t += step) {
+      if (!wafer_on(wafer, sx + nx * t, sy + ny * t)) return t - step / 2;
+    }
+  } else {
+    // Pattern pulled back: walk inward until we re-enter it.
+    for (std::int32_t t = step; t <= max_search; t += step) {
+      if (wafer_on(wafer, sx - nx * t, sy - ny * t)) return -(t - step / 2);
+    }
+  }
+  found = false;
+  return 0;
+}
+
+namespace {
+
+// Bilinear intensity sample at an nm position (pixel-center convention;
+// clamped at the border).
+float sample_aerial(const geom::Grid& aerial, double x_nm, double y_nm) {
+  const double fx = (x_nm - aerial.origin_x) / aerial.pixel_nm - 0.5;
+  const double fy = (y_nm - aerial.origin_y) / aerial.pixel_nm - 0.5;
+  const auto c0 = static_cast<std::int32_t>(std::floor(fx));
+  const auto r0 = static_cast<std::int32_t>(std::floor(fy));
+  const float wx = static_cast<float>(fx - c0);
+  const float wy = static_cast<float>(fy - r0);
+  auto at = [&](std::int32_t r, std::int32_t c) {
+    r = std::clamp(r, 0, aerial.rows - 1);
+    c = std::clamp(c, 0, aerial.cols - 1);
+    return aerial.at(r, c);
+  };
+  return (1 - wy) * ((1 - wx) * at(r0, c0) + wx * at(r0, c0 + 1)) +
+         wy * ((1 - wx) * at(r0 + 1, c0) + wx * at(r0 + 1, c0 + 1));
+}
+
+}  // namespace
+
+double probe_edge_displacement_subpixel(const geom::Grid& aerial, float threshold,
+                                        double x, double y, std::int32_t nx,
+                                        std::int32_t ny, double max_search_nm,
+                                        bool& found) {
+  const double step = aerial.pixel_nm / 2.0;
+  auto intensity_at = [&](double t) {
+    return sample_aerial(aerial, x + nx * t, y + ny * t);
+  };
+  // Positive t = outward. Determine the side the contour lies on from the
+  // intensity exactly at the drawn edge.
+  const float at_edge = intensity_at(0.0);
+  const double dir = at_edge >= threshold ? +1.0 : -1.0;  // printed at edge?
+  double t_prev = 0.0;
+  float i_prev = at_edge;
+  found = true;
+  for (double t = step; t <= max_search_nm + 1e-9; t += step) {
+    const float i_cur = intensity_at(dir * t);
+    if ((i_prev >= threshold) != (i_cur >= threshold)) {
+      // Linear crossing between the two samples.
+      const double frac = (threshold - i_prev) / (i_cur - i_prev);
+      return dir * (t_prev + frac * (t - t_prev));
+    }
+    t_prev = t;
+    i_prev = i_cur;
+  }
+  found = false;
+  return 0.0;
+}
+
+EpeResult measure_epe_aerial(const geom::Layout& target, const geom::Grid& aerial,
+                             float threshold, const EpeConfig& config) {
+  GANOPC_CHECK(config.sample_step_nm > 0 && config.threshold_nm > 0);
+  EpeResult result;
+  double abs_sum = 0.0;
+  auto probe = [&](std::int32_t x, std::int32_t y, std::int32_t nx, std::int32_t ny) {
+    EpeSample s;
+    s.x = x;
+    s.y = y;
+    bool found = false;
+    const double d = probe_edge_displacement_subpixel(
+        aerial, threshold, x, y, nx, ny, config.max_search_nm, found);
+    s.displacement_nm =
+        found ? static_cast<std::int32_t>(std::lround(d)) : config.max_search_nm;
+    s.violation = !found || std::abs(s.displacement_nm) > config.threshold_nm;
+    result.samples.push_back(s);
+  };
+  for (const auto& r : target.rects()) {
+    const Edge edges[4] = {
+        {r.x0, r.y0, r.x1, r.y0, 0, -1},
+        {r.x0, r.y1, r.x1, r.y1, 0, +1},
+        {r.x0, r.y0, r.x0, r.y1, -1, 0},
+        {r.x1, r.y0, r.x1, r.y1, +1, 0},
+    };
+    for (const auto& e : edges) {
+      const bool horizontal = (e.ny != 0);
+      const std::int32_t lo = (horizontal ? e.x0 : e.y0) + config.corner_margin_nm;
+      const std::int32_t hi = (horizontal ? e.x1 : e.y1) - config.corner_margin_nm;
+      if (hi <= lo) {
+        const std::int32_t mid = horizontal ? (e.x0 + e.x1) / 2 : (e.y0 + e.y1) / 2;
+        probe(horizontal ? mid : e.x0, horizontal ? e.y0 : mid, e.nx, e.ny);
+        continue;
+      }
+      for (std::int32_t p = lo; p <= hi; p += config.sample_step_nm)
+        probe(horizontal ? p : e.x0, horizontal ? e.y0 : p, e.nx, e.ny);
+    }
+  }
+  for (const auto& s : result.samples) {
+    result.violations += s.violation;
+    result.worst_nm = std::max(result.worst_nm, std::abs(s.displacement_nm));
+    abs_sum += std::abs(s.displacement_nm);
+  }
+  result.mean_abs_nm =
+      result.samples.empty() ? 0.0 : abs_sum / static_cast<double>(result.samples.size());
+  return result;
+}
+
+EpeResult measure_epe(const geom::Layout& target, const geom::Grid& wafer,
+                      const EpeConfig& config) {
+  GANOPC_CHECK(config.sample_step_nm > 0 && config.threshold_nm > 0);
+  EpeResult result;
+  double abs_sum = 0.0;
+
+  for (const auto& r : target.rects()) {
+    const Edge edges[4] = {
+        {r.x0, r.y0, r.x1, r.y0, 0, -1},  // top (outward = -y)
+        {r.x0, r.y1, r.x1, r.y1, 0, +1},  // bottom
+        {r.x0, r.y0, r.x0, r.y1, -1, 0},  // left
+        {r.x1, r.y0, r.x1, r.y1, +1, 0},  // right
+    };
+    for (const auto& e : edges) {
+      const bool horizontal = (e.ny != 0);
+      const std::int32_t lo = (horizontal ? e.x0 : e.y0) + config.corner_margin_nm;
+      const std::int32_t hi = (horizontal ? e.x1 : e.y1) - config.corner_margin_nm;
+      if (hi <= lo) {
+        // Edge too short for margins: measure once at its midpoint.
+        const std::int32_t mid = horizontal ? (e.x0 + e.x1) / 2 : (e.y0 + e.y1) / 2;
+        EpeSample s;
+        s.x = horizontal ? mid : e.x0;
+        s.y = horizontal ? e.y0 : mid;
+        bool found = false;
+        s.displacement_nm =
+            probe_edge_displacement(wafer, s.x, s.y, e.nx, e.ny, config.max_search_nm, found);
+        s.violation = !found || std::abs(s.displacement_nm) > config.threshold_nm;
+        if (!found) s.displacement_nm = config.max_search_nm;
+        result.samples.push_back(s);
+        continue;
+      }
+      for (std::int32_t p = lo; p <= hi; p += config.sample_step_nm) {
+        EpeSample s;
+        s.x = horizontal ? p : e.x0;
+        s.y = horizontal ? e.y0 : p;
+        bool found = false;
+        s.displacement_nm =
+            probe_edge_displacement(wafer, s.x, s.y, e.nx, e.ny, config.max_search_nm, found);
+        s.violation = !found || std::abs(s.displacement_nm) > config.threshold_nm;
+        if (!found) s.displacement_nm = config.max_search_nm;
+        result.samples.push_back(s);
+      }
+    }
+  }
+  for (const auto& s : result.samples) {
+    result.violations += s.violation;
+    result.worst_nm = std::max(result.worst_nm, std::abs(s.displacement_nm));
+    abs_sum += std::abs(s.displacement_nm);
+  }
+  result.mean_abs_nm =
+      result.samples.empty() ? 0.0 : abs_sum / static_cast<double>(result.samples.size());
+  return result;
+}
+
+}  // namespace ganopc::metrics

@@ -1,0 +1,42 @@
+#include "metrics/printability.hpp"
+
+#include <sstream>
+
+#include "geometry/bitmap_ops.hpp"
+
+namespace ganopc::metrics {
+
+std::string PrintabilityReport::str() const {
+  std::ostringstream oss;
+  oss << "L2=" << l2_nm2 << "nm^2 PVB=" << pvb_nm2 << "nm^2 EPEV=" << epe_violations
+      << " neck=" << neck_defects << " bridge=" << bridge_defects
+      << " break=" << break_defects;
+  return oss.str();
+}
+
+PrintabilityReport evaluate_printability(const litho::LithoSim& sim, const geom::Grid& mask,
+                                         const geom::Layout& target,
+                                         const geom::Grid& target_grid,
+                                         const PrintabilityConfig& config) {
+  PrintabilityReport report;
+  const geom::Grid aerial = sim.aerial(mask);
+  const geom::Grid wafer = sim.print(aerial);
+
+  report.l2_px = geom::squared_l2(wafer, target_grid);
+  const double px_area = static_cast<double>(sim.pixel_nm()) * sim.pixel_nm();
+  report.l2_nm2 = report.l2_px * px_area;
+
+  const auto band = sim.pv_band(mask, config.dose_delta);
+  report.pvb_nm2 = band.area_nm2;
+
+  report.epe_violations =
+      config.subpixel_epe
+          ? measure_epe_aerial(target, aerial, sim.threshold(), config.epe).violations
+          : measure_epe(target, wafer, config.epe).violations;
+  report.neck_defects = static_cast<int>(detect_necks(target, wafer, config.neck).size());
+  report.bridge_defects = static_cast<int>(detect_bridges(target_grid, wafer).size());
+  report.break_defects = static_cast<int>(detect_breaks(target_grid, wafer).size());
+  return report;
+}
+
+}  // namespace ganopc::metrics

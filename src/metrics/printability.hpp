@@ -1,0 +1,46 @@
+// One-call printability report: the quantities Table 2 tracks (squared L2,
+// PVB) plus the Figure 2 defect counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/grid.hpp"
+#include "geometry/layout.hpp"
+#include "litho/lithosim.hpp"
+#include "metrics/defects.hpp"
+#include "metrics/epe.hpp"
+
+namespace ganopc::metrics {
+
+struct PrintabilityReport {
+  double l2_px = 0.0;          ///< squared L2 in pixel units (Definition 1)
+  double l2_nm2 = 0.0;         ///< scaled by pixel area — comparable to Table 2
+  std::int64_t pvb_nm2 = 0;    ///< process-variation band area (+/-2% dose)
+  int epe_violations = 0;
+  int neck_defects = 0;
+  int bridge_defects = 0;
+  int break_defects = 0;
+
+  std::string str() const;
+};
+
+struct PrintabilityConfig {
+  EpeConfig epe;
+  NeckConfig neck;
+  float dose_delta = 0.02f;  ///< paper: +/-2% dose corners
+  /// Measure EPE on the continuous aerial image (sub-pixel contours) rather
+  /// than the binary wafer grid. Avoids the half-pixel quantization floor on
+  /// coarse simulation grids.
+  bool subpixel_epe = true;
+};
+
+/// Simulate `mask` through `sim` and score the print against the drawn
+/// `target` layout and its raster `target_grid` (same geometry as the sim).
+PrintabilityReport evaluate_printability(const litho::LithoSim& sim,
+                                         const geom::Grid& mask,
+                                         const geom::Layout& target,
+                                         const geom::Grid& target_grid,
+                                         const PrintabilityConfig& config = {});
+
+}  // namespace ganopc::metrics

@@ -1,0 +1,117 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_({channels}),
+      gamma_grad_({channels}),
+      beta_({channels}),
+      beta_grad_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}) {
+  GANOPC_CHECK(channels > 0 && eps > 0.0f && momentum >= 0.0f && momentum <= 1.0f);
+  gamma_.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 4 && input.shape(1) == channels_,
+                   "BatchNorm2d: bad input " << input.shape_str());
+  const auto N = input.shape(0), C = channels_, H = input.shape(2), W = input.shape(3);
+  const std::int64_t plane = H * W;
+  const std::int64_t count = N * plane;
+  Tensor out(input.shape());
+
+  if (training_) {
+    x_hat_ = Tensor(input.shape());
+    batch_inv_std_ = Tensor({C});
+    for (std::int64_t c = 0; c < C; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* p = input.data() + (n * C + c) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) {
+          sum += p[i];
+          sq += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      const double mean = sum / count;
+      const double var = sq / count - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      batch_inv_std_[c] = inv_std;
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+      const float g = gamma_[c], b = beta_[c], m = static_cast<float>(mean);
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* p = input.data() + (n * C + c) * plane;
+        float* xh = x_hat_.data() + (n * C + c) * plane;
+        float* o = out.data() + (n * C + c) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) {
+          xh[i] = (p[i] - m) * inv_std;
+          o[i] = g * xh[i] + b;
+        }
+      }
+    }
+  } else {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float g = gamma_[c], b = beta_[c], m = running_mean_[c];
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* p = input.data() + (n * C + c) * plane;
+        float* o = out.data() + (n * C + c) * plane;
+        for (std::int64_t i = 0; i < plane; ++i) o[i] = g * (p[i] - m) * inv_std + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(x_hat_.dim() == 4, "BatchNorm2d backward without training forward");
+  GANOPC_CHECK(grad_output.same_shape(x_hat_));
+  const auto N = x_hat_.shape(0), C = channels_, H = x_hat_.shape(2), W = x_hat_.shape(3);
+  const std::int64_t plane = H * W;
+  const auto count = static_cast<float>(N * plane);
+  Tensor grad_in(x_hat_.shape());
+
+  for (std::int64_t c = 0; c < C; ++c) {
+    // Standard BN backward: with xh the normalized input,
+    // dx = gamma*inv_std/count * (count*g - sum(g) - xh * sum(g*xh)).
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* g = grad_output.data() + (n * C + c) * plane;
+      const float* xh = x_hat_.data() + (n * C + c) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        sum_g += g[i];
+        sum_gx += static_cast<double>(g[i]) * xh[i];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_gx);
+    beta_grad_[c] += static_cast<float>(sum_g);
+    const float scale = gamma_[c] * batch_inv_std_[c] / count;
+    const auto sg = static_cast<float>(sum_g);
+    const auto sgx = static_cast<float>(sum_gx);
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* g = grad_output.data() + (n * C + c) * plane;
+      const float* xh = x_hat_.data() + (n * C + c) * plane;
+      float* gi = grad_in.data() + (n * C + c) * plane;
+      for (std::int64_t i = 0; i < plane; ++i)
+        gi[i] = scale * (count * g[i] - sg - xh[i] * sgx);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> BatchNorm2d::parameters() {
+  return {{"gamma", &gamma_, &gamma_grad_}, {"beta", &beta_, &beta_grad_}};
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,37 @@
+// Batch normalization over NCHW feature maps (per-channel statistics).
+//
+// Training uses batch statistics and updates exponential running estimates;
+// evaluation uses the running estimates. GAN training is sensitive to BN
+// statistics, so momentum is a constructor knob.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace ganopc::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_, momentum_;
+  Tensor gamma_, gamma_grad_;  // [C]
+  Tensor beta_, beta_grad_;    // [C]
+  Tensor running_mean_, running_var_;
+  // forward caches
+  Tensor x_hat_;          // normalized input
+  Tensor batch_inv_std_;  // [C]
+};
+
+}  // namespace ganopc::nn

@@ -1,0 +1,199 @@
+#include "nn/conv.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+
+namespace ganopc::nn {
+
+// ------------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, bool bias)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      weight_grad_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      bias_grad_({out_channels}) {
+  GANOPC_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0);
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 4 && input.shape(1) == cin_,
+                   "Conv2d: bad input " << input.shape_str());
+  const auto N = input.shape(0), H = input.shape(2), W = input.shape(3);
+  const auto Ho = conv_out_size(H, k_, stride_, pad_);
+  const auto Wo = conv_out_size(W, k_, stride_, pad_);
+  if (training_) input_ = input;
+
+  const std::int64_t ckk = cin_ * k_ * k_;
+  const std::int64_t plane = Ho * Wo;
+  Tensor out({N, cout_, Ho, Wo});
+  std::vector<float> cols(static_cast<std::size_t>(ckk * plane));
+  for (std::int64_t n = 0; n < N; ++n) {
+    im2col(input.data() + n * cin_ * H * W, cin_, H, W, k_, stride_, pad_, cols.data());
+    // out_n[Cout x plane] = W[Cout x ckk] * cols[ckk x plane]
+    sgemm(false, false, static_cast<std::size_t>(cout_), static_cast<std::size_t>(plane),
+          static_cast<std::size_t>(ckk), 1.0f, weight_.data(),
+          static_cast<std::size_t>(ckk), cols.data(), static_cast<std::size_t>(plane),
+          0.0f, out.data() + n * cout_ * plane, static_cast<std::size_t>(plane));
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        float* row = out.data() + (n * cout_ + c) * plane;
+        const float b = bias_[c];
+        for (std::int64_t i = 0; i < plane; ++i) row[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(input_.dim() == 4, "Conv2d backward without forward");
+  const auto N = input_.shape(0), H = input_.shape(2), W = input_.shape(3);
+  const auto Ho = grad_output.shape(2), Wo = grad_output.shape(3);
+  GANOPC_CHECK(grad_output.shape(0) == N && grad_output.shape(1) == cout_);
+
+  const std::int64_t ckk = cin_ * k_ * k_;
+  const std::int64_t plane = Ho * Wo;
+  Tensor grad_in(input_.shape());
+  std::vector<float> cols(static_cast<std::size_t>(ckk * plane));
+  std::vector<float> dcols(static_cast<std::size_t>(ckk * plane));
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* g = grad_output.data() + n * cout_ * plane;
+    // Recompute forward columns for the weight gradient.
+    im2col(input_.data() + n * cin_ * H * W, cin_, H, W, k_, stride_, pad_, cols.data());
+    // dW[Cout x ckk] += g[Cout x plane] * cols^T[plane x ckk]
+    sgemm(false, true, static_cast<std::size_t>(cout_), static_cast<std::size_t>(ckk),
+          static_cast<std::size_t>(plane), 1.0f, g, static_cast<std::size_t>(plane),
+          cols.data(), static_cast<std::size_t>(plane), 1.0f, weight_grad_.data(),
+          static_cast<std::size_t>(ckk));
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        double acc = 0.0;
+        const float* row = g + c * plane;
+        for (std::int64_t i = 0; i < plane; ++i) acc += row[i];
+        bias_grad_[c] += static_cast<float>(acc);
+      }
+    }
+    // dcols[ckk x plane] = W^T[ckk x Cout] * g[Cout x plane]
+    sgemm(true, false, static_cast<std::size_t>(ckk), static_cast<std::size_t>(plane),
+          static_cast<std::size_t>(cout_), 1.0f, weight_.data(),
+          static_cast<std::size_t>(ckk), g, static_cast<std::size_t>(plane), 0.0f,
+          dcols.data(), static_cast<std::size_t>(plane));
+    col2im(dcols.data(), cin_, H, W, k_, stride_, pad_,
+           grad_in.data() + n * cin_ * H * W);
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv2d::parameters() {
+  std::vector<Param> out{{"weight", &weight_, &weight_grad_}};
+  if (has_bias_) out.push_back({"bias", &bias_, &bias_grad_});
+  return out;
+}
+
+// --------------------------------------------------------- ConvTranspose2d
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels, std::int64_t out_channels,
+                                 std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                                 bool bias)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_({in_channels, out_channels, kernel, kernel}),
+      weight_grad_({in_channels, out_channels, kernel, kernel}),
+      bias_({out_channels}),
+      bias_grad_({out_channels}) {
+  GANOPC_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0);
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 4 && input.shape(1) == cin_,
+                   "ConvTranspose2d: bad input " << input.shape_str());
+  const auto N = input.shape(0), Hi = input.shape(2), Wi = input.shape(3);
+  const auto Ho = conv_transpose_out_size(Hi, k_, stride_, pad_);
+  const auto Wo = conv_transpose_out_size(Wi, k_, stride_, pad_);
+  if (training_) input_ = input;
+
+  const std::int64_t ckk = cout_ * k_ * k_;
+  const std::int64_t plane_in = Hi * Wi;
+  Tensor out({N, cout_, Ho, Wo});
+  std::vector<float> cols(static_cast<std::size_t>(ckk * plane_in));
+  for (std::int64_t n = 0; n < N; ++n) {
+    // cols[ckk x plane_in] = W^T[ckk x Cin] * x_n[Cin x plane_in]
+    sgemm(true, false, static_cast<std::size_t>(ckk), static_cast<std::size_t>(plane_in),
+          static_cast<std::size_t>(cin_), 1.0f, weight_.data(),
+          static_cast<std::size_t>(ckk), input.data() + n * cin_ * plane_in,
+          static_cast<std::size_t>(plane_in), 0.0f, cols.data(),
+          static_cast<std::size_t>(plane_in));
+    // Scatter: treating the output as the "image" of a conv whose output grid
+    // is the input grid, col2im performs the transposed convolution.
+    col2im(cols.data(), cout_, Ho, Wo, k_, stride_, pad_,
+           out.data() + n * cout_ * Ho * Wo);
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        float* row = out.data() + (n * cout_ + c) * Ho * Wo;
+        const float b = bias_[c];
+        for (std::int64_t i = 0; i < Ho * Wo; ++i) row[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(input_.dim() == 4, "ConvTranspose2d backward without forward");
+  const auto N = input_.shape(0), Hi = input_.shape(2), Wi = input_.shape(3);
+  const auto Ho = grad_output.shape(2), Wo = grad_output.shape(3);
+  GANOPC_CHECK(grad_output.shape(0) == N && grad_output.shape(1) == cout_);
+
+  const std::int64_t ckk = cout_ * k_ * k_;
+  const std::int64_t plane_in = Hi * Wi;
+  Tensor grad_in(input_.shape());
+  std::vector<float> gcols(static_cast<std::size_t>(ckk * plane_in));
+  for (std::int64_t n = 0; n < N; ++n) {
+    const float* g = grad_output.data() + n * cout_ * Ho * Wo;
+    // Gather the output gradient into columns (mirror of forward's col2im).
+    im2col(g, cout_, Ho, Wo, k_, stride_, pad_, gcols.data());
+    // dx_n[Cin x plane_in] = W[Cin x ckk] * gcols[ckk x plane_in]
+    sgemm(false, false, static_cast<std::size_t>(cin_), static_cast<std::size_t>(plane_in),
+          static_cast<std::size_t>(ckk), 1.0f, weight_.data(),
+          static_cast<std::size_t>(ckk), gcols.data(), static_cast<std::size_t>(plane_in),
+          0.0f, grad_in.data() + n * cin_ * plane_in, static_cast<std::size_t>(plane_in));
+    // dW[Cin x ckk] += x_n[Cin x plane_in] * gcols^T[plane_in x ckk]
+    sgemm(false, true, static_cast<std::size_t>(cin_), static_cast<std::size_t>(ckk),
+          static_cast<std::size_t>(plane_in), 1.0f, input_.data() + n * cin_ * plane_in,
+          static_cast<std::size_t>(plane_in), gcols.data(),
+          static_cast<std::size_t>(plane_in), 1.0f, weight_grad_.data(),
+          static_cast<std::size_t>(ckk));
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        double acc = 0.0;
+        const float* row = g + c * Ho * Wo;
+        for (std::int64_t i = 0; i < Ho * Wo; ++i) acc += row[i];
+        bias_grad_[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> ConvTranspose2d::parameters() {
+  std::vector<Param> out{{"weight", &weight_, &weight_grad_}};
+  if (has_bias_) out.push_back({"bias", &bias_, &bias_grad_});
+  return out;
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,59 @@
+// 2-D convolution and transposed convolution (NCHW, square kernels).
+//
+// Conv2d weight layout:          [Cout, Cin, K, K]
+// ConvTranspose2d weight layout: [Cin, Cout, K, K]
+// Transposed convolution is implemented as the data-gradient of convolution,
+// so ConvTranspose2d(stride=2) exactly inverts the geometry of
+// Conv2d(stride=2) — the generator's decoder mirrors its encoder (§3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace ganopc::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         std::int64_t stride = 1, std::int64_t pad = 0, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  std::string name() const override { return "Conv2d"; }
+
+  Tensor& weight() { return weight_; }
+  std::int64_t in_channels() const { return cin_; }
+  std::int64_t out_channels() const { return cout_; }
+  std::int64_t kernel() const { return k_; }
+
+ private:
+  std::int64_t cin_, cout_, k_, stride_, pad_;
+  bool has_bias_;
+  Tensor weight_, weight_grad_;
+  Tensor bias_, bias_grad_;
+  Tensor input_;  // cached for backward
+};
+
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+                  std::int64_t stride = 1, std::int64_t pad = 0, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  std::string name() const override { return "ConvTranspose2d"; }
+
+  Tensor& weight() { return weight_; }
+
+ private:
+  std::int64_t cin_, cout_, k_, stride_, pad_;
+  bool has_bias_;
+  Tensor weight_, weight_grad_;
+  Tensor bias_, bias_grad_;
+  Tensor input_;
+};
+
+}  // namespace ganopc::nn

@@ -1,0 +1,77 @@
+#include "nn/im2col.hpp"
+
+#include "common/error.hpp"
+
+namespace ganopc::nn {
+
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad) {
+  GANOPC_CHECK(in > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  const std::int64_t eff = in + 2 * pad - kernel;
+  GANOPC_CHECK_MSG(eff >= 0, "conv geometry: input smaller than kernel");
+  return eff / stride + 1;
+}
+
+std::int64_t conv_transpose_out_size(std::int64_t in, std::int64_t kernel,
+                                     std::int64_t stride, std::int64_t pad) {
+  GANOPC_CHECK(in > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  const std::int64_t out = stride * (in - 1) + kernel - 2 * pad;
+  GANOPC_CHECK_MSG(out > 0, "conv_transpose geometry: nonpositive output size");
+  return out;
+}
+
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* columns) {
+  const std::int64_t ho = conv_out_size(height, kernel, stride, pad);
+  const std::int64_t wo = conv_out_size(width, kernel, stride, pad);
+  const std::int64_t plane = ho * wo;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* img_c = image + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw) {
+        float* col_row = columns + ((c * kernel + kh) * kernel + kw) * plane;
+        for (std::int64_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) {
+            for (std::int64_t ow = 0; ow < wo; ++ow) col_row[oh * wo + ow] = 0.0f;
+            continue;
+          }
+          const float* img_row = img_c + ih * width;
+          for (std::int64_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw = ow * stride - pad + kw;
+            col_row[oh * wo + ow] =
+                (iw >= 0 && iw < width) ? img_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* image) {
+  const std::int64_t ho = conv_out_size(height, kernel, stride, pad);
+  const std::int64_t wo = conv_out_size(width, kernel, stride, pad);
+  const std::int64_t plane = ho * wo;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* img_c = image + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw) {
+        const float* col_row = columns + ((c * kernel + kh) * kernel + kw) * plane;
+        for (std::int64_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= height) continue;
+          float* img_row = img_c + ih * width;
+          for (std::int64_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw = ow * stride - pad + kw;
+            if (iw >= 0 && iw < width) img_row[iw] += col_row[oh * wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,32 @@
+// im2col / col2im transforms backing the convolution layers.
+//
+// For input [C x H x W], kernel K, stride S, padding P, the column matrix is
+// [C*K*K x Ho*Wo] with Ho = (H + 2P - K)/S + 1 (same for Wo). Out-of-bounds
+// taps read/write zero (implicit zero padding).
+#pragma once
+
+#include <cstdint>
+
+namespace ganopc::nn {
+
+/// Output spatial size for a conv with the given geometry.
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                           std::int64_t pad);
+
+/// Output spatial size for a transposed conv (exact inverse of conv_out_size
+/// when output_pad = 0): S*(in-1) + K - 2P.
+std::int64_t conv_transpose_out_size(std::int64_t in, std::int64_t kernel,
+                                     std::int64_t stride, std::int64_t pad);
+
+/// Scatter image [C x H x W] into columns [C*K*K x Ho*Wo].
+void im2col(const float* image, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* columns);
+
+/// Accumulate columns [C*K*K x Ho*Wo] back into image [C x H x W].
+/// The image buffer must be zero-initialized by the caller.
+void col2im(const float* columns, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, float* image);
+
+}  // namespace ganopc::nn

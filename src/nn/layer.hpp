@@ -1,0 +1,77 @@
+// Layer abstraction: explicit forward/backward, no autograd tape.
+//
+// Every layer caches whatever it needs during forward (when training mode is
+// on) and consumes it in backward. Parameter gradients *accumulate* into the
+// grad tensors; optimizers zero them after each step. This mirrors the
+// accumulate-then-step structure of Algorithm 1 / Algorithm 2 in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ganopc::nn {
+
+/// A named (value, gradient) pair owned by some layer.
+struct Param {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Compute the layer output. Caches activations when training() is true.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulate parameter gradients and return
+  /// dLoss/dInput. Must be called after a forward in training mode.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  void set_training(bool training) { training_ = training; on_mode_change(); }
+  bool training() const { return training_; }
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+ protected:
+  virtual void on_mode_change() {}
+  bool training_ = true;
+};
+
+/// Chain of layers applied in order.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> parameters() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  void on_mode_change() override;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ganopc::nn

@@ -1,0 +1,317 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/gemm.hpp"
+
+namespace ganopc::nn {
+
+// ---------------------------------------------------------------- Layer base
+
+void Layer::zero_grad() {
+  for (auto& p : parameters())
+    if (p.grad) p.grad->zero();
+}
+
+// --------------------------------------------------------------- Sequential
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  GANOPC_CHECK(layer != nullptr);
+  layer->set_training(training_);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param> Sequential::parameters() {
+  std::vector<Param> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (auto& p : layers_[i]->parameters()) {
+      p.name = std::to_string(i) + "." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void Sequential::on_mode_change() {
+  for (auto& l : layers_) l->set_training(training_);
+}
+
+// --------------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  if (training_) mask_ = Tensor(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const bool pos = input[i] > 0.0f;
+    out[i] = pos ? input[i] : 0.0f;
+    if (training_) mask_[i] = pos ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(grad_output.same_shape(mask_), "ReLU backward without forward");
+  Tensor g(grad_output.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) g[i] = grad_output[i] * mask_[i];
+  return g;
+}
+
+// ---------------------------------------------------------------- LeakyReLU
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  if (training_) input_ = input;
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i)
+    out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(grad_output.same_shape(input_), "LeakyReLU backward without forward");
+  Tensor g(grad_output.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    g[i] = grad_output[i] * (input_[i] > 0.0f ? 1.0f : slope_);
+  return g;
+}
+
+// ------------------------------------------------------------------ Sigmoid
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-input[i]));
+  if (training_) output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(grad_output.same_shape(output_), "Sigmoid backward without forward");
+  Tensor g(grad_output.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    g[i] = grad_output[i] * output_[i] * (1.0f - output_[i]);
+  return g;
+}
+
+// --------------------------------------------------------------------- Tanh
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) out[i] = std::tanh(input[i]);
+  if (training_) output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(grad_output.same_shape(output_), "Tanh backward without forward");
+  Tensor g(grad_output.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i)
+    g[i] = grad_output[i] * (1.0f - output_[i] * output_[i]);
+  return g;
+}
+
+// ---------------------------------------------------------------- AvgPool2d
+
+AvgPool2d::AvgPool2d(std::int64_t k) : k_(k) { GANOPC_CHECK(k > 0); }
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 4, "AvgPool2d expects NCHW, got " << input.shape_str());
+  const auto N = input.shape(0), C = input.shape(1), H = input.shape(2), W = input.shape(3);
+  GANOPC_CHECK_MSG(H % k_ == 0 && W % k_ == 0, "AvgPool2d: dims not divisible by k");
+  in_shape_ = input.shape();
+  const auto Ho = H / k_, Wo = W / k_;
+  Tensor out({N, C, Ho, Wo});
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t oh = 0; oh < Ho; ++oh)
+        for (std::int64_t ow = 0; ow < Wo; ++ow) {
+          float acc = 0.0f;
+          for (std::int64_t dh = 0; dh < k_; ++dh)
+            for (std::int64_t dw = 0; dw < k_; ++dw)
+              acc += input.at4(n, c, oh * k_ + dh, ow * k_ + dw);
+          out.at4(n, c, oh, ow) = acc * inv;
+        }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(!in_shape_.empty(), "AvgPool2d backward without forward");
+  Tensor g(in_shape_);
+  const auto N = in_shape_[0], C = in_shape_[1];
+  const auto Ho = grad_output.shape(2), Wo = grad_output.shape(3);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t oh = 0; oh < Ho; ++oh)
+        for (std::int64_t ow = 0; ow < Wo; ++ow) {
+          const float v = grad_output.at4(n, c, oh, ow) * inv;
+          for (std::int64_t dh = 0; dh < k_; ++dh)
+            for (std::int64_t dw = 0; dw < k_; ++dw)
+              g.at4(n, c, oh * k_ + dh, ow * k_ + dw) = v;
+        }
+  return g;
+}
+
+// ---------------------------------------------------------------- MaxPool2d
+
+MaxPool2d::MaxPool2d(std::int64_t k) : k_(k) { GANOPC_CHECK(k > 0); }
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 4, "MaxPool2d expects NCHW, got " << input.shape_str());
+  const auto N = input.shape(0), C = input.shape(1), H = input.shape(2), W = input.shape(3);
+  GANOPC_CHECK_MSG(H % k_ == 0 && W % k_ == 0, "MaxPool2d: dims not divisible by k");
+  in_shape_ = input.shape();
+  const auto Ho = H / k_, Wo = W / k_;
+  Tensor out({N, C, Ho, Wo});
+  if (training_) argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t oh = 0; oh < Ho; ++oh)
+        for (std::int64_t ow = 0; ow < Wo; ++ow, ++oi) {
+          float best = input.at4(n, c, oh * k_, ow * k_);
+          std::int64_t best_idx = ((n * C + c) * H + oh * k_) * W + ow * k_;
+          for (std::int64_t dh = 0; dh < k_; ++dh)
+            for (std::int64_t dw = 0; dw < k_; ++dw) {
+              const float v = input.at4(n, c, oh * k_ + dh, ow * k_ + dw);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * C + c) * H + oh * k_ + dh) * W + ow * k_ + dw;
+              }
+            }
+          out[oi] = best;
+          if (training_) argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(!in_shape_.empty() && !argmax_.empty(),
+                   "MaxPool2d backward without training forward");
+  GANOPC_CHECK(static_cast<std::size_t>(grad_output.numel()) == argmax_.size());
+  Tensor g(in_shape_);
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+    g[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
+  return g;
+}
+
+// ------------------------------------------------------------------ Dropout
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  GANOPC_CHECK_MSG(p >= 0.0f && p < 1.0f, "dropout probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0f / (1.0f - p_);
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float m = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    out[i] = input[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (p_ == 0.0f) return grad_output;
+  GANOPC_CHECK_MSG(grad_output.same_shape(mask_), "Dropout backward without forward");
+  Tensor g(grad_output.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) g[i] = grad_output[i] * mask_[i];
+  return g;
+}
+
+// ------------------------------------------------------------------- Linear
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_({out_features, in_features}),
+      weight_grad_({out_features, in_features}),
+      bias_({out_features}),
+      bias_grad_({out_features}) {
+  GANOPC_CHECK(in_features > 0 && out_features > 0);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() == 2 && input.shape(1) == in_features_,
+                   "Linear: bad input " << input.shape_str());
+  if (training_) input_ = input;
+  const auto N = input.shape(0);
+  Tensor out({N, out_features_});
+  // out = input * W^T
+  sgemm(false, true, static_cast<std::size_t>(N), static_cast<std::size_t>(out_features_),
+        static_cast<std::size_t>(in_features_), 1.0f, input.data(),
+        static_cast<std::size_t>(in_features_), weight_.data(),
+        static_cast<std::size_t>(in_features_), 0.0f, out.data(),
+        static_cast<std::size_t>(out_features_));
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        out[n * out_features_ + o] += bias_[o];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(input_.dim() == 2, "Linear backward without forward");
+  const auto N = input_.shape(0);
+  GANOPC_CHECK(grad_output.shape(0) == N && grad_output.shape(1) == out_features_);
+  // dW += g^T * x
+  sgemm(true, false, static_cast<std::size_t>(out_features_),
+        static_cast<std::size_t>(in_features_), static_cast<std::size_t>(N), 1.0f,
+        grad_output.data(), static_cast<std::size_t>(out_features_), input_.data(),
+        static_cast<std::size_t>(in_features_), 1.0f, weight_grad_.data(),
+        static_cast<std::size_t>(in_features_));
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        bias_grad_[o] += grad_output[n * out_features_ + o];
+  }
+  // dx = g * W
+  Tensor grad_in({N, in_features_});
+  sgemm(false, false, static_cast<std::size_t>(N), static_cast<std::size_t>(in_features_),
+        static_cast<std::size_t>(out_features_), 1.0f, grad_output.data(),
+        static_cast<std::size_t>(out_features_), weight_.data(),
+        static_cast<std::size_t>(in_features_), 0.0f, grad_in.data(),
+        static_cast<std::size_t>(in_features_));
+  return grad_in;
+}
+
+std::vector<Param> Linear::parameters() {
+  std::vector<Param> out{{"weight", &weight_, &weight_grad_}};
+  if (has_bias_) out.push_back({"bias", &bias_, &bias_grad_});
+  return out;
+}
+
+// ------------------------------------------------------------------ Flatten
+
+Tensor Flatten::forward(const Tensor& input) {
+  GANOPC_CHECK_MSG(input.dim() >= 2, "Flatten expects rank >= 2");
+  in_shape_ = input.shape();
+  const auto N = input.shape(0);
+  return input.reshaped({N, input.numel() / N});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  GANOPC_CHECK_MSG(!in_shape_.empty(), "Flatten backward without forward");
+  return grad_output.reshaped(in_shape_);
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ganopc::nn {
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  GANOPC_CHECK_MSG(pred.same_shape(target), "mse_loss: shape mismatch");
+  grad = Tensor(pred.shape());
+  const auto n = static_cast<float>(pred.numel());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    grad[i] = 2.0f * d / n;
+  }
+  return static_cast<float>(acc / n);
+}
+
+float sse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  GANOPC_CHECK_MSG(pred.same_shape(target), "sse_loss: shape mismatch");
+  grad = Tensor(pred.shape());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    grad[i] = 2.0f * d;
+  }
+  return static_cast<float>(acc);
+}
+
+float bce_with_logits_loss(const Tensor& logits, const Tensor& target, Tensor& grad) {
+  GANOPC_CHECK_MSG(logits.same_shape(target), "bce_with_logits_loss: shape mismatch");
+  grad = Tensor(logits.shape());
+  const auto n = static_cast<float>(logits.numel());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float z = logits[i], y = target[i];
+    acc += std::fmax(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    const float s = 1.0f / (1.0f + std::exp(-z));
+    grad[i] = (s - y) / n;
+  }
+  return static_cast<float>(acc / n);
+}
+
+float generator_adv_loss(const Tensor& logits, Tensor& grad) {
+  grad = Tensor(logits.shape());
+  const auto n = static_cast<float>(logits.numel());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float z = logits[i];
+    // -log(sigmoid(z)) = softplus(-z), stable both directions.
+    acc += std::fmax(-z, 0.0f) + std::log1p(std::exp(-std::fabs(z)));
+    const float s = 1.0f / (1.0f + std::exp(-z));
+    grad[i] = (s - 1.0f) / n;
+  }
+  return static_cast<float>(acc / n);
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,28 @@
+// Loss functions for the GAN-OPC objectives (Eq. 7–10 / Algorithm 1).
+//
+// Each returns the scalar loss and writes dLoss/dInput into `grad`, ready to
+// feed a network's backward().
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace ganopc::nn {
+
+/// Mean squared error: (1/N) * ||pred - target||_2^2 where N = numel.
+/// The paper's ||M* - G(Z_t)||_2^2 term (Eq. 9) with alpha folded in by the
+/// caller. grad = 2/N * (pred - target).
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// Sum-of-squares error: ||pred - target||_2^2 (no averaging) — Definition 1.
+float sse_loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// Binary cross-entropy on raw logits, numerically stable:
+///   loss = mean( max(z,0) - z*y + log(1+exp(-|z|)) ).
+/// grad = (sigmoid(z) - y)/N. `target` entries must be 0 or 1 probabilities.
+float bce_with_logits_loss(const Tensor& logits, const Tensor& target, Tensor& grad);
+
+/// -mean(log(sigmoid(z))): the generator's adversarial term (Eq. 7) on raw
+/// discriminator logits. grad = (sigmoid(z) - 1)/N.
+float generator_adv_loss(const Tensor& logits, Tensor& grad);
+
+}  // namespace ganopc::nn

@@ -1,0 +1,72 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace ganopc::nn {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'O', 'P', 'C', 'N', 'E', 'T', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+}  // namespace
+
+void save_parameters(Layer& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
+  out.write(kMagic, sizeof kMagic);
+  const auto params = net.parameters();
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    write_pod(out, static_cast<std::uint64_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const auto& shape = p.value->shape();
+    write_pod(out, static_cast<std::uint64_t>(shape.size()));
+    for (auto d : shape) write_pod(out, static_cast<std::int64_t>(d));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+  }
+  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void load_parameters(Layer& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  GANOPC_CHECK_MSG(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                   "bad checkpoint magic in " << path);
+  auto params = net.parameters();
+  const auto count = read_pod<std::uint64_t>(in);
+  GANOPC_CHECK_MSG(count == params.size(),
+                   "checkpoint has " << count << " params, network has " << params.size());
+  for (auto& p : params) {
+    const auto name_len = read_pod<std::uint64_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    GANOPC_CHECK_MSG(name == p.name, "checkpoint param '" << name
+                                      << "' does not match network param '" << p.name << "'");
+    const auto ndim = read_pod<std::uint64_t>(in);
+    std::vector<std::int64_t> shape(ndim);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    GANOPC_CHECK_MSG(shape == p.value->shape(), "checkpoint shape mismatch for " << name);
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+    GANOPC_CHECK_MSG(in.good(), "truncated checkpoint: " << path);
+  }
+}
+
+}  // namespace ganopc::nn

@@ -1,0 +1,21 @@
+// Binary checkpointing of network parameters.
+//
+// Format: magic "GOPCNET1", u64 param count, then per parameter:
+//   u64 name length, name bytes, u64 ndim, i64 dims..., f32 data...
+// Loading verifies names and shapes against the live network.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace ganopc::nn {
+
+/// Save all parameters of `net` to `path`. Throws ganopc::Error on failure.
+void save_parameters(Layer& net, const std::string& path);
+
+/// Load parameters saved by save_parameters into `net`. The network must have
+/// identical parameter names / shapes in the same order.
+void load_parameters(Layer& net, const std::string& path);
+
+}  // namespace ganopc::nn

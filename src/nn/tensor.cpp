@@ -1,0 +1,168 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ganopc::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::size_t n = 1;
+  for (auto d : shape) {
+    GANOPC_CHECK_MSG(d >= 0, "negative tensor dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : Tensor(std::vector<std::int64_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  GANOPC_CHECK_MSG(data_.size() == shape_numel(shape_),
+                   "data size " << data_.size() << " != shape numel");
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+std::int64_t Tensor::shape(std::int64_t i) const {
+  GANOPC_CHECK_MSG(i >= 0 && i < dim(), "shape index " << i << " out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) oss << ',';
+    oss << shape_[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
+  GANOPC_CHECK_MSG(shape_numel(new_shape) == data_.size(),
+                   "reshape numel mismatch: " << shape_str());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+  GANOPC_CHECK(dim() == 4);
+  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+  GANOPC_CHECK(dim() == 4);
+  return data_[static_cast<std::size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::add_(const Tensor& other) {
+  GANOPC_CHECK_MSG(same_shape(other), "add_: shape mismatch " << shape_str()
+                                      << " vs " << other.shape_str());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  GANOPC_CHECK_MSG(same_shape(other), "add_scaled_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  for (auto& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  GANOPC_CHECK(!data_.empty());
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  GANOPC_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  GANOPC_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::squared_l2() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  GANOPC_CHECK_MSG(a.same_shape(b), "sub: shape mismatch");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  GANOPC_CHECK_MSG(a.dim() == 4 && b.dim() == 4, "concat_channels: NCHW expected");
+  GANOPC_CHECK_MSG(a.shape(0) == b.shape(0) && a.shape(2) == b.shape(2) &&
+                       a.shape(3) == b.shape(3),
+                   "concat_channels: N/H/W mismatch " << a.shape_str() << " vs "
+                                                      << b.shape_str());
+  const auto n = a.shape(0), ca = a.shape(1), cb = b.shape(1);
+  const auto plane = a.shape(2) * a.shape(3);
+  Tensor out({n, ca + cb, a.shape(2), a.shape(3)});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy(a.data() + i * ca * plane, a.data() + (i + 1) * ca * plane,
+              out.data() + i * (ca + cb) * plane);
+    std::copy(b.data() + i * cb * plane, b.data() + (i + 1) * cb * plane,
+              out.data() + i * (ca + cb) * plane + ca * plane);
+  }
+  return out;
+}
+
+void split_channels(const Tensor& t, std::int64_t channels_a, Tensor& a, Tensor& b) {
+  GANOPC_CHECK_MSG(t.dim() == 4, "split_channels: NCHW expected");
+  const auto n = t.shape(0), c = t.shape(1);
+  GANOPC_CHECK_MSG(channels_a > 0 && channels_a < c, "split_channels: bad split point");
+  const auto plane = t.shape(2) * t.shape(3);
+  const auto cb = c - channels_a;
+  a = Tensor({n, channels_a, t.shape(2), t.shape(3)});
+  b = Tensor({n, cb, t.shape(2), t.shape(3)});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy(t.data() + i * c * plane, t.data() + i * c * plane + channels_a * plane,
+              a.data() + i * channels_a * plane);
+    std::copy(t.data() + i * c * plane + channels_a * plane,
+              t.data() + (i + 1) * c * plane, b.data() + i * cb * plane);
+  }
+}
+
+}  // namespace ganopc::nn

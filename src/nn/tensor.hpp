@@ -1,0 +1,84 @@
+// Dense float32 N-dimensional tensor with value semantics.
+//
+// Layout is always contiguous row-major; convolutional data uses NCHW. The
+// class is deliberately small — shape bookkeeping plus a handful of
+// element-wise helpers — because layers implement their own math on raw
+// pointers for speed.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ganopc::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape);
+
+  /// Construct from shape + data (sizes must agree).
+  Tensor(std::vector<std::int64_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+
+  // --- shape ---
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t shape(std::int64_t i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  /// Reinterpret with a new shape of equal element count.
+  Tensor reshaped(std::vector<std::int64_t> new_shape) const;
+
+  // --- data access ---
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 4-D accessor (NCHW). Bounds unchecked in release-hot paths; use for
+  /// tests and non-critical code.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  // --- element-wise helpers ---
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  Tensor& add_(const Tensor& other);               ///< this += other
+  Tensor& add_scaled_(const Tensor& other, float alpha);  ///< this += alpha*other
+  Tensor& mul_(float scalar);                      ///< this *= scalar
+  Tensor& clamp_(float lo, float hi);
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Squared L2 norm of the flattened tensor (Definition 1 of the paper when
+  /// applied to wafer-minus-target images).
+  float squared_l2() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// out = a - b (shapes must match).
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Concatenate two NCHW tensors along the channel axis (N, H, W must match).
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+/// Inverse of concat_channels: split [N, C, H, W] into the first
+/// `channels_a` channels and the rest.
+void split_channels(const Tensor& t, std::int64_t channels_a, Tensor& a, Tensor& b);
+
+}  // namespace ganopc::nn

@@ -1,0 +1,83 @@
+#include "sraf/sraf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "geometry/rect_index.hpp"
+
+namespace ganopc::sraf {
+
+namespace {
+
+// Candidate bar for one edge, before clearance trimming.
+geom::Rect bar_for_edge(const geom::Rect& r, int edge, const SrafRules& rules) {
+  const std::int32_t d = rules.bar_distance_nm;
+  const std::int32_t w = rules.bar_width_nm;
+  const std::int32_t pb = rules.end_pullback_nm;
+  switch (edge) {
+    case 0:  // top (outward -y)
+      return {r.x0 + pb, r.y0 - d - w, r.x1 - pb, r.y0 - d};
+    case 1:  // bottom (+y)
+      return {r.x0 + pb, r.y1 + d, r.x1 - pb, r.y1 + d + w};
+    case 2:  // left (-x)
+      return {r.x0 - d - w, r.y0 + pb, r.x0 - d, r.y1 - pb};
+    default:  // right (+x)
+      return {r.x1 + d, r.y0 + pb, r.x1 + d + w, r.y1 - pb};
+  }
+}
+
+// The corridor outward of the edge that must be empty for isolation.
+geom::Rect corridor_for_edge(const geom::Rect& r, int edge, std::int32_t depth) {
+  switch (edge) {
+    case 0: return {r.x0, r.y0 - depth, r.x1, r.y0};
+    case 1: return {r.x0, r.y1, r.x1, r.y1 + depth};
+    case 2: return {r.x0 - depth, r.y0, r.x0, r.y1};
+    default: return {r.x1, r.y0, r.x1 + depth, r.y1};
+  }
+}
+
+bool long_enough(const geom::Rect& bar, const SrafRules& rules) {
+  return std::max(bar.width(), bar.height()) >= rules.min_bar_length_nm &&
+         std::min(bar.width(), bar.height()) == rules.bar_width_nm;
+}
+
+}  // namespace
+
+SrafResult insert_srafs(const geom::Layout& target, const SrafRules& rules) {
+  GANOPC_CHECK_MSG(rules.valid(), "invalid SRAF rules");
+  SrafResult result;
+  result.decorated = target;
+  const auto& rects = target.rects();
+  const geom::Rect clip = target.clip();
+  const geom::RectIndex index(rects);
+
+  for (std::size_t ri = 0; ri < rects.size(); ++ri) {
+    const geom::Rect& r = rects[ri];
+    for (int edge = 0; edge < 4; ++edge) {
+      // Isolation: no other main pattern inside the outward corridor.
+      const geom::Rect corridor =
+          corridor_for_edge(r, edge, rules.isolation_distance_nm);
+      if (index.any_intersecting(corridor, ri)) continue;
+
+      geom::Rect bar = bar_for_edge(r, edge, rules);
+      if (bar.empty() || !long_enough(bar, rules)) continue;
+      // Stay inside the clip window.
+      if (bar.x0 < clip.x0 || bar.y0 < clip.y0 || bar.x1 > clip.x1 || bar.y1 > clip.y1)
+        continue;
+      // Clearance against all main patterns and previously placed bars (the
+      // bar count stays small, so bars are checked linearly).
+      const geom::Rect halo = bar.inflated(rules.clearance_nm);
+      if (index.any_intersecting(halo, ri)) continue;
+      const bool clear_of_bars = std::none_of(
+          result.bars.begin(), result.bars.end(),
+          [&](const geom::Rect& other) { return other.intersects(halo); });
+      if (!clear_of_bars) continue;
+
+      result.bars.push_back(bar);
+      result.decorated.add(bar);
+    }
+  }
+  return result;
+}
+
+}  // namespace ganopc::sraf

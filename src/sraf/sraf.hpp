@@ -1,0 +1,51 @@
+// Rule-based sub-resolution assist feature (SRAF) insertion.
+//
+// The paper's introduction cites SRAFs [9] as the companion technique to
+// edge correction in model-based OPC flows: narrow bars placed near
+// isolated edges that are themselves too small to print but steepen the
+// image slope of the main feature, improving its process window.
+//
+// This module implements the classic rule-based scheme: for every target
+// edge whose outward neighbourhood is empty, place a scatter bar of
+// sub-resolution width at a fixed distance, trimmed to avoid violating
+// spacing to any main pattern or other SRAF.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+namespace ganopc::sraf {
+
+struct SrafRules {
+  // Defaults calibrated against the 193nm/NA1.35 annular model: close/wide
+  // bars pick up enough intensity from the main feature to print; 24nm bars
+  // at 160nm keep a ~36% PV-band gain on isolated 80nm wires with zero
+  // printing (see bench/ablation_sraf).
+  std::int32_t bar_width_nm = 24;      ///< well below the printable CD (80nm)
+  std::int32_t bar_distance_nm = 160;  ///< main-feature edge to bar edge
+  std::int32_t min_bar_length_nm = 120;
+  std::int32_t end_pullback_nm = 20;  ///< bar shorter than its edge by this per side
+  /// The outward corridor that must be empty of main patterns for an edge to
+  /// count as isolated (and thus receive a bar).
+  std::int32_t isolation_distance_nm = 280;
+  /// Minimum clearance between a bar and anything else.
+  std::int32_t clearance_nm = 50;
+
+  bool valid() const {
+    return bar_width_nm > 0 && bar_distance_nm > 0 && min_bar_length_nm > 0 &&
+           isolation_distance_nm >= bar_distance_nm + bar_width_nm && clearance_nm >= 0;
+  }
+};
+
+struct SrafResult {
+  std::vector<geom::Rect> bars;
+  /// Main pattern plus bars, as a single mask layout.
+  geom::Layout decorated;
+};
+
+/// Insert scatter bars around isolated edges of `target`.
+SrafResult insert_srafs(const geom::Layout& target, const SrafRules& rules = {});
+
+}  // namespace ganopc::sraf

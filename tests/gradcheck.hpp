@@ -1,0 +1,82 @@
+// Finite-difference gradient checking for layers.
+//
+// Verifies both dLoss/dInput and dLoss/dParams of a layer against central
+// differences, using loss = sum(output .* seed) for a fixed random seed
+// tensor (so every output element participates with a distinct weight).
+#pragma once
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "nn/layer.hpp"
+
+namespace ganopc::testing {
+
+inline float dot(const nn::Tensor& a, const nn::Tensor& b) {
+  EXPECT_TRUE(a.same_shape(b));
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+/// Check analytic gradients of `layer` at input `x` against central
+/// differences. rel_tol is the allowed relative error on each element
+/// (with an absolute floor for near-zero gradients).
+inline void check_layer_gradients(nn::Layer& layer, nn::Tensor x, Prng& rng,
+                                  float eps = 1e-2f, float rel_tol = 5e-2f,
+                                  float abs_floor = 5e-3f) {
+  layer.set_training(true);
+  const nn::Tensor y0 = layer.forward(x);
+  nn::Tensor seed(y0.shape());
+  for (std::int64_t i = 0; i < seed.numel(); ++i)
+    seed[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  layer.zero_grad();
+  // Re-run forward so caches correspond to x (zero_grad does not clear them,
+  // but keep the pairing explicit).
+  layer.forward(x);
+  const nn::Tensor grad_in = layer.backward(seed);
+
+  auto loss_at = [&](const nn::Tensor& input) {
+    return dot(layer.forward(input), seed);
+  };
+
+  // dLoss/dInput.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    nn::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float num = (loss_at(xp) - loss_at(xm)) / (2 * eps);
+    const float ana = grad_in[i];
+    const float tol = rel_tol * std::max({std::fabs(num), std::fabs(ana), abs_floor / rel_tol});
+    EXPECT_NEAR(ana, num, tol) << "input grad mismatch at flat index " << i;
+  }
+
+  // dLoss/dParams.
+  for (auto& p : layer.parameters()) {
+    for (std::int64_t i = 0; i < p.value->numel(); ++i) {
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const float lp = loss_at(x);
+      (*p.value)[i] = orig - eps;
+      const float lm = loss_at(x);
+      (*p.value)[i] = orig;
+      const float num = (lp - lm) / (2 * eps);
+      const float ana = (*p.grad)[i];
+      const float tol =
+          rel_tol * std::max({std::fabs(num), std::fabs(ana), abs_floor / rel_tol});
+      EXPECT_NEAR(ana, num, tol) << "param '" << p.name << "' grad mismatch at " << i;
+    }
+  }
+}
+
+/// Random tensor in [-1, 1].
+inline nn::Tensor random_tensor(std::vector<std::int64_t> shape, Prng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+}  // namespace ganopc::testing

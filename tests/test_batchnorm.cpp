@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gradcheck.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+using ganopc::testing::check_layer_gradients;
+using ganopc::testing::random_tensor;
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Prng rng(1);
+  BatchNorm2d bn(3);
+  Tensor x = random_tensor({4, 3, 5, 5}, rng);
+  // Shift/scale channel 1 heavily.
+  for (std::int64_t n = 0; n < 4; ++n)
+    for (std::int64_t h = 0; h < 5; ++h)
+      for (std::int64_t w = 0; w < 5; ++w) x.at4(n, 1, h, w) = x.at4(n, 1, h, w) * 10 + 7;
+  Tensor y = bn.forward(x);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0, sq = 0;
+    for (std::int64_t n = 0; n < 4; ++n)
+      for (std::int64_t h = 0; h < 5; ++h)
+        for (std::int64_t w = 0; w < 5; ++w) {
+          const double v = y.at4(n, c, h, w);
+          sum += v;
+          sq += v * v;
+        }
+    const double count = 4 * 5 * 5;
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApply) {
+  BatchNorm2d bn(1);
+  auto params = bn.parameters();
+  (*params[0].value)[0] = 2.0f;  // gamma
+  (*params[1].value)[0] = 3.0f;  // beta
+  Tensor x({2, 1, 1, 2}, {0, 1, 2, 3});
+  Tensor y = bn.forward(x);
+  // mean 1.5, so normalized values are symmetric; output mean must be beta.
+  EXPECT_NEAR((y[0] + y[1] + y[2] + y[3]) / 4.0f, 3.0f, 1e-4f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Prng rng(2);
+  BatchNorm2d bn(2, 1e-5f, /*momentum=*/1.0f);  // running <- batch exactly
+  Tensor x = random_tensor({8, 2, 4, 4}, rng);
+  bn.forward(x);  // training: captures stats
+  bn.set_training(false);
+  Tensor y = bn.forward(x);
+  // With running == batch stats, eval output matches training output.
+  bn.set_training(true);
+  Tensor yt = bn.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], yt[i], 1e-3f);
+}
+
+TEST(BatchNorm, RunningStatsConverge) {
+  Prng rng(3);
+  BatchNorm2d bn(1, 1e-5f, 0.5f);
+  for (int it = 0; it < 50; ++it) {
+    Tensor x({4, 1, 8, 8});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+      x[i] = static_cast<float>(rng.normal(5.0, 2.0));
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.8f);
+}
+
+TEST(BatchNorm, GradCheck) {
+  Prng rng(4);
+  BatchNorm2d bn(2);
+  auto params = bn.parameters();
+  (*params[0].value)[0] = 1.3f;
+  (*params[0].value)[1] = 0.7f;
+  (*params[1].value)[0] = -0.2f;
+  (*params[1].value)[1] = 0.4f;
+  // Larger eps tolerance: BN couples every element through the batch stats.
+  check_layer_gradients(bn, random_tensor({3, 2, 3, 3}, rng), rng, 1e-2f, 8e-2f, 1e-2f);
+}
+
+TEST(BatchNorm, BackwardWithoutForwardThrows) {
+  BatchNorm2d bn(1);
+  Tensor g({1, 1, 2, 2});
+  EXPECT_THROW(bn.backward(g), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

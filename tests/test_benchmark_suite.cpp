@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/benchmark_suite.hpp"
+#include "layout/drc.hpp"
+
+namespace ganopc::layout {
+namespace {
+
+TEST(BenchmarkSuite, HasTenCasesWithPaperAreas) {
+  const auto suite = make_benchmark_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].id, static_cast<int>(i) + 1);
+    EXPECT_EQ(suite[i].target_area, kTable2AreasNm2[i]);
+  }
+}
+
+TEST(BenchmarkSuite, AreasMatchTable2WithinTolerance) {
+  const auto suite = make_benchmark_suite(2048, 20130013, 0.02);
+  for (const auto& bc : suite) {
+    const double err =
+        std::abs(static_cast<double>(bc.layout.union_area() - bc.target_area)) /
+        static_cast<double>(bc.target_area);
+    EXPECT_LE(err, 0.02) << "case " << bc.id << ": area " << bc.layout.union_area()
+                         << " vs target " << bc.target_area;
+  }
+}
+
+TEST(BenchmarkSuite, AllCasesRuleClean) {
+  const auto suite = make_benchmark_suite();
+  for (const auto& bc : suite) {
+    const auto violations = check_design_rules(bc.layout, table1_rules());
+    EXPECT_TRUE(violations.empty())
+        << "case " << bc.id << ": " << violations.size() << " violations, first "
+        << violations.front().str();
+  }
+}
+
+TEST(BenchmarkSuite, Deterministic) {
+  const auto a = make_benchmark_suite();
+  const auto b = make_benchmark_suite();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].layout.size(), b[i].layout.size());
+    for (std::size_t j = 0; j < a[i].layout.size(); ++j)
+      EXPECT_EQ(a[i].layout.rects()[j], b[i].layout.rects()[j]);
+  }
+}
+
+TEST(BenchmarkSuite, CasesFitInClip) {
+  const auto suite = make_benchmark_suite();
+  for (const auto& bc : suite) {
+    const auto bbox = bc.layout.bbox();
+    EXPECT_GE(bbox.x0, 0);
+    EXPECT_GE(bbox.y0, 0);
+    EXPECT_LE(bbox.x1, 2048);
+    EXPECT_LE(bbox.y1, 2048);
+  }
+}
+
+}  // namespace
+}  // namespace ganopc::layout

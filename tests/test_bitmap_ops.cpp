@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "geometry/bitmap_ops.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+Grid random_grid(std::int32_t rows, std::int32_t cols, Prng& rng, std::int32_t px = 8) {
+  Grid g(rows, cols, px);
+  for (auto& v : g.data) v = static_cast<float>(rng.uniform(0, 1));
+  return g;
+}
+
+TEST(BitmapOps, DownsampleAveragesBlocks) {
+  Grid g(4, 4, 8);
+  for (std::int32_t r = 0; r < 4; ++r)
+    for (std::int32_t c = 0; c < 4; ++c) g.at(r, c) = static_cast<float>(r * 4 + c);
+  const Grid d = downsample_avg(g, 2);
+  EXPECT_EQ(d.rows, 2);
+  EXPECT_EQ(d.pixel_nm, 16);
+  EXPECT_FLOAT_EQ(d.at(0, 0), (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(d.at(1, 1), (10 + 11 + 14 + 15) / 4.0f);
+}
+
+TEST(BitmapOps, DownsamplePreservesMean) {
+  Prng rng(1);
+  const Grid g = random_grid(16, 16, rng);
+  const Grid d = downsample_avg(g, 4);
+  double m1 = 0, m2 = 0;
+  for (float v : g.data) m1 += v;
+  for (float v : d.data) m2 += v;
+  EXPECT_NEAR(m1 / g.size(), m2 / d.size(), 1e-5);
+}
+
+TEST(BitmapOps, UpsampleBilinearConstantStaysConstant) {
+  Grid g(3, 3, 8);
+  for (auto& v : g.data) v = 0.7f;
+  const Grid u = upsample_bilinear(g, 4);
+  EXPECT_EQ(u.rows, 12);
+  EXPECT_EQ(u.pixel_nm, 2);
+  for (float v : u.data) EXPECT_NEAR(v, 0.7f, 1e-6f);
+}
+
+TEST(BitmapOps, UpsampleBilinearInterpolatesLinearly) {
+  // A linear ramp must stay linear (away from the clamped border).
+  Grid g(1, 4, 8);
+  g.at(0, 0) = 0;
+  g.at(0, 1) = 1;
+  g.at(0, 2) = 2;
+  g.at(0, 3) = 3;
+  const Grid u = upsample_bilinear(g, 2);
+  // Interior samples: fine pixel centers at coarse coords 0.25, 0.75, 1.25...
+  EXPECT_NEAR(u.at(0, 1), 0.25f, 1e-5f);
+  EXPECT_NEAR(u.at(0, 2), 0.75f, 1e-5f);
+  EXPECT_NEAR(u.at(0, 3), 1.25f, 1e-5f);
+}
+
+TEST(BitmapOps, UpsampleNearestReplicates) {
+  Grid g(2, 2, 8);
+  g.at(0, 0) = 1.0f;
+  const Grid u = upsample_nearest(g, 2);
+  EXPECT_FLOAT_EQ(u.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(u.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(u.at(0, 2), 0.0f);
+}
+
+TEST(BitmapOps, UpsampleAdjointProperty) {
+  // <U x, y> == <x, U^T y> for random x (coarse) and y (fine).
+  Prng rng(2);
+  Grid x = random_grid(6, 5, rng, 8);
+  Grid y = random_grid(12, 10, rng, 4);
+  const Grid ux = upsample_bilinear(x, 2);
+  const Grid uty = upsample_bilinear_adjoint(y, 2, x);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < ux.data.size(); ++i)
+    lhs += static_cast<double>(ux.data[i]) * y.data[i];
+  for (std::size_t i = 0; i < x.data.size(); ++i)
+    rhs += static_cast<double>(x.data[i]) * uty.data[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(BitmapOps, BinarizeThreshold) {
+  Grid g(1, 3, 8);
+  g.at(0, 0) = 0.49f;
+  g.at(0, 1) = 0.5f;
+  g.at(0, 2) = 0.9f;
+  binarize(g);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 2), 1.0f);
+}
+
+TEST(BitmapOps, XorCountAndOnCount) {
+  Grid a(1, 4, 8), b(1, 4, 8);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 1;
+  b.at(0, 1) = 1;
+  b.at(0, 2) = 1;
+  EXPECT_EQ(xor_count(a, b), 2);
+  EXPECT_EQ(on_count(a), 2);
+}
+
+TEST(BitmapOps, ConnectedComponentsCountsBlobs) {
+  Grid g(5, 5, 8);
+  g.at(0, 0) = 1;
+  g.at(0, 1) = 1;  // blob 1
+  g.at(3, 3) = 1;
+  g.at(4, 3) = 1;
+  g.at(4, 4) = 1;  // blob 2 (4-connected L)
+  g.at(2, 0) = 1;  // blob 3 (isolated; diagonal from blob 1 doesn't connect)
+  std::int32_t n = 0;
+  const auto labels = connected_components(g, n);
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[3 * 5 + 3]);
+}
+
+TEST(BitmapOps, ConnectedComponentsEmpty) {
+  Grid g(4, 4, 8);
+  std::int32_t n = -1;
+  connected_components(g, n);
+  EXPECT_EQ(n, 0);
+}
+
+TEST(BitmapOps, SquaredL2) {
+  Grid a(1, 2, 8), b(1, 2, 8);
+  a.at(0, 0) = 1.0f;
+  b.at(0, 1) = 1.0f;
+  EXPECT_DOUBLE_EQ(squared_l2(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(squared_l2(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace ganopc::geom

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/config.hpp"
+
+namespace ganopc::core {
+namespace {
+
+TEST(Config, PresetsValidate) {
+  for (auto scale : {ReproScale::Quick, ReproScale::Default, ReproScale::Paper}) {
+    const GanOpcConfig cfg = make_config(scale);
+    EXPECT_NO_THROW(cfg.validate()) << scale_name(scale);
+  }
+}
+
+TEST(Config, DerivedPixelSizes) {
+  const GanOpcConfig cfg = make_config(ReproScale::Default);
+  EXPECT_EQ(cfg.litho_pixel_nm(), 2048 / 256);
+  EXPECT_EQ(cfg.gan_pixel_nm(), 2048 / 64);
+  EXPECT_EQ(cfg.pool_factor(), 4);
+}
+
+TEST(Config, PaperPresetMatchesPaperGeometry) {
+  const GanOpcConfig cfg = make_config(ReproScale::Paper);
+  EXPECT_EQ(cfg.clip_nm, 2048);
+  EXPECT_EQ(cfg.litho_pixel_nm(), 1);  // the contest's 1nm raster
+  EXPECT_EQ(cfg.gan_grid, 256);        // the paper's pooled GAN resolution
+  EXPECT_EQ(cfg.pool_factor(), 8);     // the paper's 8x8 average pooling
+  EXPECT_EQ(cfg.library_size, 4000u);  // the paper's library size
+  EXPECT_EQ(cfg.optics.num_kernels, 24);  // N_h = 24 (Eq. 2)
+}
+
+TEST(Config, ValidationCatchesBadGeometry) {
+  GanOpcConfig cfg = make_config(ReproScale::Quick);
+  cfg.litho_grid = 100;  // not pow2
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = make_config(ReproScale::Quick);
+  cfg.gan_grid = 12;  // not a divisor-of-8 pow2
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = make_config(ReproScale::Quick);
+  cfg.batch_size = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(Config, ParseScale) {
+  EXPECT_EQ(parse_scale("quick"), ReproScale::Quick);
+  EXPECT_EQ(parse_scale("DEFAULT"), ReproScale::Default);
+  EXPECT_EQ(parse_scale("Paper"), ReproScale::Paper);
+  EXPECT_THROW(parse_scale("huge"), Error);
+}
+
+TEST(Config, ScaleNames) {
+  EXPECT_STREQ(scale_name(ReproScale::Quick), "quick");
+  EXPECT_STREQ(scale_name(ReproScale::Paper), "paper");
+}
+
+}  // namespace
+}  // namespace ganopc::core

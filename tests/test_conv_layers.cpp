@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "gradcheck.hpp"
+#include "nn/conv.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+using ganopc::testing::check_layer_gradients;
+using ganopc::testing::random_tensor;
+
+void randomize(Layer& layer, Prng& rng, float scale = 0.5f) {
+  for (auto& p : layer.parameters())
+    for (std::int64_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] = static_cast<float>(rng.uniform(-scale, scale));
+}
+
+TEST(Conv2dLayer, OutputShapeStride1) {
+  Prng rng(1);
+  Conv2d conv(3, 5, 3, 1, 1);
+  Tensor y = conv.forward(random_tensor({2, 3, 8, 8}, rng));
+  EXPECT_EQ(y.shape(0), 2);
+  EXPECT_EQ(y.shape(1), 5);
+  EXPECT_EQ(y.shape(2), 8);
+  EXPECT_EQ(y.shape(3), 8);
+}
+
+TEST(Conv2dLayer, OutputShapeStride2) {
+  Prng rng(1);
+  Conv2d conv(1, 4, 3, 2, 1);
+  Tensor y = conv.forward(random_tensor({1, 1, 16, 16}, rng));
+  EXPECT_EQ(y.shape(2), 8);
+  EXPECT_EQ(y.shape(3), 8);
+}
+
+TEST(Conv2dLayer, IdentityKernelPassesThrough) {
+  Conv2d conv(1, 1, 1, 1, 0, /*bias=*/false);
+  conv.weight()[0] = 1.0f;
+  Prng rng(2);
+  Tensor x = random_tensor({1, 1, 5, 5}, rng);
+  Tensor y = conv.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dLayer, BoxKernelSumsNeighborhood) {
+  Conv2d conv(1, 1, 3, 1, 1, /*bias=*/false);
+  for (std::int64_t i = 0; i < 9; ++i) conv.weight()[i] = 1.0f;
+  Tensor x({1, 1, 3, 3});
+  x.fill(1.0f);
+  Tensor y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 9.0f);  // full neighborhood
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f);  // corner sees 2x2
+}
+
+TEST(Conv2dLayer, GradCheckStride1) {
+  Prng rng(3);
+  Conv2d conv(2, 3, 3, 1, 1);
+  randomize(conv, rng);
+  check_layer_gradients(conv, random_tensor({2, 2, 5, 5}, rng), rng);
+}
+
+TEST(Conv2dLayer, GradCheckStride2) {
+  Prng rng(4);
+  Conv2d conv(1, 2, 3, 2, 1);
+  randomize(conv, rng);
+  check_layer_gradients(conv, random_tensor({2, 1, 6, 6}, rng), rng);
+}
+
+TEST(Conv2dLayer, GradCheckNoBias) {
+  Prng rng(5);
+  Conv2d conv(2, 2, 3, 1, 0, /*bias=*/false);
+  randomize(conv, rng);
+  check_layer_gradients(conv, random_tensor({1, 2, 5, 5}, rng), rng);
+}
+
+TEST(ConvTranspose2dLayer, OutputShapeDoubles) {
+  Prng rng(6);
+  ConvTranspose2d deconv(4, 2, 4, 2, 1);
+  Tensor y = deconv.forward(random_tensor({2, 4, 8, 8}, rng));
+  EXPECT_EQ(y.shape(1), 2);
+  EXPECT_EQ(y.shape(2), 16);
+  EXPECT_EQ(y.shape(3), 16);
+}
+
+TEST(ConvTranspose2dLayer, GradCheckStride2) {
+  Prng rng(7);
+  ConvTranspose2d deconv(2, 2, 4, 2, 1);
+  randomize(deconv, rng);
+  check_layer_gradients(deconv, random_tensor({1, 2, 4, 4}, rng), rng);
+}
+
+TEST(ConvTranspose2dLayer, GradCheckStride1) {
+  Prng rng(8);
+  ConvTranspose2d deconv(3, 2, 3, 1, 1);
+  randomize(deconv, rng);
+  check_layer_gradients(deconv, random_tensor({2, 3, 4, 4}, rng), rng);
+}
+
+TEST(ConvTranspose2dLayer, IsAdjointOfConv) {
+  // For shared weights W (bias off), <conv(x), y> == <x, convT(y)> when
+  // convT uses the weight tensor reinterpreted with swapped channel roles.
+  // k=4/s=2/p=1 is the size-exact pairing (8 -> 4 -> 8); odd kernels would
+  // need output padding for the shapes to line up.
+  Prng rng(9);
+  const std::int64_t cin = 2, cout = 3, k = 4, s = 2, p = 1;
+  Conv2d conv(cin, cout, k, s, p, /*bias=*/false);
+  randomize(conv, rng);
+  ConvTranspose2d deconv(cout, cin, k, s, p, /*bias=*/false);
+  // Conv weight [cout, cin, k, k] == deconv weight [cout(cin'), cin(cout'), k, k].
+  for (std::int64_t i = 0; i < conv.weight().numel(); ++i)
+    deconv.weight()[i] = conv.weight()[i];
+
+  Tensor x = random_tensor({1, cin, 8, 8}, rng);
+  Tensor y = random_tensor({1, cout, 4, 4}, rng);
+  const Tensor cx = conv.forward(x);
+  const Tensor dy = deconv.forward(y);
+  EXPECT_EQ(cx.shape(), y.shape());
+  EXPECT_EQ(dy.shape(), x.shape());
+  EXPECT_NEAR(ganopc::testing::dot(cx, y), ganopc::testing::dot(x, dy), 1e-2f);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

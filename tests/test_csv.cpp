@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace ganopc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path = temp_path("ganopc_test.csv");
+  {
+    CsvWriter csv(path, {"iter", "loss"});
+    csv.row({"1", "0.5"});
+    csv.row_numeric({2, 0.25});
+  }
+  EXPECT_EQ(slurp(path), "iter,loss\n1,0.5\n2,0.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  const auto path = temp_path("ganopc_test2.csv");
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.row({"1", "2"}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NumericFormatting) {
+  const auto path = temp_path("ganopc_test3.csv");
+  {
+    CsvWriter csv(path, {"v"});
+    csv.row_numeric({123456.789});
+  }
+  EXPECT_NE(slurp(path).find("123457"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/dataset.hpp"
+#include "geometry/bitmap_ops.hpp"
+
+namespace ganopc::core {
+namespace {
+
+GanOpcConfig tiny_config() {
+  GanOpcConfig cfg = make_config(ReproScale::Quick);
+  cfg.library_size = 3;
+  cfg.ilt.max_iterations = 15;
+  cfg.ilt.check_every = 5;
+  return cfg;
+}
+
+TEST(Dataset, GeneratesRequestedCount) {
+  const GanOpcConfig cfg = tiny_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const Dataset ds = Dataset::generate(cfg, sim);
+  EXPECT_EQ(ds.size(), cfg.library_size);
+}
+
+TEST(Dataset, ExampleGeometriesConsistent) {
+  const GanOpcConfig cfg = tiny_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const Dataset ds = Dataset::generate(cfg, sim);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& ex = ds.example(i);
+    EXPECT_EQ(ex.target_litho.rows, cfg.litho_grid);
+    EXPECT_EQ(ex.target_gan.rows, cfg.gan_grid);
+    EXPECT_EQ(ex.mask_gan.rows, cfg.gan_grid);
+    EXPECT_GT(geom::on_count(ex.target_litho), 0);
+    // The reference mask must contain some pattern.
+    float mask_sum = 0.0f;
+    for (float v : ex.mask_gan.data) mask_sum += v;
+    EXPECT_GT(mask_sum, 0.0f);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const GanOpcConfig cfg = tiny_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const Dataset a = Dataset::generate(cfg, sim);
+  const Dataset b = Dataset::generate(cfg, sim);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.example(i).mask_gan.data, b.example(i).mask_gan.data);
+}
+
+TEST(Dataset, SampleBatchShapes) {
+  Dataset ds;
+  TrainingExample ex;
+  ex.target_gan = geom::Grid(32, 32, 64);
+  ex.mask_gan = geom::Grid(32, 32, 64);
+  ex.mask_gan.at(0, 0) = 1.0f;
+  ds.add(ex);
+  ds.add(ex);
+  Prng rng(1);
+  nn::Tensor targets, masks;
+  ds.sample_batch(rng, 4, targets, masks);  // m > size: wraps around
+  EXPECT_EQ(targets.shape(), (std::vector<std::int64_t>{4, 1, 32, 32}));
+  EXPECT_EQ(masks.shape(), targets.shape());
+  EXPECT_FLOAT_EQ(masks.at4(0, 0, 0, 0), 1.0f);
+}
+
+TEST(Dataset, AugmentQuadruplesAndMirrors) {
+  Dataset ds;
+  TrainingExample ex;
+  ex.target_litho = geom::Grid(8, 8, 16);
+  ex.target_gan = geom::Grid(4, 4, 32);
+  ex.mask_gan = geom::Grid(4, 4, 32);
+  ex.target_gan.at(0, 1) = 1.0f;  // asymmetric marker
+  ex.mask_gan.at(1, 0) = 0.7f;
+  ds.add(ex);
+  ds.augment_symmetries();
+  ASSERT_EQ(ds.size(), 4u);
+  // Horizontal mirror: (0,1) -> (0,2).
+  EXPECT_FLOAT_EQ(ds.example(1).target_gan.at(0, 2), 1.0f);
+  // Vertical mirror: (0,1) -> (3,1).
+  EXPECT_FLOAT_EQ(ds.example(2).target_gan.at(3, 1), 1.0f);
+  // Transpose: (0,1) -> (1,0); mask (1,0) -> (0,1).
+  EXPECT_FLOAT_EQ(ds.example(3).target_gan.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ds.example(3).mask_gan.at(0, 1), 0.7f);
+}
+
+TEST(Dataset, AugmentPreservesPixelSums) {
+  Dataset ds;
+  TrainingExample ex;
+  ex.target_litho = geom::Grid(8, 8, 16);
+  ex.target_gan = geom::Grid(4, 4, 32);
+  ex.mask_gan = geom::Grid(4, 4, 32);
+  Prng rng(5);
+  for (auto& v : ex.mask_gan.data) v = static_cast<float>(rng.uniform(0, 1));
+  ds.add(ex);
+  ds.augment_symmetries();
+  float base = 0.0f;
+  for (float v : ds.example(0).mask_gan.data) base += v;
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    float sum = 0.0f;
+    for (float v : ds.example(i).mask_gan.data) sum += v;
+    EXPECT_FLOAT_EQ(sum, base);
+  }
+}
+
+TEST(Dataset, SampleBatchRejectsEmpty) {
+  Dataset ds;
+  Prng rng(1);
+  nn::Tensor t, m;
+  EXPECT_THROW(ds.sample_batch(rng, 2, t, m), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::core

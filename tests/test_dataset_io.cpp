@@ -1,0 +1,74 @@
+// Dataset binary serialization round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/dataset.hpp"
+
+namespace ganopc::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Dataset make_dataset(const GanOpcConfig& cfg) {
+  Dataset ds;
+  for (int i = 0; i < 3; ++i) {
+    TrainingExample ex;
+    ex.target_litho = geom::Grid(cfg.litho_grid, cfg.litho_grid, cfg.litho_pixel_nm());
+    ex.target_gan = geom::Grid(cfg.gan_grid, cfg.gan_grid, cfg.gan_pixel_nm());
+    ex.mask_gan = geom::Grid(cfg.gan_grid, cfg.gan_grid, cfg.gan_pixel_nm());
+    ex.target_litho.at(i, i) = 1.0f;
+    ex.mask_gan.at(0, i) = 0.5f + 0.1f * static_cast<float>(i);
+    ds.add(std::move(ex));
+  }
+  return ds;
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  const Dataset ds = make_dataset(cfg);
+  const auto path = temp_path("ganopc_ds.bin");
+  ds.save(path);
+  const Dataset back = Dataset::load(path, cfg);
+  ASSERT_EQ(back.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(back.example(i).target_litho.data, ds.example(i).target_litho.data);
+    EXPECT_EQ(back.example(i).mask_gan.data, ds.example(i).mask_gan.data);
+    EXPECT_EQ(back.example(i).target_gan.pixel_nm, ds.example(i).target_gan.pixel_nm);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, LoadRejectsGeometryMismatch) {
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  const Dataset ds = make_dataset(cfg);
+  const auto path = temp_path("ganopc_ds2.bin");
+  ds.save(path);
+  GanOpcConfig other = make_config(ReproScale::Default);
+  EXPECT_THROW(Dataset::load(path, other), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, LoadRejectsGarbage) {
+  const auto path = temp_path("ganopc_ds3.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  EXPECT_THROW(Dataset::load(path, cfg), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  EXPECT_THROW(Dataset::load("/nonexistent/ds.bin", cfg), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "geometry/raster.hpp"
+#include "metrics/defects.hpp"
+
+namespace ganopc::metrics {
+namespace {
+
+geom::Grid raster(const geom::Layout& l, std::int32_t pixel = 4) {
+  return geom::rasterize(l, pixel, /*threshold=*/true);
+}
+
+TEST(Necks, CleanWireHasNoNecks) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({200, 100, 280, 400});
+  const auto defects = detect_necks(target, raster(target));
+  EXPECT_TRUE(defects.empty());
+}
+
+TEST(Necks, PinchDetected) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({200, 100, 280, 400});
+  // Printed wire pinches to 40nm in the middle.
+  geom::Layout printed(target.clip());
+  printed.add({200, 100, 280, 220});
+  printed.add({220, 220, 260, 280});  // 40 wide neck
+  printed.add({200, 280, 280, 400});
+  const auto defects = detect_necks(target, raster(printed));
+  ASSERT_FALSE(defects.empty());
+  EXPECT_LT(defects.front().printed_cd_nm, 60);
+  EXPECT_EQ(defects.front().drawn_cd_nm, 80);
+}
+
+TEST(Necks, RatioKnob) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({200, 100, 280, 400});
+  geom::Layout printed(target.clip());
+  printed.add({204, 100, 276, 400});  // prints at 72nm (0.9 of drawn)
+  NeckConfig strict;
+  strict.min_cd_ratio = 0.95;
+  NeckConfig loose;
+  loose.min_cd_ratio = 0.7;
+  EXPECT_FALSE(detect_necks(target, raster(printed), strict).empty());
+  EXPECT_TRUE(detect_necks(target, raster(printed), loose).empty());
+}
+
+TEST(Necks, HorizontalWiresMeasured) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 200, 400, 280});  // horizontal wire
+  geom::Layout printed(target.clip());
+  printed.add({100, 224, 400, 256});  // pinched to 32nm everywhere
+  const auto defects = detect_necks(target, raster(printed));
+  EXPECT_FALSE(defects.empty());
+}
+
+TEST(Bridges, DisjointPrintsNoBridge) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 100, 180, 400});
+  target.add({300, 100, 380, 400});
+  const auto defects = detect_bridges(raster(target), raster(target));
+  EXPECT_TRUE(defects.empty());
+}
+
+TEST(Bridges, ShortBetweenWiresDetected) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 100, 180, 400});
+  target.add({300, 100, 380, 400});
+  geom::Layout printed(target.clip());
+  printed.add({100, 100, 180, 400});
+  printed.add({300, 100, 380, 400});
+  printed.add({180, 200, 300, 260});  // the short
+  const auto defects = detect_bridges(raster(target), raster(printed));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects.front().targets.size(), 2u);
+}
+
+TEST(Bridges, ThreeWayShortReportsAllTargets) {
+  geom::Layout target(geom::Rect{0, 0, 768, 768});
+  target.add({100, 100, 180, 600});
+  target.add({300, 100, 380, 600});
+  target.add({500, 100, 580, 600});
+  geom::Layout printed(target.clip());
+  printed.add({100, 100, 580, 600});  // one giant blob
+  const auto defects = detect_bridges(raster(target), raster(printed));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects.front().targets.size(), 3u);
+}
+
+TEST(Breaks, CleanPrintNoBreaks) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 100, 180, 400});
+  EXPECT_TRUE(detect_breaks(raster(target), raster(target)).empty());
+}
+
+TEST(Breaks, OpenWireDetected) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 100, 180, 400});
+  geom::Layout printed(target.clip());
+  printed.add({100, 100, 180, 220});
+  printed.add({100, 280, 180, 400});  // gap: wire broken in two
+  const auto defects = detect_breaks(raster(target), raster(printed));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects.front().printed_pieces, 2);
+}
+
+TEST(Breaks, MissingPatternDetected) {
+  geom::Layout target(geom::Rect{0, 0, 512, 512});
+  target.add({100, 100, 180, 400});
+  geom::Layout printed(target.clip());
+  const auto defects = detect_breaks(raster(target), raster(printed));
+  ASSERT_EQ(defects.size(), 1u);
+  EXPECT_EQ(defects.front().printed_pieces, 0);
+}
+
+}  // namespace
+}  // namespace ganopc::metrics

@@ -1,0 +1,30 @@
+#include <gtest/gtest.h>
+
+#include "layout/design_rules.hpp"
+
+namespace ganopc::layout {
+namespace {
+
+TEST(DesignRules, Table1Values) {
+  const DesignRules r = table1_rules();
+  EXPECT_EQ(r.min_cd, 80);
+  EXPECT_EQ(r.min_pitch, 140);
+  EXPECT_EQ(r.min_tip_to_tip, 60);
+}
+
+TEST(DesignRules, ImpliedSpacing) {
+  EXPECT_EQ(table1_rules().min_spacing(), 60);
+}
+
+TEST(DesignRules, Validity) {
+  EXPECT_TRUE(table1_rules().valid());
+  DesignRules bad = table1_rules();
+  bad.min_pitch = 50;  // pitch below CD
+  EXPECT_FALSE(bad.valid());
+  bad = table1_rules();
+  bad.min_cd = 0;
+  EXPECT_FALSE(bad.valid());
+}
+
+}  // namespace
+}  // namespace ganopc::layout

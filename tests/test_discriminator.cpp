@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "core/discriminator.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ganopc::core {
+namespace {
+
+TEST(Discriminator, PairedOutputsOneLogitPerInstance) {
+  Prng rng(1);
+  Discriminator d(32, 4, rng, /*paired=*/true);
+  nn::Tensor targets({3, 1, 32, 32}), masks({3, 1, 32, 32});
+  const nn::Tensor logits = d.forward(targets, masks);
+  EXPECT_EQ(logits.shape(0), 3);
+  EXPECT_EQ(logits.shape(1), 1);
+}
+
+TEST(Discriminator, UnpairedIgnoresTargets) {
+  Prng rng(2);
+  Discriminator d(32, 4, rng, /*paired=*/false);
+  nn::Tensor masks({2, 1, 32, 32});
+  Prng rx(9);
+  for (std::int64_t i = 0; i < masks.numel(); ++i)
+    masks[i] = static_cast<float>(rx.uniform(0, 1));
+  nn::Tensor t1({2, 1, 32, 32});
+  nn::Tensor t2({2, 1, 32, 32});
+  t2.fill(1.0f);
+  d.set_training(false);
+  const nn::Tensor l1 = d.forward(t1, masks);
+  const nn::Tensor l2 = d.forward(t2, masks);
+  for (std::int64_t i = 0; i < l1.numel(); ++i) EXPECT_EQ(l1[i], l2[i]);
+}
+
+TEST(Discriminator, PairedRespondsToTargetChannel) {
+  Prng rng(3);
+  Discriminator d(32, 4, rng, /*paired=*/true);
+  d.set_training(false);
+  nn::Tensor masks({1, 1, 32, 32});
+  Prng rx(10);
+  for (std::int64_t i = 0; i < masks.numel(); ++i)
+    masks[i] = static_cast<float>(rx.uniform(0, 1));
+  nn::Tensor t1({1, 1, 32, 32});
+  nn::Tensor t2 = t1;
+  t2.fill(1.0f);
+  const nn::Tensor l1 = d.forward(t1, masks);
+  const nn::Tensor l2 = d.forward(t2, masks);
+  EXPECT_NE(l1[0], l2[0]);
+}
+
+TEST(Discriminator, BackwardToMaskShape) {
+  Prng rng(4);
+  Discriminator d(32, 4, rng);
+  nn::Tensor targets({2, 1, 32, 32}), masks({2, 1, 32, 32});
+  d.forward(targets, masks);
+  nn::Tensor grad_logits({2, 1});
+  grad_logits.fill(1.0f);
+  const nn::Tensor grad_mask = d.backward_to_mask(grad_logits);
+  EXPECT_EQ(grad_mask.shape(), masks.shape());
+}
+
+TEST(Discriminator, LearnsToSeparatePairs) {
+  // Real pairs: mask == target. Fakes: mask == 1 - target. The paired
+  // discriminator must learn to tell them apart.
+  Prng rng(5);
+  Discriminator d(16, 4, rng, /*paired=*/true);
+  nn::Adam opt(d.parameters(), 2e-3f);
+
+  auto make_batch = [&](nn::Tensor& targets, nn::Tensor& masks, bool real) {
+    targets = nn::Tensor({4, 1, 16, 16});
+    masks = nn::Tensor({4, 1, 16, 16});
+    for (std::int64_t n = 0; n < 4; ++n) {
+      const auto col = static_cast<std::int64_t>(rng.randint(2, 13));
+      for (std::int64_t h = 0; h < 16; ++h) targets.at4(n, 0, h, col) = 1.0f;
+      for (std::int64_t h = 0; h < 16; ++h)
+        for (std::int64_t w = 0; w < 16; ++w)
+          masks.at4(n, 0, h, w) =
+              real ? targets.at4(n, 0, h, w) : 1.0f - targets.at4(n, 0, h, w);
+    }
+  };
+
+  nn::Tensor ones({4, 1});
+  ones.fill(1.0f);
+  nn::Tensor zeros({4, 1});
+  float loss = 1.0f;
+  for (int it = 0; it < 150; ++it) {
+    nn::Tensor t, m, grad;
+    make_batch(t, m, true);
+    const nn::Tensor lr_ = d.forward(t, m);
+    loss = nn::bce_with_logits_loss(lr_, ones, grad);
+    d.backward_to_mask(grad);
+    make_batch(t, m, false);
+    const nn::Tensor lf = d.forward(t, m);
+    loss += nn::bce_with_logits_loss(lf, zeros, grad);
+    d.backward_to_mask(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 0.3f);
+}
+
+}  // namespace
+}  // namespace ganopc::core

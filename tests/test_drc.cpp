@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "layout/drc.hpp"
+
+namespace ganopc::layout {
+namespace {
+
+geom::Layout make_layout() { return geom::Layout(geom::Rect{0, 0, 2048, 2048}); }
+
+TEST(Drc, CleanLayoutPasses) {
+  auto l = make_layout();
+  l.add({100, 100, 180, 900});   // 80 wide wire
+  l.add({240, 100, 320, 900});   // 60 gap from first (>= 60 ok)
+  l.add({100, 960, 180, 1200});  // 60 tip-to-tip below first
+  EXPECT_TRUE(is_rule_clean(l, table1_rules()));
+}
+
+TEST(Drc, DetectsCdViolation) {
+  auto l = make_layout();
+  l.add({100, 100, 170, 500});  // 70 < 80
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::MinCd);
+  EXPECT_EQ(v[0].measured, 70);
+  EXPECT_EQ(v[0].required, 80);
+}
+
+TEST(Drc, DetectsSpacingViolation) {
+  auto l = make_layout();
+  l.add({100, 100, 180, 500});
+  l.add({220, 100, 300, 500});  // 40 gap < 60
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::Spacing);
+  EXPECT_EQ(v[0].measured, 40);
+}
+
+TEST(Drc, DetectsTipToTipViolation) {
+  auto l = make_layout();
+  l.add({100, 100, 180, 500});
+  l.add({100, 530, 180, 900});  // 30 t2t < 60
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::Spacing);
+}
+
+TEST(Drc, DetectsOverlap) {
+  auto l = make_layout();
+  l.add({100, 100, 180, 500});
+  l.add({150, 200, 260, 600});
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_GE(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, DrcRule::Overlap);
+}
+
+TEST(Drc, DiagonalGapUsesLInfinity) {
+  auto l = make_layout();
+  l.add({100, 100, 180, 300});
+  l.add({230, 350, 310, 550});  // dx=50, dy=50 -> L-inf gap 50 < 60
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].measured, 50);
+}
+
+TEST(Drc, ViolationStrIsInformative) {
+  auto l = make_layout();
+  l.add({0, 0, 50, 50});
+  const auto v = check_design_rules(l, table1_rules());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].str().find("CD"), std::string::npos);
+}
+
+TEST(Drc, EmptyLayoutIsClean) {
+  EXPECT_TRUE(is_rule_clean(make_layout(), table1_rules()));
+}
+
+}  // namespace
+}  // namespace ganopc::layout

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "geometry/raster.hpp"
+#include "metrics/epe.hpp"
+
+namespace ganopc::metrics {
+namespace {
+
+// Build a wafer grid directly from a "printed" layout.
+geom::Grid print_of(const geom::Layout& printed, std::int32_t pixel = 4) {
+  return geom::rasterize(printed, pixel, /*threshold=*/true);
+}
+
+geom::Layout target_wire() {
+  geom::Layout l(geom::Rect{0, 0, 512, 512});
+  l.add({200, 100, 280, 400});  // 80 wide, 300 tall
+  return l;
+}
+
+TEST(Epe, PerfectPrintHasNoViolations) {
+  const auto target = target_wire();
+  const EpeResult res = measure_epe(target, print_of(target));
+  EXPECT_EQ(res.violations, 0);
+  EXPECT_GT(res.samples.size(), 0u);
+  EXPECT_LE(res.worst_nm, 4);  // at most one pixel of discretization
+}
+
+TEST(Epe, UniformShrinkDetected) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());
+  printed.add({220, 100, 260, 400});  // 20nm pullback per side
+  EpeConfig cfg;
+  cfg.threshold_nm = 15;
+  const EpeResult res = measure_epe(target, print_of(printed), cfg);
+  EXPECT_GT(res.violations, 0);
+  // Left/right edges violated; displacement is negative (pullback).
+  bool saw_negative = false;
+  for (const auto& s : res.samples)
+    if (s.displacement_nm < 0) saw_negative = true;
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(Epe, UniformBloatDetectedAsPositive) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());
+  printed.add({176, 76, 304, 424});  // 24nm bloat per side
+  EpeConfig cfg;
+  cfg.threshold_nm = 15;
+  const EpeResult res = measure_epe(target, print_of(printed), cfg);
+  EXPECT_GT(res.violations, 0);
+  int positive = 0;
+  for (const auto& s : res.samples) positive += (s.displacement_nm > 0);
+  EXPECT_GT(positive, 0);
+}
+
+TEST(Epe, SmallShiftWithinThresholdPasses) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());
+  printed.add({208, 100, 288, 400});  // 8nm shift right
+  EpeConfig cfg;
+  cfg.threshold_nm = 15;
+  const EpeResult res = measure_epe(target, print_of(printed), cfg);
+  EXPECT_EQ(res.violations, 0);
+  EXPECT_GE(res.worst_nm, 4);
+}
+
+TEST(Epe, MissingPatternCountsAsViolation) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());  // empty print
+  const EpeResult res = measure_epe(target, print_of(printed));
+  EXPECT_EQ(res.violations, static_cast<int>(res.samples.size()));
+}
+
+TEST(Epe, ThresholdKnobChangesViolations) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());
+  printed.add({210, 100, 290, 400});  // 10nm shift
+  EpeConfig strict;
+  strict.threshold_nm = 5;
+  EpeConfig loose;
+  loose.threshold_nm = 25;
+  EXPECT_GT(measure_epe(target, print_of(printed), strict).violations, 0);
+  EXPECT_EQ(measure_epe(target, print_of(printed), loose).violations, 0);
+}
+
+TEST(Epe, SampleCountScalesWithStep) {
+  const auto target = target_wire();
+  EpeConfig fine;
+  fine.sample_step_nm = 20;
+  EpeConfig coarse;
+  coarse.sample_step_nm = 100;
+  const auto wafer = print_of(target);
+  EXPECT_GT(measure_epe(target, wafer, fine).samples.size(),
+            measure_epe(target, wafer, coarse).samples.size());
+}
+
+TEST(Epe, MeanAbsReflectsBias) {
+  const auto target = target_wire();
+  geom::Layout printed(target.clip());
+  printed.add({190, 90, 290, 410});  // uniform 10nm bloat
+  const EpeResult res = measure_epe(target, print_of(printed));
+  EXPECT_GT(res.mean_abs_nm, 5.0);
+  EXPECT_LT(res.mean_abs_nm, 15.0);
+}
+
+}  // namespace
+}  // namespace ganopc::metrics

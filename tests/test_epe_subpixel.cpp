@@ -1,0 +1,89 @@
+// Sub-pixel EPE: accuracy of the aerial-interpolated contour probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/raster.hpp"
+#include "litho/lithosim.hpp"
+#include "metrics/epe.hpp"
+
+namespace ganopc::metrics {
+namespace {
+
+litho::LithoSim make_sim() {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 12;
+  return litho::LithoSim(optics, litho::ResistConfig{}, 128, 16);
+}
+
+TEST(SubpixelEpe, SyntheticRampCrossesExactly) {
+  // Falling ramp I = 1 - x/1000: the pattern (bright side) is on the left,
+  // as for a right edge with outward normal +x. Threshold 0.5 crosses at
+  // x = 500; a drawn edge at x = 480 must read +20nm (contour outside).
+  geom::Grid aerial(32, 32, 16);
+  for (std::int32_t r = 0; r < 32; ++r)
+    for (std::int32_t c = 0; c < 32; ++c)
+      aerial.at(r, c) = 1.0f - static_cast<float>((c + 0.5) * 16.0 / 1000.0);
+  bool found = false;
+  const double d =
+      probe_edge_displacement_subpixel(aerial, 0.5f, 480, 256, +1, 0, 100, found);
+  EXPECT_TRUE(found);
+  EXPECT_NEAR(d, 20.0, 1.0);
+}
+
+TEST(SubpixelEpe, NegativeDisplacementOnPullback) {
+  geom::Grid aerial(32, 32, 16);
+  for (std::int32_t r = 0; r < 32; ++r)
+    for (std::int32_t c = 0; c < 32; ++c)
+      aerial.at(r, c) = static_cast<float>((c + 0.5) * 16.0 / 1000.0);
+  // Drawn edge at x = 540: intensity there is > 0.5 only beyond x=500...
+  // at 540 the ramp gives 0.54 >= 0.5, so walk outward? For a right edge
+  // (+1 normal) the pattern is the high-intensity side; flip: use a falling
+  // ramp so the pattern is on the left.
+  for (std::int32_t r = 0; r < 32; ++r)
+    for (std::int32_t c = 0; c < 32; ++c)
+      aerial.at(r, c) = 1.0f - static_cast<float>((c + 0.5) * 16.0 / 1000.0);
+  // Falling ramp crosses 0.5 at x = 500; drawn right edge at 540 -> the
+  // contour is 40nm inside -> displacement ~ -40.
+  bool found = false;
+  const double d =
+      probe_edge_displacement_subpixel(aerial, 0.5f, 540, 256, +1, 0, 100, found);
+  EXPECT_TRUE(found);
+  EXPECT_NEAR(d, -40.0, 1.0);
+}
+
+TEST(SubpixelEpe, NotFoundBeyondSearchRange) {
+  geom::Grid aerial(32, 32, 16);  // uniformly dark
+  bool found = true;
+  probe_edge_displacement_subpixel(aerial, 0.5f, 256, 256, +1, 0, 50, found);
+  EXPECT_FALSE(found);
+}
+
+TEST(SubpixelEpe, BeatsPixelProbeOnRealPrint) {
+  // For a large printed rectangle the calibrated threshold puts contours at
+  // the drawn edges; sub-pixel EPE must read near zero while the binary
+  // probe is stuck at the half-pixel floor.
+  const litho::LithoSim sim = make_sim();
+  geom::Layout clip(geom::Rect{0, 0, 2048, 2048});
+  clip.add({512, 512, 1536, 1536});
+  const geom::Grid target = geom::rasterize(clip, 16, /*threshold=*/true);
+  const geom::Grid aerial = sim.aerial(target);
+
+  const EpeResult sub = measure_epe_aerial(clip, aerial, sim.threshold());
+  const EpeResult pix = measure_epe(clip, sim.print(aerial));
+  EXPECT_LT(sub.mean_abs_nm, pix.mean_abs_nm + 1.0);
+  EXPECT_LT(sub.mean_abs_nm, 8.0);  // below the half-pixel floor
+}
+
+TEST(SubpixelEpe, ViolationCountsConsistent) {
+  // An empty print violates every control point in both probes.
+  const litho::LithoSim sim = make_sim();
+  geom::Layout clip(geom::Rect{0, 0, 2048, 2048});
+  clip.add({512, 512, 1536, 1536});
+  geom::Grid dark(128, 128, 16);
+  const EpeResult sub = measure_epe_aerial(clip, dark, sim.threshold());
+  EXPECT_EQ(sub.violations, static_cast<int>(sub.samples.size()));
+}
+
+}  // namespace
+}  // namespace ganopc::metrics

@@ -1,0 +1,83 @@
+// Integration: the Figure 6 inference flow against the ILT baseline.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/dataset.hpp"
+#include "core/discriminator.hpp"
+#include "core/flow.hpp"
+#include "core/trainer.hpp"
+#include "layout/synthesizer.hpp"
+
+namespace ganopc::core {
+namespace {
+
+GanOpcConfig flow_config() {
+  GanOpcConfig cfg = make_config(ReproScale::Quick);
+  cfg.library_size = 4;
+  cfg.batch_size = 2;
+  cfg.ilt.max_iterations = 30;
+  cfg.ilt.check_every = 5;
+  return cfg;
+}
+
+TEST(FlowIntegration, IltOnlyFlowProducesValidResult) {
+  const GanOpcConfig cfg = flow_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const GanOpcFlow flow(cfg, nullptr, sim);
+
+  layout::SynthesisConfig synth;
+  synth.clip_nm = cfg.clip_nm;
+  Prng rng(11);
+  const auto clip = layout::synthesize_clip(synth, rng);
+  const FlowResult result = flow.run_ilt_only(clip);
+
+  EXPECT_EQ(result.mask.rows, cfg.litho_grid);
+  EXPECT_GT(result.ilt_iterations, 0);
+  EXPECT_GT(result.l2_px, 0.0);
+  EXPECT_DOUBLE_EQ(result.l2_nm2,
+                   result.l2_px * cfg.litho_pixel_nm() * cfg.litho_pixel_nm());
+  // The optimized mask must beat the uncorrected target-as-mask print.
+  const FlowResult uncorrected = flow.evaluate_mask(result.target, result.target);
+  EXPECT_LT(result.l2_px, uncorrected.l2_px);
+}
+
+TEST(FlowIntegration, GanFlowRunsAndRefines) {
+  const GanOpcConfig cfg = flow_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const Dataset dataset = Dataset::generate(cfg, sim);
+  Prng rng(12);
+  Generator g(cfg.gan_grid, cfg.base_channels, rng);
+  Discriminator d(cfg.gan_grid, cfg.base_channels, rng);
+  Prng train_rng(13);
+  GanOpcTrainer trainer(cfg, g, d, dataset, sim, train_rng);
+  trainer.train(10);  // brief training; flow must still work end-to-end
+
+  const GanOpcFlow flow(cfg, &g, sim);
+  layout::SynthesisConfig synth;
+  synth.clip_nm = cfg.clip_nm;
+  Prng clip_rng(14);
+  const auto clip = layout::synthesize_clip(synth, clip_rng);
+  const FlowResult result = flow.run(clip);
+  EXPECT_GE(result.generator_seconds, 0.0);
+  EXPECT_GT(result.ilt_seconds, 0.0);
+  EXPECT_GT(result.pvb_nm2, 0);
+  for (float v : result.mask.data) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(FlowIntegration, FlowWithoutGeneratorRejectsRun) {
+  const GanOpcConfig cfg = flow_config();
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  const GanOpcFlow flow(cfg, nullptr, sim);
+  layout::SynthesisConfig synth;
+  synth.clip_nm = cfg.clip_nm;
+  Prng rng(15);
+  const auto clip = layout::synthesize_clip(synth, rng);
+  EXPECT_THROW(flow.run(clip), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::core

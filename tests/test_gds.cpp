@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "gds/gds.hpp"
+#include "layout/synthesizer.hpp"
+
+namespace ganopc::gds {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Gds, WriteReadRoundTrip) {
+  geom::Layout layout(geom::Rect{0, 0, 2048, 2048});
+  layout.add({100, 200, 180, 900});
+  layout.add({320, 200, 400, 640});
+  const Library lib = layout_to_gds(layout, "CLIP", 7);
+
+  const auto path = temp_path("ganopc_test.gds");
+  write_gds(path, lib);
+  const Library back = read_gds(path);
+
+  EXPECT_EQ(back.name, "GANOPC");
+  ASSERT_EQ(back.structures.size(), 1u);
+  EXPECT_EQ(back.structures[0].name, "CLIP");
+  ASSERT_EQ(back.structures[0].boundaries.size(), 2u);
+  EXPECT_EQ(back.structures[0].boundaries[0].layer, 7);
+  EXPECT_NEAR(back.user_units_per_dbu, 1e-3, 1e-12);
+  EXPECT_NEAR(back.meters_per_dbu, 1e-9, 1e-18);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, LayoutRoundTripPreservesGeometry) {
+  geom::Layout layout(geom::Rect{0, 0, 2048, 2048});
+  layout.add({100, 200, 180, 900});
+  layout.add({320, 200, 400, 640});
+  layout.add({500, 100, 620, 180});
+
+  const auto path = temp_path("ganopc_test2.gds");
+  write_gds(path, layout_to_gds(layout, "CLIP"));
+  const geom::Layout back = gds_to_layout(read_gds(path), layout.clip());
+
+  EXPECT_EQ(back.union_area(), layout.union_area());
+  for (const auto& r : layout.rects()) {
+    EXPECT_TRUE(back.covers(r.x0, r.y0));
+    EXPECT_TRUE(back.covers(r.x1 - 1, r.y1 - 1));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Gds, SynthesizedClipSurvivesRoundTrip) {
+  layout::SynthesisConfig cfg;
+  Prng rng(99);
+  const geom::Layout clip = layout::synthesize_clip(cfg, rng);
+  const auto path = temp_path("ganopc_test3.gds");
+  write_gds(path, layout_to_gds(clip, "SYNTH"));
+  const geom::Layout back = gds_to_layout(read_gds(path), clip.clip());
+  EXPECT_EQ(back.union_area(), clip.union_area());
+  std::remove(path.c_str());
+}
+
+TEST(Gds, LShapedBoundaryDecomposes) {
+  Library lib;
+  Structure s;
+  s.name = "L";
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon(
+      {{0, 0}, {200, 0}, {200, 100}, {100, 100}, {100, 200}, {0, 200}});
+  s.boundaries.push_back(b);
+  lib.structures.push_back(s);
+
+  const auto path = temp_path("ganopc_test4.gds");
+  write_gds(path, lib);
+  const geom::Layout back = gds_to_layout(read_gds(path), geom::Rect{0, 0, 512, 512});
+  EXPECT_EQ(back.union_area(), 200 * 100 + 100 * 100);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, LayerFilterApplies) {
+  geom::Layout layout(geom::Rect{0, 0, 512, 512});
+  layout.add({0, 0, 100, 100});
+  Library lib = layout_to_gds(layout, "CLIP", 5);
+  const auto path = temp_path("ganopc_test5.gds");
+  write_gds(path, lib);
+  const Library back = read_gds(path);
+  const geom::Layout wrong_layer = gds_to_layout(back, layout.clip(), "", 1);
+  EXPECT_TRUE(wrong_layer.empty());
+  const geom::Layout right_layer = gds_to_layout(back, layout.clip(), "", 5);
+  EXPECT_EQ(right_layer.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, StructureSelectionByName) {
+  Library lib;
+  for (const char* name : {"A", "B"}) {
+    Structure s;
+    s.name = name;
+    Boundary b;
+    b.layer = 1;
+    b.polygon = geom::Polygon::from_rect({0, 0, 10 + (name[0] - 'A') * 10, 10});
+    s.boundaries.push_back(b);
+    lib.structures.push_back(s);
+  }
+  const auto path = temp_path("ganopc_test6.gds");
+  write_gds(path, lib);
+  const Library back = read_gds(path);
+  EXPECT_EQ(gds_to_layout(back, {0, 0, 64, 64}, "A").union_area(), 100);
+  EXPECT_EQ(gds_to_layout(back, {0, 0, 64, 64}, "B").union_area(), 200);
+  EXPECT_THROW(gds_to_layout(back, {0, 0, 64, 64}, "C"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, SrefFlattening) {
+  // A leaf cell with one square, placed twice by the top cell.
+  Library lib;
+  Structure leaf;
+  leaf.name = "LEAF";
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect({0, 0, 100, 100});
+  leaf.boundaries.push_back(b);
+  Structure top;
+  top.name = "TOP";
+  top.srefs.push_back({"LEAF", 200, 0});
+  top.srefs.push_back({"LEAF", 0, 300});
+  lib.structures.push_back(top);
+  lib.structures.push_back(leaf);
+
+  const auto path = temp_path("ganopc_sref.gds");
+  write_gds(path, lib);
+  const geom::Layout flat =
+      gds_to_layout(read_gds(path), geom::Rect{0, 0, 1024, 1024}, "TOP");
+  EXPECT_EQ(flat.union_area(), 2 * 100 * 100);
+  EXPECT_TRUE(flat.covers(250, 50));
+  EXPECT_TRUE(flat.covers(50, 350));
+  EXPECT_FALSE(flat.covers(50, 50));
+  std::remove(path.c_str());
+}
+
+TEST(Gds, NestedSrefsAccumulateOffsets) {
+  Library lib;
+  Structure leaf;
+  leaf.name = "LEAF";
+  Boundary b;
+  b.layer = 1;
+  b.polygon = geom::Polygon::from_rect({0, 0, 10, 10});
+  leaf.boundaries.push_back(b);
+  Structure mid;
+  mid.name = "MID";
+  mid.srefs.push_back({"LEAF", 100, 0});
+  Structure top;
+  top.name = "TOP";
+  top.srefs.push_back({"MID", 0, 200});
+  lib.structures.push_back(top);
+  lib.structures.push_back(mid);
+  lib.structures.push_back(leaf);
+
+  const auto path = temp_path("ganopc_sref2.gds");
+  write_gds(path, lib);
+  const geom::Layout flat =
+      gds_to_layout(read_gds(path), geom::Rect{0, 0, 512, 512}, "TOP");
+  EXPECT_TRUE(flat.covers(105, 205));
+  EXPECT_EQ(flat.union_area(), 100);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, SrefCycleRejected) {
+  Library lib;
+  Structure a;
+  a.name = "A";
+  a.srefs.push_back({"B", 0, 0});
+  Structure bb;
+  bb.name = "B";
+  bb.srefs.push_back({"A", 0, 0});
+  lib.structures.push_back(a);
+  lib.structures.push_back(bb);
+  EXPECT_THROW(gds_to_layout(lib, geom::Rect{0, 0, 100, 100}, "A"), Error);
+}
+
+TEST(Gds, MissingSrefChildRejected) {
+  Library lib;
+  Structure top;
+  top.name = "TOP";
+  top.srefs.push_back({"GHOST", 0, 0});
+  lib.structures.push_back(top);
+  EXPECT_THROW(gds_to_layout(lib, geom::Rect{0, 0, 100, 100}, "TOP"), Error);
+}
+
+TEST(Gds, RejectsGarbageFile) {
+  const auto path = temp_path("ganopc_garbage.gds");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not gds";
+  }
+  EXPECT_THROW(read_gds(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, Real8RoundTripThroughUnits) {
+  Library lib;
+  lib.user_units_per_dbu = 2.5e-4;
+  lib.meters_per_dbu = 2.5e-10;
+  Structure s;
+  s.name = "X";
+  Boundary b;
+  b.polygon = geom::Polygon::from_rect({0, 0, 8, 8});
+  s.boundaries.push_back(b);
+  lib.structures.push_back(s);
+  const auto path = temp_path("ganopc_test7.gds");
+  write_gds(path, lib);
+  const Library back = read_gds(path);
+  EXPECT_NEAR(back.user_units_per_dbu, 2.5e-4, 1e-12);
+  EXPECT_NEAR(back.meters_per_dbu, 2.5e-10, 1e-18);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ganopc::gds

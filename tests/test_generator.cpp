@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/generator.hpp"
+#include "nn/serialize.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ganopc::core {
+namespace {
+
+TEST(Generator, OutputShapeMatchesInput) {
+  Prng rng(1);
+  Generator g(32, 4, rng);
+  nn::Tensor x({2, 1, 32, 32});
+  const nn::Tensor y = g.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Generator, OutputInUnitInterval) {
+  Prng rng(2);
+  Generator g(32, 4, rng);
+  nn::Tensor x({1, 1, 32, 32});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0, 1));
+  const nn::Tensor y = g.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GT(y[i], 0.0f);
+    EXPECT_LT(y[i], 1.0f);
+  }
+}
+
+TEST(Generator, RejectsWrongSize) {
+  Prng rng(3);
+  Generator g(32, 4, rng);
+  nn::Tensor x({1, 1, 16, 16});
+  EXPECT_THROW(g.forward(x), Error);
+  EXPECT_THROW(Generator(30, 4, rng), Error);  // not divisible by 8
+}
+
+TEST(Generator, DeterministicInit) {
+  Prng rng1(7), rng2(7);
+  Generator a(32, 4, rng1), b(32, 4, rng2);
+  auto pa = a.parameters(), pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i].value->numel(); ++j)
+      EXPECT_EQ((*pa[i].value)[j], (*pb[i].value)[j]);
+}
+
+TEST(Generator, InferMatchesGridRoundTrip) {
+  Prng rng(4);
+  Generator g(32, 4, rng);
+  geom::Grid target(32, 32, 64);
+  for (std::int32_t r = 8; r < 24; ++r)
+    for (std::int32_t c = 12; c < 20; ++c) target.at(r, c) = 1.0f;
+  const geom::Grid mask = g.infer(target);
+  EXPECT_EQ(mask.rows, 32);
+  EXPECT_EQ(mask.pixel_nm, 64);
+  for (float v : mask.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Generator, CanOverfitSingleExample) {
+  // The auto-encoder must be able to memorize one target->mask pair; this
+  // exercises the full encoder/decoder backward path.
+  Prng rng(5);
+  Generator g(16, 4, rng);
+  nn::Tensor x({1, 1, 16, 16}), ref({1, 1, 16, 16});
+  for (std::int64_t h = 0; h < 16; ++h) x.at4(0, 0, h, 7) = 1.0f;
+  for (std::int64_t h = 0; h < 16; ++h) {
+    ref.at4(0, 0, h, 6) = 0.6f;
+    ref.at4(0, 0, h, 7) = 1.0f;
+    ref.at4(0, 0, h, 8) = 0.6f;
+  }
+  nn::Adam opt(g.parameters(), 5e-3f);
+  float loss = 1.0f;
+  for (int it = 0; it < 300; ++it) {
+    const nn::Tensor y = g.forward(x);
+    nn::Tensor grad;
+    loss = nn::mse_loss(y, ref, grad);
+    g.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 0.01f);
+}
+
+TEST(TensorChannels, ConcatAndSplitRoundTrip) {
+  Prng rng(20);
+  nn::Tensor a({2, 3, 4, 4}), b({2, 2, 4, 4});
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    a[i] = static_cast<float>(rng.uniform(-1, 1));
+  for (std::int64_t i = 0; i < b.numel(); ++i)
+    b[i] = static_cast<float>(rng.uniform(-1, 1));
+  const nn::Tensor cat = nn::concat_channels(a, b);
+  EXPECT_EQ(cat.shape(), (std::vector<std::int64_t>{2, 5, 4, 4}));
+  nn::Tensor a2, b2;
+  nn::split_channels(cat, 3, a2, b2);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a2[i], a[i]);
+  for (std::int64_t i = 0; i < b.numel(); ++i) EXPECT_EQ(b2[i], b[i]);
+}
+
+TEST(TensorChannels, ConcatRejectsMismatch) {
+  nn::Tensor a({1, 2, 4, 4}), b({1, 2, 8, 8});
+  EXPECT_THROW(nn::concat_channels(a, b), Error);
+}
+
+TEST(UNet, OutputShapeAndRange) {
+  Prng rng(21);
+  Generator g(32, 4, rng, GeneratorArch::UNet);
+  nn::Tensor x({2, 1, 32, 32});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0, 1));
+  const nn::Tensor y = g.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y[i], 0.0f);
+    EXPECT_LE(y[i], 1.0f);
+  }
+}
+
+TEST(UNet, GradientsFlowThroughSkips) {
+  // One Adam step on a fixed input must change every parameter block —
+  // including the encoder blocks reached only through skip connections.
+  Prng rng(22);
+  Generator g(16, 4, rng, GeneratorArch::UNet);
+  nn::Tensor x({1, 1, 16, 16}), ref({1, 1, 16, 16});
+  for (std::int64_t h = 0; h < 16; ++h) {
+    x.at4(0, 0, h, 7) = 1.0f;
+    ref.at4(0, 0, h, 7) = 1.0f;
+    ref.at4(0, 0, h, 8) = 0.7f;
+  }
+  const nn::Tensor y = g.forward(x);
+  nn::Tensor grad;
+  nn::mse_loss(y, ref, grad);
+  g.backward(grad);
+  for (auto& p : g.parameters()) {
+    if (p.name.find("gamma") != std::string::npos) continue;  // BN scale can stall
+    EXPECT_GT(p.grad->squared_l2(), 0.0f) << p.name;
+  }
+}
+
+TEST(UNet, CanOverfitSingleExample) {
+  Prng rng(23);
+  Generator g(16, 4, rng, GeneratorArch::UNet);
+  nn::Tensor x({1, 1, 16, 16}), ref({1, 1, 16, 16});
+  for (std::int64_t h = 0; h < 16; ++h) x.at4(0, 0, h, 7) = 1.0f;
+  for (std::int64_t h = 0; h < 16; ++h) {
+    ref.at4(0, 0, h, 6) = 0.6f;
+    ref.at4(0, 0, h, 7) = 1.0f;
+    ref.at4(0, 0, h, 8) = 0.6f;
+  }
+  nn::Adam opt(g.parameters(), 5e-3f);
+  float loss = 1.0f;
+  for (int it = 0; it < 300; ++it) {
+    const nn::Tensor y = g.forward(x);
+    nn::Tensor grad;
+    loss = nn::mse_loss(y, ref, grad);
+    g.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 0.01f);
+}
+
+TEST(UNet, SerializationRoundTrip) {
+  Prng rng1(30), rng2(31);
+  Generator a(16, 4, rng1, GeneratorArch::UNet);
+  Generator b(16, 4, rng2, GeneratorArch::UNet);  // different init
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ganopc_unet.bin").string();
+  nn::save_parameters(a.net(), path);
+  nn::load_parameters(b.net(), path);
+
+  nn::Tensor x({1, 1, 16, 16});
+  for (std::int64_t h = 0; h < 16; ++h) x.at4(0, 0, h, 5) = 1.0f;
+  a.set_training(false);
+  b.set_training(false);
+  const nn::Tensor ya = a.forward(x);
+  const nn::Tensor yb = b.forward(x);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(UNet, CheckpointIncompatibleWithAutoEncoder) {
+  Prng rng(32);
+  Generator unet(16, 4, rng, GeneratorArch::UNet);
+  Generator ae(16, 4, rng, GeneratorArch::AutoEncoder);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ganopc_unet2.bin").string();
+  nn::save_parameters(unet.net(), path);
+  EXPECT_THROW(nn::load_parameters(ae.net(), path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(UNet, ParameterNamesDistinguishBlocks) {
+  Prng rng(24);
+  Generator g(16, 4, rng, GeneratorArch::UNet);
+  bool saw_enc = false, saw_dec = false;
+  for (auto& p : g.parameters()) {
+    saw_enc |= p.name.rfind("enc", 0) == 0;
+    saw_dec |= p.name.rfind("dec", 0) == 0;
+  }
+  EXPECT_TRUE(saw_enc);
+  EXPECT_TRUE(saw_dec);
+}
+
+TEST(GridTensor, RoundTrip) {
+  geom::Grid grid(4, 4, 8, 16, 24);
+  grid.at(1, 2) = 0.5f;
+  const nn::Tensor t = grid_to_tensor(grid);
+  EXPECT_EQ(t.shape(), (std::vector<std::int64_t>{1, 1, 4, 4}));
+  const geom::Grid back = tensor_to_grid(t, grid);
+  EXPECT_EQ(back.pixel_nm, 8);
+  EXPECT_EQ(back.origin_x, 16);
+  EXPECT_FLOAT_EQ(back.at(1, 2), 0.5f);
+}
+
+}  // namespace
+}  // namespace ganopc::core

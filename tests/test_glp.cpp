@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "layout/glp.hpp"
+#include "layout/synthesizer.hpp"
+
+namespace ganopc::layout {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Glp, RoundTrip) {
+  geom::Layout layout(geom::Rect{0, 0, 2048, 2048});
+  layout.add({100, 200, 180, 900});
+  layout.add({320, 200, 400, 640});
+  const auto path = temp_path("ganopc_test.glp");
+  write_glp(path, layout);
+  const geom::Layout back = read_glp(path, layout.clip());
+  ASSERT_EQ(back.size(), layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i)
+    EXPECT_EQ(back.rects()[i], layout.rects()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Glp, ParsesContestStyleFile) {
+  const auto path = temp_path("ganopc_contest.glp");
+  {
+    std::ofstream out(path);
+    out << "BEGIN\n"
+           "EQUIV  1  1000  MICRON  +X,+Y\n"
+           "CNAME t1_0\n"
+           "LEVEL M1\n"
+           "\n"
+           "  CELL t1_0 PRIME\n"
+           "    RECT N M1 512 512 80 600\n"
+           "    PGON N M1 700 512 900 512 900 612 800 612 800 812 700 812\n"
+           "  ENDMSG\n"
+           "END\n";
+  }
+  const geom::Layout layout = read_glp(path, geom::Rect{0, 0, 2048, 2048});
+  // RECT (80 x 600) plus the L-shaped PGON (200x100 + 100x200).
+  EXPECT_EQ(layout.union_area(), 80 * 600 + 200 * 100 + 100 * 200);
+  EXPECT_TRUE(layout.covers(550, 600));   // rect
+  EXPECT_TRUE(layout.covers(750, 700));   // L lower arm
+  EXPECT_FALSE(layout.covers(850, 700));  // L notch
+  std::remove(path.c_str());
+}
+
+TEST(Glp, SynthesizedClipRoundTrips) {
+  SynthesisConfig cfg;
+  Prng rng(5);
+  const geom::Layout clip = synthesize_clip(cfg, rng);
+  const auto path = temp_path("ganopc_synth.glp");
+  write_glp(path, clip, "SYNTH");
+  const geom::Layout back = read_glp(path, clip.clip());
+  EXPECT_EQ(back.union_area(), clip.union_area());
+  std::remove(path.c_str());
+}
+
+TEST(Glp, RejectsNonGlp) {
+  const auto path = temp_path("ganopc_bad.glp");
+  {
+    std::ofstream out(path);
+    out << "hello world\n";
+  }
+  EXPECT_THROW(read_glp(path, geom::Rect{0, 0, 100, 100}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Glp, RejectsMalformedRect) {
+  const auto path = temp_path("ganopc_bad2.glp");
+  {
+    std::ofstream out(path);
+    out << "BEGIN\nRECT N M1 10 10\nEND\n";
+  }
+  EXPECT_THROW(read_glp(path, geom::Rect{0, 0, 100, 100}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Glp, MissingFileThrows) {
+  EXPECT_THROW(read_glp("/nonexistent/x.glp", geom::Rect{0, 0, 10, 10}), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::layout

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "ilt/ilt.hpp"
+
+namespace ganopc::ilt {
+namespace {
+
+litho::LithoSim make_sim(std::int32_t grid = 64, std::int32_t pixel = 32) {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  return litho::LithoSim(optics, litho::ResistConfig{}, grid, pixel);
+}
+
+geom::Grid wire_target(std::int32_t grid, std::int32_t pixel) {
+  geom::Layout l(geom::Rect{0, 0, grid * pixel, grid * pixel});
+  const std::int32_t mid = grid * pixel / 2;
+  l.add({mid - 60, mid - 500, mid + 60, mid + 500});
+  return geom::rasterize(l, pixel, /*threshold=*/true);
+}
+
+TEST(Ilt, ImprovesOverUncorrectedMask) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 80;
+  cfg.check_every = 5;
+  const IltEngine engine(sim, cfg);
+  const IltResult result = engine.optimize(target);
+
+  const double uncorrected = sim.l2_error(target, target);
+  EXPECT_LT(result.l2_px, uncorrected);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_GT(result.runtime_s, 0.0);
+}
+
+TEST(Ilt, HistoryIsRecordedAndBestIsMin) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 60;
+  cfg.check_every = 5;
+  const IltEngine engine(sim, cfg);
+  const IltResult result = engine.optimize(target);
+  ASSERT_GE(result.l2_history.size(), 2u);
+  double min_seen = result.l2_history.front();
+  for (double v : result.l2_history) min_seen = std::min(min_seen, v);
+  EXPECT_DOUBLE_EQ(result.l2_px, min_seen);
+}
+
+TEST(Ilt, MaskIsBinary) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 30;
+  const IltEngine engine(sim, cfg);
+  const IltResult result = engine.optimize(target);
+  for (float v : result.mask.data) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(Ilt, WarmStartConvergesFasterOrEqual) {
+  // The core Table 2 mechanism: initializing from an already-good mask
+  // must not need more iterations than starting from the raw target.
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 200;
+  cfg.check_every = 5;
+  cfg.patience = 4;
+  const IltEngine engine(sim, cfg);
+  const IltResult cold = engine.optimize(target);
+  // Warm start: the cold run's own solution.
+  const IltResult warm = engine.optimize(target, cold.mask_relaxed);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.l2_px, cold.l2_px * 1.1);
+}
+
+TEST(Ilt, TargetL2StopsEarly) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.check_every = 1;
+  cfg.target_l2_px = 1e12;  // absurdly lax: stop at first check
+  const IltEngine engine(sim, cfg);
+  const IltResult result = engine.optimize(target);
+  EXPECT_LE(result.iterations, 1);
+}
+
+TEST(Ilt, GeometryMismatchThrows) {
+  const auto sim = make_sim();
+  geom::Grid small_target(32, 32, 32);
+  const IltEngine engine(sim, IltConfig{});
+  EXPECT_THROW(engine.optimize(small_target), ganopc::Error);
+}
+
+TEST(Ilt, InvalidConfigRejected) {
+  const auto sim = make_sim();
+  IltConfig bad;
+  bad.step_size = -1.0f;
+  EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
+}
+
+TEST(IltSmoothness, GradientMatchesFiniteDifferences) {
+  Prng rng(9);
+  geom::Grid mask(8, 8, 16);
+  for (auto& v : mask.data) v = static_cast<float>(rng.uniform(0, 1));
+  const geom::Grid grad = IltEngine::smoothness_gradient(mask);
+
+  auto energy = [&](const geom::Grid& m) {
+    double e = 0.0;
+    for (std::int32_t r = 0; r < m.rows; ++r)
+      for (std::int32_t c = 0; c < m.cols; ++c) {
+        if (r + 1 < m.rows) e += std::pow(m.at(r, c) - m.at(r + 1, c), 2);
+        if (c + 1 < m.cols) e += std::pow(m.at(r, c) - m.at(r, c + 1), 2);
+      }
+    return e;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < mask.data.size(); i += 7) {
+    geom::Grid mp = mask, mm = mask;
+    mp.data[i] += eps;
+    mm.data[i] -= eps;
+    const double fd = (energy(mp) - energy(mm)) / (2.0 * eps);
+    EXPECT_NEAR(grad.data[i], fd, 1e-2) << i;
+  }
+}
+
+TEST(IltSmoothness, ZeroForConstantMask) {
+  geom::Grid mask(8, 8, 16);
+  for (auto& v : mask.data) v = 0.7f;
+  const geom::Grid grad = IltEngine::smoothness_gradient(mask);
+  for (float v : grad.data) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(IltSmoothness, RegularizationReducesFragmentCount) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig plain;
+  plain.max_iterations = 80;
+  IltConfig reg = plain;
+  reg.smoothness_lambda = 0.5f;
+  const IltResult r_plain = IltEngine(sim, plain).optimize(target);
+  const IltResult r_reg = IltEngine(sim, reg).optimize(target);
+
+  std::int32_t frag_plain = 0, frag_reg = 0;
+  geom::connected_components(r_plain.mask, frag_plain);
+  geom::connected_components(r_reg.mask, frag_reg);
+  EXPECT_LE(frag_reg, frag_plain);
+  // The regularized mask is still at least as good as the uncorrected print
+  // (this easy target prints nearly clean to begin with).
+  EXPECT_LE(r_reg.l2_px, sim.l2_error(target, target));
+}
+
+TEST(IltPvAware, CornerObjectiveRuns) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 40;
+  cfg.dose_corners = {0.98f, 1.0f, 1.02f};
+  const IltEngine engine(sim, cfg);
+  const IltResult result = engine.optimize(target);
+  EXPECT_LE(result.l2_px, sim.l2_error(target, target));
+}
+
+TEST(IltPvAware, PvbNotWorseOnIsolatedWire) {
+  // Averaging the gradient over dose corners should produce a mask whose
+  // dose sensitivity is no worse than the nominal-only mask's.
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig nominal;
+  nominal.max_iterations = 80;
+  IltConfig pv = nominal;
+  pv.dose_corners = {0.96f, 1.0f, 1.04f};
+  const IltResult r_nom = IltEngine(sim, nominal).optimize(target);
+  const IltResult r_pv = IltEngine(sim, pv).optimize(target);
+  EXPECT_LE(sim.pv_band(r_pv.mask).area_nm2,
+            sim.pv_band(r_nom.mask).area_nm2 * 12 / 10);  // within 20%, usually better
+}
+
+TEST(IltPvAware, RejectsEmptyOrInvalidCorners) {
+  const auto sim = make_sim();
+  IltConfig bad;
+  bad.dose_corners = {};
+  EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
+  bad.dose_corners = {1.0f, -0.5f};
+  EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
+}
+
+TEST(Ilt, DeterministicAcrossRuns) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 20;
+  const IltEngine engine(sim, cfg);
+  const IltResult a = engine.optimize(target);
+  const IltResult b = engine.optimize(target);
+  EXPECT_EQ(a.l2_px, b.l2_px);
+  EXPECT_EQ(a.mask.data, b.mask.data);
+}
+
+}  // namespace
+}  // namespace ganopc::ilt

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "nn/im2col.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+TEST(Im2col, OutSizes) {
+  EXPECT_EQ(conv_out_size(8, 3, 1, 1), 8);
+  EXPECT_EQ(conv_out_size(8, 3, 2, 1), 4);
+  EXPECT_EQ(conv_out_size(5, 5, 1, 0), 1);
+  EXPECT_EQ(conv_transpose_out_size(4, 4, 2, 1), 8);
+  EXPECT_EQ(conv_transpose_out_size(1, 5, 1, 0), 5);
+}
+
+TEST(Im2col, TransposeInvertsConvGeometry) {
+  for (std::int64_t in = 4; in <= 32; in *= 2) {
+    const auto out = conv_out_size(in, 3, 2, 1);
+    EXPECT_EQ(conv_transpose_out_size(out, 4, 2, 1), in);
+  }
+}
+
+TEST(Im2col, Identity1x1) {
+  // 1x1 kernel, stride 1, no pad: columns == image.
+  const std::int64_t c = 2, h = 3, w = 4;
+  std::vector<float> img(static_cast<std::size_t>(c * h * w));
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> cols(img.size());
+  im2col(img.data(), c, h, w, 1, 1, 0, cols.data());
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Im2col, KnownPatch3x3) {
+  // Single channel 3x3 image, 3x3 kernel, stride 1, pad 1: center column
+  // (output position (1,1)) must reproduce the whole image.
+  std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(9 * 9);
+  im2col(img.data(), 1, 3, 3, 3, 1, 1, cols.data());
+  // Column for output (1,1) is at plane offset 4 in each of the 9 rows.
+  for (int tap = 0; tap < 9; ++tap)
+    EXPECT_FLOAT_EQ(cols[static_cast<std::size_t>(tap) * 9 + 4], img[static_cast<std::size_t>(tap)]);
+  // Padding: output (0,0), tap (0,0) reads the out-of-bounds corner -> 0.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // conv backward relies on.
+  Prng rng(55);
+  const std::int64_t c = 3, h = 6, w = 5, k = 3, s = 2, p = 1;
+  const auto ho = conv_out_size(h, k, s, p), wo = conv_out_size(w, k, s, p);
+  const std::size_t img_n = static_cast<std::size_t>(c * h * w);
+  const std::size_t col_n = static_cast<std::size_t>(c * k * k * ho * wo);
+  std::vector<float> x(img_n), y(col_n), cols(col_n), img(img_n, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1, 1));
+  im2col(x.data(), c, h, w, k, s, p, cols.data());
+  col2im(y.data(), c, h, w, k, s, p, img.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < img_n; ++i) rhs += static_cast<double>(x[i]) * img[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col, StridedSamplingSkipsPixels) {
+  // 4x4 image, 1x1 kernel, stride 2: picks the 2x2 corners grid.
+  std::vector<float> img(16);
+  for (int i = 0; i < 16; ++i) img[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  std::vector<float> cols(4);
+  im2col(img.data(), 1, 4, 4, 1, 2, 0, cols.data());
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+  EXPECT_FLOAT_EQ(cols[1], 2.0f);
+  EXPECT_FLOAT_EQ(cols[2], 8.0f);
+  EXPECT_FLOAT_EQ(cols[3], 10.0f);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/image_io.hpp"
+
+namespace ganopc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ImageIo, PgmRoundTrip) {
+  GrayImage img;
+  img.width = 7;
+  img.height = 5;
+  img.pixels.resize(35);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i)
+    img.pixels[i] = static_cast<std::uint8_t>(i * 7 % 256);
+  const auto path = temp_path("ganopc_test.pgm");
+  write_pgm(path, img);
+  const GrayImage back = read_pgm(path);
+  EXPECT_EQ(back.width, img.width);
+  EXPECT_EQ(back.height, img.height);
+  EXPECT_EQ(back.pixels, img.pixels);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ToGrayMapsRange) {
+  const float data[4] = {0.0f, 0.5f, 1.0f, 2.0f};
+  const GrayImage img = to_gray(data, 2, 2, 0.0f, 1.0f);
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[1], 128);
+  EXPECT_EQ(img.pixels[2], 255);
+  EXPECT_EQ(img.pixels[3], 255);  // clamped
+}
+
+TEST(ImageIo, ToGrayCustomRange) {
+  const float data[2] = {-1.0f, 1.0f};
+  const GrayImage img = to_gray(data, 2, 1, -1.0f, 1.0f);
+  EXPECT_EQ(img.pixels[0], 0);
+  EXPECT_EQ(img.pixels[1], 255);
+}
+
+TEST(ImageIo, ReadRejectsMissingFile) {
+  EXPECT_THROW(read_pgm("/nonexistent/nope.pgm"), Error);
+}
+
+TEST(ImageIo, WriteRejectsBadSize) {
+  GrayImage img;
+  img.width = 4;
+  img.height = 4;
+  img.pixels.resize(3);  // wrong
+  EXPECT_THROW(write_pgm(temp_path("bad.pgm"), img), Error);
+}
+
+TEST(ImageIo, PpmWrites) {
+  RgbImage img;
+  img.width = 3;
+  img.height = 2;
+  img.pixels.resize(18, 0);
+  img.set(0, 0, 255, 0, 0);
+  img.set(1, 2, 0, 255, 0);
+  const auto path = temp_path("ganopc_test.ppm");
+  write_ppm(path, img);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 18u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "litho/kernels.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+OpticsConfig small_optics(int kernels = 8) {
+  OpticsConfig cfg;
+  cfg.num_kernels = kernels;
+  return cfg;
+}
+
+TEST(Kernels, ConstructsWithValidGeometry) {
+  SocsKernels k(small_optics(), 64, 16);
+  EXPECT_EQ(k.grid_size(), 64);
+  EXPECT_EQ(k.pixel_nm(), 16);
+  EXPECT_EQ(k.count(), 8);
+}
+
+TEST(Kernels, RejectsNonPow2Grid) {
+  EXPECT_THROW(SocsKernels(small_optics(), 100, 16), Error);
+}
+
+TEST(Kernels, RejectsTooCoarsePixels) {
+  // (1 + 0.8) * 1.35/193 = 0.0126 cycles/nm needs pixel < ~39.7nm.
+  EXPECT_THROW(SocsKernels(small_optics(), 64, 64), Error);
+  EXPECT_NO_THROW(SocsKernels(small_optics(), 64, 32));
+}
+
+TEST(Kernels, DcComponentPassesForAllKernels) {
+  // Every source point lies inside the pupil (sigma <= 1), so the shifted
+  // pupil always passes DC — a clear mask must image to nonzero intensity.
+  SocsKernels k(small_optics(24), 64, 16);
+  for (int i = 0; i < k.count(); ++i) {
+    const auto& hat = k.freq_kernel(i);
+    EXPECT_GT(std::abs(hat[0]), 0.9f) << "kernel " << i;
+  }
+}
+
+TEST(Kernels, PupilIsBandlimited) {
+  // Frequencies beyond (1 + sigma_out) * cutoff must be rejected.
+  const OpticsConfig cfg = small_optics(8);
+  SocsKernels k(cfg, 64, 16);
+  const double df = 1.0 / (64.0 * 16.0);
+  const double fmax = (1.0 + cfg.sigma_outer) * cfg.cutoff();
+  for (int i = 0; i < k.count(); ++i) {
+    const auto& hat = k.freq_kernel(i);
+    for (std::int32_t r = 0; r < 64; ++r) {
+      const std::int32_t rr = r <= 32 ? r : r - 64;
+      for (std::int32_t c = 0; c < 64; ++c) {
+        const std::int32_t cc = c <= 32 ? c : c - 64;
+        const double f = std::hypot(rr * df, cc * df);
+        if (f > fmax + df) {
+          EXPECT_EQ(std::abs(hat[static_cast<std::size_t>(r) * 64 + c]), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, WeightsMatchSource) {
+  SocsKernels k(small_optics(12), 64, 16);
+  double sum = 0;
+  for (int i = 0; i < k.count(); ++i) sum += k.weight(i);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Kernels, FlippedKernelIndexing) {
+  SocsKernels k(small_optics(4), 32, 16);
+  for (int i = 0; i < k.count(); ++i) {
+    const auto& hat = k.freq_kernel(i);
+    const auto& flip = k.freq_kernel_flipped(i);
+    for (std::int32_t r = 0; r < 32; ++r)
+      for (std::int32_t c = 0; c < 32; ++c) {
+        const std::int32_t nr = (32 - r) % 32, nc = (32 - c) % 32;
+        EXPECT_EQ(flip[static_cast<std::size_t>(r) * 32 + c],
+                  hat[static_cast<std::size_t>(nr) * 32 + nc]);
+      }
+  }
+}
+
+TEST(Kernels, SpatialKernelEnergyConcentratedAtCenter) {
+  // The PSF of a low-pass pupil must concentrate energy near the center
+  // after fftshift.
+  SocsKernels k(small_optics(4), 128, 16);
+  const auto spatial = k.spatial_kernel(0);
+  double total = 0, central = 0;
+  for (std::int32_t r = 0; r < 128; ++r)
+    for (std::int32_t c = 0; c < 128; ++c) {
+      const double e = std::norm(spatial[static_cast<std::size_t>(r) * 128 + c]);
+      total += e;
+      if (std::abs(r - 64) <= 16 && std::abs(c - 64) <= 16) central += e;
+    }
+  EXPECT_GT(central / total, 0.8);
+}
+
+TEST(Kernels, DefocusAddsPhase) {
+  OpticsConfig focus = small_optics(4);
+  OpticsConfig defocus = focus;
+  defocus.defocus_nm = 50.0;
+  SocsKernels kf(focus, 64, 16), kd(defocus, 64, 16);
+  // Same support, different phases somewhere off-DC.
+  const auto& hf = kf.freq_kernel(0);
+  const auto& hd = kd.freq_kernel(0);
+  bool phase_differs = false;
+  for (std::size_t i = 0; i < hf.size(); ++i) {
+    EXPECT_NEAR(std::abs(hf[i]), std::abs(hd[i]), 1e-5f);
+    if (std::abs(hf[i]) > 0.5f && std::abs(hf[i] - hd[i]) > 1e-3f) phase_differs = true;
+  }
+  EXPECT_TRUE(phase_differs);
+}
+
+}  // namespace
+}  // namespace ganopc::litho

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gradcheck.hpp"
+#include "nn/layers.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+using ganopc::testing::check_layer_gradients;
+using ganopc::testing::random_tensor;
+
+TEST(ReLULayer, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x({4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLULayer, GradCheck) {
+  Prng rng(1);
+  ReLU relu;
+  // Keep inputs away from the kink at 0.
+  Tensor x = random_tensor({2, 3, 4, 4}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.1f) x[i] = 0.5f;
+  check_layer_gradients(relu, x, rng, 1e-3f);
+}
+
+TEST(LeakyReLULayer, ForwardSlope) {
+  LeakyReLU lrelu(0.1f);
+  Tensor x({2}, {-10, 10});
+  Tensor y = lrelu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(LeakyReLULayer, GradCheck) {
+  Prng rng(2);
+  LeakyReLU lrelu(0.2f);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.1f) x[i] = -0.5f;
+  check_layer_gradients(lrelu, x, rng, 1e-3f);
+}
+
+TEST(SigmoidLayer, ForwardValues) {
+  Sigmoid sig;
+  Tensor x({3}, {0, 100, -100});
+  Tensor y = sig.forward(x);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(SigmoidLayer, GradCheck) {
+  Prng rng(3);
+  Sigmoid sig;
+  check_layer_gradients(sig, random_tensor({2, 1, 3, 3}, rng), rng);
+}
+
+TEST(TanhLayer, GradCheck) {
+  Prng rng(4);
+  Tanh t;
+  check_layer_gradients(t, random_tensor({1, 2, 3, 3}, rng), rng);
+}
+
+TEST(AvgPoolLayer, ForwardAverages) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPoolLayer, RejectsIndivisible) {
+  AvgPool2d pool(3);
+  Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(pool.forward(x), Error);
+}
+
+TEST(AvgPoolLayer, GradCheck) {
+  Prng rng(5);
+  AvgPool2d pool(2);
+  check_layer_gradients(pool, random_tensor({2, 2, 4, 4}, rng), rng);
+}
+
+TEST(MaxPoolLayer, ForwardPicksMax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 7, 3, 4});
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+}
+
+TEST(MaxPoolLayer, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1, 7, 3, 4});
+  pool.forward(x);
+  Tensor g({1, 1, 1, 1}, {5.0f});
+  Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 5.0f);
+  EXPECT_FLOAT_EQ(gi[2], 0.0f);
+}
+
+TEST(MaxPoolLayer, GradCheck) {
+  Prng rng(15);
+  MaxPool2d pool(2);
+  // Ties break gradient checking; use well-separated random values.
+  Tensor x({2, 2, 4, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i % 7) + 0.1f * static_cast<float>(rng.uniform(0, 1));
+  check_layer_gradients(pool, x, rng);
+}
+
+TEST(MaxPoolLayer, RejectsIndivisible) {
+  MaxPool2d pool(3);
+  Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(pool.forward(x), Error);
+}
+
+TEST(DropoutLayer, EvalIsIdentity) {
+  Dropout drop(0.5f, 1);
+  drop.set_training(false);
+  Prng rng(16);
+  Tensor x = random_tensor({2, 8}, rng);
+  const Tensor y = drop.forward(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutLayer, TrainingZeroesApproxFraction) {
+  Dropout drop(0.3f, 2);
+  Tensor x({1, 10000});
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) zeros += (y[i] == 0.0f);
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Kept activations carry the inverted scale.
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    if (y[i] != 0.0f) {
+      EXPECT_NEAR(y[i], 1.0f / 0.7f, 1e-5f);
+    }
+}
+
+TEST(DropoutLayer, ExpectationPreserved) {
+  Dropout drop(0.5f, 3);
+  Tensor x({1, 20000});
+  x.fill(2.0f);
+  const Tensor y = drop.forward(x);
+  EXPECT_NEAR(y.mean(), 2.0f, 0.1f);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Dropout drop(0.5f, 4);
+  Tensor x({1, 64});
+  x.fill(1.0f);
+  const Tensor y = drop.forward(x);
+  Tensor g({1, 64});
+  g.fill(1.0f);
+  const Tensor gi = drop.backward(g);
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(gi[i], y[i]);
+}
+
+TEST(DropoutLayer, RejectsBadProbability) {
+  EXPECT_THROW(Dropout(1.0f, 1), Error);
+  EXPECT_THROW(Dropout(-0.1f, 1), Error);
+}
+
+TEST(LinearLayer, ForwardShape) {
+  Prng rng(6);
+  Linear lin(8, 3);
+  for (auto& p : lin.parameters())
+    for (std::int64_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] = static_cast<float>(rng.uniform(-1, 1));
+  Tensor x = random_tensor({5, 8}, rng);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(0), 5);
+  EXPECT_EQ(y.shape(1), 3);
+}
+
+TEST(LinearLayer, KnownValues) {
+  Linear lin(2, 1);
+  lin.weight()[0] = 2.0f;
+  lin.weight()[1] = 3.0f;
+  lin.bias()[0] = 1.0f;
+  Tensor x({1, 2}, {4, 5});
+  EXPECT_FLOAT_EQ(lin.forward(x)[0], 2 * 4 + 3 * 5 + 1);
+}
+
+TEST(LinearLayer, GradCheck) {
+  Prng rng(7);
+  Linear lin(6, 4);
+  for (auto& p : lin.parameters())
+    for (std::int64_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+  check_layer_gradients(lin, random_tensor({3, 6}, rng), rng);
+}
+
+TEST(FlattenLayer, RoundTrip) {
+  Flatten fl;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = fl.forward(x);
+  EXPECT_EQ(y.shape(0), 2);
+  EXPECT_EQ(y.shape(1), 60);
+  Tensor back = fl.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(SequentialLayer, ComposesAndBackprops) {
+  Prng rng(8);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8);
+  seq.emplace<Tanh>();
+  seq.emplace<Linear>(8, 2);
+  for (auto& p : seq.parameters())
+    for (std::int64_t i = 0; i < p.value->numel(); ++i)
+      (*p.value)[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+  check_layer_gradients(seq, random_tensor({2, 4}, rng), rng);
+}
+
+TEST(SequentialLayer, ParameterNamesArePrefixed) {
+  Sequential seq;
+  seq.emplace<Linear>(2, 2);
+  seq.emplace<Linear>(2, 2);
+  const auto params = seq.parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "0.weight");
+  EXPECT_EQ(params[2].name, "1.weight");
+}
+
+TEST(SequentialLayer, ZeroGradClearsAll) {
+  Sequential seq;
+  seq.emplace<Linear>(3, 3);
+  auto params = seq.parameters();
+  (*params[0].grad)[0] = 5.0f;
+  seq.zero_grad();
+  EXPECT_EQ((*params[0].grad)[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "geometry/layout.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+TEST(LayoutClass, AddAndQuery) {
+  Layout l(Rect{0, 0, 100, 100});
+  l.add(Rect{10, 10, 30, 90});
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_TRUE(l.covers(15, 50));
+  EXPECT_FALSE(l.covers(50, 50));
+}
+
+TEST(LayoutClass, RejectsDegenerateRect) {
+  Layout l(Rect{0, 0, 100, 100});
+  EXPECT_THROW(l.add(Rect{10, 10, 10, 20}), Error);
+}
+
+TEST(LayoutClass, UnionAreaDisjoint) {
+  Layout l(Rect{0, 0, 100, 100});
+  l.add(Rect{0, 0, 10, 10});
+  l.add(Rect{20, 20, 30, 40});
+  EXPECT_EQ(l.union_area(), 100 + 200);
+}
+
+TEST(LayoutClass, UnionAreaCountsOverlapOnce) {
+  Layout l(Rect{0, 0, 100, 100});
+  l.add(Rect{0, 0, 20, 20});
+  l.add(Rect{10, 10, 30, 30});
+  EXPECT_EQ(l.union_area(), 400 + 400 - 100);
+}
+
+TEST(LayoutClass, UnionAreaNestedAndIdentical) {
+  Layout l(Rect{0, 0, 100, 100});
+  l.add(Rect{0, 0, 50, 50});
+  l.add(Rect{10, 10, 20, 20});   // nested
+  l.add(Rect{0, 0, 50, 50});     // duplicate
+  EXPECT_EQ(l.union_area(), 2500);
+}
+
+TEST(LayoutClass, BBox) {
+  Layout l(Rect{0, 0, 100, 100});
+  EXPECT_TRUE(l.bbox().empty());
+  l.add(Rect{10, 20, 30, 40});
+  l.add(Rect{50, 5, 60, 90});
+  EXPECT_EQ(l.bbox(), (Rect{10, 5, 60, 90}));
+}
+
+TEST(LayoutClass, Translate) {
+  Layout l(Rect{0, 0, 100, 100});
+  l.add(Rect{10, 10, 20, 20});
+  l.translate(5, -3);
+  EXPECT_EQ(l.clip(), (Rect{5, -3, 105, 97}));
+  EXPECT_EQ(l.rects()[0], (Rect{15, 7, 25, 17}));
+}
+
+TEST(LayoutClass, TextRoundTrip) {
+  Layout l(Rect{0, 0, 2048, 2048});
+  l.add(Rect{100, 200, 180, 900});
+  l.add(Rect{300, 200, 380, 700});
+  const Layout back = Layout::from_text(l.to_text());
+  EXPECT_EQ(back.clip(), l.clip());
+  ASSERT_EQ(back.size(), l.size());
+  for (std::size_t i = 0; i < l.size(); ++i) EXPECT_EQ(back.rects()[i], l.rects()[i]);
+}
+
+TEST(LayoutClass, FileRoundTrip) {
+  Layout l(Rect{0, 0, 512, 512});
+  l.add(Rect{8, 8, 96, 400});
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ganopc_layout.txt").string();
+  l.save(path);
+  const Layout back = Layout::load(path);
+  EXPECT_EQ(back.rects()[0], l.rects()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(LayoutClass, FromTextRejectsMalformed) {
+  EXPECT_THROW(Layout::from_text("rect 1 2 3"), Error);
+  EXPECT_THROW(Layout::from_text("bogus 1 2 3 4"), Error);
+  EXPECT_THROW(Layout::from_text("rect 1 2 3 4"), Error);  // missing clip
+}
+
+}  // namespace
+}  // namespace ganopc::geom

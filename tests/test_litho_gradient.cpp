@@ -1,0 +1,99 @@
+// Validation of the Eq. (14) gradient: finite differences and descent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "litho/lithosim.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+LithoSim small_sim() {
+  OpticsConfig optics;
+  optics.num_kernels = 6;
+  return LithoSim(optics, ResistConfig{}, 32, 32);
+}
+
+geom::Grid center_block(std::int32_t grid, std::int32_t pixel) {
+  geom::Grid g(grid, grid, pixel);
+  for (std::int32_t r = grid / 4; r < 3 * grid / 4; ++r)
+    for (std::int32_t c = grid * 3 / 8; c < grid * 5 / 8; ++c) g.at(r, c) = 1.0f;
+  return g;
+}
+
+TEST(LithoGradient, MatchesFiniteDifferences) {
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  // A smooth mask strictly inside (0, 1) so the sigmoid resist is sensitive.
+  geom::Grid mask = target;
+  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
+
+  const geom::Grid grad = sim.gradient(mask, target);
+  Prng rng(3);
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (int trial = 0; trial < 200 && checked < 25; ++trial) {
+    const auto idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(mask.data.size()) - 1));
+    // Only probe pixels with non-negligible analytic gradient (elsewhere the
+    // FD signal drowns in float noise).
+    if (std::fabs(grad.data[idx]) < 1e-3f) continue;
+    geom::Grid mp = mask, mm = mask;
+    mp.data[idx] += eps;
+    mm.data[idx] -= eps;
+    const double ep = sim.forward_relaxed(mp, target).error;
+    const double em = sim.forward_relaxed(mm, target).error;
+    const double fd = (ep - em) / (2.0 * eps);
+    EXPECT_NEAR(grad.data[idx], fd,
+                5e-2 * std::max({std::fabs(fd), std::fabs(grad.data[idx] * 1.0)}))
+        << "pixel " << idx;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10) << "not enough pixels with significant gradient";
+}
+
+TEST(LithoGradient, DescentStepReducesError) {
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  geom::Grid mask = target;
+  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
+
+  const double e0 = sim.forward_relaxed(mask, target).error;
+  const geom::Grid grad = sim.gradient(mask, target);
+  float max_abs = 0.0f;
+  for (float v : grad.data) max_abs = std::max(max_abs, std::fabs(v));
+  ASSERT_GT(max_abs, 0.0f);
+  geom::Grid stepped = mask;
+  const float lr = 0.05f / max_abs;
+  for (std::size_t i = 0; i < mask.data.size(); ++i) {
+    stepped.data[i] = std::clamp(mask.data[i] - lr * grad.data[i], 0.0f, 1.0f);
+  }
+  const double e1 = sim.forward_relaxed(stepped, target).error;
+  EXPECT_LT(e1, e0);
+}
+
+TEST(LithoGradient, ZeroWhereWaferMatchesTargetExactly) {
+  // If Z == Z_t everywhere (error 0), the gradient must vanish.
+  const LithoSim sim = small_sim();
+  geom::Grid mask(32, 32, 32);
+  for (auto& v : mask.data) v = 1.0f;  // open frame
+  geom::Grid target(32, 32, 32);
+  const auto fwd = sim.forward_relaxed(mask, target);
+  // Z_relaxed saturates to ~1 (open frame, I >> threshold); set the target
+  // to that wafer so the residual is identically zero.
+  const geom::Grid grad = sim.gradient(mask, fwd.wafer_relaxed);
+  for (float v : grad.data) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(LithoGradient, GradientGeometryMatchesMask) {
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  const geom::Grid grad = sim.gradient(target, target);
+  EXPECT_EQ(grad.rows, 32);
+  EXPECT_EQ(grad.cols, 32);
+  EXPECT_EQ(grad.pixel_nm, 32);
+}
+
+}  // namespace
+}  // namespace ganopc::litho

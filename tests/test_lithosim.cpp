@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "litho/lithosim.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+LithoSim make_sim(std::int32_t grid = 128, std::int32_t pixel = 16, int kernels = 12) {
+  OpticsConfig optics;
+  optics.num_kernels = kernels;
+  return LithoSim(optics, ResistConfig{}, grid, pixel);
+}
+
+geom::Grid blank(std::int32_t grid, std::int32_t pixel, float value = 0.0f) {
+  geom::Grid g(grid, grid, pixel);
+  for (auto& v : g.data) v = value;
+  return g;
+}
+
+// A centered vertical wire of the given width (nm).
+geom::Grid wire_mask(std::int32_t grid, std::int32_t pixel, std::int32_t width_nm,
+                     std::int32_t length_nm) {
+  geom::Grid g(grid, grid, pixel);
+  const std::int32_t c0 = grid / 2 - width_nm / (2 * pixel);
+  const std::int32_t c1 = grid / 2 + width_nm / (2 * pixel);
+  const std::int32_t r0 = grid / 2 - length_nm / (2 * pixel);
+  const std::int32_t r1 = grid / 2 + length_nm / (2 * pixel);
+  for (std::int32_t r = r0; r < r1; ++r)
+    for (std::int32_t c = c0; c < c1; ++c) g.at(r, c) = 1.0f;
+  return g;
+}
+
+TEST(LithoSim, OpenFrameIntensityIsOne) {
+  const LithoSim sim = make_sim();
+  const geom::Grid aerial = sim.aerial(blank(128, 16, 1.0f));
+  for (float v : aerial.data) EXPECT_NEAR(v, 1.0f, 1e-3f);
+}
+
+TEST(LithoSim, DarkMaskImagesDark) {
+  const LithoSim sim = make_sim();
+  const geom::Grid aerial = sim.aerial(blank(128, 16, 0.0f));
+  for (float v : aerial.data) EXPECT_NEAR(v, 0.0f, 1e-5f);
+}
+
+TEST(LithoSim, CalibratedThresholdReasonable) {
+  const LithoSim sim = make_sim();
+  // A large-feature edge sits at 20-40% of the open-frame intensity for
+  // partially coherent imaging.
+  EXPECT_GT(sim.threshold(), 0.1f);
+  EXPECT_LT(sim.threshold(), 0.5f);
+}
+
+TEST(LithoSim, LargeFeaturePrintsNearDrawnSize) {
+  const LithoSim sim = make_sim();
+  const geom::Grid mask = wire_mask(128, 16, 512, 1024);
+  const geom::Grid wafer = sim.simulate(mask);
+  const auto mask_px = geom::on_count(mask);
+  const auto wafer_px = geom::on_count(wafer);
+  EXPECT_NEAR(static_cast<double>(wafer_px), static_cast<double>(mask_px),
+              0.15 * static_cast<double>(mask_px));
+}
+
+TEST(LithoSim, NarrowWirePrintsNarrowerOrNot) {
+  // An 80nm isolated wire suffers proximity effects: its print deviates
+  // from the drawn pattern much more (relatively) than a wide feature's.
+  const LithoSim sim = make_sim();
+  const geom::Grid narrow = wire_mask(128, 16, 96, 1024);
+  const geom::Grid wide = wire_mask(128, 16, 512, 1024);
+  const double narrow_err = geom::xor_count(sim.simulate(narrow), narrow) /
+                            static_cast<double>(geom::on_count(narrow));
+  const double wide_err = geom::xor_count(sim.simulate(wide), wide) /
+                          static_cast<double>(geom::on_count(wide));
+  EXPECT_GT(narrow_err, wide_err);
+}
+
+TEST(LithoSim, DoseMonotonicity) {
+  // Higher dose exposes a superset of pixels.
+  const LithoSim sim = make_sim();
+  const geom::Grid mask = wire_mask(128, 16, 256, 1024);
+  const geom::Grid aerial = sim.aerial(mask);
+  const geom::Grid lo = sim.print(aerial, 0.98f);
+  const geom::Grid nom = sim.print(aerial, 1.0f);
+  const geom::Grid hi = sim.print(aerial, 1.02f);
+  for (std::size_t i = 0; i < nom.data.size(); ++i) {
+    EXPECT_LE(lo.data[i], nom.data[i]);
+    EXPECT_LE(nom.data[i], hi.data[i]);
+  }
+}
+
+TEST(LithoSim, PvBandPositiveForPattern) {
+  const LithoSim sim = make_sim();
+  const auto band = sim.pv_band(wire_mask(128, 16, 256, 1024));
+  EXPECT_GT(band.area_nm2, 0);
+  // Band area is a thin contour ring, far below the pattern area.
+  EXPECT_LT(band.area_nm2, 256 * 1024);
+}
+
+TEST(LithoSim, PvBandZeroForEmptyMask) {
+  const LithoSim sim = make_sim();
+  EXPECT_EQ(sim.pv_band(blank(128, 16)).area_nm2, 0);
+}
+
+TEST(LithoSim, RelaxedWaferBracketsHardPrint) {
+  const LithoSim sim = make_sim();
+  const geom::Grid mask = wire_mask(128, 16, 256, 1024);
+  const geom::Grid aerial = sim.aerial(mask);
+  const geom::Grid hard = sim.print(aerial);
+  const geom::Grid soft = sim.relaxed_wafer(aerial);
+  for (std::size_t i = 0; i < hard.data.size(); ++i) {
+    // The sigmoid may saturate to exactly 0/1 in float, but never escapes
+    // [0, 1], and it must agree with the hard print about the 0.5 side.
+    EXPECT_GE(soft.data[i], 0.0f);
+    EXPECT_LE(soft.data[i], 1.0f);
+    EXPECT_EQ(hard.data[i] >= 0.5f, soft.data[i] >= 0.5f);
+  }
+}
+
+TEST(LithoSim, ForwardRelaxedErrorConsistent) {
+  const LithoSim sim = make_sim();
+  const geom::Grid mask = wire_mask(128, 16, 256, 1024);
+  const auto fwd = sim.forward_relaxed(mask, mask);
+  double manual = 0.0;
+  for (std::size_t i = 0; i < mask.data.size(); ++i) {
+    const double d = static_cast<double>(fwd.wafer_relaxed.data[i]) - mask.data[i];
+    manual += d * d;
+  }
+  EXPECT_NEAR(fwd.error, manual, 1e-6 * std::max(1.0, manual));
+}
+
+TEST(LithoSim, GeometryMismatchThrows) {
+  const LithoSim sim = make_sim();
+  geom::Grid wrong(64, 64, 16);
+  EXPECT_THROW(sim.aerial(wrong), Error);
+}
+
+TEST(LithoSim, L2ErrorZeroOnlyIfPerfect) {
+  const LithoSim sim = make_sim();
+  const geom::Grid mask = wire_mask(128, 16, 512, 1024);
+  const geom::Grid wafer = sim.simulate(mask);
+  EXPECT_DOUBLE_EQ(sim.l2_error(mask, wafer), 0.0);
+  EXPECT_GT(sim.l2_error(mask, mask), 0.0);  // print != drawn for real optics
+}
+
+TEST(LithoSim, FixedThresholdRespected) {
+  OpticsConfig optics;
+  optics.num_kernels = 8;
+  ResistConfig resist;
+  resist.threshold = 0.3f;
+  const LithoSim sim(optics, resist, 64, 16);
+  EXPECT_FLOAT_EQ(sim.threshold(), 0.3f);
+}
+
+}  // namespace
+}  // namespace ganopc::litho

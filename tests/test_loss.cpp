@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gradcheck.hpp"
+#include "nn/loss.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+using ganopc::testing::random_tensor;
+
+TEST(Loss, MseValueAndGrad) {
+  Tensor pred({2}, {1, 3}), target({2}, {0, 1});
+  Tensor grad;
+  const float loss = mse_loss(pred, target, grad);
+  EXPECT_FLOAT_EQ(loss, (1 + 4) / 2.0f);
+  EXPECT_FLOAT_EQ(grad[0], 2.0f * 1 / 2);
+  EXPECT_FLOAT_EQ(grad[1], 2.0f * 2 / 2);
+}
+
+TEST(Loss, SseMatchesDefinition1) {
+  Tensor pred({3}, {1, 0, 1}), target({3}, {0, 0, 1});
+  Tensor grad;
+  EXPECT_FLOAT_EQ(sse_loss(pred, target, grad), 1.0f);
+  EXPECT_FLOAT_EQ(grad[0], 2.0f);
+  EXPECT_FLOAT_EQ(grad[2], 0.0f);
+}
+
+TEST(Loss, MseZeroAtPerfectPrediction) {
+  Prng rng(1);
+  Tensor pred = random_tensor({4, 4}, rng);
+  Tensor grad;
+  EXPECT_FLOAT_EQ(mse_loss(pred, pred, grad), 0.0f);
+  for (std::int64_t i = 0; i < grad.numel(); ++i) EXPECT_FLOAT_EQ(grad[i], 0.0f);
+}
+
+TEST(Loss, BceMatchesManual) {
+  Tensor logits({2}, {0.0f, 2.0f}), target({2}, {1.0f, 0.0f});
+  Tensor grad;
+  const float loss = bce_with_logits_loss(logits, target, grad);
+  const float expected =
+      (-std::log(0.5f) + (-std::log(1.0f - 1.0f / (1.0f + std::exp(-2.0f))))) / 2.0f;
+  EXPECT_NEAR(loss, expected, 1e-5f);
+}
+
+TEST(Loss, BceGradientNumeric) {
+  Prng rng(2);
+  Tensor logits = random_tensor({5}, rng);
+  Tensor target({5}, {1, 0, 1, 1, 0});
+  Tensor grad;
+  bce_with_logits_loss(logits, target, grad);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits, unused;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (bce_with_logits_loss(lp, target, unused) -
+                       bce_with_logits_loss(lm, target, unused)) /
+                      (2 * eps);
+    EXPECT_NEAR(grad[i], num, 1e-3f);
+  }
+}
+
+TEST(Loss, BceStableAtExtremeLogits) {
+  Tensor logits({2}, {1000.0f, -1000.0f}), target({2}, {1.0f, 0.0f});
+  Tensor grad;
+  const float loss = bce_with_logits_loss(logits, target, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+  EXPECT_TRUE(std::isfinite(grad[0]));
+}
+
+TEST(Loss, GeneratorAdvLossPushesLogitsUp) {
+  Tensor logits({1}, {0.0f});
+  Tensor grad;
+  const float loss = generator_adv_loss(logits, grad);
+  EXPECT_NEAR(loss, -std::log(0.5f), 1e-5f);
+  EXPECT_LT(grad[0], 0.0f);  // descending this gradient raises the logit
+}
+
+TEST(Loss, GeneratorAdvLossNumericGrad) {
+  Prng rng(3);
+  Tensor logits = random_tensor({6}, rng);
+  Tensor grad;
+  generator_adv_loss(logits, grad);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits, unused;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num =
+        (generator_adv_loss(lp, unused) - generator_adv_loss(lm, unused)) / (2 * eps);
+    EXPECT_NEAR(grad[i], num, 1e-3f);
+  }
+}
+
+TEST(Loss, ShapesMustMatch) {
+  Tensor a({2}), b({3}), grad;
+  EXPECT_THROW(mse_loss(a, b, grad), Error);
+  EXPECT_THROW(bce_with_logits_loss(a, b, grad), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "mbopc/mbopc.hpp"
+
+namespace ganopc::mbopc {
+namespace {
+
+litho::LithoSim make_sim() {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  return litho::LithoSim(optics, litho::ResistConfig{}, 128, 16);
+}
+
+// Finer simulator for the correction-loop tests: at 16nm pixels the EPE
+// probe resolution equals the tolerance and the loop converges immediately.
+litho::LithoSim make_fine_sim() {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  return litho::LithoSim(optics, litho::ResistConfig{}, 256, 8);
+}
+
+geom::Layout wire_clip() {
+  // Minimum-CD wires: narrow enough to suffer real proximity error, so the
+  // correction loop has work to do at 16nm pixels.
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  l.add({800, 400, 880, 1600});
+  l.add({1020, 400, 1100, 1200});
+  return l;
+}
+
+TEST(MbOpcFragment, CoversEveryEdge) {
+  geom::Layout l(geom::Rect{0, 0, 512, 512});
+  l.add({100, 100, 200, 400});  // 100 wide, 300 tall
+  const auto segs = MbOpcEngine::fragment(l, 120);
+  // Horizontal edges (100nm) -> 1 piece each; vertical (300nm) -> 3 each.
+  EXPECT_EQ(segs.size(), 2u * 1 + 2u * 3);
+  for (const auto& s : segs) {
+    EXPECT_EQ(std::abs(s.nx) + std::abs(s.ny), 1);
+    EXPECT_TRUE(s.x0 <= s.x1 && s.y0 <= s.y1);
+  }
+}
+
+TEST(MbOpcFragment, SegmentsTileTheEdgeExactly) {
+  geom::Layout l(geom::Rect{0, 0, 512, 512});
+  l.add({50, 60, 450, 160});
+  const auto segs = MbOpcEngine::fragment(l, 100);
+  // Top-edge segments must tile [50, 450) without gaps or overlaps.
+  std::vector<std::pair<std::int32_t, std::int32_t>> top;
+  for (const auto& s : segs)
+    if (s.ny == -1) top.emplace_back(s.x0, s.x1);
+  std::sort(top.begin(), top.end());
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top.front().first, 50);
+  EXPECT_EQ(top.back().second, 450);
+  for (std::size_t i = 1; i < top.size(); ++i) EXPECT_EQ(top[i].first, top[i - 1].second);
+}
+
+TEST(MbOpcRender, ZeroOffsetsReproduceTarget) {
+  const auto sim = make_sim();
+  const MbOpcEngine engine(sim, MbOpcConfig{});
+  const auto clip = wire_clip();
+  const auto segs = MbOpcEngine::fragment(clip, 120);
+  const geom::Grid mask = engine.render(clip, segs);
+  const geom::Grid target = geom::rasterize(clip, 16, /*threshold=*/true);
+  EXPECT_EQ(geom::xor_count(mask, target), 0);
+}
+
+TEST(MbOpcRender, PositiveOffsetGrowsMask) {
+  const auto sim = make_sim();
+  const MbOpcEngine engine(sim, MbOpcConfig{});
+  const auto clip = wire_clip();
+  auto segs = MbOpcEngine::fragment(clip, 1 << 30);  // one segment per edge
+  for (auto& s : segs)
+    if (s.nx == 1 && s.rect_index == 0) s.offset_nm = 32;
+  const geom::Grid grown = engine.render(clip, segs);
+  const geom::Grid base = geom::rasterize(clip, 16, /*threshold=*/true);
+  EXPECT_GT(geom::on_count(grown), geom::on_count(base));
+  // Growth happens exactly right of rect 0's right edge.
+  EXPECT_GE(grown.at(50, 900 / 16), 0.5f);
+}
+
+TEST(MbOpcRender, NegativeOffsetShrinksWithinOwnRect) {
+  const auto sim = make_sim();
+  const MbOpcEngine engine(sim, MbOpcConfig{});
+  const auto clip = wire_clip();
+  auto segs = MbOpcEngine::fragment(clip, 1 << 30);
+  for (auto& s : segs)
+    if (s.ny == -1 && s.rect_index == 0) s.offset_nm = -48;  // pull top edge down
+  const geom::Grid shrunk = engine.render(clip, segs);
+  const geom::Grid base = geom::rasterize(clip, 16, /*threshold=*/true);
+  EXPECT_LT(geom::on_count(shrunk), geom::on_count(base));
+  // Rect 1 untouched.
+  EXPECT_GE(shrunk.at(500 / 16, 1060 / 16), 0.5f);
+}
+
+TEST(MbOpc, ReducesL2VersusUncorrected) {
+  const auto sim = make_fine_sim();
+  MbOpcConfig cfg;
+  cfg.max_iterations = 8;
+  cfg.epe_tol_nm = 6;
+  const MbOpcEngine engine(sim, cfg);
+  const auto clip = wire_clip();
+  const geom::Grid target = geom::rasterize(clip, 8, /*threshold=*/true);
+  const double uncorrected = sim.l2_error(target, target);
+  const MbOpcResult result = engine.optimize(clip);
+  EXPECT_LT(result.l2_px, uncorrected);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_FALSE(result.mean_abs_epe_history.empty());
+}
+
+TEST(MbOpc, EpeHistoryTrendsDown) {
+  const auto sim = make_fine_sim();
+  MbOpcConfig cfg;
+  cfg.max_iterations = 10;
+  cfg.epe_tol_nm = 6;
+  const MbOpcEngine engine(sim, cfg);
+  const MbOpcResult result = engine.optimize(wire_clip());
+  ASSERT_GE(result.mean_abs_epe_history.size(), 2u);
+  EXPECT_LE(result.mean_abs_epe_history.back(),
+            result.mean_abs_epe_history.front());
+}
+
+TEST(MbOpc, OffsetsRespectClamp) {
+  const auto sim = make_sim();
+  MbOpcConfig cfg;
+  cfg.max_iterations = 10;
+  cfg.max_move_nm = 32;
+  const MbOpcEngine engine(sim, cfg);
+  const MbOpcResult result = engine.optimize(wire_clip());
+  for (const auto& s : result.segments) {
+    EXPECT_LE(std::abs(s.offset_nm), 32);
+  }
+}
+
+TEST(MbOpc, ConvergedFlagConsistent) {
+  const auto sim = make_sim();
+  MbOpcConfig cfg;
+  cfg.max_iterations = 15;
+  cfg.epe_tol_nm = 10;
+  const MbOpcEngine engine(sim, cfg);
+  const MbOpcResult result = engine.optimize(wire_clip());
+  if (result.converged) {
+    EXPECT_LE(result.max_epe_nm, cfg.epe_tol_nm);
+  }
+}
+
+TEST(MbOpc, InvalidConfigRejected) {
+  const auto sim = make_sim();
+  MbOpcConfig bad;
+  bad.gain = 0.0f;
+  EXPECT_THROW(MbOpcEngine(sim, bad), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::mbopc

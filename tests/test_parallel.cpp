@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ganopc {
+namespace {
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); },
+               /*serial_threshold=*/1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ForHandlesEmptyRange) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ForRespectsOffset) {
+  std::vector<std::atomic<int>> hits(20);
+  parallel_for(10, 20, [&](std::size_t i) { hits[i].fetch_add(1); },
+               /*serial_threshold=*/1);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), 0);
+  for (std::size_t i = 10; i < 20; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ChunksCoverRangeExactly) {
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(0, n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  }, /*serial_threshold=*/1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExceptionsPropagate) {
+  EXPECT_THROW(
+      parallel_for(0, 1000, [](std::size_t i) {
+        if (i == 500) throw Error("boom");
+      }, /*serial_threshold=*/1),
+      Error);
+}
+
+TEST(Parallel, PoolSurvivesException) {
+  try {
+    parallel_for(0, 1000, [](std::size_t) { throw Error("boom"); },
+                 /*serial_threshold=*/1);
+  } catch (const Error&) {
+  }
+  // The pool must still process new work afterwards.
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); },
+               /*serial_threshold=*/1);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, NestedCallsRunSerially) {
+  // A nested parallel_for inside a worker must not deadlock.
+  std::atomic<int> total{0};
+  parallel_for(0, 16, [&](std::size_t) {
+    parallel_for(0, 100, [&](std::size_t) { total.fetch_add(1); },
+                 /*serial_threshold=*/1);
+  }, /*serial_threshold=*/1);
+  EXPECT_EQ(total.load(), 1600);
+}
+
+TEST(Parallel, DeterministicBlockPartition) {
+  // parallel_blocks must hand out contiguous, ordered, non-overlapping
+  // blocks covering [0, n).
+  auto& pool = ThreadPool::instance();
+  std::vector<std::pair<std::size_t, std::size_t>> blocks(pool.size());
+  pool.parallel_blocks(1000, [&](std::size_t b, std::size_t begin, std::size_t end) {
+    blocks[b] = {begin, end};
+  });
+  std::size_t covered = 0;
+  for (const auto& [b, e] : blocks)
+    if (e > b) covered += e - b;
+  EXPECT_EQ(covered, 1000u);
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "geometry/polygon.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+std::int64_t total_area(const std::vector<Rect>& rects) {
+  return std::accumulate(rects.begin(), rects.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Rect& r) { return acc + r.area(); });
+}
+
+bool disjoint(const std::vector<Rect>& rects) {
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      if (rects[i].intersects(rects[j])) return false;
+  return true;
+}
+
+TEST(Polygon, FromRectRoundTrip) {
+  const Rect r{10, 20, 110, 220};
+  const Polygon p = Polygon::from_rect(r);
+  EXPECT_TRUE(p.is_rectilinear());
+  EXPECT_EQ(p.signed_area(), r.area());
+  const auto rects = p.decompose();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], r);
+}
+
+TEST(Polygon, RectilinearDetection) {
+  EXPECT_TRUE(Polygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}}).is_rectilinear());
+  EXPECT_FALSE(Polygon({{0, 0}, {10, 5}, {10, 10}, {0, 10}}).is_rectilinear());  // diagonal
+  EXPECT_FALSE(Polygon({{0, 0}, {10, 0}, {10, 10}}).is_rectilinear());  // triangle-ish
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  const Polygon ccw({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_EQ(ccw.signed_area(), 100);
+  EXPECT_EQ(cw.signed_area(), -100);
+}
+
+TEST(Polygon, BBox) {
+  const Polygon p({{5, 7}, {20, 7}, {20, 30}, {5, 30}});
+  EXPECT_EQ(p.bbox(), (Rect{5, 7, 20, 30}));
+}
+
+TEST(Polygon, DecomposeLShape) {
+  // L-shape: 20x20 square missing its 10x10 top-right quadrant.
+  const Polygon p({{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}});
+  ASSERT_TRUE(p.is_rectilinear());
+  const auto rects = p.decompose();
+  EXPECT_EQ(total_area(rects), 300);
+  EXPECT_TRUE(disjoint(rects));
+  EXPECT_LE(rects.size(), 2u);  // slab merging keeps it minimal here
+}
+
+TEST(Polygon, DecomposeLShapeClockwise) {
+  const Polygon p({{0, 0}, {0, 20}, {10, 20}, {10, 10}, {20, 10}, {20, 0}});
+  const auto rects = p.decompose();
+  EXPECT_EQ(total_area(rects), 300);
+  EXPECT_TRUE(disjoint(rects));
+}
+
+TEST(Polygon, DecomposeUShape) {
+  // U: 30 wide, 20 tall, 10-wide notch from the top.
+  const Polygon p({{0, 0}, {30, 0}, {30, 20}, {20, 20}, {20, 5}, {10, 5}, {10, 20}, {0, 20}});
+  const auto rects = p.decompose();
+  EXPECT_EQ(total_area(rects), 30 * 20 - 10 * 15);
+  EXPECT_TRUE(disjoint(rects));
+}
+
+TEST(Polygon, DecomposePlusShape) {
+  const Polygon p({{10, 0}, {20, 0}, {20, 10}, {30, 10}, {30, 20}, {20, 20},
+                   {20, 30}, {10, 30}, {10, 20}, {0, 20}, {0, 10}, {10, 10}});
+  const auto rects = p.decompose();
+  EXPECT_EQ(total_area(rects), 10 * 30 + 2 * 10 * 10);
+  EXPECT_TRUE(disjoint(rects));
+}
+
+TEST(Polygon, DecomposeCoversEveryInteriorPoint) {
+  // Spot-check point coverage for the U-shape.
+  const Polygon p({{0, 0}, {30, 0}, {30, 20}, {20, 20}, {20, 5}, {10, 5}, {10, 20}, {0, 20}});
+  const auto rects = p.decompose();
+  auto covered = [&](std::int32_t x, std::int32_t y) {
+    return std::any_of(rects.begin(), rects.end(),
+                       [&](const Rect& r) { return r.contains(x, y); });
+  };
+  EXPECT_TRUE(covered(5, 10));    // left arm
+  EXPECT_TRUE(covered(25, 10));   // right arm
+  EXPECT_TRUE(covered(15, 2));    // base
+  EXPECT_FALSE(covered(15, 10));  // the notch
+}
+
+TEST(Polygon, DecomposeRejectsNonRectilinear) {
+  const Polygon p({{0, 0}, {10, 5}, {10, 10}, {0, 10}});
+  EXPECT_THROW(p.decompose(), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::geom

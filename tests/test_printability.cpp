@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "geometry/raster.hpp"
+#include "metrics/printability.hpp"
+
+namespace ganopc::metrics {
+namespace {
+
+TEST(Printability, ReportFieldsPopulated) {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  const litho::LithoSim sim(optics, litho::ResistConfig{}, 128, 16);
+
+  geom::Layout target(geom::Rect{0, 0, 2048, 2048});
+  target.add({800, 400, 1000, 1600});  // a wide wire prints decently
+  const geom::Grid target_grid = geom::rasterize(target, 16, /*threshold=*/true);
+
+  const auto report = evaluate_printability(sim, target_grid, target, target_grid);
+  EXPECT_GT(report.l2_px, 0.0);  // no OPC: print differs from target
+  EXPECT_DOUBLE_EQ(report.l2_nm2, report.l2_px * 256.0);
+  EXPECT_GT(report.pvb_nm2, 0);
+  EXPECT_EQ(report.break_defects, 0);
+  EXPECT_EQ(report.bridge_defects, 0);
+}
+
+TEST(Printability, StrMentionsAllMetrics) {
+  PrintabilityReport r;
+  const auto s = r.str();
+  EXPECT_NE(s.find("L2"), std::string::npos);
+  EXPECT_NE(s.find("PVB"), std::string::npos);
+  EXPECT_NE(s.find("bridge"), std::string::npos);
+}
+
+TEST(Printability, EmptyMaskScoresWorseThanTargetMask) {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  const litho::LithoSim sim(optics, litho::ResistConfig{}, 128, 16);
+
+  geom::Layout target(geom::Rect{0, 0, 2048, 2048});
+  target.add({800, 400, 1000, 1600});
+  const geom::Grid target_grid = geom::rasterize(target, 16, /*threshold=*/true);
+  geom::Grid empty_mask(128, 128, 16);
+
+  const auto with_mask = evaluate_printability(sim, target_grid, target, target_grid);
+  const auto without = evaluate_printability(sim, empty_mask, target, target_grid);
+  EXPECT_GT(without.l2_px, with_mask.l2_px);
+  EXPECT_GT(without.break_defects, 0);  // nothing printed
+}
+
+}  // namespace
+}  // namespace ganopc::metrics

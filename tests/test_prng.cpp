@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace ganopc {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, UniformRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformMeanNearHalf) {
+  Prng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Prng, RandintInclusiveBounds) {
+  Prng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.randint(-2, 5);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, RandintDegenerateRange) {
+  Prng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.randint(4, 4), 4);
+}
+
+TEST(Prng, RandintRejectsInvertedRange) {
+  Prng rng(3);
+  EXPECT_THROW(rng.randint(5, 4), Error);
+}
+
+TEST(Prng, NormalMoments) {
+  Prng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Prng, NormalScaled) {
+  Prng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  Prng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  Prng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Prng, SplitStreamsAreIndependentlySeeded) {
+  Prng parent(19);
+  Prng child1 = parent.split();
+  Prng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child1() == child2());
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace ganopc

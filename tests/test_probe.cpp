@@ -1,0 +1,86 @@
+// Unit tests for the shared contour probe used by EPE measurement and the
+// model-based OPC feedback loop.
+#include <gtest/gtest.h>
+
+#include "metrics/epe.hpp"
+
+namespace ganopc::metrics {
+namespace {
+
+// A wafer with a filled rectangle [c0, c1) x [r0, r1) in pixels.
+geom::Grid block_wafer(std::int32_t n, std::int32_t px, std::int32_t r0, std::int32_t r1,
+                       std::int32_t c0, std::int32_t c1) {
+  geom::Grid g(n, n, px);
+  for (std::int32_t r = r0; r < r1; ++r)
+    for (std::int32_t c = c0; c < c1; ++c) g.at(r, c) = 1.0f;
+  return g;
+}
+
+TEST(Probe, ContourExactlyAtEdgeReadsSmall) {
+  // Pattern pixels 10..19 in x (4nm px): right edge at x=80.
+  const geom::Grid wafer = block_wafer(64, 4, 10, 30, 10, 20);
+  bool found = false;
+  const auto d = probe_edge_displacement(wafer, 80, 60, +1, 0, 40, found);
+  EXPECT_TRUE(found);
+  EXPECT_LE(std::abs(d), 4);  // within half a pixel
+}
+
+TEST(Probe, OutwardBulgeIsPositive) {
+  // Print extends 3 pixels (12nm) beyond the "drawn" edge at x=80.
+  const geom::Grid wafer = block_wafer(64, 4, 10, 30, 10, 23);
+  bool found = false;
+  const auto d = probe_edge_displacement(wafer, 80, 60, +1, 0, 40, found);
+  EXPECT_TRUE(found);
+  EXPECT_GT(d, 4);
+  EXPECT_LE(d, 16);
+}
+
+TEST(Probe, PullbackIsNegative) {
+  // Print stops 3 pixels short of the drawn edge at x=80.
+  const geom::Grid wafer = block_wafer(64, 4, 10, 30, 10, 17);
+  bool found = false;
+  const auto d = probe_edge_displacement(wafer, 80, 60, +1, 0, 40, found);
+  EXPECT_TRUE(found);
+  EXPECT_LT(d, -4);
+  EXPECT_GE(d, -16);
+}
+
+TEST(Probe, NotFoundWhenNothingPrints) {
+  const geom::Grid wafer = block_wafer(64, 4, 0, 0, 0, 0);  // empty
+  bool found = true;
+  probe_edge_displacement(wafer, 80, 60, +1, 0, 20, found);
+  EXPECT_FALSE(found);
+}
+
+TEST(Probe, AllFourNormalsWork) {
+  // 40nm-px-wide block centered; probe each edge outward.
+  const geom::Grid wafer = block_wafer(64, 4, 20, 40, 20, 40);
+  struct Case {
+    std::int32_t x, y, nx, ny;
+  };
+  const Case cases[] = {
+      {80, 120, -1, 0},   // left edge at x=80
+      {160, 120, +1, 0},  // right edge at x=160
+      {120, 80, 0, -1},   // top edge at y=80
+      {120, 160, 0, +1},  // bottom edge at y=160
+  };
+  for (const auto& c : cases) {
+    bool found = false;
+    const auto d = probe_edge_displacement(wafer, c.x, c.y, c.nx, c.ny, 40, found);
+    EXPECT_TRUE(found) << c.nx << "," << c.ny;
+    EXPECT_LE(std::abs(d), 4) << c.nx << "," << c.ny;
+  }
+}
+
+TEST(Probe, OutOfGridReadsAsBackground) {
+  const geom::Grid wafer = block_wafer(16, 4, 0, 16, 0, 16);  // fully printed
+  bool found = false;
+  // Right edge of the grid: walking outward leaves the grid -> contour at
+  // the boundary.
+  const auto d = probe_edge_displacement(wafer, 64, 32, +1, 0, 40, found);
+  EXPECT_TRUE(found);
+  EXPECT_LE(std::abs(d), 4);
+}
+
+}  // namespace
+}  // namespace ganopc::metrics

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geometry/raster.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+TEST(Raster, ExactPixelAlignment) {
+  Layout l(Rect{0, 0, 32, 32});
+  l.add(Rect{8, 8, 16, 24});
+  const Grid g = rasterize(l, 8);
+  EXPECT_EQ(g.rows, 4);
+  EXPECT_EQ(g.cols, 4);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 2), 0.0f);
+}
+
+TEST(Raster, SubPixelCoverageFractions) {
+  Layout l(Rect{0, 0, 16, 16});
+  l.add(Rect{0, 0, 4, 8});  // covers half of pixel (0,0) in x, fully in y
+  const Grid g = rasterize(l, 8);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 0.0f);
+}
+
+TEST(Raster, ThresholdBinarizes) {
+  Layout l(Rect{0, 0, 16, 16});
+  l.add(Rect{0, 0, 5, 8});  // 5/8 coverage -> 1 after threshold
+  l.add(Rect{8, 0, 11, 8}); // 3/8 coverage -> 0
+  const Grid g = rasterize(l, 8, /*threshold=*/true);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(0, 1), 0.0f);
+}
+
+TEST(Raster, AreaConservation) {
+  Layout l(Rect{0, 0, 256, 256});
+  l.add(Rect{13, 27, 97, 203});
+  const Grid g = rasterize(l, 8);
+  double raster_area = 0.0;
+  for (float v : g.data) raster_area += static_cast<double>(v) * 64.0;
+  EXPECT_NEAR(raster_area, static_cast<double>(l.union_area()), 1e-3);
+}
+
+TEST(Raster, RejectsIndivisibleClip) {
+  Layout l(Rect{0, 0, 30, 30});
+  l.add(Rect{0, 0, 10, 10});
+  EXPECT_THROW(rasterize(l, 8), Error);
+}
+
+TEST(Raster, ClipsOutOfWindowGeometry) {
+  Layout l(Rect{0, 0, 16, 16});
+  l.add(Rect{-8, -8, 8, 8});  // half outside
+  const Grid g = rasterize(l, 8);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 0.0f);
+}
+
+TEST(Raster, VectorizeRoundTripSimple) {
+  Layout l(Rect{0, 0, 64, 64});
+  l.add(Rect{8, 8, 24, 56});
+  l.add(Rect{40, 16, 56, 32});
+  const Grid g = rasterize(l, 8, /*threshold=*/true);
+  const Layout back = vectorize(g);
+  EXPECT_EQ(back.union_area(), l.union_area());
+  // Every original pattern point must be covered by the vectorized layout.
+  EXPECT_TRUE(back.covers(10, 10));
+  EXPECT_TRUE(back.covers(45, 20));
+  EXPECT_FALSE(back.covers(0, 0));
+}
+
+TEST(Raster, VectorizeMergesVerticalRuns) {
+  // A solid tall rect should come back as ONE rect, not one per row.
+  Layout l(Rect{0, 0, 32, 32});
+  l.add(Rect{8, 0, 16, 32});
+  const Grid g = rasterize(l, 8, /*threshold=*/true);
+  const Layout back = vectorize(g);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.rects()[0], (Rect{8, 0, 16, 32}));
+}
+
+}  // namespace
+}  // namespace ganopc::geom

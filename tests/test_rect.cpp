@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "geometry/rect.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+TEST(Rect, BasicAccessors) {
+  Rect r{10, 20, 110, 50};
+  EXPECT_EQ(r.width(), 100);
+  EXPECT_EQ(r.height(), 30);
+  EXPECT_EQ(r.area(), 3000);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, EmptyDetection) {
+  EXPECT_TRUE((Rect{0, 0, 0, 10}).empty());
+  EXPECT_TRUE((Rect{5, 5, 4, 10}).empty());
+  EXPECT_TRUE(Rect{}.empty());
+}
+
+TEST(Rect, ContainsHalfOpen) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(0, 0));
+  EXPECT_TRUE(r.contains(9, 9));
+  EXPECT_FALSE(r.contains(10, 5));
+  EXPECT_FALSE(r.contains(5, 10));
+  EXPECT_FALSE(r.contains(-1, 5));
+}
+
+TEST(Rect, Intersects) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.intersects(Rect{5, 5, 15, 15}));
+  EXPECT_FALSE(a.intersects(Rect{10, 0, 20, 10}));  // touching edges don't overlap
+  EXPECT_FALSE(a.intersects(Rect{20, 20, 30, 30}));
+}
+
+TEST(Rect, Intersection) {
+  Rect a{0, 0, 10, 10}, b{5, 5, 15, 15};
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i, (Rect{5, 5, 10, 10}));
+  EXPECT_TRUE(a.intersection(Rect{20, 20, 30, 30}).empty());
+}
+
+TEST(Rect, BoundingUnion) {
+  Rect a{0, 0, 10, 10}, b{20, 5, 30, 25};
+  EXPECT_EQ(a.bounding_union(b), (Rect{0, 0, 30, 25}));
+  EXPECT_EQ(Rect{}.bounding_union(a), a);
+  EXPECT_EQ(a.bounding_union(Rect{}), a);
+}
+
+TEST(Rect, Inflated) {
+  Rect r{10, 10, 20, 20};
+  EXPECT_EQ(r.inflated(5), (Rect{5, 5, 25, 25}));
+  EXPECT_EQ(r.inflated(-3), (Rect{13, 13, 17, 17}));
+}
+
+TEST(Rect, GapToDisjoint) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.gap_to(Rect{15, 0, 25, 10}), 5);   // horizontal gap
+  EXPECT_EQ(a.gap_to(Rect{0, 18, 10, 30}), 8);   // vertical gap
+  EXPECT_EQ(a.gap_to(Rect{13, 14, 20, 20}), 4);  // diagonal: L-inf max(3, 4)
+}
+
+TEST(Rect, GapToTouchingOrOverlapping) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.gap_to(Rect{10, 0, 20, 10}), 0);
+  EXPECT_EQ(a.gap_to(Rect{5, 5, 15, 15}), 0);
+}
+
+}  // namespace
+}  // namespace ganopc::geom

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "geometry/rect_index.hpp"
+
+namespace ganopc::geom {
+namespace {
+
+TEST(RectIndex, EmptySet) {
+  std::vector<Rect> rects;
+  const RectIndex index(rects);
+  EXPECT_TRUE(index.query({0, 0, 1000, 1000}).empty());
+  EXPECT_FALSE(index.any_intersecting({0, 0, 1000, 1000}));
+}
+
+TEST(RectIndex, FindsContainedRect) {
+  std::vector<Rect> rects{{100, 100, 200, 200}};
+  const RectIndex index(rects);
+  const auto hits = index.query({0, 0, 500, 500});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(RectIndex, MissesDisjointRegion) {
+  std::vector<Rect> rects{{100, 100, 200, 200}};
+  const RectIndex index(rects);
+  EXPECT_TRUE(index.query({300, 300, 400, 400}).empty());
+  // Touching is not intersecting (half-open rects).
+  EXPECT_TRUE(index.query({200, 100, 300, 200}).empty());
+}
+
+TEST(RectIndex, RectSpanningManyCells) {
+  std::vector<Rect> rects{{0, 0, 5000, 64}};  // spans ~20 cells at 256
+  const RectIndex index(rects, 256);
+  // Query in the middle of the long rect.
+  const auto hits = index.query({2400, 0, 2500, 64});
+  ASSERT_EQ(hits.size(), 1u);
+  // Returned once despite occupying many cells.
+}
+
+TEST(RectIndex, ExcludeSkipsSelf) {
+  std::vector<Rect> rects{{0, 0, 100, 100}, {300, 0, 400, 100}};
+  const RectIndex index(rects);
+  EXPECT_FALSE(index.any_intersecting({0, 0, 100, 100}, 0));
+  EXPECT_TRUE(index.any_intersecting({0, 0, 100, 100}, 1));
+}
+
+TEST(RectIndex, NegativeCoordinates) {
+  std::vector<Rect> rects{{-500, -500, -400, -400}};
+  const RectIndex index(rects);
+  EXPECT_EQ(index.query({-600, -600, -350, -350}).size(), 1u);
+  EXPECT_TRUE(index.query({0, 0, 100, 100}).empty());
+}
+
+TEST(RectIndex, MatchesBruteForceOnRandomSets) {
+  Prng rng(7);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 200; ++i) {
+    const auto x = static_cast<std::int32_t>(rng.randint(0, 4000));
+    const auto y = static_cast<std::int32_t>(rng.randint(0, 4000));
+    const auto w = static_cast<std::int32_t>(rng.randint(10, 300));
+    const auto h = static_cast<std::int32_t>(rng.randint(10, 300));
+    rects.push_back({x, y, x + w, y + h});
+  }
+  const RectIndex index(rects, 128);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = static_cast<std::int32_t>(rng.randint(-100, 4000));
+    const auto y = static_cast<std::int32_t>(rng.randint(-100, 4000));
+    const Rect region{x, y, x + 400, y + 400};
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < rects.size(); ++i)
+      if (rects[i].intersects(region)) expected.push_back(i);
+    EXPECT_EQ(index.query(region), expected) << "trial " << trial;
+    EXPECT_EQ(index.any_intersecting(region), !expected.empty());
+  }
+}
+
+TEST(RectIndex, RejectsDegenerateRects) {
+  std::vector<Rect> rects{{0, 0, 0, 10}};
+  EXPECT_THROW(RectIndex index(rects), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::geom

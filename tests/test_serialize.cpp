@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Sequential make_net(std::uint64_t seed) {
+  Sequential net;
+  net.emplace<Conv2d>(1, 4, 3, 2, 1);
+  net.emplace<ReLU>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(4 * 4 * 4, 2);
+  Prng rng(seed);
+  init_network(net, rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  Sequential a = make_net(1);
+  const auto path = temp_path("ganopc_net.bin");
+  save_parameters(a, path);
+
+  Sequential b = make_net(2);  // different init
+  load_parameters(b, path);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t j = 0; j < pa[i].value->numel(); ++j)
+      EXPECT_EQ((*pa[i].value)[j], (*pb[i].value)[j]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedNetworkComputesIdentically) {
+  Sequential a = make_net(3);
+  const auto path = temp_path("ganopc_net2.bin");
+  save_parameters(a, path);
+  Sequential b = make_net(4);
+  load_parameters(b, path);
+
+  Prng rng(5);
+  Tensor x({1, 1, 8, 8});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0, 1));
+  a.set_training(false);
+  b.set_training(false);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Sequential a = make_net(6);
+  const auto path = temp_path("ganopc_net3.bin");
+  save_parameters(a, path);
+  Sequential other;
+  other.emplace<Linear>(4, 4);
+  EXPECT_THROW(load_parameters(other, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const auto path = temp_path("ganopc_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  Sequential net = make_net(7);
+  EXPECT_THROW(load_parameters(net, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Sequential net = make_net(8);
+  EXPECT_THROW(load_parameters(net, "/nonexistent/net.bin"), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

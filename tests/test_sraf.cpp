@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sraf/sraf.hpp"
+
+namespace ganopc::sraf {
+namespace {
+
+geom::Layout isolated_wire() {
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  l.add({1000, 400, 1080, 1600});
+  return l;
+}
+
+TEST(Sraf, IsolatedWireGetsBars) {
+  const SrafResult result = insert_srafs(isolated_wire());
+  // Both long edges are isolated -> at least two bars.
+  EXPECT_GE(result.bars.size(), 2u);
+  EXPECT_EQ(result.decorated.size(), 1u + result.bars.size());
+}
+
+TEST(Sraf, BarsAreSubResolution) {
+  const SrafRules rules;
+  const SrafResult result = insert_srafs(isolated_wire(), rules);
+  for (const auto& bar : result.bars) {
+    EXPECT_EQ(std::min(bar.width(), bar.height()), rules.bar_width_nm);
+    EXPECT_LT(std::min(bar.width(), bar.height()), 80);  // below printable CD
+  }
+}
+
+TEST(Sraf, BarsKeepDistanceFromMains) {
+  const SrafRules rules;
+  const auto target = isolated_wire();
+  const SrafResult result = insert_srafs(target, rules);
+  for (const auto& bar : result.bars)
+    for (const auto& main : target.rects()) {
+      EXPECT_FALSE(bar.intersects(main));
+      EXPECT_GE(bar.gap_to(main), rules.bar_distance_nm);
+    }
+}
+
+TEST(Sraf, BarsKeepClearanceFromEachOther) {
+  const SrafRules rules;
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  l.add({600, 400, 680, 1600});
+  l.add({1400, 400, 1480, 1600});
+  const SrafResult result = insert_srafs(l, rules);
+  for (std::size_t i = 0; i < result.bars.size(); ++i)
+    for (std::size_t j = i + 1; j < result.bars.size(); ++j)
+      EXPECT_GE(result.bars[i].gap_to(result.bars[j]), rules.clearance_nm);
+}
+
+TEST(Sraf, DenseEdgesGetNoBars) {
+  // Two wires at minimum pitch: the inner edges are not isolated.
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  l.add({1000, 400, 1080, 1600});
+  l.add({1140, 400, 1220, 1600});  // 60nm gap
+  const SrafResult result = insert_srafs(l);
+  for (const auto& bar : result.bars) {
+    // No bar may sit inside the 60nm corridor between the wires.
+    EXPECT_FALSE(bar.intersects(geom::Rect{1080, 400, 1140, 1600}));
+  }
+}
+
+TEST(Sraf, BarsStayInsideClip) {
+  geom::Layout l(geom::Rect{0, 0, 512, 512});
+  l.add({40, 100, 120, 400});  // near the clip edge: left bar would overflow
+  const SrafResult result = insert_srafs(l);
+  for (const auto& bar : result.bars) {
+    EXPECT_GE(bar.x0, 0);
+    EXPECT_GE(bar.y0, 0);
+    EXPECT_LE(bar.x1, 512);
+    EXPECT_LE(bar.y1, 512);
+  }
+}
+
+TEST(Sraf, ShortEdgesGetNoBars) {
+  // An 80x80 contact: every edge is below min_bar_length + pullbacks.
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  l.add({1000, 1000, 1080, 1080});
+  const SrafResult result = insert_srafs(l);
+  EXPECT_TRUE(result.bars.empty());
+}
+
+TEST(Sraf, InvalidRulesRejected) {
+  SrafRules bad;
+  bad.isolation_distance_nm = 10;  // smaller than bar distance + width
+  EXPECT_THROW(insert_srafs(isolated_wire(), bad), Error);
+}
+
+TEST(Sraf, EmptyLayoutYieldsNoBars) {
+  geom::Layout l(geom::Rect{0, 0, 2048, 2048});
+  const SrafResult result = insert_srafs(l);
+  EXPECT_TRUE(result.bars.empty());
+  EXPECT_TRUE(result.decorated.empty());
+}
+
+}  // namespace
+}  // namespace ganopc::sraf

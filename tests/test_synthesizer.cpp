@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "layout/drc.hpp"
+#include "layout/synthesizer.hpp"
+
+namespace ganopc::layout {
+namespace {
+
+TEST(Synthesizer, ProducesNonEmptyClip) {
+  SynthesisConfig cfg;
+  Prng rng(1);
+  const auto clip = synthesize_clip(cfg, rng);
+  EXPECT_EQ(clip.clip().width(), cfg.clip_nm);
+  EXPECT_GT(clip.size(), 0u);
+}
+
+TEST(Synthesizer, Deterministic) {
+  SynthesisConfig cfg;
+  Prng a(42), b(42);
+  const auto c1 = synthesize_clip(cfg, a);
+  const auto c2 = synthesize_clip(cfg, b);
+  ASSERT_EQ(c1.size(), c2.size());
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1.rects()[i], c2.rects()[i]);
+}
+
+TEST(Synthesizer, RespectsMargin) {
+  SynthesisConfig cfg;
+  Prng rng(2);
+  const auto clip = synthesize_clip(cfg, rng);
+  for (const auto& r : clip.rects()) {
+    EXPECT_GE(r.x0, cfg.margin_nm);
+    EXPECT_GE(r.y0, cfg.margin_nm);
+    EXPECT_LE(r.x1, cfg.clip_nm - cfg.margin_nm);
+    EXPECT_LE(r.y1, cfg.clip_nm - cfg.margin_nm);
+  }
+}
+
+class SynthesizerRuleClean : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesizerRuleClean, EveryClipPassesDrc) {
+  SynthesisConfig cfg;
+  Prng rng(GetParam());
+  const auto clip = synthesize_clip(cfg, rng);
+  const auto violations = check_design_rules(clip, cfg.rules);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front().str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerRuleClean,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Synthesizer, WireWidthsWithinBounds) {
+  SynthesisConfig cfg;
+  Prng rng(7);
+  const auto clip = synthesize_clip(cfg, rng);
+  for (const auto& r : clip.rects()) {
+    const std::int32_t cd = std::min(r.width(), r.height());
+    EXPECT_GE(cd, cfg.rules.min_cd);
+    EXPECT_LE(cd, cfg.max_wire_width);
+  }
+}
+
+TEST(Synthesizer, LibraryGeneration) {
+  SynthesisConfig cfg;
+  const auto lib = synthesize_library(cfg, 20, 99);
+  EXPECT_EQ(lib.size(), 20u);
+  for (const auto& clip : lib) EXPECT_FALSE(clip.empty());
+}
+
+TEST(Synthesizer, LibraryClipsDiffer) {
+  SynthesisConfig cfg;
+  const auto lib = synthesize_library(cfg, 5, 123);
+  // Consecutive clips should not be identical.
+  int identical = 0;
+  for (std::size_t i = 1; i < lib.size(); ++i) {
+    if (lib[i].size() == lib[i - 1].size() &&
+        (lib[i].empty() || lib[i].rects()[0] == lib[i - 1].rects()[0]))
+      ++identical;
+  }
+  EXPECT_LT(identical, 4);
+}
+
+TEST(Synthesizer, VerticalOnlyOption) {
+  SynthesisConfig cfg;
+  cfg.allow_horizontal = false;
+  Prng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto clip = synthesize_clip(cfg, rng);
+    for (const auto& r : clip.rects()) EXPECT_GE(r.height(), r.width());
+  }
+}
+
+}  // namespace
+}  // namespace ganopc::layout

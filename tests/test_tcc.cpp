@@ -1,0 +1,119 @@
+// Hopkins TCC eigendecomposition tests (the [20] SVD route of Eq. (1)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "geometry/grid.hpp"
+#include "litho/lithosim.hpp"
+#include "litho/tcc.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+OpticsConfig base_optics() {
+  OpticsConfig cfg;
+  return cfg;
+}
+
+geom::Grid wire_mask(std::int32_t grid, std::int32_t pixel) {
+  geom::Grid g(grid, grid, pixel);
+  for (std::int32_t r = grid / 4; r < 3 * grid / 4; ++r)
+    for (std::int32_t c = grid / 2 - 40 / pixel; c < grid / 2 + 40 / pixel; ++c)
+      g.at(r, c) = 1.0f;
+  return g;
+}
+
+TEST(Tcc, EigenvaluesSortedNonNegative) {
+  const auto set = compute_tcc_kernels(base_optics(), 64, 16, 8);
+  ASSERT_EQ(set.weights.size(), 8u);
+  for (std::size_t i = 0; i < set.weights.size(); ++i) {
+    EXPECT_GE(set.weights[i], 0.0f);
+    if (i > 0) {
+      EXPECT_LE(set.weights[i], set.weights[i - 1] + 1e-5f);
+    }
+  }
+}
+
+TEST(Tcc, CapturedEnergyGrowsWithKernelCount) {
+  const auto few = compute_tcc_kernels(base_optics(), 64, 16, 4);
+  const auto more = compute_tcc_kernels(base_optics(), 64, 16, 12);
+  EXPECT_GT(more.captured_energy, few.captured_energy);
+  EXPECT_GT(few.captured_energy, 0.3);
+  EXPECT_LE(more.captured_energy, 1.0 + 1e-9);
+}
+
+TEST(Tcc, OpenFrameIntensityNearOne) {
+  // TCC(0,0) = 1 for a normalized source, so sum_k lambda_k |phi_k(0)|^2
+  // must approach 1 as kernels accumulate.
+  const auto set = compute_tcc_kernels(base_optics(), 64, 16, 16);
+  double open = 0.0;
+  for (std::size_t k = 0; k < set.weights.size(); ++k)
+    open += set.weights[k] * std::norm(set.kernels_hat[k][0]);
+  EXPECT_NEAR(open, 1.0, 0.05);
+}
+
+TEST(Tcc, FewerKernelsNeededThanAbbe) {
+  // The classic result behind production SVD kernels: against a converged
+  // reference (32 TCC kernels from a dense 1024-sample source, capturing
+  // essentially the whole operator), a 12-kernel TCC simulator is closer
+  // than a 12-point Abbe simulator.
+  OpticsConfig reference = base_optics();
+  reference.num_kernels = 32;
+  reference.kernel_method = KernelMethod::TccSvd;
+  OpticsConfig abbe12 = base_optics();
+  abbe12.num_kernels = 12;
+  OpticsConfig tcc12 = base_optics();
+  tcc12.num_kernels = 12;
+  tcc12.kernel_method = KernelMethod::TccSvd;
+
+  const LithoSim sim_ref(reference, ResistConfig{}, 64, 16);
+  const LithoSim sim_abbe(abbe12, ResistConfig{}, 64, 16);
+  const LithoSim sim_tcc(tcc12, ResistConfig{}, 64, 16);
+
+  const geom::Grid mask = wire_mask(64, 16);
+  const geom::Grid ref = sim_ref.aerial(mask);
+  const geom::Grid abbe = sim_abbe.aerial(mask);
+  const geom::Grid tcc = sim_tcc.aerial(mask);
+
+  double err_abbe = 0.0, err_tcc = 0.0;
+  for (std::size_t i = 0; i < ref.data.size(); ++i) {
+    err_abbe += std::pow(static_cast<double>(abbe.data[i]) - ref.data[i], 2);
+    err_tcc += std::pow(static_cast<double>(tcc.data[i]) - ref.data[i], 2);
+  }
+  EXPECT_LT(err_tcc, err_abbe);
+}
+
+TEST(Tcc, WorksThroughFullPipeline) {
+  OpticsConfig optics = base_optics();
+  optics.num_kernels = 8;
+  optics.kernel_method = KernelMethod::TccSvd;
+  const LithoSim sim(optics, ResistConfig{}, 64, 16);
+  EXPECT_GT(sim.threshold(), 0.1f);
+  EXPECT_LT(sim.threshold(), 0.5f);
+  const geom::Grid mask = wire_mask(64, 16);
+  const geom::Grid wafer = sim.simulate(mask);
+  std::int64_t on = 0;
+  for (float v : wafer.data) on += v >= 0.5f;
+  EXPECT_GT(on, 0);
+  // Gradient path also runs (flipped kernels present).
+  const geom::Grid grad = sim.gradient(mask, mask);
+  EXPECT_EQ(grad.rows, 64);
+}
+
+TEST(Tcc, RejectsBadParameters) {
+  EXPECT_THROW(compute_tcc_kernels(base_optics(), 100, 16, 8), Error);  // not pow2
+  EXPECT_THROW(compute_tcc_kernels(base_optics(), 64, 64, 8), Error);   // too coarse
+  EXPECT_THROW(compute_tcc_kernels(base_optics(), 64, 16, 0), Error);
+}
+
+TEST(Tcc, DeterministicAcrossCalls) {
+  const auto a = compute_tcc_kernels(base_optics(), 32, 32, 4);
+  const auto b = compute_tcc_kernels(base_optics(), 32, 32, 4);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i)
+    EXPECT_EQ(a.weights[i], b.weights[i]);
+}
+
+}  // namespace
+}  // namespace ganopc::litho

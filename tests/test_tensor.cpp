@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/tensor.hpp"
+
+namespace ganopc::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.dim(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructFromData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[3], 4.0f);
+}
+
+TEST(Tensor, ConstructRejectsSizeMismatch) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({4, 3, 2});
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.shape(0), 4);
+  EXPECT_EQ(t.shape(2), 2);
+  EXPECT_THROW(t.shape(3), Error);
+  EXPECT_EQ(t.shape_str(), "[4,3,2]");
+}
+
+TEST(Tensor, At4RowMajorNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.shape(0), 3);
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, FillAndFull) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.zero();
+  EXPECT_EQ(t[2], 0.0f);
+}
+
+TEST(Tensor, AddInPlace) {
+  Tensor a({2}, {1, 2}), b({2}, {10, 20});
+  a.add_(b);
+  EXPECT_EQ(a[0], 11.0f);
+  EXPECT_EQ(a[1], 22.0f);
+  Tensor c({3});
+  EXPECT_THROW(a.add_(c), Error);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({2}, {1, 1}), b({2}, {2, 4});
+  a.add_scaled_(b, 0.5f);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 3.0f);
+}
+
+TEST(Tensor, MulScalarAndClamp) {
+  Tensor a({3}, {-2, 0.5f, 3});
+  a.mul_(2.0f);
+  EXPECT_EQ(a[0], -4.0f);
+  a.clamp_(-1.0f, 2.0f);
+  EXPECT_EQ(a[0], -1.0f);
+  EXPECT_EQ(a[1], 1.0f);
+  EXPECT_EQ(a[2], 2.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a({4}, {1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(a.sum(), 6.0f);
+  EXPECT_FLOAT_EQ(a.mean(), 1.5f);
+  EXPECT_FLOAT_EQ(a.min(), -2.0f);
+  EXPECT_FLOAT_EQ(a.max(), 4.0f);
+  EXPECT_FLOAT_EQ(a.squared_l2(), 1 + 4 + 9 + 16);
+}
+
+TEST(Tensor, Sub) {
+  Tensor a({2}, {5, 3}), b({2}, {2, 1});
+  Tensor c = sub(a, b);
+  EXPECT_EQ(c[0], 3.0f);
+  EXPECT_EQ(c[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace ganopc::nn

@@ -1,0 +1,109 @@
+// Integration: Algorithms 1 and 2 run end-to-end at quick scale and move
+// their losses in the right direction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/dataset.hpp"
+#include "core/discriminator.hpp"
+#include "core/generator.hpp"
+#include "core/trainer.hpp"
+
+namespace ganopc::core {
+namespace {
+
+struct Fixture {
+  GanOpcConfig cfg;
+  litho::LithoSim sim;
+  Dataset dataset;
+
+  Fixture()
+      : cfg(make_fixture_config()),
+        sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid, cfg.litho_pixel_nm()),
+        dataset(Dataset::generate(cfg, sim)) {}
+
+  static GanOpcConfig make_fixture_config() {
+    GanOpcConfig cfg = make_config(ReproScale::Quick);
+    cfg.library_size = 4;
+    cfg.batch_size = 2;
+    cfg.ilt.max_iterations = 20;
+    cfg.ilt.check_every = 5;
+    return cfg;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;  // generated once; dataset generation dominates runtime
+  return f;
+}
+
+float mean_tail(const std::vector<float>& v, std::size_t n) {
+  const std::size_t take = std::min(n, v.size());
+  return std::accumulate(v.end() - static_cast<std::ptrdiff_t>(take), v.end(), 0.0f) /
+         static_cast<float>(take);
+}
+
+TEST(TrainerIntegration, PretrainReducesLithoError) {
+  auto& f = fixture();
+  Prng rng(1);
+  Generator g(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Discriminator d(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Prng train_rng(2);
+  GanOpcTrainer trainer(f.cfg, g, d, f.dataset, f.sim, train_rng);
+  const TrainStats stats = trainer.pretrain(12);
+  ASSERT_EQ(stats.litho_history.size(), 12u);
+  // Litho error must drop substantially from the untrained start.
+  EXPECT_LT(mean_tail(stats.litho_history, 3), stats.litho_history.front() * 0.9f);
+}
+
+TEST(TrainerIntegration, AdversarialTrainingReducesL2) {
+  auto& f = fixture();
+  Prng rng(3);
+  Generator g(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Discriminator d(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Prng train_rng(4);
+  GanOpcTrainer trainer(f.cfg, g, d, f.dataset, f.sim, train_rng);
+  const TrainStats stats = trainer.train(40);
+  ASSERT_EQ(stats.l2_history.size(), 40u);
+  EXPECT_LT(mean_tail(stats.l2_history, 5), stats.l2_history.front() * 0.8f);
+  EXPECT_EQ(stats.g_adv_history.size(), 40u);
+  EXPECT_EQ(stats.d_loss_history.size(), 40u);
+}
+
+TEST(TrainerIntegration, PretrainThenTrainRunsCleanly) {
+  // The PGAN-OPC composition: Algorithm 2 then Algorithm 1.
+  auto& f = fixture();
+  Prng rng(5);
+  Generator g(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Discriminator d(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Prng train_rng(6);
+  GanOpcTrainer trainer(f.cfg, g, d, f.dataset, f.sim, train_rng);
+  const TrainStats pre = trainer.pretrain(6);
+  const TrainStats adv = trainer.train(15);
+  EXPECT_EQ(pre.litho_history.size(), 6u);
+  EXPECT_EQ(adv.l2_history.size(), 15u);
+  // Generator outputs remain proper probabilities after both phases.
+  nn::Tensor targets, masks;
+  Prng s(7);
+  f.dataset.sample_batch(s, 2, targets, masks);
+  const nn::Tensor out = g.forward(targets);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LE(out[i], 1.0f);
+  }
+}
+
+TEST(TrainerIntegration, TrainerRejectsEmptyDataset) {
+  auto& f = fixture();
+  Prng rng(8);
+  Generator g(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Discriminator d(f.cfg.gan_grid, f.cfg.base_channels, rng);
+  Dataset empty;
+  Prng train_rng(9);
+  EXPECT_THROW(GanOpcTrainer(f.cfg, g, d, empty, f.sim, train_rng), Error);
+}
+
+}  // namespace
+}  // namespace ganopc::core

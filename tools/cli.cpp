@@ -1,0 +1,261 @@
+// ganopc — command-line driver for the mask-optimization flows.
+//
+//   ganopc synth   [--count N] [--seed S] [--out PREFIX]
+//   ganopc sraf    --layout FILE [--out FILE]
+//   ganopc ilt     --layout FILE [--grid N] [--iters N] [--out PREFIX]
+//   ganopc mbopc   --layout FILE [--grid N] [--iters N] [--out PREFIX]
+//   ganopc eval    --layout FILE --mask FILE.pgm [--grid N]
+//   ganopc flow    --layout FILE --generator FILE.bin [--scale NAME]
+//   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
+//   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
+//                  [--clipsize NM]
+//
+// Layout files use the text format of geom::Layout (clip/rect lines) or
+// GDSII (.gds extension, loaded with --clipsize window); masks are 8-bit
+// PGM at the simulation grid.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/image_io.hpp"
+#include "common/prng.hpp"
+#include "core/config.hpp"
+#include "core/flow.hpp"
+#include "core/generator.hpp"
+#include "geometry/raster.hpp"
+#include "ilt/ilt.hpp"
+#include "layout/glp.hpp"
+#include "layout/synthesizer.hpp"
+#include "litho/lithosim.hpp"
+#include "mbopc/mbopc.hpp"
+#include "metrics/printability.hpp"
+#include "gds/gds.hpp"
+#include "nn/serialize.hpp"
+#include "sraf/sraf.hpp"
+
+namespace {
+
+using namespace ganopc;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      GANOPC_CHECK_MSG(key.rfind("--", 0) == 0, "expected --flag, got '" << key << "'");
+      GANOPC_CHECK_MSG(i + 1 < argc, "missing value for " << key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      GANOPC_CHECK_MSG(!fallback.empty() || allow_empty_, "missing required --" << key);
+      return fallback;
+    }
+    return it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    auto it = values_.find(key);
+    GANOPC_CHECK_MSG(it != values_.end(), "missing required --" << key);
+    return it->second;
+  }
+
+  int get_int(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool allow_empty_ = true;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Load a layout from text, GDSII, or contest GLP, by extension.
+geom::Layout load_layout(const Args& args, const std::string& key = "layout") {
+  const std::string path = args.require(key);
+  const std::int32_t clip_nm = args.get_int("clipsize", 2048);
+  const geom::Rect clip{0, 0, clip_nm, clip_nm};
+  if (ends_with(path, ".gds"))
+    return gds::gds_to_layout(gds::read_gds(path), clip, args.get("cell", ""),
+                              static_cast<std::int16_t>(args.get_int("layer", 1)));
+  if (ends_with(path, ".glp")) return layout::read_glp(path, clip);
+  return geom::Layout::load(path);
+}
+
+litho::LithoSim make_sim(const geom::Layout& clip, int grid) {
+  GANOPC_CHECK_MSG(clip.clip().width() == clip.clip().height(),
+                   "clip window must be square");
+  GANOPC_CHECK_MSG(clip.clip().width() % grid == 0,
+                   "grid " << grid << " does not divide the clip extent");
+  litho::OpticsConfig optics;
+  return litho::LithoSim(optics, litho::ResistConfig{},
+                         grid, clip.clip().width() / grid);
+}
+
+void dump(const geom::Grid& g, const std::string& name) {
+  write_pgm(name, to_gray(g.data.data(), g.cols, g.rows));
+  std::printf("wrote %s (%dx%d @%dnm)\n", name.c_str(), g.cols, g.rows, g.pixel_nm);
+}
+
+geom::Grid load_mask(const std::string& path, const litho::LithoSim& sim) {
+  const GrayImage img = read_pgm(path);
+  GANOPC_CHECK_MSG(img.width == sim.grid_size() && img.height == sim.grid_size(),
+                   "mask PGM must be " << sim.grid_size() << "x" << sim.grid_size());
+  geom::Grid mask(img.height, img.width, sim.pixel_nm());
+  for (std::size_t i = 0; i < mask.data.size(); ++i)
+    mask.data[i] = img.pixels[i] >= 128 ? 1.0f : 0.0f;
+  return mask;
+}
+
+int cmd_synth(const Args& args) {
+  const int count = args.get_int("count", 4);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1847));
+  const std::string prefix = args.get("out", "clip");
+  layout::SynthesisConfig cfg;
+  const auto library = layout::synthesize_library(cfg, static_cast<std::size_t>(count),
+                                                  seed);
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const std::string path = prefix + std::to_string(i) + ".txt";
+    library[i].save(path);
+    std::printf("wrote %s (%zu shapes, %ld nm^2)\n", path.c_str(), library[i].size(),
+                static_cast<long>(library[i].union_area()));
+  }
+  return 0;
+}
+
+int cmd_sraf(const Args& args) {
+  const geom::Layout clip = load_layout(args);
+  const auto result = sraf::insert_srafs(clip);
+  const std::string out = args.get("out", "decorated.txt");
+  result.decorated.save(out);
+  std::printf("inserted %zu scatter bars; wrote %s\n", result.bars.size(), out.c_str());
+  return 0;
+}
+
+int cmd_ilt(const Args& args) {
+  const geom::Layout clip = load_layout(args);
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  const geom::Grid target = geom::rasterize(clip, sim.pixel_nm(), /*threshold=*/true);
+  ilt::IltConfig cfg;
+  cfg.max_iterations = args.get_int("iters", 200);
+  const ilt::IltEngine engine(sim, cfg);
+  const ilt::IltResult result = engine.optimize(target);
+  std::printf("ILT: %d iterations, %.2fs, hard L2 %.0f px (%.0f nm^2)\n",
+              result.iterations, result.runtime_s, result.l2_px,
+              result.l2_px * sim.pixel_nm() * sim.pixel_nm());
+  const std::string prefix = args.get("out", "ilt");
+  dump(target, prefix + "_target.pgm");
+  dump(result.mask, prefix + "_mask.pgm");
+  dump(sim.simulate(result.mask), prefix + "_wafer.pgm");
+  return 0;
+}
+
+int cmd_mbopc(const Args& args) {
+  const geom::Layout clip = load_layout(args);
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  mbopc::MbOpcConfig cfg;
+  cfg.max_iterations = args.get_int("iters", 12);
+  const mbopc::MbOpcEngine engine(sim, cfg);
+  const mbopc::MbOpcResult result = engine.optimize(clip);
+  std::printf("MB-OPC: %d iterations (%s), max |EPE| %dnm, L2 %.0f px\n",
+              result.iterations, result.converged ? "converged" : "budget exhausted",
+              result.max_epe_nm, result.l2_px);
+  const std::string prefix = args.get("out", "mbopc");
+  dump(result.mask, prefix + "_mask.pgm");
+  dump(sim.simulate(result.mask), prefix + "_wafer.pgm");
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const geom::Layout clip = load_layout(args);
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  const geom::Grid target = geom::rasterize(clip, sim.pixel_nm(), /*threshold=*/true);
+  const geom::Grid mask = load_mask(args.require("mask"), sim);
+  const auto report = metrics::evaluate_printability(sim, mask, clip, target);
+  std::printf("%s\n", report.str().c_str());
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  const geom::Layout clip = load_layout(args);
+  core::GanOpcConfig cfg = core::make_config(core::parse_scale(args.get("scale", "quick")));
+  GANOPC_CHECK_MSG(clip.clip().width() == cfg.clip_nm,
+                   "layout clip must be " << cfg.clip_nm << "nm for scale "
+                                          << args.get("scale", "quick"));
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  Prng rng(cfg.seed);
+  core::Generator generator(cfg.gan_grid, cfg.base_channels, rng);
+  nn::load_parameters(generator.net(), args.require("generator"));
+  const core::GanOpcFlow flow(cfg, &generator, sim);
+  const core::FlowResult result = flow.run(clip);
+  std::printf("GAN-OPC flow: L2 %.0f nm^2, PVB %ld nm^2, %.2fs (%d ILT iters)\n",
+              result.l2_nm2, static_cast<long>(result.pvb_nm2), result.total_seconds(),
+              result.ilt_iterations);
+  dump(result.mask, args.get("out", "flow") + "_mask.pgm");
+  return 0;
+}
+
+int cmd_txt2gds(const Args& args) {
+  const geom::Layout clip = geom::Layout::load(args.require("layout"));
+  const std::string out = args.get("out", "layout.gds");
+  gds::write_gds(out, gds::layout_to_gds(clip, args.get("cell", "CLIP"),
+                                         static_cast<std::int16_t>(args.get_int("layer", 1))));
+  std::printf("wrote %s (%zu boundaries)\n", out.c_str(), clip.size());
+  return 0;
+}
+
+int cmd_gds2txt(const Args& args) {
+  const std::int32_t clip_nm = args.get_int("clipsize", 2048);
+  const geom::Layout clip = gds::gds_to_layout(
+      gds::read_gds(args.require("gds")), geom::Rect{0, 0, clip_nm, clip_nm},
+      args.get("cell", ""), static_cast<std::int16_t>(args.get_int("layer", 1)));
+  const std::string out = args.get("out", "layout.txt");
+  clip.save(out);
+  std::printf("wrote %s (%zu rects, %ld nm^2)\n", out.c_str(), clip.size(),
+              static_cast<long>(clip.union_area()));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|flow> [--flag value ...]\n"
+               "see tools/cli.cpp header for per-command flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "sraf") return cmd_sraf(args);
+    if (cmd == "ilt") return cmd_ilt(args);
+    if (cmd == "mbopc") return cmd_mbopc(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "txt2gds") return cmd_txt2gds(args);
+    if (cmd == "gds2txt") return cmd_gds2txt(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
