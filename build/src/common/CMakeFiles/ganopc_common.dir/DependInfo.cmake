@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/ganopc_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/image_io.cpp" "src/common/CMakeFiles/ganopc_common.dir/image_io.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/image_io.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/ganopc_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/ganopc_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/parallel.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/common/CMakeFiles/ganopc_common.dir/prng.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/prng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
