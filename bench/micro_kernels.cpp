@@ -1,7 +1,20 @@
 // Micro benchmarks (google-benchmark): the computational kernels whose cost
 // dominates the flows — FFT, GEMM, aerial imaging, the Eq. (14) gradient,
 // one full ILT step, and generator inference.
+//
+// The litho benches come in pairs: a `seed_ref` baseline re-implementing the
+// engine as it stood before the plan-cache/workspace/parallel rework
+// (per-stage recomputed twiddles, per-call allocations, strictly sequential
+// kernel loops) next to the current path, so one binary reports before/after
+// on identical inputs. Results are also written as CSV to micro_kernels.csv
+// (override with GANOPC_BENCH_CSV=<path>).
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 
 #include "common/prng.hpp"
 #include "core/generator.hpp"
@@ -14,6 +27,128 @@
 namespace {
 
 using namespace ganopc;
+
+// --------------------------------------------------------------------------
+// Seed-reference engine (the "before" of the before/after pairs).
+// --------------------------------------------------------------------------
+namespace seed_ref {
+
+using fft::cfloat;
+
+void fft_inplace(cfloat* a, std::size_t n, bool inverse) {
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cfloat wlen(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      cfloat w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cfloat u = a[i + k];
+        const cfloat v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+  }
+}
+
+void fft_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width,
+            bool inverse) {
+  for (std::size_t r = 0; r < height; ++r)
+    fft_inplace(data.data() + r * width, width, inverse);
+  std::vector<cfloat> tmp(height);
+  for (std::size_t c = 0; c < width; ++c) {
+    for (std::size_t r = 0; r < height; ++r) tmp[r] = data[r * width + c];
+    fft_inplace(tmp.data(), height, inverse);
+    for (std::size_t r = 0; r < height; ++r) data[r * width + c] = tmp[r];
+  }
+}
+
+void fields(const litho::LithoSim& sim, const geom::Grid& mask,
+            std::vector<std::vector<cfloat>>& a_k, geom::Grid& aerial_image) {
+  const auto& kernels = sim.kernels();
+  const auto n = static_cast<std::size_t>(sim.grid_size());
+  const std::size_t npx = n * n;
+  std::vector<cfloat> mask_hat(mask.data.begin(), mask.data.end());
+  fft_2d(mask_hat, n, n, false);
+
+  aerial_image = geom::Grid(sim.grid_size(), sim.grid_size(), sim.pixel_nm(),
+                            mask.origin_x, mask.origin_y);
+  a_k.assign(static_cast<std::size_t>(kernels.count()), {});
+  std::vector<double> intensity(npx, 0.0);
+  for (int k = 0; k < kernels.count(); ++k) {
+    auto& field = a_k[static_cast<std::size_t>(k)];
+    field.resize(npx);
+    const auto& hat = kernels.freq_kernel(k);
+    for (std::size_t i = 0; i < npx; ++i) field[i] = mask_hat[i] * hat[i];
+    fft_2d(field, n, n, true);
+    const double w = kernels.weight(k);
+    for (std::size_t i = 0; i < npx; ++i) intensity[i] += w * std::norm(field[i]);
+  }
+  for (std::size_t i = 0; i < npx; ++i)
+    aerial_image.data[i] = static_cast<float>(intensity[i]);
+}
+
+geom::Grid aerial(const litho::LithoSim& sim, const geom::Grid& mask) {
+  std::vector<std::vector<cfloat>> a_k;
+  geom::Grid out;
+  fields(sim, mask, a_k, out);
+  return out;
+}
+
+geom::Grid gradient(const litho::LithoSim& sim, const geom::Grid& mask_b,
+                    const geom::Grid& target, float dose = 1.0f) {
+  const auto& kernels = sim.kernels();
+  const auto n = static_cast<std::size_t>(sim.grid_size());
+  const std::size_t npx = n * n;
+
+  std::vector<std::vector<cfloat>> a_k;
+  geom::Grid aerial_image;
+  fields(sim, mask_b, a_k, aerial_image);
+
+  std::vector<float> x(npx);
+  const float alpha = sim.sigmoid_alpha();
+  const float th = sim.threshold();
+  for (std::size_t i = 0; i < npx; ++i) {
+    const float zi =
+        1.0f / (1.0f + std::exp(-alpha * (aerial_image.data[i] * dose - th)));
+    x[i] = 2.0f * (zi - target.data[i]) * alpha * dose * zi * (1.0f - zi);
+  }
+
+  geom::Grid grad(sim.grid_size(), sim.grid_size(), sim.pixel_nm(), mask_b.origin_x,
+                  mask_b.origin_y);
+  std::vector<double> acc(npx, 0.0);
+  std::vector<cfloat> buf(npx);
+  for (int k = 0; k < kernels.count(); ++k) {
+    const auto& field = a_k[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < npx; ++i) buf[i] = x[i] * std::conj(field[i]);
+    fft_2d(buf, n, n, false);
+    const auto& hat_flipped = kernels.freq_kernel_flipped(k);
+    for (std::size_t i = 0; i < npx; ++i) buf[i] *= hat_flipped[i];
+    fft_2d(buf, n, n, true);
+    const double w = 2.0 * kernels.weight(k);
+    for (std::size_t i = 0; i < npx; ++i) acc[i] += w * buf[i].real();
+  }
+  for (std::size_t i = 0; i < npx; ++i) grad.data[i] = static_cast<float>(acc[i]);
+  return grad;
+}
+
+}  // namespace seed_ref
+
+// --------------------------------------------------------------------------
+// Generic kernels.
+// --------------------------------------------------------------------------
 
 void BM_Fft2d(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -31,6 +166,22 @@ void BM_Fft2d(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_Fft2dSeed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Prng rng(1);
+  std::vector<fft::cfloat> data(n * n);
+  for (auto& v : data)
+    v = {static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1))};
+  for (auto _ : state) {
+    seed_ref::fft_2d(data, n, n, false);
+    seed_ref::fft_2d(data, n, n, true);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Fft2dSeed)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_Sgemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Prng rng(2);
@@ -45,6 +196,10 @@ void BM_Sgemm(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * n * n);
 }
 BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+// --------------------------------------------------------------------------
+// Lithography forward / adjoint, before and after.
+// --------------------------------------------------------------------------
 
 const litho::LithoSim& shared_sim(std::int32_t grid) {
   static litho::LithoSim sim128 = [] {
@@ -66,6 +221,17 @@ geom::Grid bench_mask(std::int32_t grid) {
   return mask;
 }
 
+void BM_LithoAerialSeed(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  for (auto _ : state) {
+    auto aerial = seed_ref::aerial(sim, mask);
+    benchmark::DoNotOptimize(aerial.data.data());
+  }
+}
+BENCHMARK(BM_LithoAerialSeed)->Arg(128)->Arg(256);
+
 void BM_LithoAerial(benchmark::State& state) {
   const auto grid = static_cast<std::int32_t>(state.range(0));
   const auto& sim = shared_sim(grid);
@@ -76,6 +242,32 @@ void BM_LithoAerial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LithoAerial)->Arg(128)->Arg(256);
+
+void BM_LithoAerialWorkspace(benchmark::State& state) {
+  // Steady-state ILT shape: caller-owned output and scratch, zero allocation
+  // per call once warm.
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  litho::LithoWorkspace ws;
+  geom::Grid out;
+  for (auto _ : state) {
+    sim.aerial_into(mask, out, ws);
+    benchmark::DoNotOptimize(out.data.data());
+  }
+}
+BENCHMARK(BM_LithoAerialWorkspace)->Arg(128)->Arg(256);
+
+void BM_LithoGradientSeed(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  for (auto _ : state) {
+    auto grad = seed_ref::gradient(sim, mask, mask);
+    benchmark::DoNotOptimize(grad.data.data());
+  }
+}
+BENCHMARK(BM_LithoGradientSeed)->Arg(128)->Arg(256);
 
 void BM_LithoGradient(benchmark::State& state) {
   const auto grid = static_cast<std::int32_t>(state.range(0));
@@ -88,6 +280,64 @@ void BM_LithoGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_LithoGradient)->Arg(128)->Arg(256);
 
+void BM_LithoGradientWorkspace(benchmark::State& state) {
+  const auto grid = static_cast<std::int32_t>(state.range(0));
+  const auto& sim = shared_sim(grid);
+  const geom::Grid mask = bench_mask(grid);
+  litho::LithoWorkspace ws;
+  geom::Grid grad;
+  const float doses[1] = {1.0f};
+  for (auto _ : state) {
+    sim.gradient_into(mask, mask, doses, grad, ws);
+    benchmark::DoNotOptimize(grad.data.data());
+  }
+}
+BENCHMARK(BM_LithoGradientWorkspace)->Arg(128)->Arg(256);
+
+void BM_LithoGradientPv3Seed(benchmark::State& state) {
+  // Dose-corner objective the seed way: one full gradient per corner.
+  const auto& sim = shared_sim(128);
+  const geom::Grid mask = bench_mask(128);
+  for (auto _ : state) {
+    geom::Grid lo = seed_ref::gradient(sim, mask, mask, 0.98f);
+    const geom::Grid mid = seed_ref::gradient(sim, mask, mask, 1.0f);
+    const geom::Grid hi = seed_ref::gradient(sim, mask, mask, 1.02f);
+    for (std::size_t i = 0; i < lo.data.size(); ++i)
+      lo.data[i] = (lo.data[i] + mid.data[i] + hi.data[i]) / 3.0f;
+    benchmark::DoNotOptimize(lo.data.data());
+  }
+}
+BENCHMARK(BM_LithoGradientPv3Seed)->Unit(benchmark::kMillisecond);
+
+void BM_LithoGradientPv3(benchmark::State& state) {
+  // Fused: forward fields computed once, shared by all three corners.
+  const auto& sim = shared_sim(128);
+  const geom::Grid mask = bench_mask(128);
+  litho::LithoWorkspace ws;
+  geom::Grid grad;
+  const float doses[3] = {0.98f, 1.0f, 1.02f};
+  for (auto _ : state) {
+    sim.gradient_into(mask, mask, doses, grad, ws);
+    benchmark::DoNotOptimize(grad.data.data());
+  }
+}
+BENCHMARK(BM_LithoGradientPv3)->Unit(benchmark::kMillisecond);
+
+void BM_LithoBatch(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto& sim = shared_sim(128);
+  std::vector<geom::Grid> masks(count, bench_mask(128));
+  for (std::size_t i = 0; i < count; ++i)
+    masks[i].at(static_cast<std::int32_t>(8 + i), 8) = 1.0f;  // distinct inputs
+  for (auto _ : state) {
+    auto prints = sim.simulate_batch(masks);
+    benchmark::DoNotOptimize(prints.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_LithoBatch)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_PvBand(benchmark::State& state) {
   const auto grid = static_cast<std::int32_t>(state.range(0));
   const auto& sim = shared_sim(grid);
@@ -98,6 +348,56 @@ void BM_PvBand(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PvBand)->Arg(128)->Arg(256);
+
+// --------------------------------------------------------------------------
+// ILT iteration, before and after.
+// --------------------------------------------------------------------------
+
+void BM_IltIterationSeed(benchmark::State& state) {
+  // The per-iteration arithmetic of the seed ILT loop: Eq. (14) gradient via
+  // the seed engine, the Eq. (13) chain + parameter update, and the periodic
+  // hard-print check via a second seed forward pass.
+  const auto& sim = shared_sim(128);
+  const geom::Grid target = bench_mask(128);
+  const std::size_t npx = target.data.size();
+  std::vector<float> p(npx, 0.0f);
+  geom::Grid mask_b = target;
+  for (auto _ : state) {
+    const geom::Grid grad = seed_ref::gradient(sim, mask_b, target);
+    float max_abs = 0.0f;
+    std::vector<float> grad_p(npx);
+    for (std::size_t i = 0; i < npx; ++i) {
+      const float mb = mask_b.data[i];
+      grad_p[i] = grad.data[i] * 4.0f * mb * (1.0f - mb);
+      max_abs = std::max(max_abs, std::fabs(grad_p[i]));
+    }
+    const float scale = max_abs > 0.0f ? 0.5f / max_abs : 0.5f;
+    for (std::size_t i = 0; i < npx; ++i) p[i] -= scale * grad_p[i];
+    for (std::size_t i = 0; i < npx; ++i)
+      mask_b.data[i] = 1.0f / (1.0f + std::exp(-4.0f * p[i]));
+    geom::Grid hard = seed_ref::aerial(sim, mask_b);
+    for (auto& v : hard.data) v = v >= sim.threshold() ? 1.0f : 0.0f;
+    benchmark::DoNotOptimize(hard.data.data());
+  }
+}
+BENCHMARK(BM_IltIterationSeed)->Unit(benchmark::kMillisecond);
+
+void BM_IltIteration(benchmark::State& state) {
+  // One real engine iteration (max_iterations=1, check_every=1): gradient,
+  // update and hard-print check on the hoisted workspace path.
+  const auto& sim = shared_sim(128);
+  const geom::Grid target = bench_mask(128);
+  ilt::IltConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.check_every = 1;
+  cfg.patience = 1;
+  const ilt::IltEngine engine(sim, cfg);
+  for (auto _ : state) {
+    auto result = engine.optimize(target);
+    benchmark::DoNotOptimize(result.l2_px);
+  }
+}
+BENCHMARK(BM_IltIteration)->Unit(benchmark::kMillisecond);
 
 void BM_IltFullRun(benchmark::State& state) {
   const auto& sim = shared_sim(128);
@@ -129,4 +429,24 @@ BENCHMARK(BM_GeneratorInference)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Every run also lands in micro_kernels.csv (override with
+// GANOPC_BENCH_CSV=<path>) so before/after sweeps — e.g. under different
+// GANOPC_THREADS — can be diffed mechanically. Explicit --benchmark_out flags
+// on the command line still win: they come after the injected defaults.
+int main(int argc, char** argv) {
+  const char* csv_env = std::getenv("GANOPC_BENCH_CSV");
+  std::string out_flag =
+      std::string("--benchmark_out=") + (csv_env != nullptr ? csv_env : "micro_kernels.csv");
+  std::string fmt_flag = "--benchmark_out_format=csv";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

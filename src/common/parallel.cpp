@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 
 namespace ganopc {
 
@@ -8,11 +10,38 @@ namespace {
 // Set while a pool worker runs a task; nested parallel_blocks calls from
 // inside a task run serially instead of deadlocking on the pool.
 thread_local bool tls_in_worker = false;
+
+std::mutex& instance_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& instance_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
 }  // namespace
 
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("GANOPC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
-  return pool;
+  std::lock_guard lock(instance_mutex());
+  auto& pool = instance_slot();
+  if (!pool) pool = std::make_unique<ThreadPool>(default_thread_count());
+  return *pool;
+}
+
+void ThreadPool::reset(std::size_t num_threads) {
+  std::lock_guard lock(instance_mutex());
+  auto& pool = instance_slot();
+  pool.reset();  // join old workers before spawning the replacement pool
+  pool = std::make_unique<ThreadPool>(std::max<std::size_t>(1, num_threads));
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {

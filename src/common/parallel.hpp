@@ -17,8 +17,17 @@ namespace ganopc {
 /// Process-wide worker pool. Lazily constructed on first use.
 class ThreadPool {
  public:
-  /// The shared pool (hardware_concurrency workers, at least 1).
+  /// The shared pool. Sized from the GANOPC_THREADS environment variable when
+  /// set, else hardware_concurrency (at least 1).
   static ThreadPool& instance();
+
+  /// Replace the shared pool with one of `num_threads` workers (>= 1).
+  /// Must only be called while no parallel work is in flight — intended for
+  /// tests (determinism at several thread counts) and thread-scaling benches.
+  static void reset(std::size_t num_threads);
+
+  /// Worker count the shared pool starts with (GANOPC_THREADS or hardware).
+  static std::size_t default_thread_count();
 
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();

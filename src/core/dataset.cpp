@@ -23,19 +23,29 @@ Dataset Dataset::generate(const GanOpcConfig& config, const litho::LithoSim& sim
 
   Dataset ds;
   ds.examples_.resize(clips.size());
+  std::vector<geom::Grid> ref_masks(clips.size());
   const ilt::IltEngine engine(sim, config.ilt);
   const std::int32_t pool = config.pool_factor();
   parallel_for(0, clips.size(), [&](std::size_t i) {
     TrainingExample ex;
     ex.target_litho = geom::rasterize(clips[i], config.litho_pixel_nm(), /*threshold=*/true);
-    const ilt::IltResult ref = engine.optimize(ex.target_litho);
+    ilt::IltResult ref = engine.optimize(ex.target_litho);
     ex.target_gan = geom::downsample_avg(ex.target_litho, pool);
     ex.mask_gan = geom::downsample_avg(ref.mask_relaxed, pool);
+    ref_masks[i] = std::move(ref.mask);
     ds.examples_[i] = std::move(ex);
   }, /*serial_threshold=*/1);
+  // Audit the shipped ground truth through the batched litho path: the mean
+  // print error of the ILT masks bounds the label quality the GAN trains on.
+  const std::vector<geom::Grid> prints = sim.simulate_batch(ref_masks);
+  double total_l2 = 0.0;
+  for (std::size_t i = 0; i < prints.size(); ++i)
+    total_l2 += geom::squared_l2(prints[i], ds.examples_[i].target_litho);
   GANOPC_INFO("dataset: generated " << ds.size() << " examples (litho "
                                     << config.litho_grid << ", gan " << config.gan_grid
-                                    << ")");
+                                    << "), mean ground-truth L2 "
+                                    << (prints.empty() ? 0.0 : total_l2 / prints.size())
+                                    << " px");
   return ds;
 }
 

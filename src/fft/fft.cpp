@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fft/plan.hpp"
 
 namespace ganopc::fft {
 
@@ -17,26 +18,25 @@ std::size_t next_pow2(std::size_t n) {
 
 namespace {
 
-// Iterative Cooley-Tukey on a gathered (contiguous) buffer.
-void fft_inplace(cfloat* a, std::size_t n, bool inverse) {
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+// Iterative Cooley-Tukey on a gathered (contiguous) buffer, driven by the
+// precomputed bit-reversal and twiddle tables of `plan`.
+void fft_inplace(cfloat* a, const FftPlan& plan, bool inverse) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
     if (i < j) std::swap(a[i], a[j]);
   }
+  const cfloat* tw = plan.twiddle.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const cfloat wlen(static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang)));
+    const std::size_t half = len / 2;
+    const std::size_t step = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      cfloat w(1.0f, 0.0f);
-      for (std::size_t k = 0; k < len / 2; ++k) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cfloat w = inverse ? std::conj(tw[k * step]) : tw[k * step];
         const cfloat u = a[i + k];
-        const cfloat v = a[i + k + len / 2] * w;
+        const cfloat v = a[i + k + half] * w;
         a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
+        a[i + k + half] = u - v;
       }
     }
   }
@@ -50,36 +50,39 @@ void fft_inplace(cfloat* a, std::size_t n, bool inverse) {
 
 void fft_1d(std::vector<cfloat>& data, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(data.size()), "FFT size must be a power of two");
-  fft_inplace(data.data(), data.size(), inverse);
+  fft_inplace(data.data(), plan_for(data.size()), inverse);
 }
 
 void fft_1d_strided(cfloat* data, std::size_t n, std::size_t stride, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(n), "FFT size must be a power of two");
+  const FftPlan& plan = plan_for(n);
   if (stride == 1) {
-    fft_inplace(data, n, inverse);
+    fft_inplace(data, plan, inverse);
     return;
   }
   std::vector<cfloat> tmp(n);
   for (std::size_t i = 0; i < n; ++i) tmp[i] = data[i * stride];
-  fft_inplace(tmp.data(), n, inverse);
+  fft_inplace(tmp.data(), plan, inverse);
   for (std::size_t i = 0; i < n; ++i) data[i * stride] = tmp[i];
 }
 
 void fft_2d(cfloat* data, std::size_t height, std::size_t width, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "FFT dims must be powers of two");
+  const FftPlan& row_plan = plan_for(width);
+  const FftPlan& col_plan = plan_for(height);
   // Rows: note we do NOT apply 1/N scaling per axis separately; fft_inplace
   // scales by 1/len for inverse, so a row pass scales 1/W and a column pass
   // 1/H, composing to the desired 1/(W*H).
   parallel_for_chunks(0, height, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r)
-      fft_inplace(data + r * width, width, inverse);
+      fft_inplace(data + r * width, row_plan, inverse);
   }, /*serial_threshold=*/8);
   // Columns, with a per-column gather to keep memory access linear.
   parallel_for_chunks(0, width, [&](std::size_t c0, std::size_t c1) {
     std::vector<cfloat> tmp(height);
     for (std::size_t c = c0; c < c1; ++c) {
       for (std::size_t r = 0; r < height; ++r) tmp[r] = data[r * width + c];
-      fft_inplace(tmp.data(), height, inverse);
+      fft_inplace(tmp.data(), col_plan, inverse);
       for (std::size_t r = 0; r < height; ++r) data[r * width + c] = tmp[r];
     }
   }, /*serial_threshold=*/8);

@@ -1,0 +1,40 @@
+#include "fft/plan.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "fft/fft.hpp"
+
+namespace ganopc::fft {
+
+FftPlan::FftPlan(std::size_t n_) : n(n_) {
+  GANOPC_CHECK_MSG(is_pow2(n), "FFT plan size must be a power of two");
+  bitrev.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev[i] = static_cast<std::uint32_t>(j);
+  }
+  twiddle.resize(n / 2);
+  for (std::size_t j = 0; j < n / 2; ++j) {
+    const double ang = -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n);
+    twiddle[j] = {static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
+  }
+}
+
+const FftPlan& plan_for(std::size_t n) {
+  static std::mutex mutex;
+  // Intentionally leaked: thread-pool workers may still run transforms while
+  // static destructors execute, so plans must outlive every static object.
+  static auto* cache = new std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>();
+  std::lock_guard lock(mutex);
+  auto& slot = (*cache)[n];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+}  // namespace ganopc::fft

@@ -69,26 +69,23 @@ IltResult IltEngine::optimize(const geom::Grid& target,
   result.l2_history.push_back(best_l2);
   int stall_checks = 0;
   int iter = 0;
+  // One workspace and one gradient grid serve every iteration: after the
+  // first step the litho engine allocates nothing. The dose corners share
+  // one forward-field computation inside gradient_into.
+  litho::LithoWorkspace ws;
+  geom::Grid grad_mb;
+  std::vector<float> grad_p(npx);
   for (; iter < config_.max_iterations; ++iter) {
     // dE/dM_b (Eq. 14 core), averaged over the configured dose corners,
     // plus the optional smoothness term; chained through the mask
     // relaxation (Eq. 13).
-    geom::Grid grad_mb = sim_.gradient(mask_b, target, config_.dose_corners.front());
-    if (config_.dose_corners.size() > 1) {
-      for (std::size_t d = 1; d < config_.dose_corners.size(); ++d) {
-        const geom::Grid extra = sim_.gradient(mask_b, target, config_.dose_corners[d]);
-        for (std::size_t i = 0; i < npx; ++i) grad_mb.data[i] += extra.data[i];
-      }
-      const float inv = 1.0f / static_cast<float>(config_.dose_corners.size());
-      for (auto& v : grad_mb.data) v *= inv;
-    }
+    sim_.gradient_into(mask_b, target, config_.dose_corners, grad_mb, ws);
     if (config_.smoothness_lambda > 0.0f) {
       const geom::Grid reg = smoothness_gradient(mask_b);
       for (std::size_t i = 0; i < npx; ++i)
         grad_mb.data[i] += config_.smoothness_lambda * reg.data[i];
     }
     float max_abs = 0.0f;
-    std::vector<float> grad_p(npx);
     for (std::size_t i = 0; i < npx; ++i) {
       const float mb = mask_b.data[i];
       grad_p[i] = grad_mb.data[i] * beta * mb * (1.0f - mb);

@@ -1,8 +1,10 @@
 #include "litho/lithosim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "fft/fft.hpp"
 
 namespace ganopc::litho {
@@ -11,8 +13,75 @@ namespace {
 
 using fft::cfloat;
 
+/// Per-thread scratch for the workspace-free convenience wrappers. Worker
+/// threads of the shared pool keep their workspace warm across batches.
+LithoWorkspace& tls_workspace() {
+  static thread_local LithoWorkspace ws;
+  return ws;
+}
+
+/// Point `g` at the simulator geometry without reallocating when the pixel
+/// count already matches.
+void reshape_like(geom::Grid& g, std::int32_t n, std::int32_t pixel_nm,
+                  const geom::Grid& src) {
+  g.rows = n;
+  g.cols = n;
+  g.pixel_nm = pixel_nm;
+  g.origin_x = src.origin_x;
+  g.origin_y = src.origin_y;
+  g.data.resize(static_cast<std::size_t>(n) * n);
+}
+
+// The one SOCS forward implementation (Eq. 2): mask FFT, per-kernel coherent
+// fields A_k = IFFT(H_k_hat .* mask_hat) parallelized over kernels, then the
+// intensity I = sum_k w_k |A_k|^2 reduced per pixel in ascending-k order.
+// Blocks only partition pixels/kernels — every thread count produces
+// bit-identical output. Shared by LithoSim::aerial_into, the gradient's
+// forward pass and threshold calibration, so tests cover one implementation.
+void socs_forward(const SocsKernels& kernels, const geom::Grid& mask,
+                  geom::Grid& aerial_image, LithoWorkspace& ws) {
+  const std::int32_t n = kernels.grid_size();
+  const auto un = static_cast<std::size_t>(n);
+  const std::size_t npx = un * un;
+  const int num_k = kernels.count();
+  ws.ensure_forward(num_k, npx);
+
+  for (std::size_t i = 0; i < npx; ++i) ws.mask_hat[i] = cfloat(mask.data[i], 0.0f);
+  fft::fft_2d(ws.mask_hat.data(), un, un, false);
+
+  for (int k = 0; k < num_k; ++k) ws.weights[static_cast<std::size_t>(k)] = kernels.weight(k);
+
+  // Coherent fields: one kernel per unit of work; each worker's nested FFT
+  // parallelism degrades to serial inside the pool (no oversubscription).
+  ThreadPool::instance().parallel_blocks(
+      static_cast<std::size_t>(num_k),
+      [&](std::size_t /*block*/, std::size_t kb, std::size_t ke) {
+        for (std::size_t k = kb; k < ke; ++k) {
+          auto& field = ws.fields[k];
+          const auto& hat = kernels.freq_kernel(static_cast<int>(k));
+          const cfloat* mh = ws.mask_hat.data();
+          for (std::size_t i = 0; i < npx; ++i) field[i] = mh[i] * hat[i];
+          fft::fft_2d(field.data(), un, un, true);
+        }
+      });
+
+  reshape_like(aerial_image, n, kernels.pixel_nm(), mask);
+  parallel_for_chunks(0, npx, [&](std::size_t b, std::size_t e) {
+    double* acc = ws.acc.data();
+    std::fill(acc + b, acc + e, 0.0);
+    for (int k = 0; k < num_k; ++k) {
+      const double w = ws.weights[static_cast<std::size_t>(k)];
+      const cfloat* f = ws.fields[static_cast<std::size_t>(k)].data();
+      for (std::size_t i = b; i < e; ++i) acc[i] += w * std::norm(f[i]);
+    }
+    float* out = aerial_image.data.data();
+    for (std::size_t i = b; i < e; ++i) out[i] = static_cast<float>(acc[i]);
+  }, /*serial_threshold=*/1024);
+}
+
 // Threshold calibration: image a wide vertical stripe and take the intensity
-// at its geometric edge, so large features print at drawn size.
+// at its geometric edge, so large features print at drawn size. Runs through
+// the same socs_forward path as every aerial image.
 float calibrate_threshold(const SocsKernels& kernels) {
   const std::int32_t n = kernels.grid_size();
   geom::Grid stripe(n, n, kernels.pixel_nm());
@@ -20,26 +89,13 @@ float calibrate_threshold(const SocsKernels& kernels) {
   for (std::int32_t r = 0; r < n; ++r)
     for (std::int32_t c = c0; c < c1; ++c) stripe.at(r, c) = 1.0f;
 
-  // Inline aerial computation (cannot call LithoSim::aerial during
-  // construction).
-  std::vector<cfloat> mask_hat(stripe.data.begin(), stripe.data.end());
-  fft::fft_2d(mask_hat, static_cast<std::size_t>(n), static_cast<std::size_t>(n), false);
-  std::vector<double> intensity(static_cast<std::size_t>(n) * n, 0.0);
-  std::vector<cfloat> field(mask_hat.size());
-  for (int k = 0; k < kernels.count(); ++k) {
-    const auto& hat = kernels.freq_kernel(k);
-    for (std::size_t i = 0; i < field.size(); ++i) field[i] = mask_hat[i] * hat[i];
-    fft::fft_2d(field, static_cast<std::size_t>(n), static_cast<std::size_t>(n), true);
-    const double w = kernels.weight(k);
-    for (std::size_t i = 0; i < field.size(); ++i) intensity[i] += w * std::norm(field[i]);
-  }
+  geom::Grid intensity;
+  LithoWorkspace ws;
+  socs_forward(kernels, stripe, intensity, ws);
   // The geometric edge lies between pixel centers c0-1 and c0; average the
   // two along the stripe's mid row.
-  const std::size_t row = static_cast<std::size_t>(n / 2) * n;
-  const double edge =
-      0.5 * (intensity[row + static_cast<std::size_t>(c0) - 1] +
-             intensity[row + static_cast<std::size_t>(c0)]);
-  return static_cast<float>(edge);
+  const float* mid = intensity.data.data() + static_cast<std::size_t>(n / 2) * n;
+  return 0.5f * (mid[c0 - 1] + mid[c0]);
 }
 
 }  // namespace
@@ -57,35 +113,15 @@ void LithoSim::check_geometry(const geom::Grid& g) const {
                            << grid_size() << "x" << grid_size());
 }
 
-void LithoSim::fields(const geom::Grid& mask, std::vector<std::vector<cfloat>>& a_k,
-                      geom::Grid& aerial_image) const {
-  const std::int32_t n = grid_size();
-  const auto npx = static_cast<std::size_t>(n) * n;
-  std::vector<cfloat> mask_hat(mask.data.begin(), mask.data.end());
-  fft::fft_2d(mask_hat, static_cast<std::size_t>(n), static_cast<std::size_t>(n), false);
-
-  aerial_image = geom::Grid(n, n, pixel_nm(), mask.origin_x, mask.origin_y);
-  a_k.assign(static_cast<std::size_t>(kernels_.count()), {});
-  std::vector<double> intensity(npx, 0.0);
-  for (int k = 0; k < kernels_.count(); ++k) {
-    auto& field = a_k[static_cast<std::size_t>(k)];
-    field.resize(npx);
-    const auto& hat = kernels_.freq_kernel(k);
-    for (std::size_t i = 0; i < npx; ++i) field[i] = mask_hat[i] * hat[i];
-    fft::fft_2d(field.data(), static_cast<std::size_t>(n), static_cast<std::size_t>(n),
-                true);
-    const double w = kernels_.weight(k);
-    for (std::size_t i = 0; i < npx; ++i) intensity[i] += w * std::norm(field[i]);
-  }
-  for (std::size_t i = 0; i < npx; ++i)
-    aerial_image.data[i] = static_cast<float>(intensity[i]);
+void LithoSim::aerial_into(const geom::Grid& mask, geom::Grid& aerial_image,
+                           LithoWorkspace& ws) const {
+  check_geometry(mask);
+  socs_forward(kernels_, mask, aerial_image, ws);
 }
 
 geom::Grid LithoSim::aerial(const geom::Grid& mask) const {
-  check_geometry(mask);
-  std::vector<std::vector<cfloat>> a_k;
   geom::Grid out;
-  fields(mask, a_k, out);
+  aerial_into(mask, out, tls_workspace());
   return out;
 }
 
@@ -101,6 +137,21 @@ geom::Grid LithoSim::simulate(const geom::Grid& mask, float dose) const {
   return print(aerial(mask), dose);
 }
 
+std::vector<geom::Grid> LithoSim::simulate_batch(std::span<const geom::Grid> masks,
+                                                 float dose) const {
+  GANOPC_CHECK(dose > 0.0f);
+  for (const auto& m : masks) check_geometry(m);
+  std::vector<geom::Grid> prints(masks.size());
+  // Threshold 2: a single mask keeps the calling thread and its intra-mask
+  // (per-kernel) parallelism; larger batches parallelize across masks, each
+  // worker reusing its per-thread workspace. Output slot i only ever depends
+  // on mask i, so scheduling cannot change results.
+  parallel_for(0, masks.size(),
+               [&](std::size_t i) { prints[i] = simulate(masks[i], dose); },
+               /*serial_threshold=*/2);
+  return prints;
+}
+
 geom::Grid LithoSim::relaxed_wafer(const geom::Grid& aerial_image, float dose) const {
   check_geometry(aerial_image);
   geom::Grid z = aerial_image;
@@ -110,14 +161,13 @@ geom::Grid LithoSim::relaxed_wafer(const geom::Grid& aerial_image, float dose) c
 }
 
 LithoSim::ForwardResult LithoSim::forward_relaxed(const geom::Grid& mask_b,
-                                                  const geom::Grid& target,
-                                                  float dose) const {
+                                                  const geom::Grid& target, float dose,
+                                                  LithoWorkspace& ws) const {
   check_geometry(mask_b);
   check_geometry(target);
   GANOPC_CHECK(dose > 0.0f);
   ForwardResult result;
-  std::vector<std::vector<cfloat>> a_k;
-  fields(mask_b, a_k, result.aerial_image);
+  socs_forward(kernels_, mask_b, result.aerial_image, ws);
   result.wafer_relaxed = relaxed_wafer(result.aerial_image, dose);
   double err = 0.0;
   for (std::size_t i = 0; i < target.data.size(); ++i) {
@@ -128,48 +178,86 @@ LithoSim::ForwardResult LithoSim::forward_relaxed(const geom::Grid& mask_b,
   return result;
 }
 
-geom::Grid LithoSim::gradient(const geom::Grid& mask_b, const geom::Grid& target,
-                              float dose) const {
+LithoSim::ForwardResult LithoSim::forward_relaxed(const geom::Grid& mask_b,
+                                                  const geom::Grid& target,
+                                                  float dose) const {
+  return forward_relaxed(mask_b, target, dose, tls_workspace());
+}
+
+void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
+                             std::span<const float> doses, geom::Grid& grad_out,
+                             LithoWorkspace& ws) const {
   check_geometry(mask_b);
   check_geometry(target);
-  GANOPC_CHECK(dose > 0.0f);
+  GANOPC_CHECK_MSG(!doses.empty(), "gradient needs at least one dose");
+  for (const float d : doses) GANOPC_CHECK(d > 0.0f);
   const std::int32_t n = grid_size();
-  const auto npx = static_cast<std::size_t>(n) * n;
+  const auto un = static_cast<std::size_t>(n);
+  const std::size_t npx = un * un;
+  const int num_k = kernels_.count();
 
-  std::vector<std::vector<cfloat>> a_k;
-  geom::Grid aerial_image;
-  fields(mask_b, a_k, aerial_image);
-  const geom::Grid z = relaxed_wafer(aerial_image, dose);
+  // Forward fields A_k are computed once and shared by every dose corner.
+  socs_forward(kernels_, mask_b, ws.aerial_scratch, ws);
+  ws.ensure_adjoint(num_k, npx);
 
-  // X = dE/dI = 2 (Z - Z_t) .* alpha * dose * Z (1 - Z)   (real-valued);
-  // the dose factor comes from Z = sigmoid(alpha (dose*I - I_th)).
-  std::vector<float> x(npx);
+  double* acc = ws.acc.data();
+  std::fill(acc, acc + npx, 0.0);
   const float alpha = resist_.sigmoid_alpha;
-  for (std::size_t i = 0; i < npx; ++i) {
-    const float zi = z.data[i];
-    x[i] = 2.0f * (zi - target.data[i]) * alpha * dose * zi * (1.0f - zi);
+  // Dose corners accumulate serially (fixed order); within a dose, the
+  // per-kernel adjoint transforms are independent and the per-pixel sum runs
+  // in ascending-k order — deterministic at any thread count.
+  for (const float dose : doses) {
+    // X = dE/dI = 2 (Z - Z_t) .* alpha * dose * Z (1 - Z)   (real-valued);
+    // the dose factor comes from Z = sigmoid(alpha (dose*I - I_th)).
+    parallel_for_chunks(0, npx, [&](std::size_t b, std::size_t e) {
+      const float* intensity = ws.aerial_scratch.data.data();
+      float* x = ws.x.data();
+      for (std::size_t i = b; i < e; ++i) {
+        const float zi =
+            1.0f / (1.0f + std::exp(-alpha * (intensity[i] * dose - threshold_)));
+        x[i] = 2.0f * (zi - target.data[i]) * alpha * dose * zi * (1.0f - zi);
+      }
+    }, /*serial_threshold=*/1024);
+
+    // dE/dM = sum_k w_k * 2 Re( (X .* conj(A_k)) correlated with h_k )
+    //       = sum_k w_k * 2 Re( IFFT( FFT(X .* conj(A_k)) .* H_k_hat(-f) ) ).
+    // This is the frequency-domain form of Eq. (14)'s two convolution terms
+    // (conv with H and with H*), fused via the 2 Re(.) identity.
+    ThreadPool::instance().parallel_blocks(
+        static_cast<std::size_t>(num_k),
+        [&](std::size_t /*block*/, std::size_t kb, std::size_t ke) {
+          for (std::size_t k = kb; k < ke; ++k) {
+            auto& buf = ws.adjoint[k];
+            const auto& field = ws.fields[k];
+            const float* x = ws.x.data();
+            for (std::size_t i = 0; i < npx; ++i) buf[i] = x[i] * std::conj(field[i]);
+            fft::fft_2d(buf.data(), un, un, false);
+            const auto& hat_flipped = kernels_.freq_kernel_flipped(static_cast<int>(k));
+            for (std::size_t i = 0; i < npx; ++i) buf[i] *= hat_flipped[i];
+            fft::fft_2d(buf.data(), un, un, true);
+          }
+        });
+
+    parallel_for_chunks(0, npx, [&](std::size_t b, std::size_t e) {
+      for (int k = 0; k < num_k; ++k) {
+        const double w2 = 2.0 * ws.weights[static_cast<std::size_t>(k)];
+        const cfloat* buf = ws.adjoint[static_cast<std::size_t>(k)].data();
+        for (std::size_t i = b; i < e; ++i) acc[i] += w2 * buf[i].real();
+      }
+    }, /*serial_threshold=*/1024);
   }
 
-  // dE/dM = sum_k w_k * 2 Re( (X .* conj(A_k)) correlated with h_k )
-  //       = sum_k w_k * 2 Re( IFFT( FFT(X .* conj(A_k)) .* H_k_hat(-f) ) ).
-  // This is the frequency-domain form of Eq. (14)'s two convolution terms
-  // (conv with H and with H*), fused via the 2 Re(.) identity.
-  geom::Grid grad(n, n, pixel_nm(), mask_b.origin_x, mask_b.origin_y);
-  std::vector<double> acc(npx, 0.0);
-  std::vector<cfloat> buf(npx);
-  for (int k = 0; k < kernels_.count(); ++k) {
-    const auto& field = a_k[static_cast<std::size_t>(k)];
-    for (std::size_t i = 0; i < npx; ++i) buf[i] = x[i] * std::conj(field[i]);
-    fft::fft_2d(buf.data(), static_cast<std::size_t>(n), static_cast<std::size_t>(n),
-                false);
-    const auto& hat_flipped = kernels_.freq_kernel_flipped(k);
-    for (std::size_t i = 0; i < npx; ++i) buf[i] *= hat_flipped[i];
-    fft::fft_2d(buf.data(), static_cast<std::size_t>(n), static_cast<std::size_t>(n),
-                true);
-    const double w = 2.0 * kernels_.weight(k);
-    for (std::size_t i = 0; i < npx; ++i) acc[i] += w * buf[i].real();
-  }
-  for (std::size_t i = 0; i < npx; ++i) grad.data[i] = static_cast<float>(acc[i]);
+  reshape_like(grad_out, n, pixel_nm(), mask_b);
+  const double inv_d = 1.0 / static_cast<double>(doses.size());
+  for (std::size_t i = 0; i < npx; ++i)
+    grad_out.data[i] = static_cast<float>(acc[i] * inv_d);
+}
+
+geom::Grid LithoSim::gradient(const geom::Grid& mask_b, const geom::Grid& target,
+                              float dose) const {
+  geom::Grid grad;
+  const float doses[1] = {dose};
+  gradient_into(mask_b, target, doses, grad, tls_workspace());
   return grad;
 }
 

@@ -13,9 +13,12 @@
 #include <complex>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "geometry/grid.hpp"
 #include "litho/kernels.hpp"
+#include "litho/workspace.hpp"
 
 namespace ganopc::litho {
 
@@ -39,13 +42,28 @@ class LithoSim {
   float sigmoid_alpha() const { return resist_.sigmoid_alpha; }
 
   /// Aerial image of a (possibly continuous-valued) mask in [0, 1].
+  /// Convenience wrapper over `aerial_into` using a per-thread workspace.
   geom::Grid aerial(const geom::Grid& mask) const;
+
+  /// Aerial image into a caller-owned output grid using caller-owned scratch
+  /// buffers; repeated calls allocate nothing once `ws` is warm. The SOCS
+  /// per-kernel loop runs on the shared thread pool with a fixed-order
+  /// per-pixel reduction: results are bit-identical at any thread count.
+  void aerial_into(const geom::Grid& mask, geom::Grid& aerial_image,
+                   LithoWorkspace& ws) const;
 
   /// Hard resist print of an aerial image at the given dose.
   geom::Grid print(const geom::Grid& aerial_image, float dose = 1.0f) const;
 
   /// aerial + print in one call.
   geom::Grid simulate(const geom::Grid& mask, float dose = 1.0f) const;
+
+  /// Hard resist prints of a batch of masks at one dose. Masks are simulated
+  /// concurrently on the shared thread pool (each worker reuses a per-thread
+  /// workspace); a single-element batch falls back to intra-mask parallelism.
+  /// Output order matches input order regardless of scheduling.
+  std::vector<geom::Grid> simulate_batch(std::span<const geom::Grid> masks,
+                                         float dose = 1.0f) const;
 
   /// Relaxed wafer image (Eq. (12)).
   geom::Grid relaxed_wafer(const geom::Grid& aerial_image, float dose = 1.0f) const;
@@ -62,12 +80,26 @@ class LithoSim {
   ForwardResult forward_relaxed(const geom::Grid& mask_b, const geom::Grid& target,
                                 float dose = 1.0f) const;
 
+  /// Workspace-explicit variant of `forward_relaxed` (no scratch allocation).
+  ForwardResult forward_relaxed(const geom::Grid& mask_b, const geom::Grid& target,
+                                float dose, LithoWorkspace& ws) const;
+
   /// dE/dM_b with E = ||Z - Z_t||_2^2 through the relaxed resist — the
   /// convolutional core of Eq. (14), evaluated at the given dose. The caller
   /// chains the mask-relaxation factor beta * M_b (1 - M_b) (Eq. (13)) if it
   /// optimizes an unbounded mask parameterization.
   geom::Grid gradient(const geom::Grid& mask_b, const geom::Grid& target,
                       float dose = 1.0f) const;
+
+  /// Eq. (14) gradient averaged over `doses` (the PV-aware dose-corner
+  /// objective; a single dose reproduces `gradient`). The coherent fields A_k
+  /// are computed once and shared by every dose corner, so D corners cost
+  /// 1 + N_h + 2*D*N_h transforms instead of D * (1 + 3*N_h). Per-kernel
+  /// loops run on the thread pool; reductions are fixed-order (deterministic
+  /// at any thread count). `grad_out` is resized to the mask geometry.
+  void gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
+                     std::span<const float> doses, geom::Grid& grad_out,
+                     LithoWorkspace& ws) const;
 
   struct PvBand {
     geom::Grid outer;          ///< print at dose (1 + delta)
@@ -84,10 +116,6 @@ class LithoSim {
 
  private:
   void check_geometry(const geom::Grid& g) const;
-  /// FFT of the mask plus per-kernel coherent fields A_k; aerial image out.
-  void fields(const geom::Grid& mask,
-              std::vector<std::vector<std::complex<float>>>& a_k,
-              geom::Grid& aerial_image) const;
 
   SocsKernels kernels_;
   ResistConfig resist_;

@@ -1,17 +1,49 @@
-// Finite-difference gradient checking for layers.
+// Finite-difference gradient checking for layers and grid-valued objectives.
 //
 // Verifies both dLoss/dInput and dLoss/dParams of a layer against central
 // differences, using loss = sum(output .* seed) for a fixed random seed
 // tensor (so every output element participates with a distinct weight).
+// `check_grid_gradient` does the same for a scalar objective over a
+// geom::Grid (the lithography Eq. 14 path).
 #pragma once
 
 #include <cmath>
 #include <gtest/gtest.h>
 
 #include "common/prng.hpp"
+#include "geometry/grid.hpp"
 #include "nn/layer.hpp"
 
 namespace ganopc::testing {
+
+/// Central-difference check of an analytic gradient field `analytic` of the
+/// scalar objective `loss` at the point `x`. Probes `probes` random pixels
+/// whose analytic gradient magnitude exceeds `min_grad` (below it the FD
+/// signal 2*eps*g drowns in float rounding of the objective), requiring
+/// relative agreement `rel_tol`. Fails if fewer than min_probes qualifying
+/// pixels are found.
+template <typename LossFn>
+inline void check_grid_gradient(const LossFn& loss, const geom::Grid& x,
+                                const geom::Grid& analytic, Prng& rng, int probes = 20,
+                                float eps = 3e-3f, float rel_tol = 5e-2f,
+                                float min_grad = 1e-2f, int min_probes = 10) {
+  ASSERT_EQ(x.data.size(), analytic.data.size());
+  int checked = 0;
+  for (int trial = 0; trial < 40 * probes && checked < probes; ++trial) {
+    const auto idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(x.data.size()) - 1));
+    if (std::fabs(analytic.data[idx]) < min_grad) continue;
+    geom::Grid xp = x, xm = x;
+    xp.data[idx] += eps;
+    xm.data[idx] -= eps;
+    const double fd = (loss(xp) - loss(xm)) / (2.0 * static_cast<double>(eps));
+    const double ana = analytic.data[idx];
+    EXPECT_NEAR(ana, fd, rel_tol * std::max(std::fabs(fd), std::fabs(ana)))
+        << "grid gradient mismatch at flat index " << idx;
+    ++checked;
+  }
+  EXPECT_GE(checked, min_probes) << "not enough pixels with significant gradient";
+}
 
 inline float dot(const nn::Tensor& a, const nn::Tensor& b) {
   EXPECT_TRUE(a.same_shape(b));

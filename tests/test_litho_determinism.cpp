@@ -1,0 +1,122 @@
+// Determinism of the parallel lithography engine across thread counts.
+//
+// The SOCS forward and adjoint loops parallelize over kernels and pixel
+// blocks, but every floating-point reduction runs in a fixed order (ascending
+// kernel index per pixel, serial dose corners), so the pool size must not
+// change a single bit of any result. This tier pins that contract: aerial,
+// gradient (single- and multi-dose), a full ILT iteration and a simulate
+// batch are computed at 1, 2 and hardware_concurrency threads (plus an
+// oversubscribed pool) and compared bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+void expect_identical(const geom::Grid& a, const geom::Grid& b, const char* what,
+                      std::size_t threads) {
+  ASSERT_EQ(a.data.size(), b.data.size()) << what << " @ " << threads << " threads";
+  EXPECT_EQ(0, std::memcmp(a.data.data(), b.data.data(), a.data.size() * sizeof(float)))
+      << what << " differs at " << threads << " threads";
+}
+
+struct Snapshot {
+  geom::Grid aerial;
+  geom::Grid grad_single;
+  geom::Grid grad_multi;
+  geom::Grid ilt_mask;
+  std::vector<geom::Grid> batch;
+};
+
+Snapshot run_engine(const LithoSim& sim, const geom::Grid& target) {
+  Snapshot s;
+  geom::Grid mask = target;
+  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
+
+  s.aerial = sim.aerial(mask);
+  s.grad_single = sim.gradient(mask, target);
+
+  LithoWorkspace ws;
+  const std::vector<float> doses = {0.95f, 1.0f, 1.05f};
+  sim.gradient_into(mask, target, doses, s.grad_multi, ws);
+
+  ilt::IltConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.check_every = 1;
+  cfg.patience = 1;
+  s.ilt_mask = ilt::IltEngine(sim, cfg).optimize(target).mask_relaxed;
+
+  geom::Grid shifted(target.rows, target.cols, target.pixel_nm);
+  for (std::int32_t r = 2; r < target.rows; ++r)
+    for (std::int32_t c = 0; c < target.cols; ++c)
+      shifted.at(r, c) = target.at(r - 2, c);
+  const std::vector<geom::Grid> masks = {target, mask, shifted};
+  s.batch = sim.simulate_batch(masks);
+  return s;
+}
+
+TEST(LithoDeterminism, BitIdenticalAtEveryThreadCount) {
+  OpticsConfig optics;
+  optics.num_kernels = 12;
+  const LithoSim sim(optics, ResistConfig{}, 32, 32);
+  geom::Grid target(32, 32, 32);
+  for (std::int32_t r = 8; r < 24; ++r)
+    for (std::int32_t c = 12; c < 20; ++c) target.at(r, c) = 1.0f;
+
+  ThreadPool::reset(1);
+  const Snapshot base = run_engine(sim, target);
+
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts = {1, 2, hw, hw + 3};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  for (const std::size_t t : counts) {
+    ThreadPool::reset(t);
+    ASSERT_EQ(ThreadPool::instance().size(), t);
+    const Snapshot s = run_engine(sim, target);
+    expect_identical(s.aerial, base.aerial, "aerial", t);
+    expect_identical(s.grad_single, base.grad_single, "gradient", t);
+    expect_identical(s.grad_multi, base.grad_multi, "multi-dose gradient", t);
+    expect_identical(s.ilt_mask, base.ilt_mask, "ILT iteration", t);
+    ASSERT_EQ(s.batch.size(), base.batch.size());
+    for (std::size_t i = 0; i < s.batch.size(); ++i)
+      expect_identical(s.batch[i], base.batch[i], "batch print", t);
+  }
+  ThreadPool::reset(ThreadPool::default_thread_count());
+}
+
+TEST(LithoDeterminism, RepeatedCallsOnWarmWorkspaceAreStable) {
+  // Buffer reuse must not leak state between calls: interleaving different
+  // masks through one workspace reproduces the cold-workspace results.
+  OpticsConfig optics;
+  optics.num_kernels = 8;
+  const LithoSim sim(optics, ResistConfig{}, 32, 32);
+  geom::Grid a(32, 32, 32), b(32, 32, 32);
+  for (std::int32_t r = 4; r < 28; ++r)
+    for (std::int32_t c = 14; c < 18; ++c) a.at(r, c) = 1.0f;
+  for (std::int32_t r = 12; r < 20; ++r)
+    for (std::int32_t c = 4; c < 28; ++c) b.at(r, c) = 1.0f;
+
+  LithoWorkspace cold_a, cold_b, warm;
+  geom::Grid ref_a, ref_b, out;
+  sim.aerial_into(a, ref_a, cold_a);
+  sim.aerial_into(b, ref_b, cold_b);
+  sim.aerial_into(a, out, warm);
+  expect_identical(out, ref_a, "warm aerial(a)", ThreadPool::instance().size());
+  sim.aerial_into(b, out, warm);
+  expect_identical(out, ref_b, "warm aerial(b)", ThreadPool::instance().size());
+  sim.aerial_into(a, out, warm);
+  expect_identical(out, ref_a, "warm aerial(a) again", ThreadPool::instance().size());
+}
+
+}  // namespace
+}  // namespace ganopc::litho

@@ -1,0 +1,114 @@
+// Golden-image regression tier for the lithography engine.
+//
+// A fixed synthetic clip (bar + arm + isolated square, deliberately
+// asymmetric) is pushed through the full default-optics pipeline and compared
+// against a checked-in reference aerial image, calibrated resist threshold
+// and hard print contour. Any change to the optics model, kernel generation,
+// FFT or SOCS accumulation order that shifts the physics shows up here —
+// refactors of the engine internals (plan caching, workspaces, parallel
+// loops) must not.
+//
+// Regenerating the reference (only after an INTENTIONAL physics change):
+//   GANOPC_REGEN_GOLDEN=$PWD/tests/litho_golden_data.inc ./build/tests/test_litho_golden
+// then rebuild and commit the refreshed .inc alongside the change that
+// justified it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "litho/lithosim.hpp"
+
+namespace ganopc::litho {
+namespace {
+
+#include "litho_golden_data.inc"
+
+constexpr std::int32_t kGrid = 32;
+constexpr std::int32_t kPixelNm = 32;
+
+LithoSim golden_sim() {
+  // Defaults on purpose: this tier pins the out-of-the-box physics.
+  return LithoSim(OpticsConfig{}, ResistConfig{}, kGrid, kPixelNm);
+}
+
+geom::Grid golden_clip() {
+  geom::Grid g(kGrid, kGrid, kPixelNm);
+  // Vertical bar with a horizontal arm off its middle (an asymmetric "T" on
+  // its side) plus an isolated contact square in the opposite corner.
+  for (std::int32_t r = 4; r < 26; ++r)
+    for (std::int32_t c = 8; c < 12; ++c) g.at(r, c) = 1.0f;
+  for (std::int32_t r = 13; r < 17; ++r)
+    for (std::int32_t c = 12; c < 24; ++c) g.at(r, c) = 1.0f;
+  for (std::int32_t r = 24; r < 28; ++r)
+    for (std::int32_t c = 26; c < 30; ++c) g.at(r, c) = 1.0f;
+  return g;
+}
+
+void regenerate(const char* path, const LithoSim& sim, const geom::Grid& aerial,
+                const geom::Grid& print) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+  out << "// Golden reference for test_litho_golden.cpp. Generated file — do not\n"
+         "// edit by hand; see the regeneration recipe in that test.\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(sim.threshold()));
+  out << "constexpr float kGoldenThreshold = " << buf << "f;\n";
+  out << "constexpr float kGoldenAerial[" << aerial.data.size() << "] = {\n";
+  for (std::size_t i = 0; i < aerial.data.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(aerial.data[i]));
+    out << buf << "f," << ((i % 8 == 7) ? "\n" : " ");
+  }
+  out << "};\n";
+  out << "constexpr unsigned char kGoldenPrint[" << print.data.size() << "] = {\n";
+  for (std::size_t i = 0; i < print.data.size(); ++i)
+    out << (print.data[i] >= 0.5f ? '1' : '0') << ',' << ((i % 32 == 31) ? '\n' : ' ');
+  out << "};\n";
+  ASSERT_TRUE(out.good()) << "write failed: " << path;
+}
+
+TEST(LithoGolden, AerialThresholdAndContourMatchReference) {
+  const LithoSim sim = golden_sim();
+  const geom::Grid clip = golden_clip();
+  const geom::Grid aerial = sim.aerial(clip);
+  const geom::Grid print = sim.print(aerial);
+
+  if (const char* regen = std::getenv("GANOPC_REGEN_GOLDEN")) {
+    regenerate(regen, sim, aerial, print);
+    GTEST_SKIP() << "golden data regenerated at " << regen;
+  }
+
+  ASSERT_EQ(aerial.data.size(), std::size(kGoldenAerial));
+  EXPECT_NEAR(sim.threshold(), kGoldenThreshold, 1e-6f);
+  for (std::size_t i = 0; i < aerial.data.size(); ++i)
+    ASSERT_NEAR(aerial.data[i], kGoldenAerial[i], 1e-5f) << "aerial pixel " << i;
+  // The hard contour must match wherever the intensity is not razor-close to
+  // threshold (there a sub-1e-5 aerial wobble may legitimately flip a pixel).
+  for (std::size_t i = 0; i < print.data.size(); ++i) {
+    if (std::fabs(aerial.data[i] - sim.threshold()) < 5e-5f) continue;
+    EXPECT_EQ(print.data[i] >= 0.5f, kGoldenPrint[i] != 0) << "print pixel " << i;
+  }
+}
+
+TEST(LithoGolden, ReferenceContourIsNonTrivial) {
+  // Guards against a silently-degenerate reference (all dark / all bright).
+  std::size_t on = 0;
+  for (unsigned char v : kGoldenPrint) on += v;
+  EXPECT_GT(on, std::size_t{32});
+  EXPECT_LT(on, std::size(kGoldenPrint) - 32);
+}
+
+TEST(LithoGolden, AerialIsBitwiseRepeatable) {
+  // Same engine, same clip, twice in a row: bit-identical (backstop for the
+  // dedicated determinism tier, on the default thread pool).
+  const LithoSim sim = golden_sim();
+  const geom::Grid clip = golden_clip();
+  const geom::Grid a = sim.aerial(clip);
+  const geom::Grid b = sim.aerial(clip);
+  for (std::size_t i = 0; i < a.data.size(); ++i) ASSERT_EQ(a.data[i], b.data[i]) << i;
+}
+
+}  // namespace
+}  // namespace ganopc::litho

@@ -1,9 +1,13 @@
-// Validation of the Eq. (14) gradient: finite differences and descent.
+// Validation of the Eq. (14) gradient: finite differences and descent,
+// including the workspace/batched code path and the dose-corner (PV-aware)
+// objective.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/prng.hpp"
+#include "gradcheck.hpp"
 #include "litho/lithosim.hpp"
 
 namespace ganopc::litho {
@@ -22,42 +26,92 @@ geom::Grid center_block(std::int32_t grid, std::int32_t pixel) {
   return g;
 }
 
+// A smooth mask strictly inside (0, 1) so the sigmoid resist is sensitive.
+geom::Grid soft_mask(const geom::Grid& target) {
+  geom::Grid mask = target;
+  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
+  return mask;
+}
+
 TEST(LithoGradient, MatchesFiniteDifferences) {
   const LithoSim sim = small_sim();
   const geom::Grid target = center_block(32, 32);
-  // A smooth mask strictly inside (0, 1) so the sigmoid resist is sensitive.
-  geom::Grid mask = target;
-  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
-
+  const geom::Grid mask = soft_mask(target);
   const geom::Grid grad = sim.gradient(mask, target);
   Prng rng(3);
-  const float eps = 1e-3f;
-  int checked = 0;
-  for (int trial = 0; trial < 200 && checked < 25; ++trial) {
-    const auto idx = static_cast<std::size_t>(
-        rng.randint(0, static_cast<std::int64_t>(mask.data.size()) - 1));
-    // Only probe pixels with non-negligible analytic gradient (elsewhere the
-    // FD signal drowns in float noise).
-    if (std::fabs(grad.data[idx]) < 1e-3f) continue;
-    geom::Grid mp = mask, mm = mask;
-    mp.data[idx] += eps;
-    mm.data[idx] -= eps;
-    const double ep = sim.forward_relaxed(mp, target).error;
-    const double em = sim.forward_relaxed(mm, target).error;
-    const double fd = (ep - em) / (2.0 * eps);
-    EXPECT_NEAR(grad.data[idx], fd,
-                5e-2 * std::max({std::fabs(fd), std::fabs(grad.data[idx] * 1.0)}))
-        << "pixel " << idx;
-    ++checked;
+  testing::check_grid_gradient(
+      [&](const geom::Grid& m) { return sim.forward_relaxed(m, target).error; }, mask,
+      grad, rng);
+}
+
+TEST(LithoGradient, WorkspacePathMatchesWrapperBitExactly) {
+  // gradient() is a thin wrapper over gradient_into with a per-thread
+  // workspace; an explicit (reused) workspace must produce identical bits.
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  const geom::Grid mask = soft_mask(target);
+  const geom::Grid via_wrapper = sim.gradient(mask, target);
+
+  LithoWorkspace ws;
+  geom::Grid via_ws;
+  const float doses[1] = {1.0f};
+  sim.gradient_into(mask, target, doses, via_ws, ws);
+  const std::size_t before = ws.bytes();
+  geom::Grid again;
+  sim.gradient_into(mask, target, doses, again, ws);
+
+  ASSERT_EQ(via_ws.data.size(), via_wrapper.data.size());
+  EXPECT_EQ(0, std::memcmp(via_ws.data.data(), via_wrapper.data.data(),
+                           via_ws.data.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(again.data.data(), via_ws.data.data(),
+                           via_ws.data.size() * sizeof(float)));
+  // Warm workspace: the second call must not have grown the scratch buffers.
+  EXPECT_EQ(ws.bytes(), before);
+}
+
+TEST(LithoGradient, MultiDoseMatchesFiniteDifferences) {
+  // The PV-aware objective: mean over dose corners of ||Z_d - Z_t||^2. The
+  // fused gradient_into shares one forward-field pass across corners; its
+  // output must still match finite differences of the summed objective.
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  const geom::Grid mask = soft_mask(target);
+  const std::vector<float> doses = {0.95f, 1.0f, 1.05f};
+
+  LithoWorkspace ws;
+  geom::Grid grad;
+  sim.gradient_into(mask, target, doses, grad, ws);
+
+  auto loss = [&](const geom::Grid& m) {
+    double total = 0.0;
+    for (const float d : doses) total += sim.forward_relaxed(m, target, d).error;
+    return total / static_cast<double>(doses.size());
+  };
+  Prng rng(7);
+  testing::check_grid_gradient(loss, mask, grad, rng);
+}
+
+TEST(LithoGradient, MultiDoseAveragesSingleDoseGradients) {
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  const geom::Grid mask = soft_mask(target);
+
+  LithoWorkspace ws;
+  geom::Grid fused;
+  const std::vector<float> doses = {0.97f, 1.03f};
+  sim.gradient_into(mask, target, doses, fused, ws);
+  const geom::Grid lo = sim.gradient(mask, target, 0.97f);
+  const geom::Grid hi = sim.gradient(mask, target, 1.03f);
+  for (std::size_t i = 0; i < fused.data.size(); ++i) {
+    const float avg = 0.5f * (lo.data[i] + hi.data[i]);
+    EXPECT_NEAR(fused.data[i], avg, 1e-6f + 1e-5f * std::fabs(avg)) << i;
   }
-  EXPECT_GE(checked, 10) << "not enough pixels with significant gradient";
 }
 
 TEST(LithoGradient, DescentStepReducesError) {
   const LithoSim sim = small_sim();
   const geom::Grid target = center_block(32, 32);
-  geom::Grid mask = target;
-  for (auto& v : mask.data) v = 0.2f + 0.6f * v;
+  const geom::Grid mask = soft_mask(target);
 
   const double e0 = sim.forward_relaxed(mask, target).error;
   const geom::Grid grad = sim.gradient(mask, target);
@@ -71,6 +125,33 @@ TEST(LithoGradient, DescentStepReducesError) {
   }
   const double e1 = sim.forward_relaxed(stepped, target).error;
   EXPECT_LT(e1, e0);
+}
+
+TEST(LithoGradient, DoseCornerDescentReducesPvObjective) {
+  // One steepest-descent step on the dose-corner objective must reduce the
+  // summed corner error — the property the PV-aware ILT mode relies on.
+  const LithoSim sim = small_sim();
+  const geom::Grid target = center_block(32, 32);
+  const geom::Grid mask = soft_mask(target);
+  const std::vector<float> doses = {0.95f, 1.05f};
+
+  auto objective = [&](const geom::Grid& m) {
+    double total = 0.0;
+    for (const float d : doses) total += sim.forward_relaxed(m, target, d).error;
+    return total;
+  };
+
+  LithoWorkspace ws;
+  geom::Grid grad;
+  sim.gradient_into(mask, target, doses, grad, ws);
+  float max_abs = 0.0f;
+  for (float v : grad.data) max_abs = std::max(max_abs, std::fabs(v));
+  ASSERT_GT(max_abs, 0.0f);
+  geom::Grid stepped = mask;
+  const float lr = 0.05f / max_abs;
+  for (std::size_t i = 0; i < mask.data.size(); ++i)
+    stepped.data[i] = std::clamp(mask.data[i] - lr * grad.data[i], 0.0f, 1.0f);
+  EXPECT_LT(objective(stepped), objective(mask));
 }
 
 TEST(LithoGradient, ZeroWhereWaferMatchesTargetExactly) {
