@@ -1,0 +1,66 @@
+#include "common/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace ganopc {
+
+namespace {
+
+// fsync the file (or directory) at `path`; directories make the rename
+// itself durable. ENOENT etc. are reported, EINVAL (some filesystems refuse
+// directory fsync) is tolerated.
+void fsync_path(const std::string& path, bool required) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    GANOPC_CHECK_MSG(!required, "atomic write: cannot reopen " << path << " for fsync");
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GANOPC_CHECK_MSG(rc == 0 || !required, "atomic write: fsync failed for " << path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  GANOPC_CHECK_MSG(!path.empty(), "atomic write: empty path");
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      GANOPC_CHECK_MSG(out.good(), "atomic write: cannot create " << tmp);
+      writer(out);
+      GANOPC_FAILPOINT_THROW("atomic_file.write");
+      out.flush();
+      GANOPC_CHECK_MSG(out.good(), "atomic write: write failed for " << tmp);
+    }
+    fsync_path(tmp, /*required=*/true);
+    GANOPC_FAILPOINT_THROW("atomic_file.commit");
+    GANOPC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                     "atomic write: rename " << tmp << " -> " << path << " failed");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  fsync_path(parent_dir(path), /*required=*/false);
+}
+
+}  // namespace ganopc

@@ -1,0 +1,24 @@
+// Crash-safe file replacement: temp file in the destination directory,
+// flush + fsync, then rename over the target.
+//
+// Guarantee: after atomic_write_file returns, `path` holds the complete new
+// content and has been made durable; if it throws (writer exception, I/O
+// error, injected fault), any previously-existing file at `path` is
+// untouched and the temp file is removed. A process crash mid-call leaves
+// at worst a stale *.tmp.* sibling plus the intact old file — never a
+// half-written destination.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace ganopc {
+
+/// Atomically replace `path` with the bytes `writer` streams out.
+/// Failpoints: "atomic_file.write" (fault while the temp is being written),
+/// "atomic_file.commit" (fault after the temp is durable, before rename).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace ganopc

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Used by the checkpoint / dataset-cache containers to detect bit rot and
+// partial writes before any payload is interpreted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ganopc {
+
+/// CRC of `size` bytes at `data`. Passing a previous CRC as `seed` chains
+/// calls: crc32(b, n_b, crc32(a, n_a)) == crc32(a||b).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace ganopc

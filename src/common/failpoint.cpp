@@ -1,0 +1,107 @@
+#include "common/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace ganopc::failpoint {
+
+namespace {
+
+struct Point {
+  int skip = 0;       // hits left to ignore
+  int count = 1;      // fires left; -1 = unlimited
+  int fired = 0;      // fires so far
+};
+
+std::mutex g_mutex;
+std::map<std::string, Point>& registry() {
+  static std::map<std::string, Point> points;
+  return points;
+}
+std::atomic<bool> g_any{false};
+std::once_flag g_env_once;
+
+void refresh_any_locked() {
+  g_any.store(!registry().empty(), std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("GANOPC_FAILPOINTS");
+  if (spec && *spec) configure(spec);
+}
+
+}  // namespace
+
+bool any_armed() {
+  std::call_once(g_env_once, configure_from_env);
+  return g_any.load(std::memory_order_relaxed);
+}
+
+void arm(const std::string& name, int skip, int count) {
+  GANOPC_CHECK_MSG(!name.empty() && skip >= 0 && (count > 0 || count == -1),
+                   "failpoint: bad arm(" << name << ", " << skip << ", " << count << ")");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry()[name] = Point{skip, count, 0};
+  refresh_any_locked();
+}
+
+void disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().erase(name);
+  refresh_any_locked();
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  refresh_any_locked();
+}
+
+void configure(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    std::string name = entry;
+    int skip = 0, count = 1;
+    if (const auto c1 = entry.find(':'); c1 != std::string::npos) {
+      name = entry.substr(0, c1);
+      const std::string rest = entry.substr(c1 + 1);
+      if (const auto c2 = rest.find(':'); c2 != std::string::npos) {
+        skip = std::atoi(rest.substr(0, c2).c_str());
+        count = std::atoi(rest.substr(c2 + 1).c_str());
+      } else {
+        skip = std::atoi(rest.c_str());
+      }
+    }
+    arm(name, skip, count);
+  }
+}
+
+bool hit(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(name);
+  if (it == registry().end()) return false;
+  Point& p = it->second;
+  if (p.skip > 0) {
+    --p.skip;
+    return false;
+  }
+  if (p.count == 0) return false;
+  if (p.count > 0) --p.count;
+  ++p.fired;
+  return true;
+}
+
+int fire_count(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+}  // namespace ganopc::failpoint

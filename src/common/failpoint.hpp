@@ -1,0 +1,57 @@
+// Fault-injection points for the robustness test tier.
+//
+// A failpoint is a named site in a production code path (serialization,
+// dataset cache, image I/O, training step) that tests — or the
+// GANOPC_FAILPOINTS environment variable — can arm to simulate crashes,
+// torn writes and numeric faults deterministically.
+//
+// Cost when nothing is armed: one relaxed atomic load per site
+// (GANOPC_FAILPOINT short-circuits before taking any lock).
+//
+// Env syntax:  GANOPC_FAILPOINTS="name[:skip[:count]][,name2...]"
+//   skip  — hits to ignore before firing (default 0)
+//   count — number of fires, -1 = every hit after `skip` (default 1)
+// e.g. GANOPC_FAILPOINTS="atomic_file.commit:0:1" crashes the first commit.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ganopc::failpoint {
+
+/// Fast check used by the macro: true when at least one failpoint is armed.
+bool any_armed();
+
+/// Arm `name`: ignore the first `skip` hits, then fire `count` times
+/// (-1 = fire on every subsequent hit).
+void arm(const std::string& name, int skip = 0, int count = 1);
+
+/// Disarm a single failpoint (no-op if not armed).
+void disarm(const std::string& name);
+
+/// Disarm everything (tests call this in TearDown).
+void clear();
+
+/// Parse an env-style spec ("a,b:2,c:0:-1") and arm each entry.
+void configure(const std::string& spec);
+
+/// Register a hit at `name`; true when the failpoint fires. Consults the
+/// GANOPC_FAILPOINTS environment variable on first use.
+bool hit(const char* name);
+
+/// How many times `name` has fired since it was armed.
+int fire_count(const std::string& name);
+
+}  // namespace ganopc::failpoint
+
+/// Evaluates to true when the named failpoint fires at this site.
+#define GANOPC_FAILPOINT(name) \
+  (::ganopc::failpoint::any_armed() && ::ganopc::failpoint::hit(name))
+
+/// Throw ganopc::Error when the named failpoint fires (simulated I/O fault).
+#define GANOPC_FAILPOINT_THROW(name)                             \
+  do {                                                           \
+    if (GANOPC_FAILPOINT(name))                                  \
+      throw ::ganopc::Error("failpoint '" name "' fired");       \
+  } while (0)

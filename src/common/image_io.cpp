@@ -4,9 +4,16 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace ganopc {
+
+namespace {
+// Rejects headers whose dimensions would trigger a multi-GiB allocation.
+constexpr int kMaxImageDim = 1 << 16;
+}  // namespace
 
 GrayImage to_gray(const float* data, int width, int height, float lo, float hi) {
   GANOPC_CHECK(width > 0 && height > 0 && hi > lo);
@@ -24,22 +31,22 @@ GrayImage to_gray(const float* data, int width, int height, float lo, float hi) 
 
 void write_pgm(const std::string& path, const GrayImage& img) {
   GANOPC_CHECK(img.pixels.size() == static_cast<std::size_t>(img.width) * img.height);
-  std::ofstream out(path, std::ios::binary);
-  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
-  out << "P5\n" << img.width << " " << img.height << "\n255\n";
-  out.write(reinterpret_cast<const char*>(img.pixels.data()),
-            static_cast<std::streamsize>(img.pixels.size()));
-  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+  GANOPC_FAILPOINT_THROW("image_io.write");
+  atomic_write_file(path, [&](std::ostream& out) {
+    out << "P5\n" << img.width << " " << img.height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(img.pixels.data()),
+              static_cast<std::streamsize>(img.pixels.size()));
+  });
 }
 
 void write_ppm(const std::string& path, const RgbImage& img) {
   GANOPC_CHECK(img.pixels.size() == 3 * static_cast<std::size_t>(img.width) * img.height);
-  std::ofstream out(path, std::ios::binary);
-  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
-  out << "P6\n" << img.width << " " << img.height << "\n255\n";
-  out.write(reinterpret_cast<const char*>(img.pixels.data()),
-            static_cast<std::streamsize>(img.pixels.size()));
-  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+  GANOPC_FAILPOINT_THROW("image_io.write");
+  atomic_write_file(path, [&](std::ostream& out) {
+    out << "P6\n" << img.width << " " << img.height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(img.pixels.data()),
+              static_cast<std::streamsize>(img.pixels.size()));
+  });
 }
 
 GrayImage read_pgm(const std::string& path) {
@@ -50,7 +57,9 @@ GrayImage read_pgm(const std::string& path) {
   GANOPC_CHECK_MSG(magic == "P5", "not a binary PGM: " << path);
   int w = 0, h = 0, maxval = 0;
   in >> w >> h >> maxval;
-  GANOPC_CHECK_MSG(w > 0 && h > 0 && maxval == 255, "unsupported PGM header: " << path);
+  GANOPC_CHECK_MSG(w > 0 && w <= kMaxImageDim && h > 0 && h <= kMaxImageDim &&
+                       maxval == 255,
+                   "unsupported PGM header: " << path);
   in.get();  // single whitespace after header
   GrayImage img;
   img.width = w;

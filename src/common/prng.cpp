@@ -80,4 +80,20 @@ Prng Prng::split() {
   return child;
 }
 
+Prng::State Prng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Prng::set_state(const State& state) {
+  GANOPC_CHECK_MSG(state.s[0] || state.s[1] || state.s[2] || state.s[3],
+                   "Prng: refusing all-zero state (generator would be stuck)");
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace ganopc

@@ -57,6 +57,16 @@ class Prng {
   /// Derive an independent child generator (for per-worker streams).
   Prng split();
 
+  /// Complete generator state, for checkpoint/resume: restoring it makes the
+  /// stream continue bit-for-bit (including the Box-Muller spare variate).
+  struct State {
+    std::uint64_t s[4];
+    double cached_normal;
+    bool has_cached_normal;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -1,12 +1,13 @@
 #include "core/dataset.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/sectioned_file.hpp"
 #include "geometry/bitmap_ops.hpp"
 #include "geometry/raster.hpp"
 #include "layout/synthesizer.hpp"
@@ -51,62 +52,78 @@ Dataset Dataset::generate(const GanOpcConfig& config, const litho::LithoSim& sim
 
 namespace {
 
-constexpr char kDatasetMagic[8] = {'G', 'O', 'P', 'C', 'D', 'S', 'E', 'T'};
+// GOPCDST2: CRC-guarded sectioned container (common/sectioned_file.hpp) with
+// a "meta" section (version + example count) and an "examples" section of
+// grid triples. The legacy GOPCDSET stream (no CRC, unbounded count) is not
+// read any more — the cache is cheap to regenerate.
+constexpr char kDatasetMagic[] = "GOPCDST2";
+constexpr std::uint32_t kDatasetVersion = 1;
+constexpr std::uint64_t kMaxExamples = 1u << 24;
+constexpr std::int32_t kMaxGridDim = 1 << 16;
 
-void write_grid(std::ofstream& out, const geom::Grid& g) {
+void write_grid(ByteWriter& w, const geom::Grid& g) {
   const std::int32_t header[5] = {g.rows, g.cols, g.pixel_nm, g.origin_x, g.origin_y};
-  out.write(reinterpret_cast<const char*>(header), sizeof header);
-  out.write(reinterpret_cast<const char*>(g.data.data()),
-            static_cast<std::streamsize>(g.data.size() * sizeof(float)));
+  w.bytes(header, sizeof header);
+  w.bytes(g.data.data(), g.data.size() * sizeof(float));
 }
 
-geom::Grid read_grid(std::ifstream& in) {
+geom::Grid read_grid(ByteReader& r, const std::string& what) {
   std::int32_t header[5];
-  in.read(reinterpret_cast<char*>(header), sizeof header);
-  GANOPC_CHECK_MSG(in.good() && header[0] > 0 && header[1] > 0, "corrupt dataset grid");
+  r.bytes(header, sizeof header);
+  GANOPC_CHECK_MSG(header[0] > 0 && header[0] <= kMaxGridDim && header[1] > 0 &&
+                       header[1] <= kMaxGridDim,
+                   "corrupt " << what << ": bad grid shape " << header[0] << "x"
+                              << header[1]);
   geom::Grid g(header[0], header[1], header[2], header[3], header[4]);
-  in.read(reinterpret_cast<char*>(g.data.data()),
-          static_cast<std::streamsize>(g.data.size() * sizeof(float)));
-  GANOPC_CHECK_MSG(in.good(), "truncated dataset grid");
+  GANOPC_CHECK_MSG(r.remaining() >= g.data.size() * sizeof(float),
+                   "truncated " << what << ": grid data cut short");
+  r.bytes(g.data.data(), g.data.size() * sizeof(float));
   return g;
 }
 
 }  // namespace
 
 void Dataset::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(kDatasetMagic, sizeof kDatasetMagic);
-  const auto count = static_cast<std::uint64_t>(examples_.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  GANOPC_FAILPOINT_THROW("dataset.save");
+  SectionedFileWriter file(kDatasetMagic);
+  ByteWriter& meta = file.section("meta");
+  meta.pod(kDatasetVersion);
+  meta.pod(static_cast<std::uint64_t>(examples_.size()));
+  ByteWriter& body = file.section("examples");
   for (const auto& ex : examples_) {
-    write_grid(out, ex.target_litho);
-    write_grid(out, ex.target_gan);
-    write_grid(out, ex.mask_gan);
+    write_grid(body, ex.target_litho);
+    write_grid(body, ex.target_gan);
+    write_grid(body, ex.mask_gan);
   }
-  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+  file.write(path);
 }
 
 Dataset Dataset::load(const std::string& path, const GanOpcConfig& config) {
-  std::ifstream in(path, std::ios::binary);
-  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
-  char magic[8];
-  in.read(magic, sizeof magic);
-  GANOPC_CHECK_MSG(std::equal(magic, magic + 8, kDatasetMagic), "bad dataset magic");
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  const SectionedFileReader file(path, kDatasetMagic);
+  ByteReader meta = file.open("meta");
+  const auto version = meta.pod<std::uint32_t>();
+  GANOPC_CHECK_MSG(version == kDatasetVersion,
+                   path << ": unsupported dataset cache version " << version);
+  const auto count = meta.pod<std::uint64_t>();
+  GANOPC_CHECK_MSG(count <= kMaxExamples,
+                   "corrupt dataset cache " << path << ": implausible count " << count);
+  meta.expect_exhausted();
+
+  ByteReader body = file.open("examples");
+  const std::string what = path + " examples";
   Dataset ds;
-  ds.examples_.reserve(count);
+  ds.examples_.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     TrainingExample ex;
-    ex.target_litho = read_grid(in);
-    ex.target_gan = read_grid(in);
-    ex.mask_gan = read_grid(in);
+    ex.target_litho = read_grid(body, what);
+    ex.target_gan = read_grid(body, what);
+    ex.mask_gan = read_grid(body, what);
     GANOPC_CHECK_MSG(ex.target_litho.rows == config.litho_grid &&
                          ex.target_gan.rows == config.gan_grid,
                      "dataset " << path << " does not match config geometry");
     ds.examples_.push_back(std::move(ex));
   }
+  body.expect_exhausted();
   return ds;
 }
 

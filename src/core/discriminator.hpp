@@ -34,6 +34,7 @@ class Discriminator {
 
   nn::Sequential& net() { return net_; }
   std::vector<nn::Param> parameters() { return net_.parameters(); }
+  std::vector<nn::Param> buffers() { return net_.buffers(); }
   void set_training(bool training) { net_.set_training(training); }
   bool paired() const { return paired_; }
 

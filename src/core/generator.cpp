@@ -104,6 +104,20 @@ std::vector<nn::Param> UNetBackbone::parameters() {
   return out;
 }
 
+std::vector<nn::Param> UNetBackbone::buffers() {
+  std::vector<nn::Param> out;
+  const std::pair<const char*, nn::Sequential*> blocks[] = {
+      {"enc1", &enc1_}, {"enc2", &enc2_}, {"enc3", &enc3_},
+      {"dec3", &dec3_}, {"dec2", &dec2_}, {"dec1", &dec1_}};
+  for (const auto& [prefix, block] : blocks) {
+    for (auto b : block->buffers()) {
+      b.name = std::string(prefix) + "." + b.name;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
 void UNetBackbone::on_mode_change() {
   for (nn::Sequential* block : {&enc1_, &enc2_, &enc3_, &dec3_, &dec2_, &dec1_})
     block->set_training(training_);

@@ -30,6 +30,7 @@ class UNetBackbone final : public nn::Layer {
   nn::Tensor forward(const nn::Tensor& input) override;
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::Param> parameters() override;
+  std::vector<nn::Param> buffers() override;
   std::string name() const override { return "UNetBackbone"; }
 
  private:
@@ -54,6 +55,7 @@ class Generator {
 
   nn::Layer& net() { return *net_; }
   std::vector<nn::Param> parameters() { return net_->parameters(); }
+  std::vector<nn::Param> buffers() { return net_->buffers(); }
   void set_training(bool training) { net_->set_training(training); }
   std::int64_t image_size() const { return image_size_; }
   GeneratorArch arch() const { return arch_; }

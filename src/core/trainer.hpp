@@ -6,11 +6,21 @@
 // GanOpcTrainer::train     — Algorithm 1 (adversarial training with the
 //   combined objective Eq. 10): alternating D / G mini-batch updates, with
 //   l_g = -log D(Z_t, G(Z_t)) + alpha ||M* - G(Z_t)||_2^2.
+//
+// Both phases are crash-safe (DESIGN.md §8): they checkpoint the complete
+// training state (weights, batch-norm buffers, Adam moments, Prng stream,
+// iteration counter, loss history) to a GOPCNET2 container, honor a
+// cooperative stop flag by flushing a final checkpoint, and guard every
+// step with a non-finite loss/gradient check that rolls the step back and
+// backs off the learning rate before retrying.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/prng.hpp"
 #include "core/config.hpp"
 #include "core/dataset.hpp"
 #include "core/discriminator.hpp"
@@ -28,6 +38,40 @@ struct TrainStats {
   std::vector<float> d_loss_history;  ///< discriminator loss
   std::vector<float> litho_history;   ///< pretraining litho error E (Alg. 2)
   double seconds = 0.0;
+  bool interrupted = false;           ///< stopped early via TrainRunOptions::stop
+  int divergence_rollbacks = 0;       ///< non-finite steps rolled back + retried
+};
+
+/// Per-run robustness knobs for pretrain() / train(). Defaults preserve the
+/// historical behavior (no checkpointing) while keeping the divergence
+/// guard armed.
+struct TrainRunOptions {
+  /// Checkpoint file; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Save every N completed iterations (0 = only on stop / completion).
+  int checkpoint_every = 0;
+  /// Cooperative stop: when *stop becomes true the run flushes a final
+  /// checkpoint (if a path is set) and returns with interrupted = true.
+  const std::atomic<bool>* stop = nullptr;
+  /// Non-finite loss/gradient guard: rollbacks allowed per iteration before
+  /// the run throws ganopc::Error. 0 disables the guard (and the per-step
+  /// state snapshot that feeds it).
+  int max_divergence_retries = 3;
+  /// Learning-rate multiplier applied at each rollback (persists for the
+  /// rest of the run and across resume).
+  float lr_backoff = 0.5f;
+};
+
+/// Where a checkpoint was taken. Pretrain is Algorithm 2, Adversarial is
+/// Algorithm 1; a checkpoint in the Adversarial phase implies pre-training
+/// already completed.
+enum class TrainPhase : std::uint32_t { None = 0, Pretrain = 1, Adversarial = 2 };
+
+/// Summary returned by GanOpcTrainer::resume().
+struct ResumeInfo {
+  TrainPhase phase = TrainPhase::None;
+  int next_iteration = 0;   ///< first iteration not yet run in that phase
+  int total_iterations = 0; ///< the phase's planned length when checkpointed
 };
 
 class GanOpcTrainer {
@@ -39,13 +83,34 @@ class GanOpcTrainer {
                 const litho::LithoSim& sim, Prng& rng);
 
   /// Algorithm 2: ILT-guided pre-training of the generator.
-  TrainStats pretrain(int iterations);
+  TrainStats pretrain(int iterations) { return pretrain(iterations, TrainRunOptions{}); }
+  TrainStats pretrain(int iterations, const TrainRunOptions& options);
 
   /// Algorithm 1: adversarial training. Records the Eq. (9) L2 per
-  /// iteration for the Figure 7 curves.
-  TrainStats train(int iterations);
+  /// iteration for the Figure 7 curves. When config.cosine_lr is set, pass
+  /// the same `iterations` after a resume — the schedule is derived from it.
+  TrainStats train(int iterations) { return train(iterations, TrainRunOptions{}); }
+  TrainStats train(int iterations, const TrainRunOptions& options);
+
+  /// Restore a GOPCNET2 training checkpoint written by a previous run. The
+  /// next pretrain()/train() call continues from the saved iteration with
+  /// bit-identical weights, optimizer moments, Prng stream and loss history.
+  /// Throws ganopc::Error if the file is corrupt or was written for a
+  /// different configuration.
+  ResumeInfo resume(const std::string& path);
+
+  /// Snapshot the complete training state to `path` (atomic write). Called
+  /// automatically per TrainRunOptions; public for ad-hoc saves.
+  void save_checkpoint(const std::string& path) const;
 
  private:
+  friend struct TrainerCheckpointCodec;
+
+  struct StepSnapshot;
+  StepSnapshot capture_step_state(bool include_discriminator) const;
+  void rollback_step(const StepSnapshot& snapshot, float lr_backoff, TrainStats& stats,
+                     int iteration, int attempts, const char* what);
+
   const GanOpcConfig& config_;
   Generator& generator_;
   Discriminator& discriminator_;
@@ -55,6 +120,14 @@ class GanOpcTrainer {
   std::unique_ptr<nn::Adam> g_opt_;
   std::unique_ptr<nn::Adam> d_opt_;
   std::unique_ptr<nn::Adam> pre_opt_;
+
+  // Crash-safety bookkeeping (persisted in checkpoints).
+  TrainPhase phase_ = TrainPhase::None;  ///< phase of the state below
+  int next_iteration_ = 0;               ///< first iteration not yet run
+  int total_iterations_ = 0;             ///< planned length of the phase
+  float lr_scale_ = 1.0f;                ///< cumulative divergence backoff
+  TrainStats phase_stats_;               ///< history accumulated in phase_
+  bool resume_pending_ = false;          ///< resume() loaded state not yet consumed
 };
 
 }  // namespace ganopc::core

@@ -114,4 +114,9 @@ std::vector<Param> BatchNorm2d::parameters() {
   return {{"gamma", &gamma_, &gamma_grad_}, {"beta", &beta_, &beta_grad_}};
 }
 
+std::vector<Param> BatchNorm2d::buffers() {
+  return {{"running_mean", &running_mean_, nullptr},
+          {"running_var", &running_var_, nullptr}};
+}
+
 }  // namespace ganopc::nn

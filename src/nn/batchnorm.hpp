@@ -18,6 +18,7 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param> parameters() override;
+  std::vector<Param> buffers() override;
   std::string name() const override { return "BatchNorm2d"; }
 
   const Tensor& running_mean() const { return running_mean_; }

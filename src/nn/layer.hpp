@@ -35,6 +35,12 @@ class Layer {
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param> parameters() { return {}; }
 
+  /// Non-learnable persistent state (e.g. batch-norm running statistics).
+  /// Checkpoints must carry these alongside parameters() for a restored
+  /// network to evaluate — and resume training — identically. Entries have
+  /// grad == nullptr.
+  virtual std::vector<Param> buffers() { return {}; }
+
   virtual std::string name() const = 0;
 
   void set_training(bool training) { training_ = training; on_mode_change(); }
@@ -64,6 +70,7 @@ class Sequential final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param> parameters() override;
+  std::vector<Param> buffers() override;
   std::string name() const override { return "Sequential"; }
 
   std::size_t size() const { return layers_.size(); }

@@ -46,6 +46,17 @@ std::vector<Param> Sequential::parameters() {
   return out;
 }
 
+std::vector<Param> Sequential::buffers() {
+  std::vector<Param> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (auto& b : layers_[i]->buffers()) {
+      b.name = std::to_string(i) + "." + b.name;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
 void Sequential::on_mode_change() {
   for (auto& l : layers_) l->set_training(training_);
 }

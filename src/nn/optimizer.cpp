@@ -63,6 +63,21 @@ void Adam::set_learning_rate(float lr) {
   lr_ = lr;
 }
 
+void Adam::restore_state(std::int64_t t, std::vector<Tensor> m, std::vector<Tensor> v) {
+  GANOPC_CHECK_MSG(t >= 0, "Adam: negative step count");
+  GANOPC_CHECK_MSG(m.size() == params_.size() && v.size() == params_.size(),
+                   "Adam: state has " << m.size() << "/" << v.size()
+                                      << " moment tensors, optimizer has "
+                                      << params_.size() << " params");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    GANOPC_CHECK_MSG(m[i].shape() == params_[i].value->shape() &&
+                         v[i].shape() == params_[i].value->shape(),
+                     "Adam: moment shape mismatch for param " << i);
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 LrSchedule::LrSchedule(float base_lr, int warmup_iterations)
     : base_lr_(base_lr), warmup_(warmup_iterations) {
   GANOPC_CHECK(base_lr > 0.0f && warmup_iterations >= 0);

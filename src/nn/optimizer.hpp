@@ -49,6 +49,15 @@ class Adam final : public Optimizer {
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr);
 
+  // --- state access for checkpoint / resume ---
+  // Adam's update depends on (t, m, v); a checkpoint that omits them would
+  // silently restart bias correction and momentum, breaking bit-identical
+  // resume. restore_state validates moment shapes against the live params.
+  std::int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+  void restore_state(std::int64_t t, std::vector<Tensor> m, std::vector<Tensor> v);
+
  private:
   float lr_, beta1_, beta2_, eps_;
   std::int64_t t_ = 0;

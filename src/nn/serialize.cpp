@@ -1,71 +1,168 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
-#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
 
 namespace ganopc::nn {
 
 namespace {
-constexpr char kMagic[8] = {'G', 'O', 'P', 'C', 'N', 'E', 'T', '1'};
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+constexpr std::uint32_t kMaxTensors = 1u << 20;
+constexpr std::uint32_t kMaxNameLen = 256;
+constexpr std::uint32_t kMaxNdim = 8;
+// Caps a single tensor at 2^31 floats (8 GiB) — far above any real network
+// here, low enough that a corrupt dim cannot trigger a huge allocation.
+constexpr std::int64_t kMaxNumel = std::int64_t{1} << 31;
 
-template <typename T>
-T read_pod(std::ifstream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  return v;
-}
-}  // namespace
-
-void save_parameters(Layer& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  GANOPC_CHECK_MSG(out.good(), "cannot open " << path);
-  out.write(kMagic, sizeof kMagic);
-  const auto params = net.parameters();
-  write_pod(out, static_cast<std::uint64_t>(params.size()));
-  for (const auto& p : params) {
-    write_pod(out, static_cast<std::uint64_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    const auto& shape = p.value->shape();
-    write_pod(out, static_cast<std::uint64_t>(shape.size()));
-    for (auto d : shape) write_pod(out, static_cast<std::int64_t>(d));
-    out.write(reinterpret_cast<const char*>(p.value->data()),
-              static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
+std::vector<std::int64_t> read_shape(ByteReader& r, const std::string& what) {
+  const auto ndim = r.pod<std::uint32_t>();
+  GANOPC_CHECK_MSG(ndim <= kMaxNdim, "corrupt " << what << ": implausible ndim " << ndim);
+  std::vector<std::int64_t> shape(ndim);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    d = r.pod<std::int64_t>();
+    GANOPC_CHECK_MSG(d > 0 && d <= kMaxNumel, "corrupt " << what << ": bad dim " << d);
+    numel *= d;
+    GANOPC_CHECK_MSG(numel <= kMaxNumel, "corrupt " << what << ": tensor too large");
   }
-  GANOPC_CHECK_MSG(out.good(), "write failed: " << path);
+  return shape;
 }
 
-void load_parameters(Layer& net, const std::string& path) {
+std::string shape_str(const std::vector<std::int64_t>& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) oss << (i ? "x" : "") << shape[i];
+  oss << "]";
+  return oss.str();
+}
+
+void read_floats(ByteReader& r, Tensor& into, const std::string& what) {
+  GANOPC_CHECK_MSG(r.remaining() >= static_cast<std::size_t>(into.numel()) * sizeof(float),
+                   "truncated " << what << ": tensor data cut short");
+  r.bytes(into.data(), static_cast<std::size_t>(into.numel()) * sizeof(float));
+}
+
+// Legacy GOPCNET1: magic, u64 count, per param u64 name_len | name |
+// u64 ndim | i64 dims | f32 data. No CRC — bounds checks are the only
+// defense, which is why every field is validated before use.
+void load_parameters_v1(Layer& net, const std::string& path) {
+  GANOPC_WARN("loading legacy GOPCNET1 checkpoint " << path
+              << " (no CRC, no batch-norm buffers; re-save to upgrade)");
   std::ifstream in(path, std::ios::binary);
   GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string data = std::move(slurp).str();
+  ByteReader r(data.data(), data.size(), path);
+
   char magic[8];
-  in.read(magic, sizeof magic);
-  GANOPC_CHECK_MSG(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-                   "bad checkpoint magic in " << path);
+  r.bytes(magic, sizeof magic);  // caller verified
   auto params = net.parameters();
-  const auto count = read_pod<std::uint64_t>(in);
+  const auto count = r.pod<std::uint64_t>();
   GANOPC_CHECK_MSG(count == params.size(),
                    "checkpoint has " << count << " params, network has " << params.size());
   for (auto& p : params) {
-    const auto name_len = read_pod<std::uint64_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const auto name_len = r.pod<std::uint64_t>();
+    GANOPC_CHECK_MSG(name_len <= kMaxNameLen,
+                     "corrupt " << path << ": implausible name length " << name_len);
+    std::string name(static_cast<std::size_t>(name_len), '\0');
+    r.bytes(name.data(), name.size());
     GANOPC_CHECK_MSG(name == p.name, "checkpoint param '" << name
                                       << "' does not match network param '" << p.name << "'");
-    const auto ndim = read_pod<std::uint64_t>(in);
-    std::vector<std::int64_t> shape(ndim);
-    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    const auto ndim = r.pod<std::uint64_t>();
+    GANOPC_CHECK_MSG(ndim <= kMaxNdim, "corrupt " << path << ": implausible ndim " << ndim);
+    std::vector<std::int64_t> shape(static_cast<std::size_t>(ndim));
+    for (auto& d : shape) d = r.pod<std::int64_t>();
     GANOPC_CHECK_MSG(shape == p.value->shape(), "checkpoint shape mismatch for " << name);
-    in.read(reinterpret_cast<char*>(p.value->data()),
-            static_cast<std::streamsize>(p.value->numel() * sizeof(float)));
-    GANOPC_CHECK_MSG(in.good(), "truncated checkpoint: " << path);
+    read_floats(r, *p.value, path);
+  }
+  r.expect_exhausted();
+}
+
+}  // namespace
+
+void write_named_tensors(ByteWriter& w, const std::vector<Param>& params) {
+  w.pod(static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    w.str(p.name);
+    const auto& shape = p.value->shape();
+    w.pod(static_cast<std::uint32_t>(shape.size()));
+    for (auto d : shape) w.pod(static_cast<std::int64_t>(d));
+    w.bytes(p.value->data(), static_cast<std::size_t>(p.value->numel()) * sizeof(float));
+  }
+}
+
+void read_named_tensors(ByteReader& r, const std::vector<Param>& params,
+                        const std::string& what) {
+  const auto count = r.pod<std::uint32_t>();
+  GANOPC_CHECK_MSG(count <= kMaxTensors, "corrupt " << what << ": implausible tensor count "
+                                                    << count);
+  GANOPC_CHECK_MSG(count == params.size(), what << " has " << count
+                                                << " tensors, network expects "
+                                                << params.size());
+  for (const auto& p : params) {
+    const std::string name = r.str(kMaxNameLen);
+    GANOPC_CHECK_MSG(name == p.name, what << " tensor '" << name
+                                          << "' does not match expected '" << p.name << "'");
+    const auto shape = read_shape(r, what);
+    GANOPC_CHECK_MSG(shape == p.value->shape(),
+                     what << " shape mismatch for '" << name << "': file "
+                          << shape_str(shape) << ", network " << p.value->shape_str());
+    read_floats(r, *p.value, what);
+  }
+}
+
+void write_tensor(ByteWriter& w, const Tensor& t) {
+  const auto& shape = t.shape();
+  w.pod(static_cast<std::uint32_t>(shape.size()));
+  for (auto d : shape) w.pod(static_cast<std::int64_t>(d));
+  w.bytes(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor read_tensor(ByteReader& r, const std::string& what) {
+  Tensor t(read_shape(r, what));
+  read_floats(r, t, what);
+  return t;
+}
+
+void save_parameters(Layer& net, const std::string& path) {
+  GANOPC_FAILPOINT_THROW("serialize.save");
+  SectionedFileWriter file(kCheckpointMagicV2);
+  write_named_tensors(file.section("params"), net.parameters());
+  write_named_tensors(file.section("buffers"), net.buffers());
+  file.write(path);
+}
+
+void load_parameters(Layer& net, const std::string& path) {
+  if (SectionedFileReader::magic_matches(path, kCheckpointMagicV1)) {
+    load_parameters_v1(net, path);
+    return;
+  }
+  const SectionedFileReader file(path, kCheckpointMagicV2);
+  // A weights file carries "params"/"buffers"; a full trainer checkpoint
+  // (core/checkpoint.cpp) carries the same blobs as "gen_params"/
+  // "gen_buffers" — accept either so `--generator ckpt.bin` just works.
+  const bool trainer_ckpt = !file.has("params") && file.has("gen_params");
+  const std::string params_sec = trainer_ckpt ? "gen_params" : "params";
+  const std::string buffers_sec = trainer_ckpt ? "gen_buffers" : "buffers";
+  {
+    ByteReader r = file.open(params_sec);
+    read_named_tensors(r, net.parameters(), path + " " + params_sec);
+    r.expect_exhausted();
+  }
+  if (file.has(buffers_sec)) {
+    ByteReader r = file.open(buffers_sec);
+    read_named_tensors(r, net.buffers(), path + " " + buffers_sec);
+    r.expect_exhausted();
+  } else if (!net.buffers().empty()) {
+    GANOPC_WARN(path << ": no " << buffers_sec
+                     << " section; batch-norm running statistics keep their "
+                        "initialization");
   }
 }
 

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace ganopc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ganopc_atomic_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  bool has_temp_litter() const {
+    for (const auto& e : fs::directory_iterator(dir_))
+      if (e.path().filename().string().find(".tmp.") != std::string::npos) return true;
+    return false;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesContentAndLeavesNoTemp) {
+  const auto p = path("out.bin");
+  atomic_write_file(p, [](std::ostream& out) { out << "hello"; });
+  EXPECT_EQ(slurp(p), "hello");
+  EXPECT_FALSE(has_temp_litter());
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingFile) {
+  const auto p = path("out.bin");
+  atomic_write_file(p, [](std::ostream& out) { out << "old content"; });
+  atomic_write_file(p, [](std::ostream& out) { out << "new"; });
+  EXPECT_EQ(slurp(p), "new");
+}
+
+TEST_F(AtomicFileTest, WriterExceptionPreservesOldFile) {
+  const auto p = path("out.bin");
+  atomic_write_file(p, [](std::ostream& out) { out << "precious"; });
+  EXPECT_THROW(atomic_write_file(p,
+                                 [](std::ostream& out) {
+                                   out << "partial garbage";
+                                   throw Error("simulated writer fault");
+                                 }),
+               Error);
+  EXPECT_EQ(slurp(p), "precious");
+  EXPECT_FALSE(has_temp_litter());
+}
+
+TEST_F(AtomicFileTest, InjectedWriteFaultPreservesOldFile) {
+  const auto p = path("out.bin");
+  atomic_write_file(p, [](std::ostream& out) { out << "precious"; });
+  failpoint::arm("atomic_file.write");
+  EXPECT_THROW(atomic_write_file(p, [](std::ostream& out) { out << "torn"; }), Error);
+  EXPECT_EQ(slurp(p), "precious");
+  EXPECT_FALSE(has_temp_litter());
+}
+
+TEST_F(AtomicFileTest, InjectedCommitFaultPreservesOldFile) {
+  const auto p = path("out.bin");
+  atomic_write_file(p, [](std::ostream& out) { out << "precious"; });
+  failpoint::arm("atomic_file.commit");
+  EXPECT_THROW(atomic_write_file(p, [](std::ostream& out) { out << "torn"; }), Error);
+  EXPECT_EQ(slurp(p), "precious");
+  EXPECT_FALSE(has_temp_litter());
+}
+
+TEST_F(AtomicFileTest, FaultBeforeFirstWriteLeavesNoFile) {
+  const auto p = path("never.bin");
+  failpoint::arm("atomic_file.write");
+  EXPECT_THROW(atomic_write_file(p, [](std::ostream& out) { out << "x"; }), Error);
+  EXPECT_FALSE(fs::exists(p));
+  EXPECT_FALSE(has_temp_litter());
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      atomic_write_file("/nonexistent_dir_xyz/out.bin", [](std::ostream&) {}), Error);
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32.hpp"
+
+namespace ganopc {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(s.data(), s.size()), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32("", 0), 0u); }
+
+TEST(Crc32, SeedChainsIncrementally) {
+  const std::string s = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32(s.data(), s.size());
+  for (std::size_t split : {std::size_t{1}, s.size() / 2, s.size() - 1}) {
+    const std::uint32_t part = crc32(s.data(), split);
+    EXPECT_EQ(crc32(s.data() + split, s.size() - split, part), whole);
+  }
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  std::string s = "GOPCNET2 sectioned container payload";
+  const std::uint32_t good = crc32(s.data(), s.size());
+  for (std::size_t byte = 0; byte < s.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      s[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(crc32(s.data(), s.size()), good)
+          << "missed flip at byte " << byte << " bit " << bit;
+      s[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "core/dataset.hpp"
 
 namespace ganopc::core {
@@ -68,6 +69,45 @@ TEST(DatasetIo, LoadRejectsGarbage) {
 TEST(DatasetIo, MissingFileThrows) {
   const GanOpcConfig cfg = make_config(ReproScale::Quick);
   EXPECT_THROW(Dataset::load("/nonexistent/ds.bin", cfg), Error);
+}
+
+TEST(DatasetIo, LegacyFormatRejected) {
+  // The pre-CRC GOPCDSET stream is no longer readable; the cache is cheap to
+  // regenerate and must not bypass the integrity checks.
+  const auto path = temp_path("ganopc_ds_legacy.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("GOPCDSET", 8);
+    const std::uint64_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  }
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  EXPECT_THROW(Dataset::load(path, cfg), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, FailedSavePreservesExistingCache) {
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  const Dataset ds = make_dataset(cfg);
+  const auto path = temp_path("ganopc_ds_atomic.bin");
+  ds.save(path);
+  failpoint::arm("atomic_file.write");
+  EXPECT_THROW(ds.save(path), Error);
+  failpoint::clear();
+  // The interrupted save did not clobber the good cache.
+  const Dataset back = Dataset::load(path, cfg);
+  EXPECT_EQ(back.size(), ds.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, SaveFailpointFires) {
+  const GanOpcConfig cfg = make_config(ReproScale::Quick);
+  const Dataset ds = make_dataset(cfg);
+  const auto path = temp_path("ganopc_ds_fp.bin");
+  failpoint::arm("dataset.save");
+  EXPECT_THROW(ds.save(path), Error);
+  failpoint::clear();
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 }  // namespace

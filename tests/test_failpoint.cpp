@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace ganopc {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::clear(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverFires) {
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.never"));
+  EXPECT_EQ(failpoint::fire_count("fp.test.never"), 0);
+}
+
+TEST_F(FailpointTest, FiresOnceByDefault) {
+  failpoint::arm("fp.test.once");
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.once"));
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.once"));
+  EXPECT_EQ(failpoint::fire_count("fp.test.once"), 1);
+}
+
+TEST_F(FailpointTest, SkipDelaysFiring) {
+  failpoint::arm("fp.test.skip", /*skip=*/2, /*count=*/1);
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.skip"));
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.skip"));
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.skip"));
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.skip"));
+}
+
+TEST_F(FailpointTest, UnlimitedCountFiresForever) {
+  failpoint::arm("fp.test.forever", 0, -1);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.forever"));
+  EXPECT_EQ(failpoint::fire_count("fp.test.forever"), 20);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  failpoint::arm("fp.test.disarm", 0, -1);
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.disarm"));
+  failpoint::disarm("fp.test.disarm");
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.disarm"));
+}
+
+TEST_F(FailpointTest, ConfigureParsesEnvSyntax) {
+  failpoint::configure("fp.test.a,fp.test.b:1,fp.test.c:0:-1");
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.a"));
+  EXPECT_FALSE(GANOPC_FAILPOINT("fp.test.b"));  // skip 1
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.b"));
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.c"));
+  EXPECT_TRUE(GANOPC_FAILPOINT("fp.test.c"));
+}
+
+TEST_F(FailpointTest, ThrowMacroRaisesError) {
+  failpoint::arm("fp.test.throw");
+  EXPECT_THROW([] { GANOPC_FAILPOINT_THROW("fp.test.throw"); }(), Error);
+  // Spent after one fire.
+  GANOPC_FAILPOINT_THROW("fp.test.throw");
+}
+
+TEST_F(FailpointTest, ArmRejectsBadSpec) {
+  EXPECT_THROW(failpoint::arm(""), Error);
+  EXPECT_THROW(failpoint::arm("x", -1), Error);
+  EXPECT_THROW(failpoint::arm("x", 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -5,6 +5,9 @@
 //   ganopc ilt     --layout FILE [--grid N] [--iters N] [--out PREFIX]
 //   ganopc mbopc   --layout FILE [--grid N] [--iters N] [--out PREFIX]
 //   ganopc eval    --layout FILE --mask FILE.pgm [--grid N]
+//   ganopc train   [--scale NAME] [--dataset FILE] [--out FILE.bin]
+//                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//                  [--pretrain-iters N] [--train-iters N]
 //   ganopc flow    --layout FILE --generator FILE.bin [--scale NAME]
 //   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
 //   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
@@ -12,9 +15,13 @@
 //
 // Layout files use the text format of geom::Layout (clip/rect lines) or
 // GDSII (.gds extension, loaded with --clipsize window); masks are 8-bit
-// PGM at the simulation grid.
+// PGM at the simulation grid. `train` is crash-safe: Ctrl-C flushes a
+// checkpoint that --resume continues from bit-identically (DESIGN.md §8).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,8 +30,11 @@
 #include "common/image_io.hpp"
 #include "common/prng.hpp"
 #include "core/config.hpp"
+#include "core/dataset.hpp"
+#include "core/discriminator.hpp"
 #include "core/flow.hpp"
 #include "core/generator.hpp"
+#include "core/trainer.hpp"
 #include "geometry/raster.hpp"
 #include "ilt/ilt.hpp"
 #include "layout/glp.hpp"
@@ -187,6 +197,94 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+// Set by the SIGINT handler; the trainer polls it between iterations and
+// flushes a final checkpoint before returning.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_sigint(int) { g_stop.store(true); }
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+int cmd_train(const Args& args) {
+  const core::GanOpcConfig cfg =
+      core::make_config(core::parse_scale(args.get("scale", "quick")));
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+
+  const std::string dataset_path = args.get("dataset", "ganopc_dataset.bin");
+  core::Dataset dataset;
+  if (file_exists(dataset_path)) {
+    dataset = core::Dataset::load(dataset_path, cfg);
+    std::printf("loaded %zu cached examples from %s\n", dataset.size(),
+                dataset_path.c_str());
+  } else {
+    std::printf("generating dataset (synthesis + ILT ground truth)...\n");
+    dataset = core::Dataset::generate(cfg, sim);
+    dataset.save(dataset_path);
+    std::printf("cached %zu examples to %s\n", dataset.size(), dataset_path.c_str());
+  }
+
+  Prng rng(cfg.seed);
+  core::Generator generator(cfg.gan_grid, cfg.base_channels, rng);
+  core::Discriminator discriminator(cfg.gan_grid, cfg.base_channels, rng, true,
+                                    cfg.d_dropout);
+  Prng train_rng(cfg.seed + 1);
+  core::GanOpcTrainer trainer(cfg, generator, discriminator, dataset, sim, train_rng);
+
+  core::TrainRunOptions run;
+  run.checkpoint_path = args.get("checkpoint", "ganopc_train.ckpt");
+  run.checkpoint_every = args.get_int("checkpoint-every", 10);
+  run.stop = &g_stop;
+
+  core::TrainPhase resumed_phase = core::TrainPhase::None;
+  const std::string resume_path = args.get("resume", "");
+  if (!resume_path.empty()) {
+    const core::ResumeInfo info = trainer.resume(resume_path);
+    resumed_phase = info.phase;
+    std::printf("resuming from %s (%s, iteration %d/%d)\n", resume_path.c_str(),
+                info.phase == core::TrainPhase::Pretrain ? "pretrain" : "train",
+                info.next_iteration, info.total_iterations);
+  }
+
+  std::signal(SIGINT, handle_sigint);
+
+  const int pretrain_iters = args.get_int("pretrain-iters", cfg.pretrain_iterations);
+  const int train_iters = args.get_int("train-iters", cfg.gan_iterations);
+
+  if (resumed_phase != core::TrainPhase::Adversarial) {
+    std::printf("ILT-guided pre-training (%d iterations, Algorithm 2)...\n",
+                pretrain_iters);
+    const core::TrainStats pre = trainer.pretrain(pretrain_iters, run);
+    if (!pre.litho_history.empty())
+      std::printf("  litho error: %.1f -> %.1f (%.1fs, %d rollbacks)\n",
+                  pre.litho_history.front(), pre.litho_history.back(), pre.seconds,
+                  pre.divergence_rollbacks);
+    if (pre.interrupted) {
+      std::printf("interrupted; resume with --resume %s\n", run.checkpoint_path.c_str());
+      return 130;
+    }
+  }
+
+  std::printf("adversarial training (%d iterations, Algorithm 1)...\n", train_iters);
+  const core::TrainStats adv = trainer.train(train_iters, run);
+  if (!adv.l2_history.empty())
+    std::printf("  L2 to reference masks: %.1f -> %.1f (%.1fs, %d rollbacks)\n",
+                adv.l2_history.front(), adv.l2_history.back(), adv.seconds,
+                adv.divergence_rollbacks);
+  if (adv.interrupted) {
+    std::printf("interrupted; resume with --resume %s\n", run.checkpoint_path.c_str());
+    return 130;
+  }
+
+  const std::string out = args.get("out", "pgan_generator.bin");
+  nn::save_parameters(generator.net(), out);
+  std::printf("saved %s — load it with `ganopc flow --generator %s`\n", out.c_str(),
+              out.c_str());
+  return 0;
+}
+
 int cmd_flow(const Args& args) {
   const geom::Layout clip = load_layout(args);
   core::GanOpcConfig cfg = core::make_config(core::parse_scale(args.get("scale", "quick")));
@@ -230,7 +328,7 @@ int cmd_gds2txt(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ganopc <synth|sraf|ilt|mbopc|eval|flow> [--flag value ...]\n"
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow> [--flag value ...]\n"
                "see tools/cli.cpp header for per-command flags\n");
 }
 
@@ -249,6 +347,7 @@ int main(int argc, char** argv) {
     if (cmd == "ilt") return cmd_ilt(args);
     if (cmd == "mbopc") return cmd_mbopc(args);
     if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "train") return cmd_train(args);
     if (cmd == "flow") return cmd_flow(args);
     if (cmd == "txt2gds") return cmd_txt2gds(args);
     if (cmd == "gds2txt") return cmd_gds2txt(args);
