@@ -1,0 +1,45 @@
+#include "common/status.hpp"
+
+namespace ganopc {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidInput: return "InvalidInput";
+    case StatusCode::kLithoNumeric: return "LithoNumeric";
+    case StatusCode::kIltStalled: return "IltStalled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kIo: return "Io";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+StatusCode status_code_from_name(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kLithoNumeric,
+        StatusCode::kIltStalled, StatusCode::kDeadlineExceeded, StatusCode::kIo,
+        StatusCode::kCancelled, StatusCode::kInternal}) {
+    if (name == status_code_name(code)) return code;
+  }
+  GANOPC_CHECK_MSG(false, "unknown status code name '" << name << "'");
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status status_from_exception(const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const StatusError*>(&e))
+    return typed->status();
+  return Status(StatusCode::kInternal, e.what());
+}
+
+}  // namespace ganopc

@@ -1,0 +1,454 @@
+#include "core/batch_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/failpoint.hpp"
+#include "common/prng.hpp"
+#include "common/sectioned_file.hpp"
+#include "gds/gds.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/raster.hpp"
+#include "layout/glp.hpp"
+#include "mbopc/mbopc.hpp"
+
+namespace ganopc::core {
+
+namespace {
+
+constexpr char kJournalMagic[] = "GOPCBAT1";
+constexpr std::uint32_t kJournalVersion = 1;
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+// "clips/wire_03.gds" -> "wire_03"
+std::string file_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name.resize(dot);
+  return name;
+}
+
+std::string format_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* batch_stage_name(BatchStage stage) {
+  switch (stage) {
+    case BatchStage::GanIlt: return "gan+ilt";
+    case BatchStage::Ilt: return "ilt";
+    case BatchStage::MbOpc: return "mbopc";
+    case BatchStage::Failed: return "failed";
+  }
+  return "?";
+}
+
+BatchRunner::BatchRunner(const GanOpcConfig& config, Generator* generator,
+                         const litho::LithoSim& sim, const BatchConfig& batch)
+    : config_(config), generator_(generator), sim_(sim), batch_(batch) {
+  config_.validate();
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     sim.grid_size() == config_.litho_grid,
+                     "batch: simulator grid mismatch");
+  if (generator_ != nullptr)
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                       generator_->image_size() == config_.gan_grid,
+                       "batch: generator size mismatch");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     batch.max_retries >= 0 && batch.clip_deadline_s >= 0.0 &&
+                         batch.l2_accept_factor >= 0.0f &&
+                         batch.perturb_amplitude >= 0.0f,
+                     "batch: retries/deadline/accept-factor/perturbation must be >= 0");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     !batch.resume || !batch.journal_path.empty(),
+                     "batch: resume requires a journal path");
+}
+
+BatchSummary BatchRunner::run_files(const std::vector<std::string>& paths) const {
+  std::vector<BatchClip> clips;
+  clips.reserve(paths.size());
+  std::set<std::string> seen;
+  for (const auto& path : paths) {
+    std::string id = file_stem(path);
+    const std::string base = id;
+    for (int n = 2; !seen.insert(id).second; ++n) id = base + "#" + std::to_string(n);
+    clips.push_back({id, path, std::nullopt});
+  }
+  return run(clips);
+}
+
+BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, !clips.empty(),
+                     "batch: no clips to process");
+  {
+    std::set<std::string> ids;
+    for (const auto& clip : clips)
+      GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, ids.insert(clip.id).second,
+                         "batch: duplicate clip id '" << clip.id << "'");
+  }
+
+  std::map<std::string, BatchClipResult> prior;
+  if (batch_.resume && file_exists(batch_.journal_path))
+    for (auto& res : load_journal(clips)) {
+      const std::string id = res.id;
+      prior.emplace(id, std::move(res));
+    }
+
+  SectionedFileWriter journal{std::string(kJournalMagic)};
+  const bool journaling = !batch_.journal_path.empty();
+  if (journaling) write_meta(journal, clips);
+
+  BatchSummary summary;
+  summary.clips.reserve(clips.size());
+  for (const auto& clip : clips) {
+    BatchClipResult res;
+    const auto it = prior.find(clip.id);
+    if (it != prior.end()) {
+      res = it->second;
+      res.from_journal = true;
+      ++summary.resumed;
+    } else {
+      res = process_clip(clip);
+    }
+    ++(res.ok() ? summary.succeeded : summary.failed);
+    if (journaling) {
+      ByteWriter& w = journal.section("clip/" + clip.id);
+      w.str(res.source);
+      w.pod(static_cast<std::uint32_t>(res.code));
+      w.str(res.error);
+      w.pod(static_cast<std::uint32_t>(res.stage));
+      w.pod(static_cast<std::uint8_t>(res.has_termination ? 1 : 0));
+      w.pod(static_cast<std::uint32_t>(res.termination));
+      w.pod(static_cast<std::int32_t>(res.retries));
+      w.pod(static_cast<std::int32_t>(res.fallbacks));
+      w.pod(static_cast<std::int32_t>(res.ilt_iterations));
+      w.pod(res.l2_px);
+      w.pod(res.l2_nm2);
+      w.pod(res.pvb_nm2);
+      w.pod(res.runtime_s);
+      journal.write(batch_.journal_path);
+      // Crash simulation for the kill-and-resume robustness test: dies right
+      // after a journal commit, exactly where a real power cut would land.
+      if (GANOPC_FAILPOINT("batch.kill")) {
+#ifdef SIGKILL
+        std::raise(SIGKILL);
+#endif
+        std::abort();
+      }
+    }
+    summary.clips.push_back(std::move(res));
+  }
+  return summary;
+}
+
+BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
+  WallTimer timer;
+  BatchClipResult res;
+  res.id = clip.id;
+  res.source = clip.path.empty() ? "<memory>" : clip.path;
+  // Test hook: poisoning a clip arms a persistent NaN fault in the litho
+  // gradient for exactly this clip's lifetime, so the isolation tests can
+  // target clip k of N without touching the others.
+  const bool poisoned = GANOPC_FAILPOINT("batch.poison_clip");
+  if (poisoned) failpoint::arm("litho.gradient_nan", 0, -1);
+  try {
+    const geom::Layout layout = clip.layout ? *clip.layout : load_clip(clip.path);
+    optimize_clip(layout, res, timer);
+  } catch (const std::exception& e) {
+    const Status s = status_from_exception(e);
+    res.code = s.code();
+    res.error = s.message();
+    res.stage = BatchStage::Failed;
+  }
+  if (poisoned) failpoint::disarm("litho.gradient_nan");
+  res.runtime_s = batch_.deterministic_manifest ? 0.0 : timer.seconds();
+  return res;
+}
+
+geom::Layout BatchRunner::load_clip(const std::string& path) const {
+  const geom::Rect clip{0, 0, config_.clip_nm, config_.clip_nm};
+  if (path.ends_with(".gds")) return gds::gds_to_layout(gds::read_gds(path), clip);
+  if (path.ends_with(".glp")) return layout::read_glp(path, clip);
+  return geom::Layout::load(path);
+}
+
+void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
+                                const WallTimer& timer) const {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     clip.clip().width() == config_.clip_nm &&
+                         clip.clip().height() == config_.clip_nm,
+                     "clip window must be " << config_.clip_nm << "x"
+                                            << config_.clip_nm << " nm");
+  const geom::Grid target =
+      geom::rasterize(clip, config_.litho_pixel_nm(), /*threshold=*/true);
+  // The acceptance gate is relative to how badly the *uncorrected* target
+  // would print: any rung whose mask does not beat that bar by the configured
+  // factor is treated as a failed attempt, not a success.
+  const double uncorrected = sim_.l2_error(target, target);
+  const double accept_l2 =
+      batch_.l2_accept_factor > 0.0f
+          ? static_cast<double>(batch_.l2_accept_factor) * std::max(uncorrected, 1.0)
+          : std::numeric_limits<double>::infinity();
+
+  std::vector<BatchStage> chain;
+  if (generator_ != nullptr) chain.push_back(BatchStage::GanIlt);
+  chain.push_back(BatchStage::Ilt);
+  chain.push_back(BatchStage::MbOpc);
+  if (!batch_.allow_fallback) chain.resize(1);
+
+  Status last(StatusCode::kInternal, "no optimization attempt ran");
+  for (std::size_t si = 0; si < chain.size(); ++si) {
+    if (si > 0) ++res.fallbacks;
+    const BatchStage stage = chain[si];
+    // MB-OPC is deterministic in its inputs — a retry would replay the same
+    // trajectory, so only the gradient-based rungs get perturbed restarts.
+    const int attempts =
+        stage == BatchStage::MbOpc ? 1 : 1 + std::max(0, batch_.max_retries);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      double remaining = std::numeric_limits<double>::infinity();
+      if (batch_.clip_deadline_s > 0.0) {
+        remaining = batch_.clip_deadline_s - timer.seconds();
+        if (remaining <= 0.0) {
+          res.code = StatusCode::kDeadlineExceeded;
+          res.error = "clip budget of " + format_g(batch_.clip_deadline_s) +
+                      "s exhausted before " + batch_stage_name(stage);
+          res.stage = BatchStage::Failed;
+          return;
+        }
+      }
+      if (attempt > 0) ++res.retries;
+      try {
+        const bool done =
+            stage == BatchStage::MbOpc
+                ? attempt_mbopc(clip, accept_l2, res, last)
+                : attempt_ilt(stage, target, accept_l2, remaining, attempt, res, last);
+        if (done) return;
+        if (last.code() == StatusCode::kDeadlineExceeded) {
+          // The watchdog already ate the whole budget; neither a retry nor a
+          // fallback rung has any time left to run in.
+          res.code = last.code();
+          res.error = last.message();
+          res.stage = BatchStage::Failed;
+          return;
+        }
+      } catch (const std::exception& e) {
+        last = status_from_exception(e);
+      }
+    }
+  }
+  res.code = last.code() == StatusCode::kOk ? StatusCode::kInternal : last.code();
+  res.error = last.message();
+  res.stage = BatchStage::Failed;
+}
+
+bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
+                              double accept_l2, double remaining_s, int attempt,
+                              BatchClipResult& res, Status& last) const {
+  ilt::IltConfig icfg = config_.ilt;
+  if (std::isfinite(remaining_s))
+    icfg.deadline_s =
+        icfg.deadline_s > 0.0 ? std::min(icfg.deadline_s, remaining_s) : remaining_s;
+  const ilt::IltEngine engine(sim_, icfg);
+
+  geom::Grid init =
+      stage == BatchStage::GanIlt ? gan_initial_mask(target) : target;
+  if (attempt > 0) perturb(init, res.id, attempt);
+
+  const ilt::IltResult r = engine.optimize(target, init);
+  res.has_termination = true;
+  res.termination = r.termination;
+  res.ilt_iterations = r.iterations;
+
+  if (r.termination == ilt::TerminationReason::kDiverged) {
+    last = Status(StatusCode::kLithoNumeric,
+                  "ILT diverged (non-finite lithography output) on clip '" +
+                      res.id + "'");
+    return false;
+  }
+  if (std::isfinite(r.l2_px) && r.l2_px <= accept_l2) {
+    accept(stage, r.mask, r.l2_px, res);
+    return true;
+  }
+  if (r.termination == ilt::TerminationReason::kDeadlineExceeded) {
+    last = Status(StatusCode::kDeadlineExceeded,
+                  "clip '" + res.id +
+                      "' hit its deadline before reaching an acceptable mask");
+    return false;
+  }
+  last = Status(StatusCode::kIltStalled,
+                std::string("ILT finished (") +
+                    ilt::termination_reason_name(r.termination) + ") at L2 " +
+                    format_g(r.l2_px) + " px, above the acceptance gate " +
+                    format_g(accept_l2) + " px");
+  return false;
+}
+
+bool BatchRunner::attempt_mbopc(const geom::Layout& clip, double accept_l2,
+                                BatchClipResult& res, Status& last) const {
+  const mbopc::MbOpcEngine engine(sim_, mbopc::MbOpcConfig{});
+  const mbopc::MbOpcResult r = engine.optimize(clip);
+  if (!std::isfinite(r.l2_px)) {
+    last = Status(StatusCode::kLithoNumeric,
+                  "MB-OPC produced a non-finite L2 on clip '" + res.id + "'");
+    return false;
+  }
+  if (r.l2_px <= accept_l2) {
+    accept(BatchStage::MbOpc, r.mask, r.l2_px, res);
+    return true;
+  }
+  last = Status(StatusCode::kIltStalled,
+                "MB-OPC fallback finished at L2 " + format_g(r.l2_px) +
+                    " px, above the acceptance gate " + format_g(accept_l2) + " px");
+  return false;
+}
+
+void BatchRunner::accept(BatchStage stage, const geom::Grid& mask, double l2_px,
+                         BatchClipResult& res) const {
+  res.code = StatusCode::kOk;
+  res.error.clear();
+  res.stage = stage;
+  res.l2_px = l2_px;
+  const double px_area =
+      static_cast<double>(sim_.pixel_nm()) * static_cast<double>(sim_.pixel_nm());
+  res.l2_nm2 = l2_px * px_area;
+  res.pvb_nm2 = sim_.pv_band(mask).area_nm2;
+}
+
+geom::Grid BatchRunner::gan_initial_mask(const geom::Grid& target) const {
+  const geom::Grid target_gan = geom::downsample_avg(target, config_.pool_factor());
+  const geom::Grid mask_gan = generator_->infer(target_gan);
+  return geom::upsample_bilinear(mask_gan, config_.pool_factor());
+}
+
+void BatchRunner::perturb(geom::Grid& mask, const std::string& id, int attempt) const {
+  // FNV-1a over the clip id keeps the perturbation stream deterministic per
+  // (seed, clip, attempt) and independent of batch order or platform.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : id)
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  Prng rng(batch_.seed ^ h ^
+           (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt)));
+  const double amp = batch_.perturb_amplitude;
+  for (auto& v : mask.data)
+    v = std::clamp(v + static_cast<float>(rng.uniform(-amp, amp)), 0.0f, 1.0f);
+}
+
+void BatchRunner::write_meta(SectionedFileWriter& journal,
+                             const std::vector<BatchClip>& clips) const {
+  ByteWriter& w = journal.section("meta");
+  w.pod(kJournalVersion);
+  w.pod(batch_.seed);
+  w.pod(batch_.clip_deadline_s);
+  w.pod(static_cast<std::int32_t>(batch_.max_retries));
+  w.pod(static_cast<std::uint8_t>(batch_.allow_fallback ? 1 : 0));
+  w.pod(batch_.l2_accept_factor);
+  w.pod(batch_.perturb_amplitude);
+  w.pod(static_cast<std::uint8_t>(batch_.deterministic_manifest ? 1 : 0));
+  w.pod(static_cast<std::uint8_t>(generator_ != nullptr ? 1 : 0));
+  w.pod(config_.clip_nm);
+  w.pod(config_.litho_grid);
+  w.pod(static_cast<std::int32_t>(config_.ilt.max_iterations));
+  w.pod(static_cast<std::uint32_t>(clips.size()));
+  for (const auto& clip : clips) w.str(clip.id);
+}
+
+std::vector<BatchClipResult> BatchRunner::load_journal(
+    const std::vector<BatchClip>& clips) const {
+  const SectionedFileReader reader(batch_.journal_path, kJournalMagic);
+  ByteReader meta = reader.open("meta");
+  const auto version = meta.pod<std::uint32_t>();
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, version == kJournalVersion,
+                     "batch journal '" << batch_.journal_path
+                                       << "': unsupported version " << version);
+  bool match = meta.pod<std::uint64_t>() == batch_.seed;
+  match &= meta.pod<double>() == batch_.clip_deadline_s;
+  match &= meta.pod<std::int32_t>() == batch_.max_retries;
+  match &= (meta.pod<std::uint8_t>() != 0) == batch_.allow_fallback;
+  match &= meta.pod<float>() == batch_.l2_accept_factor;
+  match &= meta.pod<float>() == batch_.perturb_amplitude;
+  match &= (meta.pod<std::uint8_t>() != 0) == batch_.deterministic_manifest;
+  match &= (meta.pod<std::uint8_t>() != 0) == (generator_ != nullptr);
+  match &= meta.pod<std::int32_t>() == config_.clip_nm;
+  match &= meta.pod<std::int32_t>() == config_.litho_grid;
+  match &= meta.pod<std::int32_t>() == config_.ilt.max_iterations;
+  const auto count = meta.pod<std::uint32_t>();
+  match &= count == clips.size();
+  if (match)
+    for (const auto& clip : clips) match &= meta.str() == clip.id;
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, match,
+                     "batch journal '"
+                         << batch_.journal_path
+                         << "' was written by a different batch (clips or "
+                            "configuration changed); delete it or drop --resume");
+
+  std::vector<BatchClipResult> out;
+  for (const auto& clip : clips) {
+    const std::string name = "clip/" + clip.id;
+    if (!reader.has(name)) continue;
+    ByteReader r = reader.open(name);
+    BatchClipResult res;
+    res.id = clip.id;
+    res.source = r.str();
+    const auto code = r.pod<std::uint32_t>();
+    res.error = r.str(1 << 16);
+    const auto stage = r.pod<std::uint32_t>();
+    res.has_termination = r.pod<std::uint8_t>() != 0;
+    const auto termination = r.pod<std::uint32_t>();
+    res.retries = r.pod<std::int32_t>();
+    res.fallbacks = r.pod<std::int32_t>();
+    res.ilt_iterations = r.pod<std::int32_t>();
+    res.l2_px = r.pod<double>();
+    res.l2_nm2 = r.pod<double>();
+    res.pvb_nm2 = r.pod<std::int64_t>();
+    res.runtime_s = r.pod<double>();
+    r.expect_exhausted();
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                       code <= static_cast<std::uint32_t>(StatusCode::kInternal) &&
+                           stage <= static_cast<std::uint32_t>(BatchStage::Failed) &&
+                           termination <= static_cast<std::uint32_t>(
+                                              ilt::TerminationReason::kDeadlineExceeded),
+                       "batch journal '" << batch_.journal_path
+                                         << "': out-of-range enum in section '"
+                                         << name << "'");
+    res.code = static_cast<StatusCode>(code);
+    res.stage = static_cast<BatchStage>(stage);
+    res.termination = static_cast<ilt::TerminationReason>(termination);
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+void BatchRunner::write_manifest(const std::string& path,
+                                 const BatchSummary& summary) {
+  CsvWriter csv(path,
+                {"clip", "source", "status", "code", "stage", "termination",
+                 "retries", "fallbacks", "ilt_iterations", "l2_px", "l2_nm2",
+                 "pvb_nm2", "runtime_s"});
+  for (const auto& c : summary.clips)
+    csv.row({c.id, c.source, c.ok() ? "ok" : "failed", status_code_name(c.code),
+             batch_stage_name(c.stage),
+             c.has_termination ? ilt::termination_reason_name(c.termination) : "-",
+             std::to_string(c.retries), std::to_string(c.fallbacks),
+             std::to_string(c.ilt_iterations), format_g(c.l2_px),
+             format_g(c.l2_nm2), std::to_string(c.pvb_nm2),
+             format_g(c.runtime_s)});
+}
+
+}  // namespace ganopc::core

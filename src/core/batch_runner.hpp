@@ -1,0 +1,146 @@
+// Fault-tolerant batch mask optimization (DESIGN.md §9).
+//
+// BatchRunner executes N clips with per-clip isolation: one clip's failure —
+// a corrupt GDS, a numeric fault inside the litho engine, a stalled or
+// diverging ILT run — is captured as a typed Status on that clip's manifest
+// row while every other clip completes normally. Each clip walks a graceful
+// degradation chain:
+//
+//   GAN+ILT (when a generator is attached)
+//     -> ILT from scratch (the conventional [7] flow)
+//       -> MB-OPC (gradient-free, immune to litho numeric faults)
+//         -> reported failure with diagnostics
+//
+// with bounded perturbed-restart retries at each gradient-based rung and a
+// per-clip wall-clock deadline threaded into the ILT watchdog.
+//
+// When a journal path is set the runner atomically rewrites a sectioned
+// container (magic GOPCBAT1, per-section + whole-file CRC32) after every
+// clip, so a SIGKILL mid-batch loses at most the in-flight clip: rerunning
+// with resume=true replays journaled results and recomputes only the rest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timer.hpp"
+#include "core/config.hpp"
+#include "core/generator.hpp"
+#include "geometry/layout.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+
+namespace ganopc {
+class SectionedFileWriter;
+}
+
+namespace ganopc::core {
+
+/// Which rung of the degradation chain produced the accepted mask.
+enum class BatchStage { GanIlt, Ilt, MbOpc, Failed };
+
+const char* batch_stage_name(BatchStage stage);
+
+/// One unit of batch work: a file path (text / .gds / .glp, loaded lazily so
+/// a corrupt file only fails its own clip) or an in-memory layout.
+struct BatchClip {
+  std::string id;
+  std::string path;                    ///< empty when `layout` is set
+  std::optional<geom::Layout> layout;  ///< in-memory clip (tests, pipelines)
+};
+
+/// Per-clip manifest row. `code == kOk` means `stage` produced a mask that
+/// passed the acceptance gate; otherwise `code`/`error` carry the diagnosis
+/// of the last failed attempt.
+struct BatchClipResult {
+  std::string id;
+  std::string source;                 ///< file path or "<memory>"
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  BatchStage stage = BatchStage::Failed;
+  bool has_termination = false;       ///< at least one ILT attempt ran
+  ilt::TerminationReason termination = ilt::TerminationReason::kConverged;
+  int retries = 0;                    ///< perturbed restarts consumed
+  int fallbacks = 0;                  ///< chain rungs abandoned
+  int ilt_iterations = 0;             ///< iterations of the last ILT attempt
+  double l2_px = 0.0;
+  double l2_nm2 = 0.0;
+  std::int64_t pvb_nm2 = 0;
+  double runtime_s = 0.0;             ///< 0 when deterministic_manifest is set
+  bool from_journal = false;          ///< replayed on resume, not recomputed
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+struct BatchConfig {
+  double clip_deadline_s = 0.0;    ///< wall-clock budget per clip (0 = none)
+  int max_retries = 1;             ///< perturbed restarts per gradient rung
+  bool allow_fallback = true;      ///< walk the chain past the first rung
+  /// Accept a mask when its L2 <= factor * L2(uncorrected print of target).
+  /// 0 accepts any finite L2.
+  float l2_accept_factor = 1.0f;
+  float perturb_amplitude = 0.08f; ///< uniform noise added on retry restarts
+  std::uint64_t seed = 1847;       ///< perturbation stream seed
+  std::string journal_path;        ///< crash-safe journal ("" disables it)
+  bool resume = false;             ///< replay clips already in the journal
+  /// Zero every wall-clock field before journaling/manifesting so an
+  /// interrupted-and-resumed run is bit-identical to an uninterrupted one.
+  bool deterministic_manifest = false;
+};
+
+struct BatchSummary {
+  std::vector<BatchClipResult> clips;  ///< one row per input, input order
+  int succeeded = 0;
+  int failed = 0;
+  int resumed = 0;  ///< rows replayed from the journal
+};
+
+class BatchRunner {
+ public:
+  /// `sim` must run at config.litho_grid; `generator` may be null (the chain
+  /// then starts at ILT-from-scratch).
+  BatchRunner(const GanOpcConfig& config, Generator* generator,
+              const litho::LithoSim& sim, const BatchConfig& batch);
+
+  /// Process every clip in order. Throws StatusError only for batch-level
+  /// faults (empty/duplicate inputs, incompatible resume journal, unwritable
+  /// journal); per-clip faults land in the returned rows.
+  BatchSummary run(const std::vector<BatchClip>& clips) const;
+
+  /// Convenience: ids are derived from the file stems (deduplicated).
+  BatchSummary run_files(const std::vector<std::string>& paths) const;
+
+  /// One clip through load + degradation chain, exceptions mapped to Status.
+  BatchClipResult process_clip(const BatchClip& clip) const;
+
+  /// Machine-readable CSV manifest (one row per clip, input order).
+  static void write_manifest(const std::string& path, const BatchSummary& summary);
+
+ private:
+  geom::Layout load_clip(const std::string& path) const;
+  void optimize_clip(const geom::Layout& clip, BatchClipResult& res,
+                     const WallTimer& timer) const;
+  bool attempt_ilt(BatchStage stage, const geom::Grid& target, double accept_l2,
+                   double remaining_s, int attempt, BatchClipResult& res,
+                   Status& last) const;
+  bool attempt_mbopc(const geom::Layout& clip, double accept_l2,
+                     BatchClipResult& res, Status& last) const;
+  void accept(BatchStage stage, const geom::Grid& mask, double l2_px,
+              BatchClipResult& res) const;
+  geom::Grid gan_initial_mask(const geom::Grid& target) const;
+  void perturb(geom::Grid& mask, const std::string& id, int attempt) const;
+
+  void write_meta(SectionedFileWriter& journal,
+                  const std::vector<BatchClip>& clips) const;
+  std::vector<BatchClipResult> load_journal(const std::vector<BatchClip>& clips) const;
+
+  GanOpcConfig config_;
+  Generator* generator_;
+  const litho::LithoSim& sim_;
+  BatchConfig batch_;
+};
+
+}  // namespace ganopc::core

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/status.hpp"
 
 namespace ganopc::gds {
 
@@ -110,42 +113,80 @@ std::string ascii_payload(const std::string& s) {
   return payload;
 }
 
+// Hardened-parser limits: a stream file violating any of these is rejected
+// with a typed InvalidInput error instead of exhausting memory or looping.
+constexpr std::size_t kMaxGdsBytes = std::size_t{256} << 20;  // 256 MiB stream
+constexpr std::size_t kMaxStructures = 1u << 16;
+constexpr std::size_t kMaxBoundariesTotal = 4u << 20;
+
 struct Record {
   RecordType type;
   DataType dtype;
-  std::vector<std::uint8_t> payload;
+  /// View into the reader's buffer — valid until the next next() call.
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
 };
 
+// Record cursor over the whole stream file held in memory. Every field is
+// bounds-checked against the remaining bytes before it is touched, so a
+// truncated, bit-flipped or adversarial file raises StatusError(InvalidInput)
+// instead of reading past the buffer.
 class Reader {
  public:
-  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
-    GANOPC_CHECK_MSG(in_.good(), "cannot open " << path);
+  explicit Reader(const std::string& path) : path_(path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+      throw StatusError(StatusCode::kIo, "cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof())
+      throw StatusError(StatusCode::kIo, "read failed: " + path);
+    data_ = buffer.str();
+    if (data_.size() > kMaxGdsBytes)
+      fail("file exceeds " + std::to_string(kMaxGdsBytes) + " bytes");
   }
 
   bool next(Record& record) {
-    std::uint8_t header[4];
-    in_.read(reinterpret_cast<char*>(header), 4);
-    if (in_.gcount() == 0) return false;
-    GANOPC_CHECK_MSG(in_.gcount() == 4, "truncated GDS record header");
-    const std::uint16_t length = static_cast<std::uint16_t>((header[0] << 8) | header[1]);
-    GANOPC_CHECK_MSG(length >= 4, "malformed GDS record length");
-    record.type = static_cast<RecordType>(header[2]);
-    record.dtype = static_cast<DataType>(header[3]);
-    record.payload.resize(length - 4u);
-    in_.read(reinterpret_cast<char*>(record.payload.data()),
-             static_cast<std::streamsize>(record.payload.size()));
-    GANOPC_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(record.payload.size()),
-                     "truncated GDS record payload");
+    if (pos_ == data_.size()) return false;
+    if (data_.size() - pos_ < 4) fail("truncated record header");
+    const auto* p = bytes() + pos_;
+    const std::size_t length = (static_cast<std::size_t>(p[0]) << 8) | p[1];
+    if (length < 4) fail("record length " + std::to_string(length) + " below header size");
+    if (length > data_.size() - pos_)
+      fail("record length " + std::to_string(length) + " exceeds remaining " +
+           std::to_string(data_.size() - pos_) + " bytes");
+    record.type = static_cast<RecordType>(p[2]);
+    record.dtype = static_cast<DataType>(p[3]);
+    record.payload = p + 4;
+    record.payload_size = length - 4;
+    pos_ += length;
     return true;
   }
 
+  [[noreturn]] void fail(const std::string& why) const {
+    throw StatusError(StatusCode::kInvalidInput,
+                      "malformed GDS '" + path_ + "' at byte " +
+                          std::to_string(pos_) + ": " + why);
+  }
+
  private:
-  std::ifstream in_;
+  const std::uint8_t* bytes() const {
+    return reinterpret_cast<const std::uint8_t*>(data_.data());
+  }
+
+  std::string path_;
+  std::string data_;
+  std::size_t pos_ = 0;
 };
 
-std::int16_t payload_i16(const Record& r) {
-  GANOPC_CHECK_MSG(r.payload.size() >= 2, "short GDS int16 payload");
+std::int16_t payload_i16(const Reader& reader, const Record& r) {
+  if (r.payload_size < 2) reader.fail("short int16 payload");
   return static_cast<std::int16_t>((r.payload[0] << 8) | r.payload[1]);
+}
+
+double payload_real8(const Reader& reader, const Record& r) {
+  if (r.payload_size < 8) reader.fail("short real8 payload");
+  return get_real8(r.payload);
 }
 
 std::int32_t payload_i32(const std::uint8_t* p) {
@@ -155,7 +196,7 @@ std::int32_t payload_i32(const std::uint8_t* p) {
 }
 
 std::string payload_ascii(const Record& r) {
-  std::string s(r.payload.begin(), r.payload.end());
+  std::string s(reinterpret_cast<const char*>(r.payload), r.payload_size);
   while (!s.empty() && s.back() == '\0') s.pop_back();
   return s;
 }
@@ -221,16 +262,20 @@ void write_gds(const std::string& path, const Library& library) {
 }
 
 Library read_gds(const std::string& path) {
+  if (GANOPC_FAILPOINT("gds.read"))
+    throw StatusError(StatusCode::kIo, "injected fault reading " + path);
   Reader reader(path);
   Library library;
   library.structures.clear();
 
   Record record;
-  GANOPC_CHECK_MSG(reader.next(record) && record.type == kHeader,
-                   "not a GDS file: " << path);
+  if (!reader.next(record) || record.type != kHeader || record.payload_size < 2)
+    throw StatusError(StatusCode::kInvalidInput, "not a GDS file: " + path);
   Structure* current_structure = nullptr;
   Boundary current_boundary;
+  bool boundary_has_xy = false;
   Sref current_sref;
+  std::size_t total_boundaries = 0;
   enum class State { TopLevel, InStructure, InBoundary, InSref, InSkippedElement };
   State state = State::TopLevel;
 
@@ -240,11 +285,13 @@ Library read_gds(const std::string& path) {
         library.name = payload_ascii(record);
         break;
       case kUnits:
-        GANOPC_CHECK_MSG(record.payload.size() == 16, "malformed UNITS record");
-        library.user_units_per_dbu = get_real8(record.payload.data());
-        library.meters_per_dbu = get_real8(record.payload.data() + 8);
+        if (record.payload_size != 16) reader.fail("UNITS payload must be 16 bytes");
+        library.user_units_per_dbu = get_real8(record.payload);
+        library.meters_per_dbu = get_real8(record.payload + 8);
         break;
       case kBgnStr:
+        if (library.structures.size() >= kMaxStructures)
+          reader.fail("more than " + std::to_string(kMaxStructures) + " structures");
         library.structures.emplace_back();
         current_structure = &library.structures.back();
         state = State::InStructure;
@@ -257,12 +304,16 @@ Library read_gds(const std::string& path) {
         state = State::TopLevel;
         break;
       case kBoundary:
-        GANOPC_CHECK_MSG(current_structure != nullptr, "BOUNDARY outside structure");
+        if (current_structure == nullptr) reader.fail("BOUNDARY outside structure");
+        if (++total_boundaries > kMaxBoundariesTotal)
+          reader.fail("more than " + std::to_string(kMaxBoundariesTotal) +
+                      " boundaries");
         current_boundary = Boundary{};
+        boundary_has_xy = false;
         state = State::InBoundary;
         break;
       case kSref:
-        GANOPC_CHECK_MSG(current_structure != nullptr, "SREF outside structure");
+        if (current_structure == nullptr) reader.fail("SREF outside structure");
         current_sref = Sref{};
         state = State::InSref;
         break;
@@ -270,49 +321,57 @@ Library read_gds(const std::string& path) {
         if (state == State::InSref) current_sref.child = payload_ascii(record);
         break;
       case kMag:
-        GANOPC_CHECK_MSG(state != State::InSref ||
-                             std::fabs(get_real8(record.payload.data()) - 1.0) < 1e-9,
-                         "SREF magnification unsupported");
+        if (state == State::InSref &&
+            std::fabs(payload_real8(reader, record) - 1.0) >= 1e-9)
+          reader.fail("SREF magnification unsupported");
         break;
       case kAngle:
-        GANOPC_CHECK_MSG(state != State::InSref ||
-                             std::fabs(get_real8(record.payload.data())) < 1e-9,
-                         "SREF rotation unsupported");
+        if (state == State::InSref &&
+            std::fabs(payload_real8(reader, record)) >= 1e-9)
+          reader.fail("SREF rotation unsupported");
         break;
       case kStrans:
         break;  // flag word itself carries no transform we honour beyond MAG/ANGLE
+      case kLayer:
+        if (state == State::InBoundary)
+          current_boundary.layer = payload_i16(reader, record);
+        break;
+      case kDatatype:
+        if (state == State::InBoundary)
+          current_boundary.datatype = payload_i16(reader, record);
+        break;
       case kPath:
       case kAref:
       case kText:
         state = State::InSkippedElement;
         break;
-      case kLayer:
-        if (state == State::InBoundary) current_boundary.layer = payload_i16(record);
-        break;
-      case kDatatype:
-        if (state == State::InBoundary) current_boundary.datatype = payload_i16(record);
-        break;
       case kXy:
         if (state == State::InSref) {
-          GANOPC_CHECK_MSG(record.payload.size() >= 8, "malformed SREF XY record");
-          current_sref.x = payload_i32(record.payload.data());
-          current_sref.y = payload_i32(record.payload.data() + 4);
+          if (record.payload_size < 8) reader.fail("SREF XY payload below 8 bytes");
+          current_sref.x = payload_i32(record.payload);
+          current_sref.y = payload_i32(record.payload + 4);
         }
         if (state == State::InBoundary) {
-          GANOPC_CHECK_MSG(record.payload.size() % 8 == 0, "malformed XY record");
+          if (record.payload_size % 8 != 0)
+            reader.fail("BOUNDARY XY payload not a multiple of 8 bytes");
           std::vector<geom::Point> pts;
-          for (std::size_t i = 0; i + 8 <= record.payload.size(); i += 8) {
-            pts.push_back({payload_i32(record.payload.data() + i),
-                           payload_i32(record.payload.data() + i + 4)});
-          }
+          pts.reserve(record.payload_size / 8);
+          for (std::size_t i = 0; i + 8 <= record.payload_size; i += 8)
+            pts.push_back({payload_i32(record.payload + i),
+                           payload_i32(record.payload + i + 4)});
           // Drop the explicit closing vertex.
           if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+          if (pts.size() < 3)
+            reader.fail("BOUNDARY with fewer than 3 distinct vertices");
           current_boundary.polygon = geom::Polygon(std::move(pts));
+          boundary_has_xy = true;
         }
         break;
       case kEndEl:
-        if (state == State::InBoundary)
+        if (state == State::InBoundary) {
+          if (!boundary_has_xy) reader.fail("BOUNDARY without XY record");
           current_structure->boundaries.push_back(std::move(current_boundary));
+        }
         if (state == State::InSref)
           current_structure->srefs.push_back(std::move(current_sref));
         state = State::InStructure;
@@ -323,7 +382,18 @@ Library read_gds(const std::string& path) {
         break;  // unknown records are skipped
     }
   }
-  GANOPC_CHECK_MSG(false, "GDS file ended without ENDLIB: " << path);
+  throw StatusError(StatusCode::kInvalidInput,
+                    "GDS file ended without ENDLIB: " + path);
+}
+
+StatusOr<Library> try_read_gds(const std::string& path) {
+  try {
+    return read_gds(path);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const Error& e) {
+    return Status(StatusCode::kInvalidInput, e.what());
+  }
 }
 
 Library layout_to_gds(const geom::Layout& layout, const std::string& cell_name,
@@ -346,18 +416,20 @@ namespace {
 const Structure& find_structure(const Library& library, const std::string& name) {
   auto it = std::find_if(library.structures.begin(), library.structures.end(),
                          [&](const Structure& s) { return s.name == name; });
-  GANOPC_CHECK_MSG(it != library.structures.end(), "structure '" << name << "' not found");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, it != library.structures.end(),
+                     "structure '" << name << "' not found");
   return *it;
 }
 
 void flatten_into(const Library& library, const Structure& structure, std::int16_t layer,
                   std::int32_t dx, std::int32_t dy, int depth, geom::Layout& layout) {
-  GANOPC_CHECK_MSG(depth < 64, "SREF hierarchy too deep (cycle?) at '"
-                                   << structure.name << "'");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, depth < 64,
+                     "SREF hierarchy too deep (cycle?) at '" << structure.name << "'");
   for (const auto& boundary : structure.boundaries) {
     if (boundary.layer != layer) continue;
-    GANOPC_CHECK_MSG(boundary.polygon.is_rectilinear(),
-                     "non-rectilinear boundary in structure '" << structure.name << "'");
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, boundary.polygon.is_rectilinear(),
+                       "non-rectilinear boundary in structure '" << structure.name
+                                                                << "'");
     for (auto r : boundary.polygon.decompose()) {
       r.x0 += dx;
       r.x1 += dx;
@@ -375,7 +447,8 @@ void flatten_into(const Library& library, const Structure& structure, std::int16
 
 geom::Layout gds_to_layout(const Library& library, const geom::Rect& clip,
                            const std::string& structure_name, std::int16_t layer) {
-  GANOPC_CHECK_MSG(!library.structures.empty(), "GDS library has no structures");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, !library.structures.empty(),
+                     "GDS library has no structures");
   const Structure& structure = structure_name.empty()
                                    ? library.structures.front()
                                    : find_structure(library, structure_name);

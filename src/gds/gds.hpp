@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "geometry/layout.hpp"
 #include "geometry/polygon.hpp"
 
@@ -52,7 +53,14 @@ struct Library {
 void write_gds(const std::string& path, const Library& library);
 
 /// Read a GDSII stream file (boundaries only; other elements skipped).
+/// The parser is fully bounds-checked: any truncated, oversized or otherwise
+/// malformed record throws StatusError(InvalidInput) naming the byte offset;
+/// an unreadable file throws StatusError(Io).
 Library read_gds(const std::string& path);
+
+/// Non-throwing variant of read_gds for batch pipelines: a malformed or
+/// unreadable file comes back as a typed Status instead of an exception.
+StatusOr<Library> try_read_gds(const std::string& path);
 
 /// Convert a Layout into a single-structure library: every rectangle
 /// becomes a BOUNDARY on the given layer.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/status.hpp"
 
 namespace ganopc::geom {
 
@@ -110,18 +111,21 @@ Layout Layout::from_text(const std::string& text) {
   bool saw_clip = false;
   while (iss >> keyword) {
     Rect r;
-    GANOPC_CHECK_MSG(static_cast<bool>(iss >> r.x0 >> r.y0 >> r.x1 >> r.y1),
-                     "malformed layout line after '" << keyword << "'");
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                       static_cast<bool>(iss >> r.x0 >> r.y0 >> r.x1 >> r.y1),
+                       "malformed layout line after '" << keyword << "'");
     if (keyword == "clip") {
       layout.set_clip(r);
       saw_clip = true;
     } else if (keyword == "rect") {
       layout.add(r);
     } else {
-      GANOPC_CHECK_MSG(false, "unknown layout keyword '" << keyword << "'");
+      GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, false,
+                         "unknown layout keyword '" << keyword << "'");
     }
   }
-  GANOPC_CHECK_MSG(saw_clip, "layout text missing clip line");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, saw_clip,
+                     "layout text missing clip line");
   return layout;
 }
 
@@ -134,7 +138,7 @@ void Layout::save(const std::string& path) const {
 
 Layout Layout::load(const std::string& path) {
   std::ifstream in(path);
-  GANOPC_CHECK_MSG(in.good(), "cannot open " << path);
+  GANOPC_TYPED_CHECK(StatusCode::kIo, in.good(), "cannot open " << path);
   std::stringstream buffer;
   buffer << in.rdbuf();
   return from_text(buffer.str());

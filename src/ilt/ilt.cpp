@@ -4,16 +4,40 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 
 namespace ganopc::ilt {
 
+const char* termination_reason_name(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kConverged: return "converged";
+    case TerminationReason::kTargetReached: return "target-reached";
+    case TerminationReason::kPatience: return "patience";
+    case TerminationReason::kStalled: return "stalled";
+    case TerminationReason::kDiverged: return "diverged";
+    case TerminationReason::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
 IltEngine::IltEngine(const litho::LithoSim& sim, const IltConfig& config)
     : sim_(sim), config_(config) {
-  GANOPC_CHECK(config.max_iterations > 0 && config.step_size > 0.0f && config.beta > 0.0f);
-  GANOPC_CHECK(config.check_every > 0 && config.patience > 0);
-  GANOPC_CHECK_MSG(!config.dose_corners.empty(), "ILT needs at least one dose corner");
-  for (const float d : config.dose_corners) GANOPC_CHECK(d > 0.0f);
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     config.max_iterations > 0 && config.step_size > 0.0f &&
+                         config.beta > 0.0f,
+                     "ILT: iterations/step/beta must be positive");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     config.check_every > 0 && config.patience > 0,
+                     "ILT: check_every/patience must be positive");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, !config.dose_corners.empty(),
+                     "ILT needs at least one dose corner");
+  for (const float d : config.dose_corners)
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, d > 0.0f,
+                       "ILT dose corners must be positive");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     config.stall_checks >= 0 && config.stall_rel_tol >= 0.0f,
+                     "ILT: invalid stall watchdog settings");
 }
 
 geom::Grid IltEngine::smoothness_gradient(const geom::Grid& mask) {
@@ -36,10 +60,12 @@ geom::Grid IltEngine::smoothness_gradient(const geom::Grid& mask) {
 
 IltResult IltEngine::optimize(const geom::Grid& target,
                               const geom::Grid& initial_mask) const {
-  GANOPC_CHECK_MSG(target.rows == sim_.grid_size() && target.cols == sim_.grid_size(),
-                   "ILT: target geometry mismatch");
-  GANOPC_CHECK_MSG(initial_mask.rows == target.rows && initial_mask.cols == target.cols,
-                   "ILT: initial mask geometry mismatch");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     target.rows == sim_.grid_size() && target.cols == sim_.grid_size(),
+                     "ILT: target geometry mismatch");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     initial_mask.rows == target.rows && initial_mask.cols == target.cols,
+                     "ILT: initial mask geometry mismatch");
   WallTimer timer;
   const std::size_t npx = target.data.size();
   const float beta = config_.beta;
@@ -67,15 +93,27 @@ IltResult IltEngine::optimize(const geom::Grid& target,
   double best_l2 = hard_l2();
   geom::Grid best_mask_b = mask_b;
   result.l2_history.push_back(best_l2);
-  int stall_checks = 0;
+  const double initial_l2 = best_l2;
+  double prev_l2 = best_l2;
+  int stall_checks = 0;   // consecutive checks without a new best (patience)
+  int plateau_checks = 0; // consecutive near-identical checks (stall watchdog)
   int iter = 0;
+  TerminationReason reason = TerminationReason::kConverged;
+  if (!std::isfinite(best_l2)) {
+    reason = TerminationReason::kDiverged;
+  }
   // One workspace and one gradient grid serve every iteration: after the
   // first step the litho engine allocates nothing. The dose corners share
   // one forward-field computation inside gradient_into.
   litho::LithoWorkspace ws;
   geom::Grid grad_mb;
   std::vector<float> grad_p(npx);
-  for (; iter < config_.max_iterations; ++iter) {
+  for (; reason == TerminationReason::kConverged && iter < config_.max_iterations;
+       ++iter) {
+    if (config_.deadline_s > 0.0 && timer.seconds() >= config_.deadline_s) {
+      reason = TerminationReason::kDeadlineExceeded;
+      break;
+    }
     // dE/dM_b (Eq. 14 core), averaged over the configured dose corners,
     // plus the optional smoothness term; chained through the mask
     // relaxation (Eq. 13).
@@ -86,10 +124,20 @@ IltResult IltEngine::optimize(const geom::Grid& target,
         grad_mb.data[i] += config_.smoothness_lambda * reg.data[i];
     }
     float max_abs = 0.0f;
+    bool grad_finite = true;
     for (std::size_t i = 0; i < npx; ++i) {
       const float mb = mask_b.data[i];
-      grad_p[i] = grad_mb.data[i] * beta * mb * (1.0f - mb);
-      max_abs = std::max(max_abs, std::fabs(grad_p[i]));
+      const float g = grad_mb.data[i] * beta * mb * (1.0f - mb);
+      grad_p[i] = g;
+      if (!std::isfinite(g)) grad_finite = false;
+      max_abs = std::max(max_abs, std::fabs(g));
+    }
+    if (!grad_finite) {
+      // A NaN/Inf anywhere in the step direction would silently corrupt P
+      // (std::max does not propagate NaN) — abandon the step, keep the best
+      // checkpoint, and report the numeric fault.
+      reason = TerminationReason::kDiverged;
+      break;
     }
     const float scale = config_.normalize_gradient && max_abs > 0.0f
                             ? config_.step_size / max_abs
@@ -100,19 +148,44 @@ IltResult IltEngine::optimize(const geom::Grid& target,
     if ((iter + 1) % config_.check_every == 0) {
       const double l2 = hard_l2();
       result.l2_history.push_back(l2);
+      if (!std::isfinite(l2) ||
+          (config_.divergence_factor > 0.0f &&
+           l2 > static_cast<double>(config_.divergence_factor) *
+                    std::max(initial_l2, 1.0))) {
+        reason = TerminationReason::kDiverged;
+        ++iter;
+        break;
+      }
       if (l2 < best_l2) {
         best_l2 = l2;
         best_mask_b = mask_b;
         stall_checks = 0;
+        plateau_checks = 0;
       } else {
         ++stall_checks;
+        const double tol =
+            static_cast<double>(config_.stall_rel_tol) * std::max(prev_l2, 1.0);
+        plateau_checks = std::fabs(l2 - prev_l2) <= tol ? plateau_checks + 1 : 0;
       }
-      if (best_l2 <= config_.target_l2_px || stall_checks >= config_.patience) {
+      prev_l2 = l2;
+      if (best_l2 <= config_.target_l2_px) {
+        reason = TerminationReason::kTargetReached;
+        ++iter;
+        break;
+      }
+      if (config_.stall_checks > 0 && plateau_checks >= config_.stall_checks) {
+        reason = TerminationReason::kStalled;
+        ++iter;
+        break;
+      }
+      if (stall_checks >= config_.patience) {
+        reason = TerminationReason::kPatience;
         ++iter;
         break;
       }
     }
   }
+  result.termination = reason;
 
   result.iterations = iter;
   result.mask_relaxed = std::move(best_mask_b);

@@ -43,7 +43,36 @@ struct IltConfig {
   /// process-window extension the paper's conclusion points to ([4][5],
   /// MOSAIC's PW-aware mode). Default: nominal-only, matching the paper.
   std::vector<float> dose_corners = {1.0f};
+
+  // --- watchdog (all default-off except non-finite detection) ---
+  /// Wall-clock budget for one optimize() call in seconds; <= 0 disables.
+  /// Checked before every gradient step, so a run never overshoots the
+  /// deadline by more than one iteration.
+  double deadline_s = 0.0;
+  /// Terminate Diverged when a checked hard L2 exceeds this multiple of the
+  /// starting L2 (the loop is blowing up, not descending); <= 0 disables.
+  /// Non-finite gradients / L2 always terminate Diverged regardless.
+  float divergence_factor = 0.0f;
+  /// Terminate Stalled after this many *consecutive* checks whose L2 moved
+  /// by less than stall_rel_tol (relative) without improving the best — a
+  /// plateau or small oscillation that `patience` would only catch later.
+  /// 0 disables. Should be < patience to ever fire first.
+  int stall_checks = 0;
+  float stall_rel_tol = 1e-4f;
 };
+
+/// Why optimize() returned — every exit path reports exactly one of these.
+enum class TerminationReason {
+  kConverged,         ///< ran the full max_iterations budget normally
+  kTargetReached,     ///< best hard L2 dropped to target_l2_px or below
+  kPatience,          ///< best not improved for `patience` checks
+  kStalled,           ///< watchdog: L2 plateau/oscillation (stall_checks)
+  kDiverged,          ///< watchdog: non-finite values or L2 blow-up
+  kDeadlineExceeded,  ///< watchdog: wall-clock deadline hit
+};
+
+/// Stable machine-readable name ("converged", "deadline-exceeded", ...).
+const char* termination_reason_name(TerminationReason reason);
 
 struct IltResult {
   geom::Grid mask;            ///< binarized final mask
@@ -52,6 +81,7 @@ struct IltResult {
   int iterations = 0;         ///< gradient steps actually taken
   double runtime_s = 0.0;
   std::vector<double> l2_history;  ///< hard L2 at each check point
+  TerminationReason termination = TerminationReason::kConverged;
 };
 
 class IltEngine {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
+#include "common/status.hpp"
 #include "fft/fft.hpp"
 
 namespace ganopc::litho {
@@ -108,9 +111,11 @@ LithoSim::LithoSim(const OpticsConfig& optics, const ResistConfig& resist,
 }
 
 void LithoSim::check_geometry(const geom::Grid& g) const {
-  GANOPC_CHECK_MSG(g.rows == grid_size() && g.cols == grid_size(),
-                   "grid " << g.rows << "x" << g.cols << " does not match simulator "
-                           << grid_size() << "x" << grid_size());
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     g.rows == grid_size() && g.cols == grid_size(),
+                     "grid " << g.rows << "x" << g.cols
+                             << " does not match simulator " << grid_size() << "x"
+                             << grid_size());
 }
 
 void LithoSim::aerial_into(const geom::Grid& mask, geom::Grid& aerial_image,
@@ -251,6 +256,12 @@ void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
   const double inv_d = 1.0 / static_cast<double>(doses.size());
   for (std::size_t i = 0; i < npx; ++i)
     grad_out.data[i] = static_cast<float>(acc[i] * inv_d);
+
+  // Robustness tier: simulate the numeric faults (denormal blow-ups, FFT
+  // overflow) that ILILT reports on hard patterns. The ILT watchdog must
+  // catch this and terminate Diverged instead of corrupting the descent.
+  if (GANOPC_FAILPOINT("litho.gradient_nan"))
+    grad_out.data[0] = std::numeric_limits<float>::quiet_NaN();
 }
 
 geom::Grid LithoSim::gradient(const geom::Grid& mask_b, const geom::Grid& target,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 #include "geometry/bitmap_ops.hpp"
 #include "geometry/raster.hpp"
@@ -51,8 +52,12 @@ void paint(geom::Grid& grid, const geom::Rect& r, float value) {
 
 MbOpcEngine::MbOpcEngine(const litho::LithoSim& sim, const MbOpcConfig& config)
     : sim_(sim), config_(config) {
-  GANOPC_CHECK(config.segment_len_nm > 0 && config.max_move_nm > 0);
-  GANOPC_CHECK(config.max_iterations > 0 && config.gain > 0.0f);
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     config.segment_len_nm > 0 && config.max_move_nm > 0,
+                     "MB-OPC: segment length and max move must be positive");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     config.max_iterations > 0 && config.gain > 0.0f,
+                     "MB-OPC: iterations and gain must be positive");
 }
 
 std::vector<Segment> MbOpcEngine::fragment(const geom::Layout& target,

@@ -1,0 +1,110 @@
+// End-to-end crash-safety: SIGKILL the `ganopc batch` CLI mid-batch via the
+// "batch.kill" failpoint, resume with --resume, and require the final
+// manifest to be bit-identical to an uninterrupted run (ISSUE acceptance
+// criterion). Runs the real binary as a subprocess, so a crash takes out the
+// child, not the test.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+#ifndef GANOPC_CLI_PATH
+#error "GANOPC_CLI_PATH must point at the ganopc CLI binary"
+#endif
+
+namespace ganopc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class BatchKillResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "ganopc_kill_resume").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  // Runs the CLI via sh -c, optionally with failpoints armed in the child's
+  // environment only. Returns the raw wait status.
+  int run_cli(const std::string& args, const std::string& failpoints = "") {
+    // `exec` replaces the shell so a SIGKILL of the CLI is visible in the
+    // wait status instead of being laundered into a shell exit code of 137.
+    std::string cmd;
+    if (!failpoints.empty()) cmd += "GANOPC_FAILPOINTS='" + failpoints + "' ";
+    cmd += std::string("exec '") + GANOPC_CLI_PATH + "' " + args +
+           " > " + path("stdout.txt") + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BatchKillResumeTest, ResumedManifestMatchesUninterruptedRunBitForBit) {
+  // Six distinct single-wire clips on a 2048 nm window.
+  const std::int32_t clip_nm = 2048;
+  std::string clip_list;
+  for (int i = 0; i < 6; ++i) {
+    geom::Layout l(geom::Rect{0, 0, clip_nm, clip_nm});
+    const std::int32_t mid = clip_nm / 2 + 64 * (i - 3);
+    l.add({mid - 60, mid - 500, mid + 60, mid + 500});
+    const std::string p = path("clip" + std::to_string(i) + ".txt");
+    l.save(p);
+    if (i) clip_list += ",";
+    clip_list += p;
+  }
+
+  const std::string common = "batch --clips " + clip_list +
+                             " --scale quick --grid 64 --iters 20"
+                             " --deterministic-manifest 1";
+
+  // Reference: uninterrupted run.
+  const int ref = run_cli(common + " --journal " + path("ref.journal") +
+                          " --manifest " + path("ref.csv"));
+  ASSERT_TRUE(WIFEXITED(ref)) << read_bytes(path("stdout.txt"));
+  ASSERT_EQ(WEXITSTATUS(ref), 0) << read_bytes(path("stdout.txt"));
+  const std::string ref_manifest = read_bytes(path("ref.csv"));
+  ASSERT_FALSE(ref_manifest.empty());
+
+  // Interrupted run: the batch.kill failpoint raises SIGKILL right after the
+  // third clip's journal commit — no destructors, no flush, a real crash.
+  const int killed = run_cli(common + " --journal " + path("kill.journal") +
+                                 " --manifest " + path("kill.csv"),
+                             "batch.kill:2:1");
+  ASSERT_TRUE(WIFSIGNALED(killed)) << "wait status " << killed << "\n"
+                                   << read_bytes(path("stdout.txt"));
+  EXPECT_EQ(WTERMSIG(killed), SIGKILL);
+  ASSERT_TRUE(fs::exists(path("kill.journal")));
+  EXPECT_FALSE(fs::exists(path("kill.csv")));  // died before the manifest
+
+  // Resume: completed clips replay from the journal, the rest recompute.
+  const int resumed = run_cli(common + " --resume " + path("kill.journal") +
+                              " --manifest " + path("kill.csv"));
+  ASSERT_TRUE(WIFEXITED(resumed)) << read_bytes(path("stdout.txt"));
+  ASSERT_EQ(WEXITSTATUS(resumed), 0) << read_bytes(path("stdout.txt"));
+  const std::string out = read_bytes(path("stdout.txt"));
+  EXPECT_NE(out.find("resumed from journal"), std::string::npos) << out;
+
+  EXPECT_EQ(read_bytes(path("kill.csv")), ref_manifest);
+  EXPECT_EQ(read_bytes(path("kill.journal")),
+            read_bytes(path("ref.journal")));
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -1,0 +1,348 @@
+// BatchRunner: per-clip isolation, graceful degradation, typed failure
+// reporting and crash-safe journal resume (DESIGN.md §9, ISSUE acceptance
+// criteria).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/prng.hpp"
+#include "common/sectioned_file.hpp"
+#include "common/status.hpp"
+#include "core/batch_runner.hpp"
+#include "core/config.hpp"
+#include "core/generator.hpp"
+#include "gds/gds.hpp"
+#include "geometry/layout.hpp"
+
+namespace ganopc::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+GanOpcConfig make_cfg() {
+  GanOpcConfig cfg = make_config(ReproScale::Quick);
+  cfg.litho_grid = 64;   // 32 nm pixels: seconds for a 10-clip batch
+  cfg.gan_grid = 32;
+  cfg.optics.num_kernels = 8;
+  cfg.ilt.max_iterations = 30;
+  cfg.ilt.check_every = 5;
+  return cfg;
+}
+
+litho::LithoSim make_sim(const GanOpcConfig& cfg) {
+  return litho::LithoSim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                         cfg.litho_pixel_nm());
+}
+
+// An isolated vertical wire, shifted per index so clips are distinct.
+geom::Layout wire_clip(std::int32_t clip_nm, std::int32_t shift = 0) {
+  geom::Layout l(geom::Rect{0, 0, clip_nm, clip_nm});
+  const std::int32_t mid = clip_nm / 2 + shift;
+  l.add({mid - 60, mid - 500, mid + 60, mid + 500});
+  return l;
+}
+
+std::vector<BatchClip> make_clips(int n, std::int32_t clip_nm) {
+  std::vector<BatchClip> clips;
+  for (int i = 0; i < n; ++i)
+    clips.push_back({"clip" + std::to_string(i), "",
+                     wire_clip(clip_nm, 64 * (i - n / 2))});
+  return clips;
+}
+
+class BatchRunnerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::clear();
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+
+  std::string scratch(const std::string& name) {
+    const std::string path = temp_path(name);
+    std::remove(path.c_str());
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(BatchRunnerTest, CleanBatchSucceedsOnEveryClip) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  const BatchSummary s = runner.run(make_clips(3, cfg.clip_nm));
+  EXPECT_EQ(s.succeeded, 3);
+  EXPECT_EQ(s.failed, 0);
+  for (const auto& c : s.clips) {
+    EXPECT_TRUE(c.ok()) << c.id << ": " << c.error;
+    EXPECT_EQ(c.stage, BatchStage::Ilt);  // no generator attached
+    EXPECT_TRUE(c.has_termination);
+    EXPECT_EQ(c.retries, 0);
+    EXPECT_EQ(c.fallbacks, 0);
+    EXPECT_GE(c.l2_nm2, 0.0);  // the easy wire prints perfectly: L2 may be 0
+    EXPECT_GT(c.pvb_nm2, 0);
+  }
+}
+
+TEST_F(BatchRunnerTest, PoisonedClipIsIsolatedAndTyped) {
+  // The ISSUE acceptance scenario: inject a litho NaN into clip k of 10 and
+  // the other 9 must complete, with the manifest naming clip k and the code.
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.allow_fallback = false;  // isolate the failure, no rescue
+  bcfg.max_retries = 1;
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+
+  const int k = 3;
+  failpoint::arm("batch.poison_clip", /*skip=*/k, /*count=*/1);
+  const BatchSummary s = runner.run(make_clips(10, cfg.clip_nm));
+
+  EXPECT_EQ(s.succeeded, 9);
+  EXPECT_EQ(s.failed, 1);
+  for (int i = 0; i < 10; ++i) {
+    const BatchClipResult& c = s.clips[static_cast<std::size_t>(i)];
+    if (i == k) {
+      EXPECT_FALSE(c.ok());
+      EXPECT_EQ(c.code, StatusCode::kLithoNumeric);
+      EXPECT_EQ(c.stage, BatchStage::Failed);
+      EXPECT_EQ(c.termination, ilt::TerminationReason::kDiverged);
+      EXPECT_EQ(c.retries, 1);  // one perturbed restart was attempted
+      EXPECT_NE(c.error.find(c.id), std::string::npos);
+    } else {
+      EXPECT_TRUE(c.ok()) << c.id << ": " << c.error;
+    }
+  }
+
+  // The machine-readable manifest names the failed clip and its code.
+  const std::string manifest = scratch("batch_poison_manifest.csv");
+  BatchRunner::write_manifest(manifest, s);
+  const std::string text = read_bytes(manifest);
+  EXPECT_NE(text.find("clip3,<memory>,failed,LithoNumeric"), std::string::npos);
+}
+
+TEST_F(BatchRunnerTest, PoisonedClipDegradesToMbOpc) {
+  // With fallback enabled the same numeric fault is rescued by the
+  // gradient-free MB-OPC rung: the batch completes 10/10.
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.max_retries = 1;
+  // ILT drives this easy wire to L2 ~0, a bar the coarser gradient-free
+  // MB-OPC rung cannot match; widen the gate so the chain can rescue.
+  bcfg.l2_accept_factor = 20.0f;
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+
+  failpoint::arm("batch.poison_clip", /*skip=*/2, /*count=*/1);
+  const BatchSummary s = runner.run(make_clips(5, cfg.clip_nm));
+  EXPECT_EQ(s.succeeded, 5);
+  const BatchClipResult& poisoned = s.clips[2];
+  EXPECT_TRUE(poisoned.ok()) << poisoned.error;
+  EXPECT_EQ(poisoned.stage, BatchStage::MbOpc);
+  EXPECT_EQ(poisoned.fallbacks, 1);
+  EXPECT_EQ(poisoned.retries, 1);
+  // Unpoisoned neighbours never left the first rung.
+  EXPECT_EQ(s.clips[1].stage, BatchStage::Ilt);
+  EXPECT_EQ(s.clips[3].stage, BatchStage::Ilt);
+}
+
+TEST_F(BatchRunnerTest, CorruptGdsFailsOnlyThatClip) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = scratch("batch_gds_" + std::to_string(i) + ".gds");
+    gds::write_gds(path, gds::layout_to_gds(wire_clip(cfg.clip_nm, 64 * i), "TOP"));
+    paths.push_back(path);
+  }
+  {  // truncate the middle file: a typed InvalidInput, not a batch abort
+    const std::string bytes = read_bytes(paths[1]);
+    std::ofstream out(paths[1], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  const BatchSummary s = runner.run_files(paths);
+  EXPECT_EQ(s.succeeded, 2);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_TRUE(s.clips[0].ok()) << s.clips[0].error;
+  EXPECT_FALSE(s.clips[1].ok());
+  EXPECT_EQ(s.clips[1].code, StatusCode::kInvalidInput);
+  EXPECT_FALSE(s.clips[1].has_termination);  // failed before any ILT ran
+  EXPECT_TRUE(s.clips[2].ok()) << s.clips[2].error;
+}
+
+TEST_F(BatchRunnerTest, ExhaustedDeadlineReportedAsDeadlineExceeded) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.clip_deadline_s = 1e-6;  // expires during clip setup
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const BatchSummary s = runner.run(make_clips(1, cfg.clip_nm));
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.clips[0].code, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(BatchRunnerTest, GeneratorAttachedStartsAtGanIltRung) {
+  GanOpcConfig cfg = make_cfg();
+  cfg.ilt.max_iterations = 60;  // headroom to refine the untrained init
+  const auto sim = make_sim(cfg);
+  Prng rng(cfg.seed);
+  Generator generator(cfg.gan_grid, cfg.base_channels, rng);
+  const BatchRunner runner(cfg, &generator, sim, BatchConfig{});
+  const BatchSummary s = runner.run(make_clips(1, cfg.clip_nm));
+  ASSERT_TRUE(s.clips[0].ok()) << s.clips[0].error;
+  if (s.clips[0].fallbacks == 0) {
+    EXPECT_EQ(s.clips[0].stage, BatchStage::GanIlt);
+  }
+}
+
+TEST_F(BatchRunnerTest, ResumeReplaysJournaledClips) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.journal_path = scratch("batch_resume.journal");
+  bcfg.deterministic_manifest = true;
+  const auto clips = make_clips(4, cfg.clip_nm);
+
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const BatchSummary first = runner.run(clips);
+  ASSERT_EQ(first.succeeded, 4);
+  const std::string journal_after_first = read_bytes(bcfg.journal_path);
+
+  bcfg.resume = true;
+  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
+  const BatchSummary second = resumer.run(clips);
+  EXPECT_EQ(second.resumed, 4);
+  EXPECT_EQ(second.succeeded, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(second.clips[i].from_journal);
+    EXPECT_EQ(second.clips[i].l2_px, first.clips[i].l2_px);
+    EXPECT_EQ(second.clips[i].pvb_nm2, first.clips[i].pvb_nm2);
+    EXPECT_EQ(second.clips[i].ilt_iterations, first.clips[i].ilt_iterations);
+  }
+  // The rewritten journal is bit-identical: replay is exact.
+  EXPECT_EQ(read_bytes(bcfg.journal_path), journal_after_first);
+}
+
+TEST_F(BatchRunnerTest, PartialJournalRecomputesOnlyMissingClips) {
+  // Simulate a crash between clips by dropping the last clip's section from
+  // a complete journal, then resuming.
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.journal_path = scratch("batch_partial.journal");
+  bcfg.deterministic_manifest = true;
+  const auto clips = make_clips(3, cfg.clip_nm);
+
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const BatchSummary full = runner.run(clips);
+  const std::string complete_journal = read_bytes(bcfg.journal_path);
+
+  {  // rewrite the journal without the final clip's section
+    const SectionedFileReader reader(bcfg.journal_path, "GOPCBAT1");
+    SectionedFileWriter writer("GOPCBAT1");
+    for (const std::string name : {"meta", "clip/clip0", "clip/clip1"}) {
+      ByteReader src = reader.open(name);
+      std::vector<char> payload(src.remaining());
+      src.bytes(payload.data(), payload.size());
+      writer.section(name).bytes(payload.data(), payload.size());
+    }
+    writer.write(bcfg.journal_path);
+  }
+
+  bcfg.resume = true;
+  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
+  const BatchSummary resumed = resumer.run(clips);
+  EXPECT_EQ(resumed.resumed, 2);
+  EXPECT_EQ(resumed.succeeded, 3);
+  EXPECT_FALSE(resumed.clips[2].from_journal);
+  EXPECT_EQ(resumed.clips[2].l2_px, full.clips[2].l2_px);
+  // After the resumed run the journal matches the uninterrupted one exactly.
+  EXPECT_EQ(read_bytes(bcfg.journal_path), complete_journal);
+}
+
+TEST_F(BatchRunnerTest, ResumeRejectsJournalFromDifferentBatch) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.journal_path = scratch("batch_mismatch.journal");
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  runner.run(make_clips(2, cfg.clip_nm));
+
+  bcfg.resume = true;
+  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
+  auto other = make_clips(2, cfg.clip_nm);
+  other[1].id = "renamed";
+  try {
+    resumer.run(other);
+    FAIL() << "mismatched journal accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInvalidInput);
+  }
+}
+
+TEST_F(BatchRunnerTest, DeterministicManifestIsBitIdenticalAcrossRuns) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  BatchConfig bcfg;
+  bcfg.deterministic_manifest = true;
+  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const auto clips = make_clips(3, cfg.clip_nm);
+
+  const std::string m1 = scratch("batch_det_1.csv");
+  const std::string m2 = scratch("batch_det_2.csv");
+  BatchRunner::write_manifest(m1, runner.run(clips));
+  BatchRunner::write_manifest(m2, runner.run(clips));
+  const std::string a = read_bytes(m1);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, read_bytes(m2));
+}
+
+TEST_F(BatchRunnerTest, RejectsInvalidBatchInputs) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  EXPECT_THROW(runner.run({}), StatusError);
+
+  auto dup = make_clips(2, cfg.clip_nm);
+  dup[1].id = dup[0].id;
+  EXPECT_THROW(runner.run(dup), StatusError);
+
+  BatchConfig bad;
+  bad.resume = true;  // resume with no journal path
+  EXPECT_THROW(BatchRunner(cfg, nullptr, sim, bad), StatusError);
+
+  BatchConfig neg;
+  neg.max_retries = -1;
+  EXPECT_THROW(BatchRunner(cfg, nullptr, sim, neg), StatusError);
+}
+
+TEST_F(BatchRunnerTest, WrongClipWindowIsTypedInvalidInput) {
+  const GanOpcConfig cfg = make_cfg();
+  const auto sim = make_sim(cfg);
+  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  std::vector<BatchClip> clips;
+  clips.push_back({"bad_window", "", wire_clip(cfg.clip_nm / 2)});
+  const BatchSummary s = runner.run(clips);
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.clips[0].code, StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace ganopc::core

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/prng.hpp"
+#include "common/status.hpp"
 #include "geometry/bitmap_ops.hpp"
 #include "geometry/raster.hpp"
 #include "ilt/ilt.hpp"
@@ -187,6 +191,148 @@ TEST(IltPvAware, RejectsEmptyOrInvalidCorners) {
   bad.dose_corners = {};
   EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
   bad.dose_corners = {1.0f, -0.5f};
+  EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
+}
+
+// Every exit path of IltEngine::optimize must report a TerminationReason
+// (ISSUE acceptance criterion); one test per reason.
+class IltWatchdog : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::clear(); }
+};
+
+TEST_F(IltWatchdog, BudgetExhaustionReportsConverged) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 10;
+  cfg.check_every = 5;
+  cfg.patience = 1000;
+  cfg.target_l2_px = -1.0;  // unreachable: the easy wire hits hard L2 = 0
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kConverged);
+  EXPECT_EQ(r.iterations, 10);
+}
+
+TEST_F(IltWatchdog, LaxTargetReportsTargetReached) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.check_every = 1;
+  cfg.target_l2_px = 1e12;
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kTargetReached);
+  EXPECT_LE(r.iterations, 1);
+}
+
+TEST_F(IltWatchdog, NoImprovementReportsPatience) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.check_every = 5;
+  cfg.patience = 4;
+  cfg.target_l2_px = -1.0;  // unreachable, so only patience can stop it
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kPatience);
+  EXPECT_LT(r.iterations, cfg.max_iterations);
+}
+
+TEST_F(IltWatchdog, PlateauReportsStalledBeforePatience) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.check_every = 5;
+  cfg.patience = 50;          // patience would need 50 flat checks...
+  cfg.stall_checks = 2;       // ...the stall watchdog fires after 2
+  cfg.stall_rel_tol = 0.05f;  // "flat" = within 5% of the previous check
+  cfg.target_l2_px = -1.0;
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kStalled);
+  EXPECT_LT(r.iterations, cfg.max_iterations);
+}
+
+TEST_F(IltWatchdog, TinyDeadlineReportsDeadlineExceeded) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.deadline_s = 1e-9;  // expires before the first gradient step
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kDeadlineExceeded);
+  EXPECT_EQ(r.iterations, 0);
+  // The best-so-far mask (the initial checkpoint) is still returned.
+  EXPECT_TRUE(std::isfinite(r.l2_px));
+}
+
+TEST_F(IltWatchdog, InjectedGradientNaNReportsDiverged) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 50;
+  failpoint::arm("litho.gradient_nan", /*skip=*/0, /*count=*/-1);
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kDiverged);
+  EXPECT_EQ(r.iterations, 0);
+  // The poisoned step was abandoned: the result is the initial checkpoint,
+  // finite and binary, never a NaN-corrupted mask.
+  EXPECT_TRUE(std::isfinite(r.l2_px));
+  for (const float v : r.mask.data) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST_F(IltWatchdog, LateGradientNaNKeepsBestCheckpoint) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 50;
+  cfg.check_every = 5;
+  cfg.target_l2_px = -1.0;  // keep iterating so the late NaN is reached
+  failpoint::arm("litho.gradient_nan", /*skip=*/12, /*count=*/-1);
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  EXPECT_EQ(r.termination, TerminationReason::kDiverged);
+  EXPECT_EQ(r.iterations, 12);
+  EXPECT_TRUE(std::isfinite(r.l2_px));
+  // Progress from the 12 clean iterations is retained, not discarded.
+  EXPECT_LE(r.l2_px, sim.l2_error(target, target));
+}
+
+TEST_F(IltWatchdog, DivergenceFactorTripsOnExplodingL2) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 200;
+  cfg.check_every = 1;
+  cfg.step_size = 1e6f;          // absurd step: the mask leaves the basin
+  cfg.normalize_gradient = false;
+  cfg.divergence_factor = 4.0f;  // trip when L2 > 4x the initial value
+  const IltResult r = IltEngine(sim, cfg).optimize(target);
+  if (r.termination == TerminationReason::kDiverged)
+    EXPECT_LT(r.iterations, cfg.max_iterations);
+  else
+    // A wild step can also land on an all-off mask whose L2 merely plateaus;
+    // either way the run must terminate with a legal reason, never NaN.
+    EXPECT_TRUE(std::isfinite(r.l2_px));
+}
+
+TEST_F(IltWatchdog, EveryReasonHasAName) {
+  const TerminationReason reasons[] = {
+      TerminationReason::kConverged,  TerminationReason::kTargetReached,
+      TerminationReason::kPatience,   TerminationReason::kStalled,
+      TerminationReason::kDiverged,   TerminationReason::kDeadlineExceeded,
+  };
+  for (const TerminationReason reason : reasons)
+    EXPECT_STRNE(termination_reason_name(reason), "?");
+}
+
+TEST_F(IltWatchdog, InvalidStallSettingsRejected) {
+  const auto sim = make_sim();
+  IltConfig bad;
+  bad.stall_checks = -1;
+  EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
+  bad = IltConfig{};
+  bad.stall_rel_tol = -0.5f;
   EXPECT_THROW(IltEngine(sim, bad), ganopc::Error);
 }
 

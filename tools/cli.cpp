@@ -9,6 +9,11 @@
 //                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //                  [--pretrain-iters N] [--train-iters N]
 //   ganopc flow    --layout FILE --generator FILE.bin [--scale NAME]
+//   ganopc batch   (--list FILE | --clips A,B,...) [--scale NAME] [--grid N]
+//                  [--iters N] [--generator FILE.bin] [--journal FILE]
+//                  [--resume FILE] [--manifest FILE.csv] [--deadline-s SEC]
+//                  [--max-retries N] [--fallback 0|1] [--accept-factor F]
+//                  [--deterministic-manifest 0|1]
 //   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
 //   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
 //                  [--clipsize NM]
@@ -17,18 +22,22 @@
 // GDSII (.gds extension, loaded with --clipsize window); masks are 8-bit
 // PGM at the simulation grid. `train` is crash-safe: Ctrl-C flushes a
 // checkpoint that --resume continues from bit-identically (DESIGN.md §8).
+// `batch` is fault-tolerant: clips fail individually with typed codes in the
+// manifest, and its journal makes a killed run resumable (DESIGN.md §9).
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/image_io.hpp"
 #include "common/prng.hpp"
+#include "core/batch_runner.hpp"
 #include "core/config.hpp"
 #include "core/dataset.hpp"
 #include "core/discriminator.hpp"
@@ -79,6 +88,11 @@ class Args {
   int get_int(const std::string& key, int fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
 
  private:
@@ -305,6 +319,81 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
+// Fault-tolerant batch mask optimization over many clip files. Exit code 0
+// when every clip produced an accepted mask, 3 when the batch completed but
+// some clips failed (their manifest rows carry the typed error code).
+int cmd_batch(const Args& args) {
+  core::GanOpcConfig cfg =
+      core::make_config(core::parse_scale(args.get("scale", "quick")));
+  cfg.litho_grid = args.get_int("grid", cfg.litho_grid);
+  cfg.ilt.max_iterations = args.get_int("iters", cfg.ilt.max_iterations);
+
+  std::vector<std::string> paths;
+  const std::string list = args.get("list", "");
+  if (!list.empty()) {
+    std::ifstream in(list);
+    GANOPC_CHECK_MSG(in.good(), "cannot open clip list " << list);
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+        line.pop_back();
+      if (!line.empty() && line[0] != '#') paths.push_back(line);
+    }
+  } else {
+    std::string csv = args.require("clips");
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+      const std::size_t comma = csv.find(',', start);
+      const std::string item = csv.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!item.empty()) paths.push_back(item);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  GANOPC_CHECK_MSG(!paths.empty(), "no clips given (use --list or --clips)");
+
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  Prng rng(cfg.seed);
+  std::unique_ptr<core::Generator> generator;
+  const std::string gen_path = args.get("generator", "");
+  if (!gen_path.empty()) {
+    generator = std::make_unique<core::Generator>(cfg.gan_grid, cfg.base_channels, rng);
+    nn::load_parameters(generator->net(), gen_path);
+  }
+
+  core::BatchConfig bcfg;
+  bcfg.clip_deadline_s = args.get_double("deadline-s", 0.0);
+  bcfg.max_retries = args.get_int("max-retries", 1);
+  bcfg.allow_fallback = args.get_int("fallback", 1) != 0;
+  bcfg.l2_accept_factor = static_cast<float>(args.get_double("accept-factor", 1.0));
+  bcfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<int>(cfg.seed)));
+  const std::string resume = args.get("resume", "");
+  bcfg.journal_path = resume.empty() ? args.get("journal", "") : resume;
+  bcfg.resume = !resume.empty();
+  bcfg.deterministic_manifest = args.get_int("deterministic-manifest", 0) != 0;
+
+  const core::BatchRunner runner(cfg, generator.get(), sim, bcfg);
+  const core::BatchSummary summary = runner.run_files(paths);
+
+  for (const auto& c : summary.clips) {
+    if (c.ok())
+      std::printf("  %-16s ok      stage=%s%s L2 %.0f nm^2, PVB %ld nm^2%s\n",
+                  c.id.c_str(), core::batch_stage_name(c.stage),
+                  c.retries > 0 ? " (retried)" : "", c.l2_nm2,
+                  static_cast<long>(c.pvb_nm2), c.from_journal ? " [journal]" : "");
+    else
+      std::printf("  %-16s FAILED  %s: %s\n", c.id.c_str(),
+                  status_code_name(c.code), c.error.c_str());
+  }
+  const std::string manifest = args.get("manifest", "batch_manifest.csv");
+  core::BatchRunner::write_manifest(manifest, summary);
+  std::printf("batch: %d ok, %d failed, %d resumed from journal; wrote %s\n",
+              summary.succeeded, summary.failed, summary.resumed, manifest.c_str());
+  return summary.failed == 0 ? 0 : 3;
+}
+
 int cmd_txt2gds(const Args& args) {
   const geom::Layout clip = geom::Layout::load(args.require("layout"));
   const std::string out = args.get("out", "layout.gds");
@@ -328,7 +417,7 @@ int cmd_gds2txt(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow> [--flag value ...]\n"
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch> [--flag value ...]\n"
                "see tools/cli.cpp header for per-command flags\n");
 }
 
@@ -349,6 +438,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "batch") return cmd_batch(args);
     if (cmd == "txt2gds") return cmd_txt2gds(args);
     if (cmd == "gds2txt") return cmd_gds2txt(args);
     usage();
