@@ -1,0 +1,166 @@
+// bench_regress: perf-regression baseline emitter (DESIGN.md §10).
+//
+// Runs a fixed, deterministic litho workload and a short ILT run with the
+// obs layer enabled, then dumps the per-stage timing distributions straight
+// from the obs histograms:
+//   BENCH_litho.json — simulate / simulate_batch / gradient / aerial /
+//                      pv_band stage timings + FFT plan-cache hit rate
+//   BENCH_ilt.json   — ilt.optimize timing, iteration count, terminations
+// Each stage entry carries {count, sum_s, p50_s, p95_s}, so two snapshots
+// from different commits diff into a regression report. CI's bench-smoke job
+// uploads both files as artifacts.
+//
+// Usage: bench_regress [--out DIR] [--grid N] [--reps N]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ganopc {
+namespace {
+
+geom::Grid wire_clip(std::int32_t grid, std::int32_t pixel, std::int32_t shift) {
+  geom::Layout l(geom::Rect{0, 0, grid * pixel, grid * pixel});
+  const std::int32_t mid = grid * pixel / 2;
+  l.add({mid - 60 + shift, mid - 500, mid + 60 + shift, mid + 500});
+  l.add({mid - 400, mid - 60 - shift, mid + 400, mid + 60 - shift});
+  return geom::rasterize(l, pixel, /*threshold=*/true);
+}
+
+/// "name": {"count": .., "sum_s": .., "p50_s": .., "p95_s": ..}
+void append_stage(std::string& out, const obs::Snapshot& snap,
+                  const char* stage, bool& first) {
+  const obs::HistogramSnapshot* h =
+      snap.find_histogram(std::string(stage) + ".seconds");
+  if (h == nullptr || h->count == 0) return;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s\"%s\":{\"count\":%llu,\"sum_s\":%.6g,\"p50_s\":%.6g,"
+                "\"p95_s\":%.6g}",
+                first ? "" : ",", stage,
+                static_cast<unsigned long long>(h->count), h->sum,
+                h->quantile(0.5), h->quantile(0.95));
+  out += buf;
+  first = false;
+}
+
+void append_counter(std::string& out, const obs::Snapshot& snap,
+                    const char* name, bool& first) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", name,
+                static_cast<unsigned long long>(snap.counter_value(name)));
+  out += buf;
+  first = false;
+}
+
+void write_report(const std::string& path, const char* bench,
+                  std::int32_t grid, int reps, const obs::Snapshot& snap,
+                  const std::vector<const char*>& stages,
+                  const std::vector<const char*>& counters) {
+  std::string out = "{\"schema\":1,\"bench\":\"";
+  out += bench;
+  out += "\",\"grid\":" + std::to_string(grid) +
+         ",\"reps\":" + std::to_string(reps) + ",\"stages\":{";
+  bool first = true;
+  for (const char* s : stages) append_stage(out, snap, s, first);
+  out += "},\"counters\":{";
+  first = true;
+  for (const char* c : counters) append_counter(out, snap, c, first);
+  out += "}}\n";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << out;
+  if (!f) {
+    std::fprintf(stderr, "bench_regress: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), out.size());
+}
+
+}  // namespace
+}  // namespace ganopc
+
+int main(int argc, char** argv) {
+  using namespace ganopc;
+  std::string out_dir = ".";
+  std::int32_t grid = 128;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_regress: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) out_dir = need("--out");
+    else if (std::strcmp(argv[i], "--grid") == 0) grid = std::atoi(need("--grid"));
+    else if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(need("--reps"));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_regress [--out DIR] [--grid N] [--reps N]\n");
+      return 2;
+    }
+  }
+  if (grid < 16 || reps < 1) {
+    std::fprintf(stderr, "bench_regress: bad --grid/--reps\n");
+    return 2;
+  }
+  const std::int32_t pixel = 2048 / grid;
+
+  litho::OpticsConfig optics;
+  litho::LithoSim sim(optics, litho::ResistConfig{}, grid, pixel);
+  std::vector<geom::Grid> masks;
+  for (int i = 0; i < 4; ++i) masks.push_back(wire_clip(grid, pixel, 64 * i));
+  const geom::Grid& target = masks.front();
+
+  obs::set_metrics_enabled(true);
+
+  // --- litho stages -------------------------------------------------------
+  // One untimed warm-up rep of the full workload fills the FFT plan cache
+  // (including pv_band's upsampling transforms) and thread workspaces, so
+  // the measured distribution reflects steady state — and the plan-cache
+  // hit-rate counter proves the cache held: misses must stay 0.
+  for (const auto& m : masks) (void)sim.simulate(m);
+  (void)sim.simulate_batch(masks);
+  for (const auto& m : masks) (void)sim.gradient(m, target);
+  (void)sim.pv_band(target);
+  obs::reset_values();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& m : masks) (void)sim.simulate(m);
+    (void)sim.simulate_batch(masks);
+    for (const auto& m : masks) (void)sim.gradient(m, target);
+    (void)sim.pv_band(target);
+  }
+  write_report(out_dir + "/BENCH_litho.json", "litho", grid, reps,
+               obs::snapshot(),
+               {"litho.simulate", "litho.simulate_batch", "litho.aerial",
+                "litho.gradient", "litho.pv_band"},
+               {"litho.simulate_batch.masks", "fft.plan_cache.hits",
+                "fft.plan_cache.misses"});
+
+  // --- ILT ----------------------------------------------------------------
+  obs::reset_values();
+  ilt::IltConfig cfg;
+  cfg.max_iterations = 40;
+  cfg.check_every = 5;
+  const ilt::IltEngine engine(sim, cfg);
+  const int ilt_reps = std::max(1, reps / 2);
+  for (int r = 0; r < ilt_reps; ++r) (void)engine.optimize(target);
+  write_report(out_dir + "/BENCH_ilt.json", "ilt", grid, ilt_reps,
+               obs::snapshot(),
+               {"ilt.optimize", "litho.gradient", "litho.aerial"},
+               {"ilt.iterations", "ilt.watchdog.terminations",
+                "ilt.termination.converged", "ilt.termination.patience",
+                "ilt.termination.target-reached"});
+  return 0;
+}

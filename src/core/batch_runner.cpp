@@ -20,6 +20,7 @@
 #include "geometry/raster.hpp"
 #include "layout/glp.hpp"
 #include "mbopc/mbopc.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::core {
 
@@ -45,6 +46,19 @@ std::string format_g(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.9g", v);
   return buf;
+}
+
+// Per-row metrics incremented as manifest rows are finalized, so the
+// exported counters always agree with the written CSV (including rows
+// replayed from the journal on resume).
+void count_manifest_row(const BatchClipResult& res) {
+  obs::counter(res.ok() ? "batch.clips.ok" : "batch.clips.failed").inc();
+  obs::counter(std::string("batch.stage.") + batch_stage_name(res.stage)).inc();
+  if (res.retries > 0)
+    obs::counter("batch.retries").inc(static_cast<std::uint64_t>(res.retries));
+  if (res.fallbacks > 0)
+    obs::counter("batch.fallbacks").inc(static_cast<std::uint64_t>(res.fallbacks));
+  if (res.from_journal) obs::counter("batch.clips.resumed").inc();
 }
 
 }  // namespace
@@ -127,6 +141,7 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
       res = process_clip(clip);
     }
     ++(res.ok() ? summary.succeeded : summary.failed);
+    if (obs::metrics_enabled()) count_manifest_row(res);
     if (journaling) {
       ByteWriter& w = journal.section("clip/" + clip.id);
       w.str(res.source);
@@ -158,6 +173,7 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
 }
 
 BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
+  GANOPC_OBS_SPAN("batch.clip");
   WallTimer timer;
   BatchClipResult res;
   res.id = clip.id;
@@ -182,6 +198,7 @@ BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
 }
 
 geom::Layout BatchRunner::load_clip(const std::string& path) const {
+  GANOPC_OBS_SPAN("batch.load_clip");
   const geom::Rect clip{0, 0, config_.clip_nm, config_.clip_nm};
   if (path.ends_with(".gds")) return gds::gds_to_layout(gds::read_gds(path), clip);
   if (path.ends_with(".glp")) return layout::read_glp(path, clip);
@@ -260,6 +277,7 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
 bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
                               double accept_l2, double remaining_s, int attempt,
                               BatchClipResult& res, Status& last) const {
+  GANOPC_OBS_SPAN("batch.attempt_ilt");
   ilt::IltConfig icfg = config_.ilt;
   if (std::isfinite(remaining_s))
     icfg.deadline_s =
@@ -301,6 +319,7 @@ bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
 
 bool BatchRunner::attempt_mbopc(const geom::Layout& clip, double accept_l2,
                                 BatchClipResult& res, Status& last) const {
+  GANOPC_OBS_SPAN("batch.attempt_mbopc");
   const mbopc::MbOpcEngine engine(sim_, mbopc::MbOpcConfig{});
   const mbopc::MbOpcResult r = engine.optimize(clip);
   if (!std::isfinite(r.l2_px)) {

@@ -17,6 +17,7 @@
 #include "common/sectioned_file.hpp"
 #include "core/trainer.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::core {
 
@@ -223,6 +224,7 @@ struct TrainerCheckpointCodec {
 };
 
 void GanOpcTrainer::save_checkpoint(const std::string& path) const {
+  GANOPC_OBS_SPAN("trainer.checkpoint");
   TrainerCheckpointCodec::save(*this, path);
 }
 

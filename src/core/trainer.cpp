@@ -10,6 +10,7 @@
 #include "geometry/bitmap_ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::core {
 
@@ -108,6 +109,7 @@ void GanOpcTrainer::rollback_step(const StepSnapshot& snapshot, float lr_backoff
   rng_.set_state(snapshot.rng);
   lr_scale_ *= lr_backoff;
   ++stats.divergence_rollbacks;
+  if (obs::metrics_enabled()) obs::counter("trainer.rollbacks").inc();
   GANOPC_WARN("trainer: non-finite " << what << " at iteration " << iteration
                                      << "; rolled back (attempt " << attempts
                                      << "), lr scale now " << lr_scale_);
@@ -143,6 +145,7 @@ TrainStats GanOpcTrainer::pretrain(int iterations, const TrainRunOptions& option
   const bool guard = options.max_divergence_retries > 0;
 
   for (int it = start; it < iterations; ++it) {
+    GANOPC_OBS_SPAN("trainer.pretrain.step");
     if (options.stop && options.stop->load()) {
       stats.interrupted = true;
       stats.seconds += timer.seconds();
@@ -292,6 +295,7 @@ TrainStats GanOpcTrainer::train(int iterations, const TrainRunOptions& options) 
           : nn::LrSchedule(config_.lr_discriminator);
 
   for (int it = start; it < iterations; ++it) {
+    GANOPC_OBS_SPAN("trainer.train.step");
     if (options.stop && options.stop->load()) {
       stats.interrupted = true;
       stats.seconds += timer.seconds();

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "fft/fft.hpp"
+#include "obs/metrics.hpp"
 
 namespace ganopc::fft {
 
@@ -33,7 +34,13 @@ const FftPlan& plan_for(std::size_t n) {
   static auto* cache = new std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>();
   std::lock_guard lock(mutex);
   auto& slot = (*cache)[n];
-  if (!slot) slot = std::make_unique<FftPlan>(n);
+  const bool miss = !slot;
+  if (miss) slot = std::make_unique<FftPlan>(n);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& hits = obs::counter("fft.plan_cache.hits");
+    static obs::Counter& misses = obs::counter("fft.plan_cache.misses");
+    (miss ? misses : hits).inc();
+  }
   return *slot;
 }
 

@@ -1,13 +1,33 @@
 #include "ilt/ilt.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::ilt {
+
+namespace {
+
+/// `ilt.termination.<reason>` counter for every exit path, registered once.
+obs::Counter& termination_counter(TerminationReason reason) {
+  static const auto counters = [] {
+    std::array<obs::Counter*, 6> out{};
+    for (int r = 0; r < 6; ++r)
+      out[static_cast<std::size_t>(r)] = &obs::counter(
+          std::string("ilt.termination.") +
+          termination_reason_name(static_cast<TerminationReason>(r)));
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(reason)];
+}
+
+}  // namespace
 
 const char* termination_reason_name(TerminationReason reason) {
   switch (reason) {
@@ -60,6 +80,7 @@ geom::Grid IltEngine::smoothness_gradient(const geom::Grid& mask) {
 
 IltResult IltEngine::optimize(const geom::Grid& target,
                               const geom::Grid& initial_mask) const {
+  GANOPC_OBS_SPAN("ilt.optimize");
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
                      target.rows == sim_.grid_size() && target.cols == sim_.grid_size(),
                      "ILT: target geometry mismatch");
@@ -186,6 +207,14 @@ IltResult IltEngine::optimize(const geom::Grid& target,
     }
   }
   result.termination = reason;
+  if (obs::metrics_enabled()) {
+    obs::counter("ilt.iterations").inc(static_cast<std::uint64_t>(iter));
+    termination_counter(reason).inc();
+    if (reason == TerminationReason::kStalled ||
+        reason == TerminationReason::kDiverged ||
+        reason == TerminationReason::kDeadlineExceeded)
+      obs::counter("ilt.watchdog.terminations").inc();
+  }
 
   result.iterations = iter;
   result.mask_relaxed = std::move(best_mask_b);

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/status.hpp"
 #include "fft/fft.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::litho {
 
@@ -120,6 +121,7 @@ void LithoSim::check_geometry(const geom::Grid& g) const {
 
 void LithoSim::aerial_into(const geom::Grid& mask, geom::Grid& aerial_image,
                            LithoWorkspace& ws) const {
+  GANOPC_OBS_SPAN("litho.aerial");
   check_geometry(mask);
   socs_forward(kernels_, mask, aerial_image, ws);
 }
@@ -139,11 +141,15 @@ geom::Grid LithoSim::print(const geom::Grid& aerial_image, float dose) const {
 }
 
 geom::Grid LithoSim::simulate(const geom::Grid& mask, float dose) const {
+  GANOPC_OBS_SPAN("litho.simulate");
   return print(aerial(mask), dose);
 }
 
 std::vector<geom::Grid> LithoSim::simulate_batch(std::span<const geom::Grid> masks,
                                                  float dose) const {
+  GANOPC_OBS_SPAN("litho.simulate_batch");
+  if (obs::metrics_enabled())
+    obs::counter("litho.simulate_batch.masks").inc(masks.size());
   GANOPC_CHECK(dose > 0.0f);
   for (const auto& m : masks) check_geometry(m);
   std::vector<geom::Grid> prints(masks.size());
@@ -168,6 +174,7 @@ geom::Grid LithoSim::relaxed_wafer(const geom::Grid& aerial_image, float dose) c
 LithoSim::ForwardResult LithoSim::forward_relaxed(const geom::Grid& mask_b,
                                                   const geom::Grid& target, float dose,
                                                   LithoWorkspace& ws) const {
+  GANOPC_OBS_SPAN("litho.forward_relaxed");
   check_geometry(mask_b);
   check_geometry(target);
   GANOPC_CHECK(dose > 0.0f);
@@ -192,6 +199,7 @@ LithoSim::ForwardResult LithoSim::forward_relaxed(const geom::Grid& mask_b,
 void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
                              std::span<const float> doses, geom::Grid& grad_out,
                              LithoWorkspace& ws) const {
+  GANOPC_OBS_SPAN("litho.gradient");
   check_geometry(mask_b);
   check_geometry(target);
   GANOPC_CHECK_MSG(!doses.empty(), "gradient needs at least one dose");
@@ -273,6 +281,7 @@ geom::Grid LithoSim::gradient(const geom::Grid& mask_b, const geom::Grid& target
 }
 
 LithoSim::PvBand LithoSim::pv_band(const geom::Grid& mask, float dose_delta) const {
+  GANOPC_OBS_SPAN("litho.pv_band");
   GANOPC_CHECK(dose_delta > 0.0f && dose_delta < 1.0f);
   const geom::Grid aerial_image = aerial(mask);
   PvBand band;

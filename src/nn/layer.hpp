@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/tensor.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::nn {
 
@@ -78,7 +79,16 @@ class Sequential final : public Layer {
 
  private:
   void on_mode_change() override;
+  /// Resolve per-layer `nn.layer.<Name>.{forward,backward}` span sites once
+  /// (only when observability is active; layers of one type share a site).
+  void ensure_obs_sites();
+
+  struct LayerObsSites {
+    const obs::SpanSite* forward = nullptr;
+    const obs::SpanSite* backward = nullptr;
+  };
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<LayerObsSites> obs_sites_;  ///< parallel to layers_ when built
 };
 
 }  // namespace ganopc::nn

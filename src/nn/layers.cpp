@@ -23,15 +23,46 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
+void Sequential::ensure_obs_sites() {
+  if (obs_sites_.size() == layers_.size()) return;
+  obs_sites_.clear();
+  obs_sites_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    const std::string base = "nn.layer." + l->name();
+    obs_sites_.push_back({&obs::span_site(base + ".forward"),
+                          &obs::span_site(base + ".backward")});
+  }
+}
+
 Tensor Sequential::forward(const Tensor& input) {
+  if (!obs::active()) {
+    Tensor x = input;
+    for (auto& l : layers_) x = l->forward(x);
+    return x;
+  }
+  GANOPC_OBS_SPAN("nn.forward");
+  ensure_obs_sites();
   Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    obs::ObsSpan span(*obs_sites_[i].forward);
+    x = layers_[i]->forward(x);
+  }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
+  if (!obs::active()) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+  GANOPC_OBS_SPAN("nn.backward");
+  ensure_obs_sites();
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    obs::ObsSpan span(*obs_sites_[i].backward);
+    g = layers_[i]->backward(g);
+  }
   return g;
 }
 

@@ -1,0 +1,335 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace ganopc::obs {
+
+namespace detail {
+std::atomic<std::uint32_t> g_flags{0};
+}
+
+void set_metrics_enabled(bool on) {
+  if (on)
+    detail::g_flags.fetch_or(kMetricsBit, std::memory_order_relaxed);
+  else
+    detail::g_flags.fetch_and(~kMetricsBit, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  if (on)
+    detail::g_flags.fetch_or(kTraceBit, std::memory_order_relaxed);
+  else
+    detail::g_flags.fetch_and(~kTraceBit, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- metrics
+
+void Gauge::add(double delta) {
+  // CAS loop instead of fetch_add(double): identical semantics, portable to
+  // standard libraries that predate P0020.
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "obs::Histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  const std::size_t n = bounds_.size();
+  while (i < n && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    total += counts_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- registry
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // node-based maps: element addresses are stable across inserts, so hot
+  // paths can hold references while registration continues elsewhere.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+// Intentionally leaked (like fft::plan_for's cache): pool threads may still
+// record metrics while static destructors run.
+Registry& registry() {
+  static auto* r = new Registry();
+  return *r;
+}
+
+void check_unique(const Registry& r, std::string_view name, int self) {
+  const bool taken[3] = {r.counters.find(name) != r.counters.end(),
+                         r.gauges.find(name) != r.gauges.end(),
+                         r.histograms.find(name) != r.histograms.end()};
+  for (int t = 0; t < 3; ++t)
+    if (t != self && taken[t])
+      throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                  "' already registered as a different type");
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto it = r.counters.find(name);
+  if (it != r.counters.end()) return it->second;
+  check_unique(r, name, 0);
+  return r.counters.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto it = r.gauges.find(name);
+  if (it != r.gauges.end()) return it->second;
+  check_unique(r, name, 1);
+  return r.gauges.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& histogram(std::string_view name, std::span<const double> bounds) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto it = r.histograms.find(name);
+  if (it != r.histograms.end()) {
+    const auto& existing = it->second->bounds();
+    if (!std::equal(existing.begin(), existing.end(), bounds.begin(),
+                    bounds.end()))
+      throw std::invalid_argument("obs: histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    return *it->second;
+  }
+  check_unique(r, name, 2);
+  auto hist = std::make_unique<Histogram>(
+      std::vector<double>(bounds.begin(), bounds.end()));
+  return *r.histograms.emplace(std::string(name), std::move(hist))
+              .first->second;
+}
+
+std::span<const double> time_buckets() {
+  // 1/2.5/5 per decade from 1µs to 100s — wide enough for a single FFT and
+  // a full ILT run to land in interior buckets at every bench scale.
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 2e2; decade *= 10.0)
+      for (const double m : {1.0, 2.5, 5.0}) b.push_back(decade * m);
+    return b;
+  }();
+  return buckets;
+}
+
+void reset_values() {
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    for (auto& [name, c] : r.counters) c.reset();
+    for (auto& [name, g] : r.gauges) g.reset();
+    for (auto& [name, h] : r.histograms) h->reset();
+  }
+  // Outside the registry lock: trace_clear takes the per-thread buffer locks,
+  // which recording threads hold while touching the registry (drop counter).
+  trace_clear();
+}
+
+// ---------------------------------------------------------------- snapshot
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const HistogramSnapshot* Snapshot::find_histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  Snapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) snap.counters.emplace_back(name, c.value());
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) snap.gauges.emplace_back(name, g.value());
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucket_counts();
+    hs.sum = h->sum();
+    for (const auto c : hs.counts) hs.count += c;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+// --------------------------------------------------------------- exporters
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ganopc_";
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_double(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string p = prometheus_name(h.name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += p + "_bucket{le=\"" + format_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + format_double(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"schema\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, name);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, name);
+    out += "\":" + format_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape_into(out, h.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      out += format_double(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"sum\":" + format_double(h.sum);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"p50\":" + format_double(h.quantile(0.5));
+    out += ",\"p95\":" + format_double(h.quantile(0.95)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ganopc::obs

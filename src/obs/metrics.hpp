@@ -1,0 +1,152 @@
+// Observability metrics registry (DESIGN.md §10).
+//
+// Dependency-free (std:: only, below ganopc_common): counters, gauges and
+// fixed-bucket histograms registered by dot-separated name and aggregated on
+// read. The hot path is lock-free — recording is a relaxed atomic add on a
+// pointer the call site resolved once — and the registry mutex is taken only
+// at registration and snapshot time.
+//
+// Everything is default-off: instrumentation sites gate on `metrics_enabled()`
+// (one relaxed load + a predictable branch), so a build that never enables
+// observability pays near-zero overhead (locked down by test_obs_overhead).
+//
+// Naming scheme: `<layer>.<operation>[.<detail>]`, e.g. `litho.simulate.calls`,
+// `fft.plan_cache.hits`, `ilt.termination.diverged`. Exporters mangle names to
+// backend conventions (Prometheus: `ganopc_litho_simulate_calls`).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganopc::obs {
+
+// ------------------------------------------------------------ enable flags
+
+inline constexpr std::uint32_t kMetricsBit = 1u;
+inline constexpr std::uint32_t kTraceBit = 2u;
+
+namespace detail {
+extern std::atomic<std::uint32_t> g_flags;
+}
+
+/// Packed enable bits; one relaxed load, safe from any thread.
+inline std::uint32_t flags() {
+  return detail::g_flags.load(std::memory_order_relaxed);
+}
+inline bool metrics_enabled() { return (flags() & kMetricsBit) != 0; }
+inline bool trace_enabled() { return (flags() & kTraceBit) != 0; }
+/// True when any subsystem is on (spans check this single load).
+inline bool active() { return flags() != 0; }
+
+void set_metrics_enabled(bool on);
+void set_trace_enabled(bool on);
+
+// ---------------------------------------------------------------- metrics
+
+/// Monotonically increasing event count. Recording is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or accumulated) double value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (Prometheus `le` semantics); one extra overflow bucket catches the rest.
+/// Observation is a linear bucket scan plus two relaxed adds — no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const;
+  double sum() const;
+  /// Per-bucket (non-cumulative) counts; size bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+// ---------------------------------------------------------------- registry
+
+/// Find-or-create by name. References stay valid for the process lifetime.
+/// Throws std::invalid_argument when `name` is already registered as a
+/// different metric type (or, for histograms, with different bounds).
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+/// Default duration buckets in seconds: 1/2.5/5 per decade, 1µs .. 100s.
+std::span<const double> time_buckets();
+
+/// Zero every registered metric and drop buffered trace events. Metrics stay
+/// registered (tests and the CLI separate warm-up from the measured run).
+void reset_values();
+
+// ---------------------------------------------------------------- snapshot
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< per-bucket, overflow last
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket; the overflow bucket clamps to the last bound.
+  double quantile(double q) const;
+};
+
+/// A consistent point-in-time read of the whole registry, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const HistogramSnapshot* find_histogram(std::string_view name) const;
+  std::uint64_t counter_value(std::string_view name) const;  ///< 0 if absent
+};
+
+Snapshot snapshot();
+
+// --------------------------------------------------------------- exporters
+
+/// Prometheus text exposition format, names mangled to `ganopc_<name>` with
+/// non-alphanumerics replaced by '_'. Histograms emit cumulative `_bucket`
+/// series plus `_sum`/`_count`.
+std::string to_prometheus(const Snapshot& snap);
+
+/// Structured JSON: {"schema":1,"counters":{...},"gauges":{...},
+/// "histograms":{name:{bounds,counts,sum,count,p50,p95}}}.
+std::string to_json(const Snapshot& snap);
+
+}  // namespace ganopc::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ganopc::obs {
+
+namespace {
+
+/// Hard cap per thread (~24 MB of events process-wide at 16 threads) so a
+/// long traced run degrades to dropped-and-counted instead of OOM.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct ThreadBuffer {
+  std::mutex mutex;  ///< uncontended except during export
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  ///< one per thread seen
+  std::uint32_t next_tid = 0;
+  // Span-site name interning: node-based map keys are stable addresses.
+  std::map<std::string, SpanSite, std::less<>> sites;
+};
+
+// Leaked for the same reason as the metrics registry: worker threads may
+// still finish spans while static destructors run.
+TraceState& state() {
+  static auto* s = new TraceState();
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  // The shared_ptr in the global list keeps a finished thread's events alive
+  // until export; the thread_local only drops its reference on thread exit.
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    buf->tid = s.next_tid++;
+    s.buffers.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+const SpanSite& span_site(std::string_view name) {
+  TraceState& s = state();
+  std::lock_guard lock(s.mutex);
+  auto it = s.sites.find(name);
+  if (it == s.sites.end()) {
+    it = s.sites.emplace(std::string(name), SpanSite{}).first;
+    it->second.name = it->first.c_str();
+    it->second.calls = &counter(std::string(name) + ".calls");
+    it->second.seconds =
+        &histogram(std::string(name) + ".seconds", time_buckets());
+  }
+  return it->second;
+}
+
+void ObsSpan::finish() {
+  const std::uint64_t end_ns = monotonic_ns();
+  if ((flags_ & kMetricsBit) != 0) {
+    site_->calls->inc();
+    site_->seconds->observe(static_cast<double>(end_ns - start_ns_) * 1e-9);
+  }
+  if ((flags_ & kTraceBit) != 0) trace_record(site_->name, start_ns_, end_ns);
+}
+
+void trace_record(const char* interned_name, std::uint64_t start_ns,
+                  std::uint64_t end_ns) {
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    static Counter& dropped = counter("obs.trace.dropped");
+    dropped.inc();
+    return;
+  }
+  buf.events.push_back(
+      {interned_name, start_ns, end_ns - start_ns, buf.tid});
+}
+
+std::vector<TraceEvent> trace_events() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    buffers = s.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void trace_clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard lock(s.mutex);
+    buffers = s.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::uint64_t t0 = ~0ull;
+  for (const auto& e : events) t0 = e.start_ns < t0 ? e.start_ns : t0;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"cat\":\"ganopc\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", e.name,
+                  static_cast<double>(e.start_ns - t0) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3, e.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ganopc::obs

@@ -1,0 +1,109 @@
+// Lightweight span tracing (DESIGN.md §10).
+//
+// An ObsSpan is an RAII stage marker: constructed at the top of an
+// instrumented scope, it records nothing when observability is off (one
+// relaxed flags load + branch), and otherwise stamps monotonic-clock start/
+// end and the recording thread. Each completed span feeds
+//   * metrics (when enabled): `<name>.calls` counter + `<name>.seconds`
+//     duration histogram, and
+//   * the trace buffer (when enabled): one event per span, exported as
+//     Chrome `chrome://tracing` / Perfetto "X" (complete) events.
+//
+// Call sites resolve their metric handles once through a function-local
+// static SpanSite, so per-call cost is pointer loads only:
+//
+//   void LithoSim::simulate(...) {
+//     GANOPC_OBS_SPAN("litho.simulate");
+//     ...
+//   }
+//
+// Trace events go to per-thread buffers (a short uncontended lock per event,
+// taken only while tracing is on) and are aggregated at export time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ganopc::obs {
+
+/// Monotonic nanoseconds (steady_clock); comparable across threads.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One call site's registered handles. The name is interned (stable for the
+/// process lifetime) so trace events can hold the pointer without copying.
+struct SpanSite {
+  const char* name = nullptr;
+  Counter* calls = nullptr;     ///< "<name>.calls"
+  Histogram* seconds = nullptr; ///< "<name>.seconds", time_buckets() bounds
+};
+
+/// Find-or-create the site for `name`; reference valid forever.
+const SpanSite& span_site(std::string_view name);
+
+class ObsSpan {
+ public:
+  explicit ObsSpan(const SpanSite& site) {
+    flags_ = obs::flags();
+    if (flags_ == 0) return;
+    site_ = &site;
+    start_ns_ = monotonic_ns();
+  }
+  ~ObsSpan() {
+    if (site_ != nullptr) finish();
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  void finish();
+
+  const SpanSite* site_ = nullptr;
+  std::uint32_t flags_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Open a span for the enclosing scope. The variable name embeds __LINE__ so
+/// several spans can coexist in one function.
+#define GANOPC_OBS_CONCAT2(a, b) a##b
+#define GANOPC_OBS_CONCAT(a, b) GANOPC_OBS_CONCAT2(a, b)
+#define GANOPC_OBS_SPAN(name_literal)                                     \
+  static const ::ganopc::obs::SpanSite& GANOPC_OBS_CONCAT(                \
+      ganopc_obs_site_, __LINE__) = ::ganopc::obs::span_site(name_literal); \
+  ::ganopc::obs::ObsSpan GANOPC_OBS_CONCAT(ganopc_obs_span_, __LINE__)(   \
+      GANOPC_OBS_CONCAT(ganopc_obs_site_, __LINE__))
+
+// ------------------------------------------------------------ trace buffer
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< interned span name
+  std::uint64_t start_ns = 0;  ///< monotonic
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< dense per-process thread index (0 = first seen)
+};
+
+/// Append one event to the calling thread's buffer (no-op past the per-thread
+/// cap; drops are counted in `obs.trace.dropped`).
+void trace_record(const char* interned_name, std::uint64_t start_ns,
+                  std::uint64_t end_ns);
+
+/// Copy of every buffered event across all threads, in unspecified order.
+std::vector<TraceEvent> trace_events();
+
+/// Drop all buffered events (also done by obs::reset_values()).
+void trace_clear();
+
+/// Chrome trace-event JSON (load via chrome://tracing or ui.perfetto.dev).
+/// Timestamps are rebased to the earliest event.
+std::string trace_to_chrome_json(const std::vector<TraceEvent>& events);
+
+}  // namespace ganopc::obs

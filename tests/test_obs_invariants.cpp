@@ -1,0 +1,189 @@
+// Obs invariant tier: the instrumented counters must agree with ground truth
+// — litho.simulate.calls equals the actual number of simulate() calls, the
+// ILT termination counters match the watchdog verdict for pinned scenarios,
+// and the FFT plan cache reports a 100% hit rate once warm (DESIGN.md §10).
+// Also pins that enabling obs does not perturb numerical results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "geometry/raster.hpp"
+#include "ilt/ilt.hpp"
+#include "litho/lithosim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ganopc {
+namespace {
+
+litho::LithoSim make_sim(std::int32_t grid = 64, std::int32_t pixel = 32) {
+  litho::OpticsConfig optics;
+  optics.num_kernels = 8;
+  return litho::LithoSim(optics, litho::ResistConfig{}, grid, pixel);
+}
+
+geom::Grid wire_target(std::int32_t grid, std::int32_t pixel,
+                       std::int32_t shift = 0) {
+  geom::Layout l(geom::Rect{0, 0, grid * pixel, grid * pixel});
+  const std::int32_t mid = grid * pixel / 2 + shift;
+  l.add({mid - 60, mid - 500, mid + 60, mid + 500});
+  return geom::rasterize(l, pixel, /*threshold=*/true);
+}
+
+class ObsInvariantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(true);
+    obs::reset_values();
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+    failpoint::clear();
+    obs::reset_values();
+  }
+};
+
+TEST_F(ObsInvariantTest, LithoSimulateCallsMatchActualCalls) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  obs::reset_values();  // drop counts from LithoSim threshold calibration
+
+  constexpr int kDirect = 3;
+  for (int i = 0; i < kDirect; ++i) (void)sim.simulate(target);
+
+  // simulate_batch dispatches one simulate() per mask.
+  const std::vector<geom::Grid> batch = {
+      wire_target(64, 32, -64), wire_target(64, 32, 0),
+      wire_target(64, 32, 64), wire_target(64, 32, 128)};
+  const auto prints = sim.simulate_batch(batch);
+  ASSERT_EQ(prints.size(), batch.size());
+
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("litho.simulate.calls"),
+            static_cast<std::uint64_t>(kDirect + batch.size()));
+  EXPECT_EQ(snap.counter_value("litho.simulate_batch.calls"), 1u);
+  EXPECT_EQ(snap.counter_value("litho.simulate_batch.masks"), batch.size());
+  // Every simulate() computes exactly one aerial image.
+  EXPECT_EQ(snap.counter_value("litho.aerial.calls"),
+            snap.counter_value("litho.simulate.calls"));
+  // The span histogram counts exactly as often as its .calls counter.
+  const obs::HistogramSnapshot* hs =
+      snap.find_histogram("litho.simulate.seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, snap.counter_value("litho.simulate.calls"));
+}
+
+TEST_F(ObsInvariantTest, IltTerminationCountersMatchWatchdog) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+
+  const auto run = [&](const ilt::IltConfig& cfg) {
+    return ilt::IltEngine(sim, cfg).optimize(target);
+  };
+  const auto count = [](const char* name) {
+    return obs::snapshot().counter_value(name);
+  };
+
+  // Target reached: an unreachably generous L2 target stops at the first
+  // check.
+  {
+    obs::reset_values();
+    ilt::IltConfig cfg;
+    cfg.max_iterations = 20;
+    cfg.check_every = 5;
+    cfg.target_l2_px = 1e18;
+    const auto res = run(cfg);
+    EXPECT_EQ(res.termination, ilt::TerminationReason::kTargetReached);
+    EXPECT_EQ(count("ilt.termination.target-reached"), 1u);
+    EXPECT_EQ(count("ilt.watchdog.terminations"), 0u);
+    EXPECT_EQ(count("ilt.iterations"),
+              static_cast<std::uint64_t>(res.iterations));
+  }
+
+  // Deadline: a sub-microsecond budget trips the wall-clock watchdog before
+  // the first gradient step.
+  {
+    obs::reset_values();
+    ilt::IltConfig cfg;
+    cfg.max_iterations = 20;
+    cfg.check_every = 5;
+    cfg.deadline_s = 1e-9;
+    const auto res = run(cfg);
+    EXPECT_EQ(res.termination, ilt::TerminationReason::kDeadlineExceeded);
+    EXPECT_EQ(count("ilt.termination.deadline-exceeded"), 1u);
+    EXPECT_EQ(count("ilt.watchdog.terminations"), 1u);
+  }
+
+  // Diverged: the litho.gradient_nan failpoint poisons the gradient, which
+  // the non-finite guard must catch and count.
+  {
+    obs::reset_values();
+    failpoint::arm("litho.gradient_nan", /*skip=*/0, /*count=*/-1);
+    ilt::IltConfig cfg;
+    cfg.max_iterations = 20;
+    cfg.check_every = 5;
+    const auto res = run(cfg);
+    failpoint::disarm("litho.gradient_nan");
+    EXPECT_EQ(res.termination, ilt::TerminationReason::kDiverged);
+    EXPECT_EQ(count("ilt.termination.diverged"), 1u);
+    EXPECT_EQ(count("ilt.watchdog.terminations"), 1u);
+  }
+
+  // Converged: runs the full budget; no watchdog counter moves. A near-zero
+  // step keeps the mask from actually printing the target perfectly (which
+  // would stop early as target-reached at L2 == 0).
+  {
+    obs::reset_values();
+    ilt::IltConfig cfg;
+    cfg.max_iterations = 10;
+    cfg.check_every = 5;
+    cfg.patience = 100;
+    cfg.step_size = 1e-6f;
+    const auto res = run(cfg);
+    EXPECT_EQ(res.termination, ilt::TerminationReason::kConverged);
+    EXPECT_EQ(count("ilt.termination.converged"), 1u);
+    EXPECT_EQ(count("ilt.watchdog.terminations"), 0u);
+    EXPECT_EQ(count("ilt.iterations"), 10u);
+    EXPECT_EQ(count("ilt.optimize.calls"), 1u);
+  }
+}
+
+TEST_F(ObsInvariantTest, FftPlanCacheFullyHitsWhenWarm) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  (void)sim.simulate(target);  // warm the plan cache for this grid size
+
+  obs::reset_values();
+  for (int i = 0; i < 5; ++i) (void)sim.simulate(target);
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.counter_value("fft.plan_cache.misses"), 0u)
+      << "repeated same-shape transforms must never re-plan";
+  EXPECT_GT(snap.counter_value("fft.plan_cache.hits"), 0u);
+}
+
+TEST_F(ObsInvariantTest, InstrumentationDoesNotPerturbResults) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+
+  obs::set_metrics_enabled(false);
+  const geom::Grid plain = sim.simulate(target);
+  const geom::Grid grad_plain = sim.gradient(target, target);
+
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  const geom::Grid instrumented = sim.simulate(target);
+  const geom::Grid grad_instr = sim.gradient(target, target);
+
+  ASSERT_EQ(plain.data.size(), instrumented.data.size());
+  for (std::size_t i = 0; i < plain.data.size(); ++i)
+    ASSERT_EQ(plain.data[i], instrumented.data[i]) << "pixel " << i;
+  ASSERT_EQ(grad_plain.data.size(), grad_instr.data.size());
+  for (std::size_t i = 0; i < grad_plain.data.size(); ++i)
+    ASSERT_EQ(grad_plain.data[i], grad_instr.data[i]) << "pixel " << i;
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -24,6 +24,10 @@
 // checkpoint that --resume continues from bit-identically (DESIGN.md §8).
 // `batch` is fault-tolerant: clips fail individually with typed codes in the
 // manifest, and its journal makes a killed run resumable (DESIGN.md §9).
+// Every command also accepts the observability flags (DESIGN.md §10):
+//   --metrics-out FILE   Prometheus text snapshot (JSON when FILE is *.json)
+//   --trace-out FILE     chrome://tracing span JSON
+// both default-off; enabling them costs one atomic flag check per span site.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -53,6 +57,7 @@
 #include "metrics/printability.hpp"
 #include "gds/gds.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "sraf/sraf.hpp"
 
 namespace {
@@ -418,8 +423,48 @@ int cmd_gds2txt(const Args& args) {
 void usage() {
   std::fprintf(stderr,
                "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch> [--flag value ...]\n"
+               "global flags: --metrics-out FILE (Prometheus text, or JSON when\n"
+               "FILE ends in .json) and --trace-out FILE (chrome://tracing JSON)\n"
                "see tools/cli.cpp header for per-command flags\n");
 }
+
+// Observability sink (DESIGN.md §10): --metrics-out / --trace-out work on
+// every command. Flags are enabled before dispatch and the files are written
+// on the way out — also after a command error, so a failed run still leaves
+// its counters and spans behind for diagnosis.
+class ObsSink {
+ public:
+  explicit ObsSink(const Args& args)
+      : metrics_path_(args.get("metrics-out", "")),
+        trace_path_(args.get("trace-out", "")) {
+    if (!metrics_path_.empty()) obs::set_metrics_enabled(true);
+    if (!trace_path_.empty()) obs::set_trace_enabled(true);
+  }
+
+  ~ObsSink() {
+    if (!metrics_path_.empty()) {
+      const obs::Snapshot snap = obs::snapshot();
+      write_file(metrics_path_, ends_with(metrics_path_, ".json")
+                                    ? obs::to_json(snap)
+                                    : obs::to_prometheus(snap));
+    }
+    if (!trace_path_.empty())
+      write_file(trace_path_, obs::trace_to_chrome_json(obs::trace_events()));
+  }
+
+ private:
+  static void write_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    if (out.good())
+      std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+    else
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 }  // namespace
 
@@ -431,6 +476,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args(argc, argv, 2);
+    const ObsSink obs_sink(args);
     if (cmd == "synth") return cmd_synth(args);
     if (cmd == "sraf") return cmd_sraf(args);
     if (cmd == "ilt") return cmd_ilt(args);
