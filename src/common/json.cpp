@@ -1,0 +1,382 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace ganopc::json {
+
+// ------------------------------------------------------------------- Value
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  Value v;
+  v.type_ = Type::Number;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+namespace {
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "?";
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  GANOPC_CHECK_MSG(type_ == Type::Bool, "json: " << type_name(type_) << " is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  GANOPC_CHECK_MSG(type_ == Type::Number,
+                   "json: " << type_name(type_) << " is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  GANOPC_CHECK_MSG(type_ == Type::String,
+                   "json: " << type_name(type_) << " is not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  GANOPC_CHECK_MSG(type_ == Type::Array,
+                   "json: " << type_name(type_) << " is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  GANOPC_CHECK_MSG(type_ == Type::Object,
+                   "json: " << type_name(type_) << " is not an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  const Value* hit = nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) hit = &v;
+  return hit;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::string Value::string_or(std::string_view key, std::string_view fallback) const {
+  const Value* v = find(key);
+  return v == nullptr ? std::string(fallback) : v->as_string();
+}
+
+void Value::push_back(Value v) {
+  GANOPC_CHECK_MSG(type_ == Type::Array, "json: push_back on a non-array");
+  items_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  GANOPC_CHECK_MSG(type_ == Type::Object, "json: set on a non-object");
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+void escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";  // matches obs::format_double's extension
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::Null: out = "null"; break;
+    case Type::Bool: out = bool_ ? "true" : "false"; break;
+    case Type::Number: out = format_number(number_); break;
+    case Type::String:
+      out += '"';
+      escape_into(out, string_);
+      out += '"';
+      break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        out += items_[i].dump();
+      }
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        escape_into(out, members_[i].first);
+        out += "\":" + members_[i].second.dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    GANOPC_CHECK_MSG(pos_ == text_.size(),
+                     "json: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    GANOPC_CHECK_MSG(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    GANOPC_CHECK_MSG(pos_ < text_.size() && text_[pos_] == c,
+                     "json: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value::string(parse_string());
+    if (consume_literal("true")) return Value::boolean(true);
+    if (consume_literal("false")) return Value::boolean(false);
+    if (consume_literal("null")) return Value();
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      GANOPC_CHECK_MSG(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        GANOPC_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                         "json: raw control byte in string at offset " << pos_ - 1);
+        out += c;
+        continue;
+      }
+      GANOPC_CHECK_MSG(pos_ < text_.size(), "json: dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          out += decode_unicode_escape();
+          break;
+        }
+        default:
+          GANOPC_CHECK_MSG(false, "json: bad escape '\\" << esc << "'");
+      }
+    }
+  }
+
+  std::string decode_unicode_escape() {
+    const unsigned cp = parse_hex4();
+    // Basic-multilingual-plane only; surrogate pairs are out of scope for the
+    // telemetry schemas (which never emit astral characters).
+    GANOPC_CHECK_MSG(cp < 0xD800 || cp > 0xDFFF,
+                     "json: surrogate \\u escapes are not supported");
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      GANOPC_CHECK_MSG(pos_ < text_.size(), "json: truncated \\u escape");
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else GANOPC_CHECK_MSG(false, "json: bad hex digit '" << h << "'");
+    }
+    return cp;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    GANOPC_CHECK_MSG(pos_ > start, "json: expected a value at offset " << start);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    GANOPC_CHECK_MSG(end != nullptr && *end == '\0',
+                     "json: malformed number '" << token << "'");
+    return Value::number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool try_parse(std::string_view text, Value& out) {
+  try {
+    out = parse(text);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace ganopc::json

@@ -1,0 +1,11 @@
+#include "common/version.hpp"
+
+#ifndef GANOPC_GIT_DESCRIBE
+#define GANOPC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace ganopc {
+
+const char* build_version() { return GANOPC_GIT_DESCRIBE; }
+
+}  // namespace ganopc

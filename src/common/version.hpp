@@ -1,0 +1,14 @@
+// Build identity for telemetry (DESIGN.md §11).
+//
+// The run ledger stamps every run_start header with the producing build so
+// two BENCH/ledger files can be attributed to commits when diffed. The value
+// is `git describe --always --dirty --tags` captured at CMake configure time
+// (re-run cmake to refresh after a commit); "unknown" outside a checkout.
+#pragma once
+
+namespace ganopc {
+
+/// e.g. "c1ba3b0" or "v1.2-4-gdeadbee-dirty"; never empty.
+const char* build_version();
+
+}  // namespace ganopc

@@ -20,6 +20,7 @@
 #include "geometry/raster.hpp"
 #include "layout/glp.hpp"
 #include "mbopc/mbopc.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace ganopc::core {
@@ -174,10 +175,18 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
 
 BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
   GANOPC_OBS_SPAN("batch.clip");
+  // Every ledger event emitted while this clip is in flight — including the
+  // ILT engine's ilt_iter records — carries scope = the clip id.
+  obs::LedgerScope ledger_scope(clip.id);
   WallTimer timer;
   BatchClipResult res;
   res.id = clip.id;
   res.source = clip.path.empty() ? "<memory>" : clip.path;
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("clip_start");
+    rec.field("source", res.source);
+    obs::ledger_emit(rec);
+  }
   // Test hook: poisoning a clip arms a persistent NaN fault in the litho
   // gradient for exactly this clip's lifetime, so the isolation tests can
   // target clip k of N without touching the others.
@@ -191,9 +200,27 @@ BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
     res.code = s.code();
     res.error = s.message();
     res.stage = BatchStage::Failed;
+    // A typed Status is handled (retry/fallback chains already ran); anything
+    // that still reaches here ended the clip — snapshot the recent event ring
+    // so the failure's lead-up survives even if the process dies next.
+    if (obs::ledger_enabled())
+      obs::flight_dump(std::string("batch.clip_failed.") + status_code_name(s.code()));
   }
   if (poisoned) failpoint::disarm("litho.gradient_nan");
   res.runtime_s = batch_.deterministic_manifest ? 0.0 : timer.seconds();
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("clip_end");
+    rec.field("ok", res.ok())
+        .field("code", status_code_name(res.code))
+        .field("stage", batch_stage_name(res.stage))
+        .field("retries", res.retries)
+        .field("fallbacks", res.fallbacks)
+        .field("l2_px", res.l2_px)
+        .field("pvb_nm2", static_cast<double>(res.pvb_nm2))
+        .field("wall_s", timer.seconds());
+    if (!res.error.empty()) rec.field("error", res.error);
+    obs::ledger_emit(rec);
+  }
   return res;
 }
 

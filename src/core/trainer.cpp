@@ -10,6 +10,7 @@
 #include "geometry/bitmap_ops.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace ganopc::core {
@@ -110,6 +111,16 @@ void GanOpcTrainer::rollback_step(const StepSnapshot& snapshot, float lr_backoff
   lr_scale_ *= lr_backoff;
   ++stats.divergence_rollbacks;
   if (obs::metrics_enabled()) obs::counter("trainer.rollbacks").inc();
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("rollback");
+    rec.field("phase", phase_ == TrainPhase::Pretrain ? "pretrain" : "adversarial")
+        .field("iter", iteration)
+        .field("attempt", attempts)
+        .field("what", what)
+        .field("lr_scale", static_cast<double>(lr_scale_));
+    obs::ledger_emit(rec);
+    obs::flight_dump("trainer.rollback");
+  }
   GANOPC_WARN("trainer: non-finite " << what << " at iteration " << iteration
                                      << "; rolled back (attempt " << attempts
                                      << "), lr scale now " << lr_scale_);
@@ -225,6 +236,16 @@ TrainStats GanOpcTrainer::pretrain(int iterations, const TrainRunOptions& option
         l2 += d * d;
       }
       stats.l2_history.push_back(l2 / static_cast<float>(m));
+      if (obs::ledger_enabled()) {
+        obs::LedgerRecord rec("train_step");
+        rec.field("phase", "pretrain")
+            .field("iter", it)
+            .field("loss", static_cast<double>(stats.litho_history.back()))
+            .field("l2", static_cast<double>(stats.l2_history.back()))
+            .field("lr", static_cast<double>(config_.pretrain_lr * lr_scale_))
+            .field("wall_s", timer.seconds());
+        obs::ledger_emit(rec);
+      }
       GANOPC_DEBUG("pretrain it=" << it << " E=" << stats.litho_history.back()
                                   << " l2=" << stats.l2_history.back());
       break;
@@ -368,6 +389,17 @@ TrainStats GanOpcTrainer::train(int iterations, const TrainRunOptions& options) 
       stats.l2_history.push_back(l2_total / static_cast<float>(m));
       stats.g_adv_history.push_back(g_adv);
       stats.d_loss_history.push_back(d_loss_fake + d_loss_real);
+      if (obs::ledger_enabled()) {
+        obs::LedgerRecord rec("train_step");
+        rec.field("phase", "adversarial")
+            .field("iter", it)
+            .field("l2", static_cast<double>(stats.l2_history.back()))
+            .field("g_adv", static_cast<double>(g_adv))
+            .field("d_loss", static_cast<double>(stats.d_loss_history.back()))
+            .field("lr", static_cast<double>(g_schedule.at(it) * lr_scale_))
+            .field("wall_s", timer.seconds());
+        obs::ledger_emit(rec);
+      }
       GANOPC_DEBUG("train it=" << it << " l2=" << stats.l2_history.back() << " g_adv=" << g_adv
                                << " d=" << stats.d_loss_history.back());
       break;

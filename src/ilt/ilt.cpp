@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
 namespace ganopc::ilt {
@@ -103,17 +104,45 @@ IltResult IltEngine::optimize(const geom::Grid& target,
     for (std::size_t i = 0; i < npx; ++i)
       mask_b.data[i] = 1.0f / (1.0f + std::exp(-beta * p[i]));
   };
+  // `hard` is refreshed by every hard_l2() call, so the PVB evaluation and
+  // the history recorder below can reuse it without re-thresholding.
+  geom::Grid hard(target.rows, target.cols, target.pixel_nm, target.origin_x,
+                  target.origin_y);
   auto hard_l2 = [&]() -> double {
-    geom::Grid hard = mask_b;
+    hard = mask_b;
     for (auto& v : hard.data) v = v >= 0.5f ? 1.0f : 0.0f;
     return sim_.l2_error(hard, target);
   };
 
   IltResult result;
+  // PVB-per-check is forced on under an open ledger so its ilt_iter
+  // convergence records always carry the complete L2/PVB pair.
+  const bool want_pvb = config_.record_pvb_history || obs::ledger_enabled();
+  float last_scale = 0.0f;
+  // Record one convergence sample at `iteration`: history vectors (fixed
+  // stride = check_every, indices attached) and, when a ledger is open, one
+  // ilt_iter event with L2/PVB/step-size/wall-time.
+  auto record_check = [&](int iteration, double l2) {
+    result.l2_history.push_back(l2);
+    result.history_iters.push_back(iteration);
+    double pvb = 0.0;
+    if (want_pvb) {
+      pvb = static_cast<double>(sim_.pv_band(hard).area_nm2);
+      result.pvb_history.push_back(pvb);
+    }
+    if (obs::ledger_enabled()) {
+      obs::LedgerRecord rec("ilt_iter");
+      rec.field("iter", iteration).field("l2", l2);
+      if (want_pvb) rec.field("pvb", pvb);
+      rec.field("step", static_cast<double>(last_scale))
+          .field("wall_s", timer.seconds());
+      obs::ledger_emit(rec);
+    }
+  };
   refresh_mask_b();
   double best_l2 = hard_l2();
   geom::Grid best_mask_b = mask_b;
-  result.l2_history.push_back(best_l2);
+  record_check(0, best_l2);
   const double initial_l2 = best_l2;
   double prev_l2 = best_l2;
   int stall_checks = 0;   // consecutive checks without a new best (patience)
@@ -163,12 +192,13 @@ IltResult IltEngine::optimize(const geom::Grid& target,
     const float scale = config_.normalize_gradient && max_abs > 0.0f
                             ? config_.step_size / max_abs
                             : config_.step_size;
+    last_scale = scale;
     for (std::size_t i = 0; i < npx; ++i) p[i] -= scale * grad_p[i];
     refresh_mask_b();
 
     if ((iter + 1) % config_.check_every == 0) {
       const double l2 = hard_l2();
-      result.l2_history.push_back(l2);
+      record_check(iter + 1, l2);
       if (!std::isfinite(l2) ||
           (config_.divergence_factor > 0.0f &&
            l2 > static_cast<double>(config_.divergence_factor) *
@@ -206,7 +236,23 @@ IltResult IltEngine::optimize(const geom::Grid& target,
       }
     }
   }
+  // The trajectory must end on the state the loop actually exited with; exits
+  // between checks (deadline, non-finite gradient, max_iterations not a
+  // multiple of check_every) record one final sample here.
+  if (result.history_iters.back() != iter) record_check(iter, hard_l2());
   result.termination = reason;
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("ilt_done");
+    rec.field("termination", termination_reason_name(reason))
+        .field("iterations", iter)
+        .field("l2", best_l2)
+        .field("wall_s", timer.seconds());
+    obs::ledger_emit(rec);
+    if (reason == TerminationReason::kStalled ||
+        reason == TerminationReason::kDiverged ||
+        reason == TerminationReason::kDeadlineExceeded)
+      obs::flight_dump(std::string("ilt.") + termination_reason_name(reason));
+  }
   if (obs::metrics_enabled()) {
     obs::counter("ilt.iterations").inc(static_cast<std::uint64_t>(iter));
     termination_counter(reason).inc();

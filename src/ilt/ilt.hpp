@@ -28,8 +28,15 @@ struct IltConfig {
   float beta = 4.0f;
   /// Scale steps by 1 / max|grad| so tuning is grid-size independent.
   bool normalize_gradient = true;
-  /// Evaluate the hard-resist L2 every this many iterations.
+  /// Evaluate the hard-resist L2 every this many iterations. Every check is
+  /// recorded in IltResult::l2_history with its iteration index in
+  /// history_iters, so the convergence trajectory has a fixed, known stride.
   int check_every = 10;
+  /// Also evaluate the PV band at every check (fills pvb_history and the
+  /// ledger's per-iteration pvb field). Costs two extra simulations per
+  /// check; forced on whenever the run ledger is open so its convergence
+  /// records are complete.
+  bool record_pvb_history = false;
   /// Stop when the best hard L2 has not improved for this many checks.
   int patience = 6;
   /// Stop immediately when hard L2 (pixels) drops to or below this.
@@ -80,7 +87,15 @@ struct IltResult {
   double l2_px = 0.0;         ///< hard-resist squared L2 vs target (pixels)
   int iterations = 0;         ///< gradient steps actually taken
   double runtime_s = 0.0;
-  std::vector<double> l2_history;  ///< hard L2 at each check point
+  /// Convergence trajectory, one entry per check: hard L2 at iteration
+  /// history_iters[k] (entry 0 is the starting mask at iteration 0, then
+  /// every check_every iterations, then the final state — so the last entry
+  /// always reflects the mask the loop ended on).
+  std::vector<double> l2_history;
+  std::vector<int> history_iters;   ///< iteration index of each history entry
+  /// PV band (nm^2) at each check; parallel to l2_history when
+  /// record_pvb_history (or an open ledger) enabled it, else empty.
+  std::vector<double> pvb_history;
   TerminationReason termination = TerminationReason::kConverged;
 };
 

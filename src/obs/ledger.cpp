@@ -1,0 +1,264 @@
+#include "obs/ledger.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+#include "common/status.hpp"
+#include "common/version.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ganopc::obs {
+
+namespace {
+
+constexpr std::size_t kFlightCapacity = 256;
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+struct LedgerState {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+  std::string path;
+  std::string crash_path_override;
+  std::uint64_t seq = 0;
+  std::uint64_t start_ns = 0;
+  std::deque<std::string> ring;  ///< most recent event lines, oldest first
+};
+
+std::atomic<bool> g_enabled{false};
+
+// Leaked like the metrics registry: emitters on pool threads may outlive
+// static destruction order.
+LedgerState& state() {
+  static auto* s = new LedgerState();
+  return *s;
+}
+
+thread_local std::string t_scope;
+
+}  // namespace
+
+bool ledger_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void ledger_open(const std::string& path) {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  // A crash mid-append can leave a torn final line with no newline; appending
+  // straight after it would glue this run's first event onto the wreckage.
+  // Terminate the tail first so the torn fragment stays one skippable line.
+  bool needs_newline = false;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe.good() && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      probe.get(last);
+      needs_newline = probe.good() && last != '\n';
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  GANOPC_TYPED_CHECK(StatusCode::kIo, f != nullptr,
+                     "ledger: cannot open '" << path << "' for append");
+  if (needs_newline) std::fputc('\n', f);
+  s.file = f;
+  s.path = path;
+  s.seq = 0;
+  s.start_ns = monotonic_ns();
+  s.ring.clear();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ledger_close() {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  g_enabled.store(false, std::memory_order_relaxed);
+  if (s.file != nullptr) {
+    std::fclose(s.file);
+    s.file = nullptr;
+  }
+  s.path.clear();
+}
+
+std::string ledger_path() {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  return s.path;
+}
+
+LedgerRecord& LedgerRecord::field(std::string_view key, std::string_view v) {
+  body_ += ",\"";
+  json::escape_into(body_, key);
+  body_ += "\":\"";
+  json::escape_into(body_, v);
+  body_ += '"';
+  return *this;
+}
+
+LedgerRecord& LedgerRecord::field(std::string_view key, double v) {
+  body_ += ",\"";
+  json::escape_into(body_, key);
+  body_ += "\":";
+  body_ += format_double(v);
+  return *this;
+}
+
+LedgerRecord& LedgerRecord::field(std::string_view key, std::int64_t v) {
+  body_ += ",\"";
+  json::escape_into(body_, key);
+  body_ += "\":";
+  body_ += std::to_string(v);
+  return *this;
+}
+
+LedgerRecord& LedgerRecord::field(std::string_view key, bool v) {
+  body_ += ",\"";
+  json::escape_into(body_, key);
+  body_ += "\":";
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+LedgerRecord& LedgerRecord::raw(std::string_view key, std::string_view json_value) {
+  body_ += ",\"";
+  json::escape_into(body_, key);
+  body_ += "\":";
+  body_ += json_value;
+  return *this;
+}
+
+void ledger_emit(const LedgerRecord& record) {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  if (s.file == nullptr) return;
+  std::string line = "{\"type\":\"";
+  json::escape_into(line, record.type());
+  line += "\",\"seq\":" + std::to_string(s.seq++);
+  line += ",\"t_s\":" +
+          format_double(static_cast<double>(monotonic_ns() - s.start_ns) * 1e-9);
+  if (!t_scope.empty()) {
+    line += ",\"scope\":\"";
+    json::escape_into(line, t_scope);
+    line += '"';
+  }
+  line += record.body();
+  line += '}';
+  // One fwrite + fflush per event: a SIGKILL can tear at most the final line,
+  // which read_ledger() tolerates. fsync is deliberately skipped on the hot
+  // path — durability-on-crash belongs to the atomic crash report, while the
+  // ledger promises only a parseable prefix.
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), s.file);
+  std::fflush(s.file);
+  s.ring.push_back(std::move(line));
+  if (s.ring.size() > kFlightCapacity) s.ring.pop_front();
+}
+
+LedgerScope::LedgerScope(std::string label) : previous_(std::move(t_scope)) {
+  t_scope = std::move(label);
+}
+
+LedgerScope::~LedgerScope() { t_scope = std::move(previous_); }
+
+// ---------------------------------------------------------- flight recorder
+
+std::size_t flight_capacity() { return kFlightCapacity; }
+
+void set_crash_report_path(std::string path) {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.crash_path_override = std::move(path);
+}
+
+std::vector<std::string> flight_events() {
+  LedgerState& s = state();
+  std::lock_guard lock(s.mutex);
+  return {s.ring.begin(), s.ring.end()};
+}
+
+void flight_dump(std::string_view reason) noexcept {
+  try {
+    LedgerState& s = state();
+    std::string path;
+    std::string report;
+    {
+      std::lock_guard lock(s.mutex);
+      if (s.file == nullptr) return;
+      path = s.crash_path_override.empty() ? s.path + ".crash.json"
+                                           : s.crash_path_override;
+      report = "{\"schema\":1,\"reason\":\"";
+      json::escape_into(report, reason);
+      report += "\",\"version\":\"";
+      json::escape_into(report, build_version());
+      report += "\",\"t_s\":" + format_double(static_cast<double>(
+                                    monotonic_ns() - s.start_ns) *
+                                1e-9);
+      report += ",\"events\":[";
+      bool first = true;
+      for (const auto& line : s.ring) {
+        if (!first) report += ',';
+        first = false;
+        // Ring lines carry their trailing '\n'; strip it — they are complete
+        // JSON objects and embed verbatim.
+        report.append(line.data(), line.size() - 1);
+      }
+      report += ']';
+    }
+    // Snapshot outside the ledger lock: metric recording threads never take
+    // it, but snapshot() takes the registry mutex and there is no reason to
+    // hold both.
+    report += ",\"metrics\":" + to_json(snapshot()) + "}\n";
+    atomic_write_file(path, [&](std::ostream& out) { out << report; });
+  } catch (...) {
+    // Swallow: the crash report is best-effort diagnosis of an existing
+    // fault; a second fault here must not replace the first.
+  }
+}
+
+// -------------------------------------------------------------------- read
+
+LedgerFile read_ledger(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GANOPC_TYPED_CHECK(StatusCode::kIo, in.good(),
+                     "ledger: cannot read '" << path << "'");
+  LedgerFile out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value v;
+    if (!json::try_parse(line, v)) {
+      // Torn line from a crash mid-append. ledger_open() newline-terminates
+      // such tails before a resumed run appends, so the damage is exactly one
+      // line — skip it and keep reading the resumed run's events.
+      out.truncated = true;
+      continue;
+    }
+    out.events.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string fingerprint64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis
+  for (const char c : text)
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace ganopc::obs

@@ -1,0 +1,130 @@
+// Run ledger + flight recorder (DESIGN.md §11).
+//
+// The metrics registry (§10) aggregates; the ledger *narrates*. It is a
+// structured JSONL event log — one self-contained JSON object per line —
+// capturing a run's identity (run_start: build version, command line, config
+// fingerprint), its per-stage progress (clip_start/clip_end, stage), its
+// convergence trajectory (ilt_iter records with L2/PVB/step-size/wall-time,
+// train_step records per trainer iteration) and its outcome (run_end with an
+// embedded metrics snapshot). Fig. 7's training curves and Table 2's L2/PVB
+// columns are trajectories; the ledger is what makes them comparable across
+// commits instead of dying with the process.
+//
+// Crash-safety contract: every event is appended as one line and flushed
+// before the emitting call returns, so a SIGKILL leaves a parseable prefix
+// (at worst one torn final line, which read_ledger() reports as `truncated`).
+// The file is opened in append mode: a resumed run appends a fresh run_start
+// header rather than clobbering history.
+//
+// Flight recorder: the last `flight_capacity()` emitted events are kept in a
+// bounded ring buffer. flight_dump(reason) writes them — plus a full metrics
+// snapshot — to `<ledger>.crash.json` via the atomic temp+fsync+rename path,
+// so a watchdog termination, divergence rollback or fatal Status is
+// diagnosable post-mortem even when the main ledger tells only half the story.
+//
+// Cost when disabled (no --ledger-out): emitters gate on ledger_enabled(),
+// one relaxed atomic load — the same discipline as metrics_enabled().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace ganopc::obs {
+
+/// One relaxed load; emitters must gate on this before building a record.
+bool ledger_enabled();
+
+/// Open (append) the ledger at `path` and arm the flight recorder. Throws
+/// StatusError(kIo) when the file cannot be opened. Emits nothing by itself —
+/// the caller writes the run_start header so it can attach run identity.
+void ledger_open(const std::string& path);
+
+/// Flush and close; ledger_enabled() turns false. Safe to call when closed.
+void ledger_close();
+
+/// Path of the open ledger ("" when closed).
+std::string ledger_path();
+
+/// Builder for one event line. Field order is preserved; "type", "seq",
+/// "t_s" (and "scope" when a LedgerScope is active) are reserved keys the
+/// emit path writes first.
+class LedgerRecord {
+ public:
+  explicit LedgerRecord(std::string_view type) : type_(type) {}
+
+  LedgerRecord& field(std::string_view key, std::string_view v);
+  LedgerRecord& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  LedgerRecord& field(std::string_view key, double v);
+  LedgerRecord& field(std::string_view key, std::int64_t v);
+  LedgerRecord& field(std::string_view key, int v) {
+    return field(key, static_cast<std::int64_t>(v));
+  }
+  LedgerRecord& field(std::string_view key, bool v);
+  /// Pre-encoded JSON value (e.g. an obs::to_json metrics snapshot).
+  LedgerRecord& raw(std::string_view key, std::string_view json_value);
+
+  const std::string& type() const { return type_; }
+  const std::string& body() const { return body_; }
+
+ private:
+  std::string type_;
+  std::string body_;  ///< ",\"k\":v" repeated
+};
+
+/// Append one event line (attaching seq / t_s / scope) and remember it in the
+/// flight-recorder ring. No-op when the ledger is closed.
+void ledger_emit(const LedgerRecord& record);
+
+/// RAII thread-local label (e.g. the batch clip id) attached as "scope" to
+/// every event emitted by this thread while alive. Nests; inner wins.
+class LedgerScope {
+ public:
+  explicit LedgerScope(std::string label);
+  ~LedgerScope();
+  LedgerScope(const LedgerScope&) = delete;
+  LedgerScope& operator=(const LedgerScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+// ---------------------------------------------------------- flight recorder
+
+/// Ring size: how many recent events a crash report carries.
+std::size_t flight_capacity();
+
+/// Write `<ledger>.crash.json` (or the set_crash_report_path override)
+/// atomically: {"schema":1,"reason":...,"version":...,"t_s":...,
+/// "events":[...ring...],"metrics":{...}}. No-op when the ledger is closed.
+/// Never throws — a failing crash dump must not mask the original fault.
+void flight_dump(std::string_view reason) noexcept;
+
+/// Override the crash report destination ("" restores the default).
+void set_crash_report_path(std::string path);
+
+/// Events currently buffered in the ring (testing / diagnostics).
+std::vector<std::string> flight_events();
+
+// -------------------------------------------------------------------- read
+
+struct LedgerFile {
+  std::vector<json::Value> events;  ///< parsed objects, file order
+  bool truncated = false;           ///< stopped at an unparseable (torn) line
+};
+
+/// Parse a JSONL ledger. A torn final line (crash mid-append) sets
+/// `truncated` instead of throwing; throws StatusError(kIo) when the file
+/// cannot be read at all.
+LedgerFile read_ledger(const std::string& path);
+
+/// FNV-1a 64-bit over `text`, as 16 hex digits — the run_start config
+/// fingerprint (stable across platforms, cheap to diff).
+std::string fingerprint64(std::string_view text);
+
+}  // namespace ganopc::obs

@@ -102,6 +102,25 @@ Registry& registry() {
   return *r;
 }
 
+// Reject metric names that could corrupt an exporter downstream: every name
+// must start with a letter and stay within [A-Za-z0-9._-]. In particular
+// this keeps quotes, backslashes, control bytes and whitespace out of the
+// registry, so the JSON/Prometheus emitters never see a name that needs
+// more than the '.'/'-' -> '_' mangling they already do.
+void validate_name(std::string_view name) {
+  bool ok = !name.empty() &&
+            std::isalpha(static_cast<unsigned char>(name.front())) != 0;
+  for (const char c : name) {
+    if (!ok) break;
+    ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '_' || c == '-';
+  }
+  if (!ok)
+    throw std::invalid_argument(
+        "obs: invalid metric name '" + std::string(name) +
+        "' (must start with a letter; allowed: [A-Za-z0-9._-])");
+}
+
 void check_unique(const Registry& r, std::string_view name, int self) {
   const bool taken[3] = {r.counters.find(name) != r.counters.end(),
                          r.gauges.find(name) != r.gauges.end(),
@@ -119,6 +138,7 @@ Counter& counter(std::string_view name) {
   std::lock_guard lock(r.mutex);
   auto it = r.counters.find(name);
   if (it != r.counters.end()) return it->second;
+  validate_name(name);
   check_unique(r, name, 0);
   return r.counters.try_emplace(std::string(name)).first->second;
 }
@@ -128,6 +148,7 @@ Gauge& gauge(std::string_view name) {
   std::lock_guard lock(r.mutex);
   auto it = r.gauges.find(name);
   if (it != r.gauges.end()) return it->second;
+  validate_name(name);
   check_unique(r, name, 1);
   return r.gauges.try_emplace(std::string(name)).first->second;
 }
@@ -144,6 +165,7 @@ Histogram& histogram(std::string_view name, std::span<const double> bounds) {
                                   "' re-registered with different bounds");
     return *it->second;
   }
+  validate_name(name);
   check_unique(r, name, 2);
   auto hist = std::make_unique<Histogram>(
       std::vector<double>(bounds.begin(), bounds.end()));
@@ -250,16 +272,39 @@ std::string format_double(double v) {
   return buf;
 }
 
+// Registered names can never contain these (validate_name), but snapshots
+// are also built by tests/tools — escape fully so the emitter is safe for
+// any input, not just registry-vetted names. Cannot use common/json.hpp:
+// this library sits below ganopc_common in the link graph.
 void json_escape_into(std::string& out, std::string_view s) {
   for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
 }
 
 }  // namespace
 
 std::string to_prometheus(const Snapshot& snap) {
+  // A snapshot with no metrics still yields a valid, non-empty exposition
+  // (a comment is legal in the text format), so scrapers and file watchers
+  // can tell "no metrics recorded" from "writer crashed before the flush".
+  if (snap.counters.empty() && snap.gauges.empty() && snap.histograms.empty())
+    return "# ganopc: no metrics recorded\n";
   std::string out;
   for (const auto& [name, value] : snap.counters) {
     const std::string p = prometheus_name(name);

@@ -1,0 +1,247 @@
+#include "obs/regress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace ganopc::obs {
+
+namespace {
+
+std::string format_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Ratio check helper: lower-is-better metric `current` vs `baseline` held
+/// to `limit`. A zero/near-zero baseline falls back to an absolute compare
+/// against the floor so a 0 -> 0 pair passes instead of dividing by zero.
+RegressCheck ratio_check(std::string name, double baseline, double current,
+                         double limit, double floor_abs) {
+  RegressCheck c;
+  c.name = std::move(name);
+  c.baseline = baseline;
+  c.current = current;
+  c.limit = limit;
+  if (baseline <= floor_abs && current <= floor_abs) {
+    c.ratio = baseline > 0.0 ? current / baseline : 0.0;
+    c.pass = true;
+    c.informational = true;
+    return c;
+  }
+  c.ratio = baseline > 0.0 ? current / baseline
+                           : std::numeric_limits<double>::infinity();
+  c.pass = std::isfinite(c.ratio) && c.ratio <= limit;
+  return c;
+}
+
+void fail_missing(RegressReport& report, const std::string& name,
+                  double baseline) {
+  RegressCheck c;
+  c.name = name;
+  c.baseline = baseline;
+  c.current = std::numeric_limits<double>::quiet_NaN();
+  c.pass = false;
+  report.checks.push_back(std::move(c));
+  report.pass = false;
+}
+
+void push(RegressReport& report, RegressCheck c) {
+  if (!c.pass) report.pass = false;
+  report.checks.push_back(std::move(c));
+}
+
+}  // namespace
+
+void compare_bench(const json::Value& baseline, const json::Value& current,
+                   const RegressThresholds& thresholds, RegressReport& report) {
+  const std::string bench = baseline.string_or("bench", "?");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     current.string_or("bench", "?") == bench,
+                     "regress: comparing bench '"
+                         << bench << "' against '"
+                         << current.string_or("bench", "?")
+                         << "' — baseline/current pair mismatch");
+  if (baseline.number_or("grid", 0) != current.number_or("grid", 0) ||
+      baseline.number_or("reps", 0) != current.number_or("reps", 0))
+    report.notes.push_back("bench '" + bench +
+                           "': grid/reps differ between baseline and current; "
+                           "runtime ratios compare different workloads");
+
+  const json::Value* base_stages = baseline.find("stages");
+  const json::Value* cur_stages = current.find("stages");
+  if (base_stages != nullptr && base_stages->is_object()) {
+    for (const auto& [stage, base_entry] : base_stages->members()) {
+      const json::Value* cur_entry =
+          cur_stages != nullptr ? cur_stages->find(stage) : nullptr;
+      const std::string prefix = bench + "/" + stage;
+      if (cur_entry == nullptr) {
+        fail_missing(report, prefix + " (stage missing from current run)",
+                     base_entry.number_or("p50_s", 0.0));
+        continue;
+      }
+      for (const char* q : {"p50_s", "p95_s"})
+        push(report, ratio_check(prefix + "." + q, base_entry.number_or(q, 0.0),
+                                 cur_entry->number_or(q, 0.0),
+                                 thresholds.max_runtime_ratio,
+                                 thresholds.runtime_floor_s));
+      const double bc = base_entry.number_or("count", 0.0);
+      const double cc = cur_entry->number_or("count", 0.0);
+      if (bc != cc)
+        report.notes.push_back(prefix + ": count " + format_g(bc) + " -> " +
+                               format_g(cc));
+    }
+  }
+  if (cur_stages != nullptr && cur_stages->is_object())
+    for (const auto& [stage, entry] : cur_stages->members()) {
+      (void)entry;
+      if (base_stages == nullptr || base_stages->find(stage) == nullptr)
+        report.notes.push_back(bench + "/" + stage +
+                               ": new stage (no baseline, not gated)");
+    }
+
+  const json::Value* base_quality = baseline.find("quality");
+  const json::Value* cur_quality = current.find("quality");
+  if (base_quality != nullptr && base_quality->is_object()) {
+    for (const auto& [key, base_entry] : base_quality->members()) {
+      const std::string name = bench + "/quality." + key;
+      const json::Value* cur_entry =
+          cur_quality != nullptr ? cur_quality->find(key) : nullptr;
+      if (cur_entry == nullptr) {
+        fail_missing(report, name + " (quality metric missing from current run)",
+                     base_entry.as_number());
+        continue;
+      }
+      push(report, ratio_check(name, base_entry.as_number(),
+                               cur_entry->as_number(),
+                               thresholds.max_quality_ratio,
+                               /*floor_abs=*/0.0));
+    }
+  }
+
+  const json::Value* base_counters = baseline.find("counters");
+  const json::Value* cur_counters = current.find("counters");
+  if (base_counters != nullptr && base_counters->is_object())
+    for (const auto& [key, base_entry] : base_counters->members()) {
+      const double bv = base_entry.as_number();
+      const double cv =
+          cur_counters != nullptr ? cur_counters->number_or(key, 0.0) : 0.0;
+      if (bv != cv)
+        report.notes.push_back(bench + "/counter " + key + ": " + format_g(bv) +
+                               " -> " + format_g(cv));
+    }
+}
+
+namespace {
+
+/// Convergence endpoints extracted from one ledger: per-scope final L2/PVB
+/// from ilt records, per-phase final train_step L2.
+struct LedgerEndpoints {
+  std::map<std::string, double> ilt_l2;    ///< scope -> last l2
+  std::map<std::string, double> ilt_pvb;   ///< scope -> last pvb (if recorded)
+  std::map<std::string, double> train_l2;  ///< phase -> last l2
+  int run_headers = 0;
+};
+
+LedgerEndpoints endpoints(const LedgerFile& ledger) {
+  LedgerEndpoints out;
+  for (const auto& ev : ledger.events) {
+    const std::string type = ev.string_or("type", "");
+    const std::string scope = ev.string_or("scope", "<run>");
+    if (type == "run_start") {
+      ++out.run_headers;
+    } else if (type == "ilt_iter" || type == "ilt_done") {
+      if (const json::Value* l2 = ev.find("l2")) out.ilt_l2[scope] = l2->as_number();
+      if (const json::Value* pvb = ev.find("pvb"))
+        out.ilt_pvb[scope] = pvb->as_number();
+    } else if (type == "train_step") {
+      if (const json::Value* l2 = ev.find("l2"))
+        out.train_l2[ev.string_or("phase", "?")] = l2->as_number();
+    }
+  }
+  return out;
+}
+
+double mean(const std::map<std::string, double>& m) {
+  double sum = 0.0;
+  for (const auto& [k, v] : m) sum += v;
+  return m.empty() ? 0.0 : sum / static_cast<double>(m.size());
+}
+
+}  // namespace
+
+void compare_ledgers(const LedgerFile& baseline, const LedgerFile& current,
+                     const RegressThresholds& thresholds, RegressReport& report) {
+  const LedgerEndpoints base = endpoints(baseline);
+  const LedgerEndpoints cur = endpoints(current);
+  if (baseline.truncated || current.truncated)
+    report.notes.push_back("ledger: torn line(s) skipped while reading");
+
+  if (!base.ilt_l2.empty()) {
+    if (cur.ilt_l2.empty()) {
+      fail_missing(report, "ledger/ilt_final_l2 (no ilt records in current run)",
+                   mean(base.ilt_l2));
+    } else {
+      push(report, ratio_check("ledger/ilt_final_l2 (mean over scopes)",
+                               mean(base.ilt_l2), mean(cur.ilt_l2),
+                               thresholds.max_quality_ratio, 0.0));
+      if (base.ilt_l2.size() != cur.ilt_l2.size())
+        report.notes.push_back(
+            "ledger: scope count differs (" + std::to_string(base.ilt_l2.size()) +
+            " -> " + std::to_string(cur.ilt_l2.size()) + ")");
+    }
+  }
+  if (!base.ilt_pvb.empty() && !cur.ilt_pvb.empty())
+    push(report, ratio_check("ledger/ilt_final_pvb (mean over scopes)",
+                             mean(base.ilt_pvb), mean(cur.ilt_pvb),
+                             thresholds.max_quality_ratio, 0.0));
+  for (const auto& [phase, l2] : base.train_l2) {
+    const auto it = cur.train_l2.find(phase);
+    if (it == cur.train_l2.end()) {
+      fail_missing(report,
+                   "ledger/train_final_l2." + phase + " (missing from current)",
+                   l2);
+      continue;
+    }
+    push(report, ratio_check("ledger/train_final_l2." + phase, l2, it->second,
+                             thresholds.max_quality_ratio, 0.0));
+  }
+}
+
+std::string RegressReport::summary() const {
+  std::ostringstream out;
+  int failed = 0;
+  for (const auto& c : checks) {
+    if (!c.pass) ++failed;
+    out << (c.pass ? (c.informational ? "  ok (info) " : "  ok        ")
+                   : "  FAIL      ")
+        << c.name << ": baseline=" << format_g(c.baseline)
+        << " current=" << format_g(c.current);
+    if (std::isfinite(c.ratio) && c.ratio > 0.0)
+      out << " ratio=" << format_g(c.ratio);
+    if (c.limit > 0.0) out << " (limit " << format_g(c.limit) << ")";
+    out << "\n";
+  }
+  for (const auto& n : notes) out << "  note      " << n << "\n";
+  out << "REGRESSION GATE: " << (pass ? "PASS" : "FAIL") << " ("
+      << checks.size() << " checks, " << failed << " failed)\n";
+  return out.str();
+}
+
+json::Value load_bench_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GANOPC_TYPED_CHECK(StatusCode::kIo, in.good(),
+                     "regress: cannot read '" << path << "'");
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  return json::parse(text);
+}
+
+}  // namespace ganopc::obs

@@ -55,6 +55,56 @@ TEST(Ilt, HistoryIsRecordedAndBestIsMin) {
   EXPECT_DOUBLE_EQ(result.l2_px, min_seen);
 }
 
+TEST(Ilt, HistoryHasFixedStrideWithIterationIndices) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 23;  // deliberately not a multiple of check_every
+  cfg.check_every = 5;
+  cfg.patience = 1000;
+  cfg.target_l2_px = -1.0;  // run the full budget
+  const IltResult result = IltEngine(sim, cfg).optimize(target);
+  // Entry 0 is the start, then every check_every, then the final state:
+  // 0, 5, 10, 15, 20, 23.
+  ASSERT_EQ(result.history_iters.size(), result.l2_history.size());
+  const std::vector<int> expect = {0, 5, 10, 15, 20, 23};
+  EXPECT_EQ(result.history_iters, expect);
+  // PVB history is opt-in and off by default (it costs two sims per check).
+  EXPECT_TRUE(result.pvb_history.empty());
+}
+
+TEST(Ilt, PvbHistoryParallelsL2WhenEnabled) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 20;
+  cfg.check_every = 5;
+  cfg.patience = 1000;
+  cfg.target_l2_px = -1.0;
+  cfg.record_pvb_history = true;
+  const IltResult result = IltEngine(sim, cfg).optimize(target);
+  ASSERT_EQ(result.pvb_history.size(), result.l2_history.size());
+  for (const double pvb : result.pvb_history) {
+    EXPECT_TRUE(std::isfinite(pvb));
+    EXPECT_GE(pvb, 0.0);
+  }
+}
+
+TEST(Ilt, HistoryEndsOnTheStateTheLoopExitedWith) {
+  const auto sim = make_sim();
+  const geom::Grid target = wire_target(64, 32);
+  IltConfig cfg;
+  cfg.max_iterations = 500;
+  cfg.check_every = 5;
+  cfg.patience = 4;
+  cfg.target_l2_px = -1.0;
+  const IltResult result = IltEngine(sim, cfg).optimize(target);
+  ASSERT_FALSE(result.history_iters.empty());
+  EXPECT_EQ(result.history_iters.back(), result.iterations);
+  for (std::size_t i = 1; i < result.history_iters.size(); ++i)
+    EXPECT_GT(result.history_iters[i], result.history_iters[i - 1]);
+}
+
 TEST(Ilt, MaskIsBinary) {
   const auto sim = make_sim();
   const geom::Grid target = wire_target(64, 32);

@@ -1,0 +1,319 @@
+// Run ledger + flight recorder + regression verdicts (DESIGN.md §11):
+// JSON round-trips, the JSONL event schema, crash-tolerant reads, the
+// bounded flight ring, and the pass/fail policy of the regression gate.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "obs/ledger.hpp"
+#include "obs/regress.hpp"
+
+namespace ganopc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(Json, ParsesScalarsContainersAndEscapes) {
+  const json::Value v = json::parse(
+      R"({"a":1.5,"b":[true,false,null],"s":"q\"\\\nA","neg":-2e3})");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  ASSERT_EQ(v.find("b")->items().size(), 3u);
+  EXPECT_TRUE(v.find("b")->items()[0].as_bool());
+  EXPECT_EQ(v.find("s")->as_string(), "q\"\\\nA");
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_number(), -2000.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\":1} trailing",
+                          "\"unterminated", "{'a':1}", "nul", "01x"}) {
+    json::Value v;
+    EXPECT_FALSE(json::try_parse(bad, v)) << "accepted: " << bad;
+    EXPECT_THROW((void)json::parse(bad), Error) << "parsed: " << bad;
+  }
+}
+
+TEST(Json, BuilderRoundTripsThroughParser) {
+  json::Value obj = json::Value::object();
+  obj.set("name", json::Value::string("ilt \"quoted\"\n"));
+  obj.set("n", json::Value::number(42));
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value::boolean(true));
+  arr.push_back(json::Value());
+  obj.set("arr", std::move(arr));
+  const json::Value back = json::parse(obj.dump());
+  EXPECT_EQ(back.find("name")->as_string(), "ilt \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(back.find("n")->as_number(), 42.0);
+  EXPECT_TRUE(back.find("arr")->items()[0].as_bool());
+  EXPECT_TRUE(back.find("arr")->items()[1].is_null());
+}
+
+TEST(Json, Fingerprint64IsStableAndDiscriminating) {
+  EXPECT_EQ(obs::fingerprint64(""), "cbf29ce484222325");  // FNV-1a offset basis
+  EXPECT_EQ(obs::fingerprint64("a"), obs::fingerprint64("a"));
+  EXPECT_NE(obs::fingerprint64("ilt --iters 40"),
+            obs::fingerprint64("ilt --iters 41"));
+}
+
+// ------------------------------------------------------------------ ledger
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "ganopc_ledger_test").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    obs::ledger_close();
+    obs::set_crash_report_path("");
+    fs::remove_all(dir_);
+  }
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(LedgerTest, EveryEventTypeRoundTripsWithSeqAndTimestamps) {
+  obs::ledger_open(path("run.jsonl"));
+  ASSERT_TRUE(obs::ledger_enabled());
+  EXPECT_EQ(obs::ledger_path(), path("run.jsonl"));
+
+  obs::LedgerRecord start("run_start");
+  start.field("cmd", "ilt").field("config_fingerprint",
+                                  obs::fingerprint64("ilt"));
+  obs::ledger_emit(start);
+  {
+    obs::LedgerScope scope("clip_03");
+    obs::LedgerRecord iter("ilt_iter");
+    iter.field("iter", 10).field("l2", 123.5).field("pvb", 2.5e4)
+        .field("step", 0.8).field("wall_s", 0.25);
+    obs::ledger_emit(iter);
+    obs::LedgerRecord done("ilt_done");
+    done.field("termination", "converged").field("iterations", 40);
+    obs::ledger_emit(done);
+  }
+  obs::LedgerRecord step("train_step");
+  step.field("phase", "pretrain").field("iter", 0).field("l2", 9.0);
+  obs::ledger_emit(step);
+  obs::LedgerRecord end("run_end");
+  end.field("exit_code", 0).field("ok", true).raw("metrics", "{\"schema\":1}");
+  obs::ledger_emit(end);
+  obs::ledger_close();
+  EXPECT_FALSE(obs::ledger_enabled());
+
+  const obs::LedgerFile f = obs::read_ledger(path("run.jsonl"));
+  EXPECT_FALSE(f.truncated);
+  ASSERT_EQ(f.events.size(), 5u);
+  const char* types[] = {"run_start", "ilt_iter", "ilt_done", "train_step",
+                         "run_end"};
+  for (std::size_t i = 0; i < f.events.size(); ++i) {
+    EXPECT_EQ(f.events[i].string_or("type", "?"), types[i]);
+    EXPECT_DOUBLE_EQ(f.events[i].number_or("seq", -1),
+                     static_cast<double>(i));
+    EXPECT_GE(f.events[i].number_or("t_s", -1.0), 0.0);
+  }
+  // Scope attaches only while the RAII label is alive.
+  EXPECT_EQ(f.events[1].string_or("scope", "?"), "clip_03");
+  EXPECT_EQ(f.events[2].string_or("scope", "?"), "clip_03");
+  EXPECT_EQ(f.events[3].find("scope"), nullptr);
+  EXPECT_DOUBLE_EQ(f.events[1].number_or("l2", 0), 123.5);
+  EXPECT_TRUE(f.events[4].find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(f.events[4].find("metrics")->number_or("schema", 0), 1.0);
+}
+
+TEST_F(LedgerTest, NestedScopesInnerWinsAndRestores) {
+  obs::ledger_open(path("run.jsonl"));
+  const auto emit = [] {
+    obs::LedgerRecord rec("stage");
+    obs::ledger_emit(rec);
+  };
+  {
+    obs::LedgerScope outer("outer");
+    emit();
+    {
+      obs::LedgerScope inner("inner");
+      emit();
+    }
+    emit();
+  }
+  emit();
+  obs::ledger_close();
+  const obs::LedgerFile f = obs::read_ledger(path("run.jsonl"));
+  ASSERT_EQ(f.events.size(), 4u);
+  EXPECT_EQ(f.events[0].string_or("scope", "?"), "outer");
+  EXPECT_EQ(f.events[1].string_or("scope", "?"), "inner");
+  EXPECT_EQ(f.events[2].string_or("scope", "?"), "outer");
+  EXPECT_EQ(f.events[3].find("scope"), nullptr);
+}
+
+TEST_F(LedgerTest, TornTailIsSkippedAndResumeAppendsCleanly) {
+  // Simulate a crash mid-append: a valid line followed by half a line with
+  // no newline.
+  {
+    std::ofstream out(path("run.jsonl"), std::ios::binary);
+    out << "{\"type\":\"run_start\",\"seq\":0,\"t_s\":0}\n";
+    out << "{\"type\":\"ilt_iter\",\"seq\":1,\"l2\":12";  // torn
+  }
+  obs::LedgerFile f = obs::read_ledger(path("run.jsonl"));
+  EXPECT_TRUE(f.truncated);
+  ASSERT_EQ(f.events.size(), 1u);
+
+  // A resumed run opens in append mode; the torn tail must not swallow its
+  // first event.
+  obs::ledger_open(path("run.jsonl"));
+  obs::LedgerRecord start("run_start");
+  obs::ledger_emit(start);
+  obs::ledger_close();
+  f = obs::read_ledger(path("run.jsonl"));
+  EXPECT_TRUE(f.truncated);
+  ASSERT_EQ(f.events.size(), 2u);
+  EXPECT_EQ(f.events[0].string_or("type", "?"), "run_start");
+  EXPECT_EQ(f.events[1].string_or("type", "?"), "run_start");
+}
+
+TEST_F(LedgerTest, FlightRingIsBoundedAndDumpWritesParseableReport) {
+  obs::ledger_open(path("run.jsonl"));
+  const std::size_t cap = obs::flight_capacity();
+  for (std::size_t i = 0; i < cap + 50; ++i) {
+    obs::LedgerRecord rec("ilt_iter");
+    rec.field("iter", static_cast<int>(i));
+    obs::ledger_emit(rec);
+  }
+  EXPECT_EQ(obs::flight_events().size(), cap);
+
+  obs::flight_dump("test.reason");
+  const std::string crash = path("run.jsonl") + ".crash.json";
+  ASSERT_TRUE(fs::exists(crash));
+  const json::Value report = json::parse(read_bytes(crash));
+  EXPECT_EQ(report.string_or("reason", "?"), "test.reason");
+  ASSERT_NE(report.find("events"), nullptr);
+  ASSERT_EQ(report.find("events")->items().size(), cap);
+  // Oldest events fell out of the ring: the first kept one is iter 50.
+  EXPECT_DOUBLE_EQ(report.find("events")->items().front().number_or("iter", -1),
+                   50.0);
+  ASSERT_NE(report.find("metrics"), nullptr);
+  EXPECT_DOUBLE_EQ(report.find("metrics")->number_or("schema", 0), 1.0);
+}
+
+TEST_F(LedgerTest, FlightDumpHonoursOverridePathAndNeverThrowsWhenClosed) {
+  obs::flight_dump("no-ledger-open");  // no-op, must not throw
+  obs::ledger_open(path("run.jsonl"));
+  obs::set_crash_report_path(path("custom_crash.json"));
+  obs::LedgerRecord rec("stage");
+  obs::ledger_emit(rec);
+  obs::flight_dump("override");
+  EXPECT_TRUE(fs::exists(path("custom_crash.json")));
+  EXPECT_FALSE(fs::exists(path("run.jsonl") + ".crash.json"));
+}
+
+TEST_F(LedgerTest, EmitWhenClosedIsANoOp) {
+  obs::LedgerRecord rec("stage");
+  obs::ledger_emit(rec);  // must not crash
+  EXPECT_FALSE(obs::ledger_enabled());
+}
+
+// --------------------------------------------------------- regression gate
+
+json::Value bench_json(const char* name, double p50, double p95,
+                       double quality_l2) {
+  std::string text = std::string("{\"schema\":1,\"bench\":\"") + name +
+                     "\",\"grid\":128,\"reps\":5,\"stages\":{\"stage.a\":"
+                     "{\"count\":5,\"sum_s\":1,\"p50_s\":" +
+                     std::to_string(p50) +
+                     ",\"p95_s\":" + std::to_string(p95) +
+                     "}},\"counters\":{\"c\":5},\"quality\":{"
+                     "\"final_l2\":" +
+                     std::to_string(quality_l2) + "}}";
+  return json::parse(text);
+}
+
+TEST(Regress, PassesWhenWithinThresholds) {
+  obs::RegressReport report;
+  obs::compare_bench(bench_json("litho", 0.10, 0.20, 100.0),
+                     bench_json("litho", 0.12, 0.22, 100.0),
+                     obs::RegressThresholds{}, report);
+  EXPECT_TRUE(report.pass);
+  EXPECT_NE(report.summary().find("REGRESSION GATE: PASS"), std::string::npos);
+}
+
+TEST(Regress, FailsOnRuntimeRegressionBeyondRatio) {
+  obs::RegressReport report;
+  obs::compare_bench(bench_json("litho", 0.10, 0.20, 100.0),
+                     bench_json("litho", 0.40, 0.20, 100.0),  // p50 4x
+                     obs::RegressThresholds{}, report);
+  EXPECT_FALSE(report.pass);
+  EXPECT_NE(report.summary().find("REGRESSION GATE: FAIL"), std::string::npos);
+}
+
+TEST(Regress, FailsOnQualityRegressionAtTightRatio) {
+  obs::RegressReport report;
+  // 5% worse final L2 against the default 2% quality ceiling.
+  obs::compare_bench(bench_json("ilt", 0.10, 0.20, 100.0),
+                     bench_json("ilt", 0.10, 0.20, 105.0),
+                     obs::RegressThresholds{}, report);
+  EXPECT_FALSE(report.pass);
+}
+
+TEST(Regress, SubFloorStagesAreInformationalOnly) {
+  obs::RegressReport report;
+  // Both runs below the 1e-4 s noise floor: 10x ratio must not gate.
+  obs::compare_bench(bench_json("litho", 5e-6, 5e-6, 100.0),
+                     bench_json("litho", 5e-5, 5e-5, 100.0),
+                     obs::RegressThresholds{}, report);
+  EXPECT_TRUE(report.pass);
+  bool saw_informational = false;
+  for (const auto& c : report.checks) saw_informational |= c.informational;
+  EXPECT_TRUE(saw_informational);
+}
+
+TEST(Regress, MissingStageOrQualityKeyFails) {
+  obs::RegressReport report;
+  json::Value cur = bench_json("litho", 0.1, 0.2, 100.0);
+  cur.set("stages", json::Value::object());   // stage vanished
+  cur.set("quality", json::Value::object());  // quality key vanished
+  obs::compare_bench(bench_json("litho", 0.1, 0.2, 100.0), cur,
+                     obs::RegressThresholds{}, report);
+  EXPECT_FALSE(report.pass);
+}
+
+TEST(Regress, MismatchedBenchNamesThrow) {
+  obs::RegressReport report;
+  EXPECT_THROW(obs::compare_bench(bench_json("litho", 0.1, 0.2, 1.0),
+                                  bench_json("ilt", 0.1, 0.2, 1.0),
+                                  obs::RegressThresholds{}, report),
+               StatusError);
+}
+
+obs::LedgerFile ledger_with_final_l2(double l2) {
+  obs::LedgerFile f;
+  f.events.push_back(json::parse(
+      R"({"type":"ilt_done","scope":"clip0","l2":)" + std::to_string(l2) + "}"));
+  return f;
+}
+
+TEST(Regress, LedgerEndpointComparisonGatesFinalL2) {
+  obs::RegressReport pass_report;
+  obs::compare_ledgers(ledger_with_final_l2(100.0), ledger_with_final_l2(101.0),
+                       obs::RegressThresholds{}, pass_report);
+  EXPECT_TRUE(pass_report.pass);
+
+  obs::RegressReport fail_report;
+  obs::compare_ledgers(ledger_with_final_l2(100.0), ledger_with_final_l2(110.0),
+                       obs::RegressThresholds{}, fail_report);
+  EXPECT_FALSE(fail_report.pass);
+}
+
+}  // namespace
+}  // namespace ganopc

@@ -223,6 +223,41 @@ TEST(ObsExport, JsonIsBalancedAndStable) {
   EXPECT_EQ(js, to_json(snap));
 }
 
+TEST(ObsRegistry, RejectsIllegalMetricNames) {
+  // Names that would corrupt an exporter downstream must be refused at
+  // registration, not silently mangled at export time.
+  for (const char* bad :
+       {"", "1starts.with.digit", ".leading.dot", "has space", "quote\"name",
+        "back\\slash", "new\nline", "unicode\xc3\xa9"}) {
+    EXPECT_THROW(counter(bad), std::invalid_argument) << "accepted: " << bad;
+    EXPECT_THROW(gauge(bad), std::invalid_argument);
+    EXPECT_THROW(histogram(bad, time_buckets()), std::invalid_argument);
+  }
+  // The repo's existing vocabulary ('.', '-', '_') stays legal.
+  counter("test.obs.valid.termination-name_ok");
+}
+
+TEST(ObsExport, EmptySnapshotYieldsValidNonEmptyExpositions) {
+  const Snapshot empty;
+  const std::string prom = to_prometheus(empty);
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(prom.front(), '#');  // a comment line is a legal exposition
+  EXPECT_EQ(prom.back(), '\n');
+  const std::string js = to_json(empty);
+  EXPECT_NE(js.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(js.find("\"gauges\":{}"), std::string::npos);
+  EXPECT_NE(js.find("\"histograms\":{}"), std::string::npos);
+}
+
+TEST(ObsExport, JsonEscapesHostileNamesInHandBuiltSnapshots) {
+  // Registered names can never contain these, but snapshots are plain data
+  // that tests and tools may build directly — the emitter must stay safe.
+  Snapshot snap;
+  snap.counters.emplace_back("bad\"name\\with\ncontrol\x01", 1);
+  const std::string js = to_json(snap);
+  EXPECT_NE(js.find("bad\\\"name\\\\with\\ncontrol\\u0001"), std::string::npos);
+}
+
 TEST(ObsFlags, EnableDisableRoundTrip) {
   EXPECT_FALSE(metrics_enabled());
   EXPECT_FALSE(trace_enabled());

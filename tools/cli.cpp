@@ -17,6 +17,9 @@
 //   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
 //   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
 //                  [--clipsize NM]
+//   ganopc report  [--bench-base A[,B,...] --bench-cur A[,B,...]]
+//                  [--ledger-base FILE --ledger-cur FILE]
+//                  [--max-runtime-ratio R] [--max-quality-ratio R]
 //
 // Layout files use the text format of geom::Layout (clip/rect lines) or
 // GDSII (.gds extension, loaded with --clipsize window); masks are 8-bit
@@ -24,10 +27,18 @@
 // checkpoint that --resume continues from bit-identically (DESIGN.md §8).
 // `batch` is fault-tolerant: clips fail individually with typed codes in the
 // manifest, and its journal makes a killed run resumable (DESIGN.md §9).
-// Every command also accepts the observability flags (DESIGN.md §10):
+// Every command also accepts the observability flags (DESIGN.md §10-11):
 //   --metrics-out FILE   Prometheus text snapshot (JSON when FILE is *.json)
 //   --trace-out FILE     chrome://tracing span JSON
-// both default-off; enabling them costs one atomic flag check per span site.
+//   --ledger-out FILE    append-mode JSONL run ledger: run_start header with
+//                        build version + config fingerprint, per-clip and
+//                        per-iteration convergence events, run_end with a
+//                        metrics snapshot; arms the flight recorder, which
+//                        dumps FILE.crash.json on watchdog/fatal exits
+// all default-off; enabling them costs one atomic flag check per site.
+// `report` diffs a baseline BENCH_*.json (and/or ledger) pair against a
+// current one and exits 0/4 on the PASS/FAIL regression verdict — the same
+// verdict CI's regress-gate computes via tools/obs_diff.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -41,6 +52,8 @@
 #include "common/error.hpp"
 #include "common/image_io.hpp"
 #include "common/prng.hpp"
+#include "common/status.hpp"
+#include "common/version.hpp"
 #include "core/batch_runner.hpp"
 #include "core/config.hpp"
 #include "core/dataset.hpp"
@@ -57,6 +70,8 @@
 #include "metrics/printability.hpp"
 #include "gds/gds.hpp"
 #include "nn/serialize.hpp"
+#include "obs/ledger.hpp"
+#include "obs/regress.hpp"
 #include "obs/trace.hpp"
 #include "sraf/sraf.hpp"
 
@@ -420,11 +435,59 @@ int cmd_gds2txt(const Args& args) {
   return 0;
 }
 
+// Comma-separated list -> items ("A,B" -> {"A","B"}); empty items dropped.
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Regression verdict over baseline/current BENCH_*.json and/or ledger pairs.
+// Exit 0 = PASS, 4 = FAIL (so CI can distinguish a regression from a crash).
+int cmd_report(const Args& args) {
+  obs::RegressThresholds thresholds;
+  thresholds.max_runtime_ratio =
+      args.get_double("max-runtime-ratio", thresholds.max_runtime_ratio);
+  thresholds.max_quality_ratio =
+      args.get_double("max-quality-ratio", thresholds.max_quality_ratio);
+
+  const std::vector<std::string> bench_base = split_csv(args.get("bench-base", ""));
+  const std::vector<std::string> bench_cur = split_csv(args.get("bench-cur", ""));
+  GANOPC_CHECK_MSG(bench_base.size() == bench_cur.size(),
+                   "--bench-base and --bench-cur need the same number of files");
+  const std::string ledger_base = args.get("ledger-base", "");
+  const std::string ledger_cur = args.get("ledger-cur", "");
+  GANOPC_CHECK_MSG(ledger_base.empty() == ledger_cur.empty(),
+                   "--ledger-base and --ledger-cur must be given together");
+  GANOPC_CHECK_MSG(!bench_base.empty() || !ledger_base.empty(),
+                   "nothing to compare (use --bench-base/--bench-cur and/or "
+                   "--ledger-base/--ledger-cur)");
+
+  obs::RegressReport report;
+  for (std::size_t i = 0; i < bench_base.size(); ++i)
+    obs::compare_bench(obs::load_bench_file(bench_base[i]),
+                       obs::load_bench_file(bench_cur[i]), thresholds, report);
+  if (!ledger_base.empty())
+    obs::compare_ledgers(obs::read_ledger(ledger_base),
+                         obs::read_ledger(ledger_cur), thresholds, report);
+  std::printf("%s", report.summary().c_str());
+  return report.pass ? 0 : 4;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch> [--flag value ...]\n"
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch|report> [--flag value ...]\n"
                "global flags: --metrics-out FILE (Prometheus text, or JSON when\n"
-               "FILE ends in .json) and --trace-out FILE (chrome://tracing JSON)\n"
+               "FILE ends in .json), --trace-out FILE (chrome://tracing JSON)\n"
+               "and --ledger-out FILE (JSONL run ledger + flight recorder)\n"
                "see tools/cli.cpp header for per-command flags\n");
 }
 
@@ -466,6 +529,75 @@ class ObsSink {
   std::string trace_path_;
 };
 
+// Run ledger sink (DESIGN.md §11): --ledger-out opens the JSONL ledger in
+// append mode before dispatch and writes the run_start header — build
+// version, full command line and its FNV-1a config fingerprint — so every
+// run in the file is self-identifying. finish()/fail() append the run_end
+// record (exit code + embedded metrics snapshot); a fatal error additionally
+// dumps the flight-recorder ring to FILE.crash.json before the process dies.
+class LedgerSink {
+ public:
+  LedgerSink(const std::string& cmd, const Args& args, int argc, char** argv)
+      : path_(args.get("ledger-out", "")) {
+    if (path_.empty()) return;
+    obs::ledger_open(path_);
+    // The run_end record embeds a metrics snapshot; without the registry
+    // collecting it would be all zeros, so the ledger implies --metrics.
+    obs::set_metrics_enabled(true);
+    std::string cmdline;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) cmdline += ' ';
+      cmdline += argv[i];
+    }
+    obs::LedgerRecord rec("run_start");
+    rec.field("cmd", cmd)
+        .field("cmdline", cmdline)
+        .field("version", build_version())
+        .field("config_fingerprint", obs::fingerprint64(cmdline));
+    obs::ledger_emit(rec);
+  }
+
+  ~LedgerSink() { obs::ledger_close(); }
+
+  void finish(int exit_code) { run_end(exit_code, ""); }
+
+  void fail(const std::exception& e) {
+    if (path_.empty()) return;
+    obs::flight_dump(std::string("fatal.") +
+                     status_code_name(status_from_exception(e).code()));
+    run_end(1, e.what());
+  }
+
+ private:
+  void run_end(int exit_code, const std::string& error) {
+    if (path_.empty()) return;
+    obs::LedgerRecord rec("run_end");
+    rec.field("exit_code", exit_code).field("ok", exit_code == 0);
+    if (!error.empty()) rec.field("error", error);
+    rec.raw("metrics", obs::to_json(obs::snapshot()));
+    obs::ledger_emit(rec);
+    std::printf("wrote ledger %s\n", path_.c_str());
+  }
+
+  std::string path_;
+};
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "synth") return cmd_synth(args);
+  if (cmd == "sraf") return cmd_sraf(args);
+  if (cmd == "ilt") return cmd_ilt(args);
+  if (cmd == "mbopc") return cmd_mbopc(args);
+  if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "flow") return cmd_flow(args);
+  if (cmd == "batch") return cmd_batch(args);
+  if (cmd == "txt2gds") return cmd_txt2gds(args);
+  if (cmd == "gds2txt") return cmd_gds2txt(args);
+  if (cmd == "report") return cmd_report(args);
+  usage();
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -477,18 +609,15 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv, 2);
     const ObsSink obs_sink(args);
-    if (cmd == "synth") return cmd_synth(args);
-    if (cmd == "sraf") return cmd_sraf(args);
-    if (cmd == "ilt") return cmd_ilt(args);
-    if (cmd == "mbopc") return cmd_mbopc(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "flow") return cmd_flow(args);
-    if (cmd == "batch") return cmd_batch(args);
-    if (cmd == "txt2gds") return cmd_txt2gds(args);
-    if (cmd == "gds2txt") return cmd_gds2txt(args);
-    usage();
-    return 2;
+    LedgerSink ledger(cmd, args, argc, argv);
+    try {
+      const int rc = dispatch(cmd, args);
+      ledger.finish(rc);
+      return rc;
+    } catch (const std::exception& e) {
+      ledger.fail(e);
+      throw;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
