@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discriminator.dir/ablation_discriminator.cpp.o"
+  "CMakeFiles/ablation_discriminator.dir/ablation_discriminator.cpp.o.d"
+  "ablation_discriminator"
+  "ablation_discriminator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discriminator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

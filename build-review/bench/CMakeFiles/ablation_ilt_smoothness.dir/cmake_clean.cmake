@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ilt_smoothness.dir/ablation_ilt_smoothness.cpp.o"
+  "CMakeFiles/ablation_ilt_smoothness.dir/ablation_ilt_smoothness.cpp.o.d"
+  "ablation_ilt_smoothness"
+  "ablation_ilt_smoothness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ilt_smoothness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_method.dir/ablation_kernel_method.cpp.o"
+  "CMakeFiles/ablation_kernel_method.dir/ablation_kernel_method.cpp.o.d"
+  "ablation_kernel_method"
+  "ablation_kernel_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pretrain.dir/ablation_pretrain.cpp.o"
+  "CMakeFiles/ablation_pretrain.dir/ablation_pretrain.cpp.o.d"
+  "ablation_pretrain"
+  "ablation_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sraf.dir/ablation_sraf.cpp.o"
+  "CMakeFiles/ablation_sraf.dir/ablation_sraf.cpp.o.d"
+  "ablation_sraf"
+  "ablation_sraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_mbopc.dir/baseline_mbopc.cpp.o"
+  "CMakeFiles/baseline_mbopc.dir/baseline_mbopc.cpp.o.d"
+  "baseline_mbopc"
+  "baseline_mbopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mbopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regress.dir/bench_regress.cpp.o"
+  "CMakeFiles/bench_regress.dir/bench_regress.cpp.o.d"
+  "bench_regress"
+  "bench_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_pv_ilt.dir/extension_pv_ilt.cpp.o"
+  "CMakeFiles/extension_pv_ilt.dir/extension_pv_ilt.cpp.o.d"
+  "extension_pv_ilt"
+  "extension_pv_ilt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_pv_ilt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

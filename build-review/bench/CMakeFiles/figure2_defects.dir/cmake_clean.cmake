@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_defects.dir/figure2_defects.cpp.o"
+  "CMakeFiles/figure2_defects.dir/figure2_defects.cpp.o.d"
+  "figure2_defects"
+  "figure2_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_training_curves.dir/figure7_training_curves.cpp.o"
+  "CMakeFiles/figure7_training_curves.dir/figure7_training_curves.cpp.o.d"
+  "figure7_training_curves"
+  "figure7_training_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_visuals.dir/figure8_visuals.cpp.o"
+  "CMakeFiles/figure8_visuals.dir/figure8_visuals.cpp.o.d"
+  "figure8_visuals"
+  "figure8_visuals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_visuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_table1_layouts.dir/figure_table1_layouts.cpp.o"
+  "CMakeFiles/figure_table1_layouts.dir/figure_table1_layouts.cpp.o.d"
+  "figure_table1_layouts"
+  "figure_table1_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_table1_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

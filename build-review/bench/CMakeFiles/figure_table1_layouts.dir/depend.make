@@ -1,0 +1,2 @@
+# Empty dependencies file for figure_table1_layouts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_window.dir/process_window.cpp.o"
+  "CMakeFiles/process_window.dir/process_window.cpp.o.d"
+  "process_window"
+  "process_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

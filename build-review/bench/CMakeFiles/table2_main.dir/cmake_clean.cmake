@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_main.dir/table2_main.cpp.o"
+  "CMakeFiles/table2_main.dir/table2_main.cpp.o.d"
+  "table2_main"
+  "table2_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

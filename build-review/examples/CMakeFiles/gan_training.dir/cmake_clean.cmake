@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gan_training.dir/gan_training.cpp.o"
+  "CMakeFiles/gan_training.dir/gan_training.cpp.o.d"
+  "gan_training"
+  "gan_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gan_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

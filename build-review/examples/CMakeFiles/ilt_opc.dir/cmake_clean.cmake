@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilt_opc.dir/ilt_opc.cpp.o"
+  "CMakeFiles/ilt_opc.dir/ilt_opc.cpp.o.d"
+  "ilt_opc"
+  "ilt_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilt_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_synthesis.dir/layout_synthesis.cpp.o"
+  "CMakeFiles/layout_synthesis.dir/layout_synthesis.cpp.o.d"
+  "layout_synthesis"
+  "layout_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mb_opc_sraf.dir/mb_opc_sraf.cpp.o"
+  "CMakeFiles/mb_opc_sraf.dir/mb_opc_sraf.cpp.o.d"
+  "mb_opc_sraf"
+  "mb_opc_sraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mb_opc_sraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mb_opc_sraf.
+# This may be replaced when dependencies are built.

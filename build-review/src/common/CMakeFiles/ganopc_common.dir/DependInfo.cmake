@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/atomic_file.cpp" "src/common/CMakeFiles/ganopc_common.dir/atomic_file.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/atomic_file.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/ganopc_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/ganopc_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/failpoint.cpp" "src/common/CMakeFiles/ganopc_common.dir/failpoint.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/failpoint.cpp.o.d"
+  "/root/repo/src/common/image_io.cpp" "src/common/CMakeFiles/ganopc_common.dir/image_io.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/image_io.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/common/CMakeFiles/ganopc_common.dir/json.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/ganopc_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/ganopc_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/parallel.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/common/CMakeFiles/ganopc_common.dir/prng.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/prng.cpp.o.d"
+  "/root/repo/src/common/sectioned_file.cpp" "src/common/CMakeFiles/ganopc_common.dir/sectioned_file.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/sectioned_file.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/ganopc_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/version.cpp" "src/common/CMakeFiles/ganopc_common.dir/version.cpp.o" "gcc" "src/common/CMakeFiles/ganopc_common.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

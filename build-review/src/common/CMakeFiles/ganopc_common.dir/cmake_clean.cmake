@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_common.dir/atomic_file.cpp.o"
+  "CMakeFiles/ganopc_common.dir/atomic_file.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/crc32.cpp.o"
+  "CMakeFiles/ganopc_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/csv.cpp.o"
+  "CMakeFiles/ganopc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/failpoint.cpp.o"
+  "CMakeFiles/ganopc_common.dir/failpoint.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/image_io.cpp.o"
+  "CMakeFiles/ganopc_common.dir/image_io.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/json.cpp.o"
+  "CMakeFiles/ganopc_common.dir/json.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/logging.cpp.o"
+  "CMakeFiles/ganopc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/parallel.cpp.o"
+  "CMakeFiles/ganopc_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/prng.cpp.o"
+  "CMakeFiles/ganopc_common.dir/prng.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/sectioned_file.cpp.o"
+  "CMakeFiles/ganopc_common.dir/sectioned_file.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/status.cpp.o"
+  "CMakeFiles/ganopc_common.dir/status.cpp.o.d"
+  "CMakeFiles/ganopc_common.dir/version.cpp.o"
+  "CMakeFiles/ganopc_common.dir/version.cpp.o.d"
+  "libganopc_common.a"
+  "libganopc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

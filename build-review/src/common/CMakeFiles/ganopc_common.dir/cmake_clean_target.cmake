@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libganopc_common.a"
+)

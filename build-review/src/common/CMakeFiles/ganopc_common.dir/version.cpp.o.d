@@ -1,0 +1,3 @@
+src/common/CMakeFiles/ganopc_common.dir/version.cpp.o: \
+ /root/repo/src/common/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/version.hpp

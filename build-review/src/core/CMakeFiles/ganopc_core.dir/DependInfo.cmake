@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_runner.cpp" "src/core/CMakeFiles/ganopc_core.dir/batch_runner.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/batch_runner.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/ganopc_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ganopc_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/ganopc_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/discriminator.cpp" "src/core/CMakeFiles/ganopc_core.dir/discriminator.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/discriminator.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/ganopc_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/ganopc_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/ganopc_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/ganopc_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/ganopc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ilt/CMakeFiles/ganopc_ilt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/litho/CMakeFiles/ganopc_litho.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/layout/CMakeFiles/ganopc_layout.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/ganopc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gds/CMakeFiles/ganopc_gds.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mbopc/CMakeFiles/ganopc_mbopc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs_ledger.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/ganopc_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

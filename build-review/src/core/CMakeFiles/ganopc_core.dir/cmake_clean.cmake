@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_core.dir/batch_runner.cpp.o"
+  "CMakeFiles/ganopc_core.dir/batch_runner.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/ganopc_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/config.cpp.o"
+  "CMakeFiles/ganopc_core.dir/config.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/dataset.cpp.o"
+  "CMakeFiles/ganopc_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/discriminator.cpp.o"
+  "CMakeFiles/ganopc_core.dir/discriminator.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/flow.cpp.o"
+  "CMakeFiles/ganopc_core.dir/flow.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/generator.cpp.o"
+  "CMakeFiles/ganopc_core.dir/generator.cpp.o.d"
+  "CMakeFiles/ganopc_core.dir/trainer.cpp.o"
+  "CMakeFiles/ganopc_core.dir/trainer.cpp.o.d"
+  "libganopc_core.a"
+  "libganopc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

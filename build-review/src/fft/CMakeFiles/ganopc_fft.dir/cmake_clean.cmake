@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_fft.dir/fft.cpp.o"
+  "CMakeFiles/ganopc_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/ganopc_fft.dir/plan.cpp.o"
+  "CMakeFiles/ganopc_fft.dir/plan.cpp.o.d"
+  "libganopc_fft.a"
+  "libganopc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_gds.dir/gds.cpp.o"
+  "CMakeFiles/ganopc_gds.dir/gds.cpp.o.d"
+  "libganopc_gds.a"
+  "libganopc_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

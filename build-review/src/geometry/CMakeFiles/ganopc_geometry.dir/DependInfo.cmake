@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/bitmap_ops.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/bitmap_ops.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/bitmap_ops.cpp.o.d"
+  "/root/repo/src/geometry/layout.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/layout.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/layout.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/raster.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/raster.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/raster.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/rect.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/rect.cpp.o.d"
+  "/root/repo/src/geometry/rect_index.cpp" "src/geometry/CMakeFiles/ganopc_geometry.dir/rect_index.cpp.o" "gcc" "src/geometry/CMakeFiles/ganopc_geometry.dir/rect_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_geometry.dir/bitmap_ops.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/bitmap_ops.cpp.o.d"
+  "CMakeFiles/ganopc_geometry.dir/layout.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/layout.cpp.o.d"
+  "CMakeFiles/ganopc_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/ganopc_geometry.dir/raster.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/raster.cpp.o.d"
+  "CMakeFiles/ganopc_geometry.dir/rect.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/rect.cpp.o.d"
+  "CMakeFiles/ganopc_geometry.dir/rect_index.cpp.o"
+  "CMakeFiles/ganopc_geometry.dir/rect_index.cpp.o.d"
+  "libganopc_geometry.a"
+  "libganopc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

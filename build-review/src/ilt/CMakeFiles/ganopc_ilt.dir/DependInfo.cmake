@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilt/ilt.cpp" "src/ilt/CMakeFiles/ganopc_ilt.dir/ilt.cpp.o" "gcc" "src/ilt/CMakeFiles/ganopc_ilt.dir/ilt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/litho/CMakeFiles/ganopc_litho.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs_ledger.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/ganopc_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

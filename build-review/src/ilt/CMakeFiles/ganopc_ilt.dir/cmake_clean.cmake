@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_ilt.dir/ilt.cpp.o"
+  "CMakeFiles/ganopc_ilt.dir/ilt.cpp.o.d"
+  "libganopc_ilt.a"
+  "libganopc_ilt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_ilt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

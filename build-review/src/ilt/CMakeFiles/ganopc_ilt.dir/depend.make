@@ -1,0 +1,2 @@
+# Empty dependencies file for ganopc_ilt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/benchmark_suite.cpp" "src/layout/CMakeFiles/ganopc_layout.dir/benchmark_suite.cpp.o" "gcc" "src/layout/CMakeFiles/ganopc_layout.dir/benchmark_suite.cpp.o.d"
+  "/root/repo/src/layout/design_rules.cpp" "src/layout/CMakeFiles/ganopc_layout.dir/design_rules.cpp.o" "gcc" "src/layout/CMakeFiles/ganopc_layout.dir/design_rules.cpp.o.d"
+  "/root/repo/src/layout/drc.cpp" "src/layout/CMakeFiles/ganopc_layout.dir/drc.cpp.o" "gcc" "src/layout/CMakeFiles/ganopc_layout.dir/drc.cpp.o.d"
+  "/root/repo/src/layout/glp.cpp" "src/layout/CMakeFiles/ganopc_layout.dir/glp.cpp.o" "gcc" "src/layout/CMakeFiles/ganopc_layout.dir/glp.cpp.o.d"
+  "/root/repo/src/layout/synthesizer.cpp" "src/layout/CMakeFiles/ganopc_layout.dir/synthesizer.cpp.o" "gcc" "src/layout/CMakeFiles/ganopc_layout.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_layout.dir/benchmark_suite.cpp.o"
+  "CMakeFiles/ganopc_layout.dir/benchmark_suite.cpp.o.d"
+  "CMakeFiles/ganopc_layout.dir/design_rules.cpp.o"
+  "CMakeFiles/ganopc_layout.dir/design_rules.cpp.o.d"
+  "CMakeFiles/ganopc_layout.dir/drc.cpp.o"
+  "CMakeFiles/ganopc_layout.dir/drc.cpp.o.d"
+  "CMakeFiles/ganopc_layout.dir/glp.cpp.o"
+  "CMakeFiles/ganopc_layout.dir/glp.cpp.o.d"
+  "CMakeFiles/ganopc_layout.dir/synthesizer.cpp.o"
+  "CMakeFiles/ganopc_layout.dir/synthesizer.cpp.o.d"
+  "libganopc_layout.a"
+  "libganopc_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

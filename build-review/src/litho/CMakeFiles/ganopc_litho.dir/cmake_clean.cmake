@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_litho.dir/kernels.cpp.o"
+  "CMakeFiles/ganopc_litho.dir/kernels.cpp.o.d"
+  "CMakeFiles/ganopc_litho.dir/lithosim.cpp.o"
+  "CMakeFiles/ganopc_litho.dir/lithosim.cpp.o.d"
+  "CMakeFiles/ganopc_litho.dir/optics.cpp.o"
+  "CMakeFiles/ganopc_litho.dir/optics.cpp.o.d"
+  "CMakeFiles/ganopc_litho.dir/tcc.cpp.o"
+  "CMakeFiles/ganopc_litho.dir/tcc.cpp.o.d"
+  "libganopc_litho.a"
+  "libganopc_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_mbopc.dir/mbopc.cpp.o"
+  "CMakeFiles/ganopc_mbopc.dir/mbopc.cpp.o.d"
+  "libganopc_mbopc.a"
+  "libganopc_mbopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_mbopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

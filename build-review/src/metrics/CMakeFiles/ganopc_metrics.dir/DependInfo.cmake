@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/defects.cpp" "src/metrics/CMakeFiles/ganopc_metrics.dir/defects.cpp.o" "gcc" "src/metrics/CMakeFiles/ganopc_metrics.dir/defects.cpp.o.d"
+  "/root/repo/src/metrics/epe.cpp" "src/metrics/CMakeFiles/ganopc_metrics.dir/epe.cpp.o" "gcc" "src/metrics/CMakeFiles/ganopc_metrics.dir/epe.cpp.o.d"
+  "/root/repo/src/metrics/printability.cpp" "src/metrics/CMakeFiles/ganopc_metrics.dir/printability.cpp.o" "gcc" "src/metrics/CMakeFiles/ganopc_metrics.dir/printability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/litho/CMakeFiles/ganopc_litho.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/ganopc_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_metrics.dir/defects.cpp.o"
+  "CMakeFiles/ganopc_metrics.dir/defects.cpp.o.d"
+  "CMakeFiles/ganopc_metrics.dir/epe.cpp.o"
+  "CMakeFiles/ganopc_metrics.dir/epe.cpp.o.d"
+  "CMakeFiles/ganopc_metrics.dir/printability.cpp.o"
+  "CMakeFiles/ganopc_metrics.dir/printability.cpp.o.d"
+  "libganopc_metrics.a"
+  "libganopc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

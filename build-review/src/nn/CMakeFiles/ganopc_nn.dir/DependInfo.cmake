@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/im2col.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/im2col.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ganopc_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ganopc_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/conv.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/gemm.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/im2col.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/im2col.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/init.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/init.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/layers.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/loss.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ganopc_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ganopc_nn.dir/tensor.cpp.o.d"
+  "libganopc_nn.a"
+  "libganopc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ganopc_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ganopc_obs.dir/trace.cpp.o"
+  "CMakeFiles/ganopc_obs.dir/trace.cpp.o.d"
+  "libganopc_obs.a"
+  "libganopc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/ledger.cpp" "src/obs/CMakeFiles/ganopc_obs_ledger.dir/ledger.cpp.o" "gcc" "src/obs/CMakeFiles/ganopc_obs_ledger.dir/ledger.cpp.o.d"
+  "/root/repo/src/obs/regress.cpp" "src/obs/CMakeFiles/ganopc_obs_ledger.dir/regress.cpp.o" "gcc" "src/obs/CMakeFiles/ganopc_obs_ledger.dir/regress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

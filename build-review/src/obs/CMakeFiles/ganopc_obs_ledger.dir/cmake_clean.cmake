@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_obs_ledger.dir/ledger.cpp.o"
+  "CMakeFiles/ganopc_obs_ledger.dir/ledger.cpp.o.d"
+  "CMakeFiles/ganopc_obs_ledger.dir/regress.cpp.o"
+  "CMakeFiles/ganopc_obs_ledger.dir/regress.cpp.o.d"
+  "libganopc_obs_ledger.a"
+  "libganopc_obs_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_obs_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc_sraf.dir/sraf.cpp.o"
+  "CMakeFiles/ganopc_sraf.dir/sraf.cpp.o.d"
+  "libganopc_sraf.a"
+  "libganopc_sraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc_sraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

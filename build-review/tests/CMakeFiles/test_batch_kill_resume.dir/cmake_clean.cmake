@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_kill_resume.dir/test_batch_kill_resume.cpp.o"
+  "CMakeFiles/test_batch_kill_resume.dir/test_batch_kill_resume.cpp.o.d"
+  "test_batch_kill_resume"
+  "test_batch_kill_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_kill_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

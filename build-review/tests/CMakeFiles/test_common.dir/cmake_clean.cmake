@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_csv.cpp.o"
+  "CMakeFiles/test_common.dir/test_csv.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_image_io.cpp.o"
+  "CMakeFiles/test_common.dir/test_image_io.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_parallel.cpp.o"
+  "CMakeFiles/test_common.dir/test_parallel.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_prng.cpp.o"
+  "CMakeFiles/test_common.dir/test_prng.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_core.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_dataset_io.cpp.o"
+  "CMakeFiles/test_core.dir/test_dataset_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_discriminator.cpp.o"
+  "CMakeFiles/test_core.dir/test_discriminator.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_generator.cpp.o"
+  "CMakeFiles/test_core.dir/test_generator.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

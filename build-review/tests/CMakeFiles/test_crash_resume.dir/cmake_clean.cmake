@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_resume.dir/test_divergence_guard.cpp.o"
+  "CMakeFiles/test_crash_resume.dir/test_divergence_guard.cpp.o.d"
+  "CMakeFiles/test_crash_resume.dir/test_trainer_resume.cpp.o"
+  "CMakeFiles/test_crash_resume.dir/test_trainer_resume.cpp.o.d"
+  "test_crash_resume"
+  "test_crash_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

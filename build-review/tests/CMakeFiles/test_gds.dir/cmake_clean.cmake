@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gds.dir/test_gds.cpp.o"
+  "CMakeFiles/test_gds.dir/test_gds.cpp.o.d"
+  "test_gds"
+  "test_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gds_corruption.dir/test_gds_corruption.cpp.o"
+  "CMakeFiles/test_gds_corruption.dir/test_gds_corruption.cpp.o.d"
+  "test_gds_corruption"
+  "test_gds_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gds_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

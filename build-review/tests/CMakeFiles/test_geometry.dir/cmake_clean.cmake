@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/test_bitmap_ops.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_bitmap_ops.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/test_layout_class.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_layout_class.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/test_polygon.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_polygon.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/test_raster.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_raster.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/test_rect.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_rect.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/test_rect_index.cpp.o"
+  "CMakeFiles/test_geometry.dir/test_rect_index.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

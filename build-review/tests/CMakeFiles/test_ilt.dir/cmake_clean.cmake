@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilt.dir/test_ilt.cpp.o"
+  "CMakeFiles/test_ilt.dir/test_ilt.cpp.o.d"
+  "test_ilt"
+  "test_ilt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

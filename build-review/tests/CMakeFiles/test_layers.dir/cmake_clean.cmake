@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers.dir/test_batchnorm.cpp.o"
+  "CMakeFiles/test_layers.dir/test_batchnorm.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_conv_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_conv_layers.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_layers.cpp.o.d"
+  "test_layers"
+  "test_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

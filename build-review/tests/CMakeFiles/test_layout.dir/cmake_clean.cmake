@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/test_benchmark_suite.cpp.o"
+  "CMakeFiles/test_layout.dir/test_benchmark_suite.cpp.o.d"
+  "CMakeFiles/test_layout.dir/test_design_rules.cpp.o"
+  "CMakeFiles/test_layout.dir/test_design_rules.cpp.o.d"
+  "CMakeFiles/test_layout.dir/test_drc.cpp.o"
+  "CMakeFiles/test_layout.dir/test_drc.cpp.o.d"
+  "CMakeFiles/test_layout.dir/test_glp.cpp.o"
+  "CMakeFiles/test_layout.dir/test_glp.cpp.o.d"
+  "CMakeFiles/test_layout.dir/test_synthesizer.cpp.o"
+  "CMakeFiles/test_layout.dir/test_synthesizer.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

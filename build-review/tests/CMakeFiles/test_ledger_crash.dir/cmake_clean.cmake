@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ledger_crash.dir/test_ledger_crash.cpp.o"
+  "CMakeFiles/test_ledger_crash.dir/test_ledger_crash.cpp.o.d"
+  "test_ledger_crash"
+  "test_ledger_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ledger_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho.dir/test_kernels.cpp.o"
+  "CMakeFiles/test_litho.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/test_litho.dir/test_litho_gradient.cpp.o"
+  "CMakeFiles/test_litho.dir/test_litho_gradient.cpp.o.d"
+  "CMakeFiles/test_litho.dir/test_litho_properties.cpp.o"
+  "CMakeFiles/test_litho.dir/test_litho_properties.cpp.o.d"
+  "CMakeFiles/test_litho.dir/test_lithosim.cpp.o"
+  "CMakeFiles/test_litho.dir/test_lithosim.cpp.o.d"
+  "CMakeFiles/test_litho.dir/test_optics.cpp.o"
+  "CMakeFiles/test_litho.dir/test_optics.cpp.o.d"
+  "CMakeFiles/test_litho.dir/test_tcc.cpp.o"
+  "CMakeFiles/test_litho.dir/test_tcc.cpp.o.d"
+  "test_litho"
+  "test_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

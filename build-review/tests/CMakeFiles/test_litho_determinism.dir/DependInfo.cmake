@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_litho_determinism.cpp" "tests/CMakeFiles/test_litho_determinism.dir/test_litho_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_litho_determinism.dir/test_litho_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ganopc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mbopc/CMakeFiles/ganopc_mbopc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sraf/CMakeFiles/ganopc_sraf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gds/CMakeFiles/ganopc_gds.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ilt/CMakeFiles/ganopc_ilt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/ganopc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/litho/CMakeFiles/ganopc_litho.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/layout/CMakeFiles/ganopc_layout.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/ganopc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/ganopc_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs_ledger.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

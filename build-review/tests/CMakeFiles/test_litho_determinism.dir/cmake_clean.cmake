@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho_determinism.dir/test_litho_determinism.cpp.o"
+  "CMakeFiles/test_litho_determinism.dir/test_litho_determinism.cpp.o.d"
+  "test_litho_determinism"
+  "test_litho_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho_golden.dir/test_litho_golden.cpp.o"
+  "CMakeFiles/test_litho_golden.dir/test_litho_golden.cpp.o.d"
+  "test_litho_golden"
+  "test_litho_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbopc.dir/test_mbopc.cpp.o"
+  "CMakeFiles/test_mbopc.dir/test_mbopc.cpp.o.d"
+  "test_mbopc"
+  "test_mbopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

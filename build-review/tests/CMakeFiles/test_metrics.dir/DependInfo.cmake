@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_defects.cpp" "tests/CMakeFiles/test_metrics.dir/test_defects.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_defects.cpp.o.d"
+  "/root/repo/tests/test_epe.cpp" "tests/CMakeFiles/test_metrics.dir/test_epe.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_epe.cpp.o.d"
+  "/root/repo/tests/test_epe_subpixel.cpp" "tests/CMakeFiles/test_metrics.dir/test_epe_subpixel.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_epe_subpixel.cpp.o.d"
+  "/root/repo/tests/test_printability.cpp" "tests/CMakeFiles/test_metrics.dir/test_printability.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_printability.cpp.o.d"
+  "/root/repo/tests/test_probe.cpp" "tests/CMakeFiles/test_metrics.dir/test_probe.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ganopc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mbopc/CMakeFiles/ganopc_mbopc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sraf/CMakeFiles/ganopc_sraf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gds/CMakeFiles/ganopc_gds.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ilt/CMakeFiles/ganopc_ilt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/ganopc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/litho/CMakeFiles/ganopc_litho.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/layout/CMakeFiles/ganopc_layout.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geometry/CMakeFiles/ganopc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/ganopc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fft/CMakeFiles/ganopc_fft.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/ganopc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs_ledger.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ganopc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

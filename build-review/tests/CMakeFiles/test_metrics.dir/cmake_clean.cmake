@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/test_defects.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_defects.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/test_epe.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_epe.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/test_epe_subpixel.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_epe_subpixel.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/test_printability.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_printability.cpp.o.d"
+  "CMakeFiles/test_metrics.dir/test_probe.cpp.o"
+  "CMakeFiles/test_metrics.dir/test_probe.cpp.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_train.dir/test_loss.cpp.o"
+  "CMakeFiles/test_nn_train.dir/test_loss.cpp.o.d"
+  "CMakeFiles/test_nn_train.dir/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn_train.dir/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn_train.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_nn_train.dir/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn_train.dir/test_training_smoke.cpp.o"
+  "CMakeFiles/test_nn_train.dir/test_training_smoke.cpp.o.d"
+  "test_nn_train"
+  "test_nn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

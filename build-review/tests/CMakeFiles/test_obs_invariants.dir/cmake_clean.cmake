@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_invariants.dir/test_obs_invariants.cpp.o"
+  "CMakeFiles/test_obs_invariants.dir/test_obs_invariants.cpp.o.d"
+  "test_obs_invariants"
+  "test_obs_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_overhead.dir/test_obs_overhead.cpp.o"
+  "CMakeFiles/test_obs_overhead.dir/test_obs_overhead.cpp.o.d"
+  "test_obs_overhead"
+  "test_obs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_io.dir/test_atomic_file.cpp.o"
+  "CMakeFiles/test_robust_io.dir/test_atomic_file.cpp.o.d"
+  "CMakeFiles/test_robust_io.dir/test_crc32.cpp.o"
+  "CMakeFiles/test_robust_io.dir/test_crc32.cpp.o.d"
+  "CMakeFiles/test_robust_io.dir/test_failpoint.cpp.o"
+  "CMakeFiles/test_robust_io.dir/test_failpoint.cpp.o.d"
+  "CMakeFiles/test_robust_io.dir/test_sectioned_file.cpp.o"
+  "CMakeFiles/test_robust_io.dir/test_sectioned_file.cpp.o.d"
+  "CMakeFiles/test_robust_io.dir/test_status.cpp.o"
+  "CMakeFiles/test_robust_io.dir/test_status.cpp.o.d"
+  "test_robust_io"
+  "test_robust_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

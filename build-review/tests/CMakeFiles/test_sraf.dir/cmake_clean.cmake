@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sraf.dir/test_sraf.cpp.o"
+  "CMakeFiles/test_sraf.dir/test_sraf.cpp.o.d"
+  "test_sraf"
+  "test_sraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganopc.dir/cli.cpp.o"
+  "CMakeFiles/ganopc.dir/cli.cpp.o.d"
+  "ganopc"
+  "ganopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

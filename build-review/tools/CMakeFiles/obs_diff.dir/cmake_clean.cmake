@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_diff.dir/obs_diff.cpp.o"
+  "CMakeFiles/obs_diff.dir/obs_diff.cpp.o.d"
+  "obs_diff"
+  "obs_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
