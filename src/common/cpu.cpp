@@ -1,0 +1,79 @@
+#include "common/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace ganopc {
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool cpu_supports_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  // libgcc's resolver checks CPUID *and* OSXSAVE/XCR0, so "supported" here
+  // really means "the OS will preserve ymm state across context switches".
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdLevel resolve_simd_level(const char* env, bool hw_avx2, bool* recognized) {
+  if (recognized != nullptr) *recognized = true;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0)
+    return hw_avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "avx2") == 0)
+    return hw_avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  if (recognized != nullptr) *recognized = false;
+  return hw_avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+namespace {
+
+/// -1 = unresolved; otherwise a SimdLevel value. One relaxed atomic is enough:
+/// resolution is idempotent, so a racing first call computes the same answer.
+std::atomic<int> g_level{-1};
+
+SimdLevel resolve_from_environment() {
+  const char* env = std::getenv("GANOPC_SIMD");
+  const bool hw = cpu_supports_avx2_fma();
+  bool recognized = true;
+  const SimdLevel level = resolve_simd_level(env, hw, &recognized);
+  if (!recognized)
+    GANOPC_WARN("GANOPC_SIMD='" << env
+                                    << "' not recognised (scalar|avx2|auto); using auto");
+  if (env != nullptr && std::strcmp(env, "avx2") == 0 && !hw)
+    GANOPC_WARN("GANOPC_SIMD=avx2 requested but CPU lacks AVX2+FMA; "
+                    "falling back to scalar kernels");
+  return level;
+}
+
+}  // namespace
+
+SimdLevel simd_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(resolve_from_environment());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+void set_simd_level(SimdLevel level) {
+  GANOPC_CHECK_MSG(level != SimdLevel::kAvx2 || cpu_supports_avx2_fma(),
+                   "cannot force AVX2 kernels on hardware without AVX2+FMA");
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace ganopc

@@ -1,0 +1,59 @@
+// AVX2 transcendental helpers. ONLY include from translation units compiled
+// with -mavx2 -mfma (the *_avx2.cpp kernel arms) — the functions emit AVX2
+// instructions unconditionally.
+#pragma once
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ganopc::simd {
+
+/// e^x for eight floats, Cody-Waite range reduction + degree-5 polynomial
+/// (cephes coefficients). Relative error ~2 ulp across the clamped domain
+/// [-87.3, 88.4]; inputs outside clamp, so saturated sigmoid arguments give
+/// values within a denormal of 0/1 (never NaN/Inf) just like expf.
+inline __m256 exp256_ps(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-87.3365478515625f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(-0.693359375f);          // -ln2 (hi part)
+  const __m256 c2 = _mm256_set1_ps(2.12194440e-4f);         // ln2 residual
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+
+  // n = round(x * log2(e)); r = x - n*ln2 in two steps for extra bits.
+  __m256 fx = _mm256_fmadd_ps(x, log2e, half);
+  fx = _mm256_floor_ps(fx);
+  __m256 r = _mm256_fmadd_ps(fx, c1, x);
+  r = _mm256_fmadd_ps(fx, c2, r);
+
+  // e^r on [-ln2/2, ln2/2], Horner.
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, half);
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  p = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, one));
+
+  // Scale by 2^n via the exponent field.
+  const __m256i n = _mm256_cvtps_epi32(fx);
+  const __m256i pow2n =
+      _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2n));
+}
+
+/// sigmoid(x) = 1 / (1 + e^-x) for eight floats.
+inline __m256 sigmoid256_ps(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = exp256_ps(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+}  // namespace ganopc::simd
+
+#endif  // __AVX2__ && __FMA__

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "common/cpu.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fft/fft_kernels.hpp"
 #include "fft/plan.hpp"
 
 namespace ganopc::fft {
@@ -18,31 +20,21 @@ std::size_t next_pow2(std::size_t n) {
 
 namespace {
 
-// Iterative Cooley-Tukey on a gathered (contiguous) buffer, driven by the
-// precomputed bit-reversal and twiddle tables of `plan`.
-void fft_inplace(cfloat* a, const FftPlan& plan, bool inverse) {
-  const std::size_t n = plan.n;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::size_t j = plan.bitrev[i];
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  const cfloat* tw = plan.twiddle.data();
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    const std::size_t step = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cfloat w = inverse ? std::conj(tw[k * step]) : tw[k * step];
-        const cfloat u = a[i + k];
-        const cfloat v = a[i + k + half] * w;
-        a[i + k] = u + v;
-        a[i + k + half] = u - v;
-      }
-    }
-  }
-  if (inverse) {
-    const float inv_n = 1.0f / static_cast<float>(n);
-    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+/// The butterfly kernel for the active dispatch level. Resolved per
+/// transform so tests can flip `set_simd_level` between calls.
+inline FftInplaceFn active_fft() { return fft_inplace_for(simd_level()); }
+
+// Split the spectrum Z of the packed row z = x + i*y (x, y real) into the
+// spectra of x and y:  X[k] = (Z[k] + conj(Z[n-k]))/2,
+//                      Y[k] = -i/2 * (Z[k] - conj(Z[n-k])).
+// Writes X into `xs` and Y into `ys` (full length n, Hermitian).
+void untangle_packed_rows(const cfloat* z, std::size_t n, cfloat* xs, cfloat* ys) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const cfloat zc = std::conj(z[(n - k) & (n - 1)]);
+    const cfloat s = z[k] + zc;
+    const cfloat d = z[k] - zc;
+    xs[k] = 0.5f * s;
+    ys[k] = cfloat(0.5f * d.imag(), -0.5f * d.real());  // -i/2 * d
   }
 }
 
@@ -50,19 +42,20 @@ void fft_inplace(cfloat* a, const FftPlan& plan, bool inverse) {
 
 void fft_1d(std::vector<cfloat>& data, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(data.size()), "FFT size must be a power of two");
-  fft_inplace(data.data(), plan_for(data.size()), inverse);
+  active_fft()(data.data(), plan_for(data.size()), inverse);
 }
 
 void fft_1d_strided(cfloat* data, std::size_t n, std::size_t stride, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(n), "FFT size must be a power of two");
   const FftPlan& plan = plan_for(n);
+  const FftInplaceFn kernel = active_fft();
   if (stride == 1) {
-    fft_inplace(data, plan, inverse);
+    kernel(data, plan, inverse);
     return;
   }
   std::vector<cfloat> tmp(n);
   for (std::size_t i = 0; i < n; ++i) tmp[i] = data[i * stride];
-  fft_inplace(tmp.data(), plan, inverse);
+  kernel(tmp.data(), plan, inverse);
   for (std::size_t i = 0; i < n; ++i) data[i * stride] = tmp[i];
 }
 
@@ -70,19 +63,20 @@ void fft_2d(cfloat* data, std::size_t height, std::size_t width, bool inverse) {
   GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "FFT dims must be powers of two");
   const FftPlan& row_plan = plan_for(width);
   const FftPlan& col_plan = plan_for(height);
-  // Rows: note we do NOT apply 1/N scaling per axis separately; fft_inplace
-  // scales by 1/len for inverse, so a row pass scales 1/W and a column pass
-  // 1/H, composing to the desired 1/(W*H).
+  const FftInplaceFn kernel = active_fft();
+  // Rows: note we do NOT apply 1/N scaling per axis separately; the butterfly
+  // kernel scales by 1/len for inverse, so a row pass scales 1/W and a column
+  // pass 1/H, composing to the desired 1/(W*H).
   parallel_for_chunks(0, height, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r)
-      fft_inplace(data + r * width, row_plan, inverse);
+      kernel(data + r * width, row_plan, inverse);
   }, /*serial_threshold=*/8);
   // Columns, with a per-column gather to keep memory access linear.
   parallel_for_chunks(0, width, [&](std::size_t c0, std::size_t c1) {
     std::vector<cfloat> tmp(height);
     for (std::size_t c = c0; c < c1; ++c) {
       for (std::size_t r = 0; r < height; ++r) tmp[r] = data[r * width + c];
-      fft_inplace(tmp.data(), col_plan, inverse);
+      kernel(tmp.data(), col_plan, inverse);
       for (std::size_t r = 0; r < height; ++r) data[r * width + c] = tmp[r];
     }
   }, /*serial_threshold=*/8);
@@ -91,6 +85,100 @@ void fft_2d(cfloat* data, std::size_t height, std::size_t width, bool inverse) {
 void fft_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width, bool inverse) {
   GANOPC_CHECK(data.size() == height * width);
   fft_2d(data.data(), height, width, inverse);
+}
+
+void rfft_2d(const float* in, cfloat* out, std::size_t height, std::size_t width) {
+  GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "FFT dims must be powers of two");
+  const FftInplaceFn kernel = active_fft();
+  const FftPlan& row_plan = plan_for(width);
+  if (height == 1) {
+    for (std::size_t c = 0; c < width; ++c) out[c] = cfloat(in[c], 0.0f);
+    kernel(out, row_plan, false);
+    return;
+  }
+  // Row pass at half cost: pack two real rows r, r+1 into one complex row,
+  // transform once, untangle via Hermitian symmetry into both row spectra.
+  parallel_for_chunks(0, height / 2, [&](std::size_t p0, std::size_t p1) {
+    std::vector<cfloat> z(width);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float* x = in + (2 * p) * width;
+      const float* y = x + width;
+      for (std::size_t c = 0; c < width; ++c) z[c] = cfloat(x[c], y[c]);
+      kernel(z.data(), row_plan, false);
+      untangle_packed_rows(z.data(), width, out + (2 * p) * width,
+                           out + (2 * p + 1) * width);
+    }
+  }, /*serial_threshold=*/4);
+
+  // Column pass only up to the Nyquist column; the remaining columns follow
+  // from F[r][c] = conj(F[(H-r)%H][(W-c)%W]) for real input.
+  const FftPlan& col_plan = plan_for(height);
+  const std::size_t half_w = width / 2;
+  parallel_for_chunks(0, half_w + 1, [&](std::size_t c0, std::size_t c1) {
+    std::vector<cfloat> tmp(height);
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t r = 0; r < height; ++r) tmp[r] = out[r * width + c];
+      kernel(tmp.data(), col_plan, false);
+      for (std::size_t r = 0; r < height; ++r) out[r * width + c] = tmp[r];
+    }
+  }, /*serial_threshold=*/4);
+  parallel_for_chunks(0, height, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t rm = (height - r) & (height - 1);
+      for (std::size_t c = half_w + 1; c < width; ++c)
+        out[r * width + c] = std::conj(out[rm * width + (width - c)]);
+    }
+  }, /*serial_threshold=*/8);
+}
+
+void irfft_2d(cfloat* spec, float* out, std::size_t height, std::size_t width) {
+  GANOPC_CHECK_MSG(is_pow2(height) && is_pow2(width), "FFT dims must be powers of two");
+  const FftInplaceFn kernel = active_fft();
+  const FftPlan& row_plan = plan_for(width);
+  if (height == 1) {
+    kernel(spec, row_plan, true);
+    for (std::size_t c = 0; c < width; ++c) out[c] = spec[c].real();
+    return;
+  }
+  // Inverse column pass over columns [0, W/2] only — for a Hermitian
+  // spectrum the upper columns carry no independent information and the row
+  // pass below never reads them.
+  const FftPlan& col_plan = plan_for(height);
+  const std::size_t half_w = width / 2;
+  parallel_for_chunks(0, half_w + 1, [&](std::size_t c0, std::size_t c1) {
+    std::vector<cfloat> tmp(height);
+    for (std::size_t c = c0; c < c1; ++c) {
+      for (std::size_t r = 0; r < height; ++r) tmp[r] = spec[r * width + c];
+      kernel(tmp.data(), col_plan, true);
+      for (std::size_t r = 0; r < height; ++r) spec[r * width + c] = tmp[r];
+    }
+  }, /*serial_threshold=*/4);
+
+  // Row pass at half cost: each row spectrum is Hermitian (its signal is
+  // real), so two rows r, r+1 pack into one inverse transform whose real and
+  // imaginary parts are the two output rows. Upper-column bins are rebuilt
+  // from the mirror as they are consumed.
+  parallel_for_chunks(0, height / 2, [&](std::size_t p0, std::size_t p1) {
+    std::vector<cfloat> z(width);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const cfloat* sr = spec + (2 * p) * width;
+      const cfloat* si = sr + width;
+      for (std::size_t c = 0; c <= half_w; ++c)
+        z[c] = sr[c] + cfloat(-si[c].imag(), si[c].real());  // sr + i*si
+      for (std::size_t c = half_w + 1; c < width; ++c) {
+        const cfloat a = std::conj(sr[width - c]);
+        const cfloat b = std::conj(si[width - c]);
+        z[c] = a + cfloat(-b.imag(), b.real());
+      }
+      kernel(z.data(), row_plan, true);
+      float* xr = out + (2 * p) * width;
+      float* yr = xr + width;
+      for (std::size_t c = 0; c < width; ++c) {
+        xr[c] = z[c].real();
+        yr[c] = z[c].imag();
+      }
+    }
+  }, /*serial_threshold=*/4);
 }
 
 void fftshift_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width) {
@@ -114,8 +202,8 @@ std::vector<float> fourier_upsample_2d(const std::vector<float>& in, std::size_t
   if (factor == 1) return in;
   const std::size_t oh = height * factor, ow = width * factor;
 
-  std::vector<cfloat> spec(in.begin(), in.end());
-  fft_2d(spec, height, width, false);
+  std::vector<cfloat> spec(height * width);
+  rfft_2d(in.data(), spec.data(), height, width);
   // Place the low-frequency quadrants of the small spectrum into the corners
   // of the large spectrum. The input Nyquist rows/columns are split evenly
   // between their +/- images to keep the interpolant real and symmetric.
@@ -137,10 +225,12 @@ std::vector<float> fourier_upsample_2d(const std::vector<float>& in, std::size_t
       if (r_nyq && c_nyq) big[(oh - hh) * ow + (ow - hw)] += v;
     }
   }
-  fft_2d(big, oh, ow, true);
+  // The padded spectrum is Hermitian by construction, so the inverse runs
+  // through the half-cost real-output path.
   std::vector<float> out(oh * ow);
+  irfft_2d(big.data(), out.data(), oh, ow);
   const auto scale = static_cast<float>(factor) * factor;  // FFT normalization
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = big[i].real() * scale;
+  for (auto& v : out) v *= scale;
   return out;
 }
 
@@ -148,13 +238,13 @@ std::vector<float> circular_convolve_2d(const std::vector<float>& a,
                                         const std::vector<float>& b,
                                         std::size_t height, std::size_t width) {
   GANOPC_CHECK(a.size() == height * width && b.size() == height * width);
-  std::vector<cfloat> fa(a.begin(), a.end()), fb(b.begin(), b.end());
-  fft_2d(fa, height, width, /*inverse=*/false);
-  fft_2d(fb, height, width, /*inverse=*/false);
-  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
-  fft_2d(fa, height, width, /*inverse=*/true);
-  std::vector<float> out(height * width);
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fa[i].real();
+  const std::size_t npx = height * width;
+  std::vector<cfloat> fa(npx), fb(npx);
+  rfft_2d(a.data(), fa.data(), height, width);
+  rfft_2d(b.data(), fb.data(), height, width);
+  vec_ops().cmul(fa.data(), fb.data(), fa.data(), npx);
+  std::vector<float> out(npx);
+  irfft_2d(fa.data(), out.data(), height, width);
   return out;
 }
 

@@ -34,6 +34,19 @@ void fft_2d(cfloat* data, std::size_t height, std::size_t width, bool inverse);
 /// Convenience overload for vectors (size must equal height*width).
 void fft_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width, bool inverse);
 
+/// Forward 2-D FFT of a real height x width grid into its full complex
+/// spectrum (same layout as fft_2d on a zero-imaginary input, up to
+/// round-off). Costs roughly half a complex transform: row pairs are packed
+/// into single complex transforms and only columns [0, W/2] are transformed,
+/// the rest following from Hermitian symmetry. `out` must hold height*width.
+void rfft_2d(const float* in, cfloat* out, std::size_t height, std::size_t width);
+
+/// Inverse 2-D FFT of a Hermitian spectrum straight to its real signal
+/// (the counterpart of rfft_2d, including the 1/(W*H) scaling). Only columns
+/// [0, W/2] of `spec` are read — and clobbered as scratch. Passing a
+/// non-Hermitian spectrum silently drops its anti-symmetric part.
+void irfft_2d(cfloat* spec, float* out, std::size_t height, std::size_t width);
+
 /// fftshift: move zero-frequency component to grid center (even dims only).
 void fftshift_2d(std::vector<cfloat>& data, std::size_t height, std::size_t width);
 

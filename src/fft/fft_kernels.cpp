@@ -1,0 +1,64 @@
+#include "fft/fft_kernels.hpp"
+
+#include "fft/plan.hpp"
+
+namespace ganopc::fft {
+
+void fft_inplace_scalar(cfloat* a, const FftPlan& plan, bool inverse) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const cfloat* tw = plan.twiddle.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cfloat w = inverse ? std::conj(tw[k * step]) : tw[k * step];
+        const cfloat u = a[i + k];
+        const cfloat v = a[i + k + half] * w;
+        a[i + k] = u + v;
+        a[i + k + half] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i] *= inv_n;
+  }
+}
+
+namespace {
+
+void cmul_scalar(const cfloat* a, const cfloat* b, cfloat* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void cmul_conj_real_scalar(const float* x, const cfloat* a, cfloat* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * std::conj(a[i]);
+}
+
+void norm_weighted_accum_scalar(const cfloat* f, double w, double* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += w * std::norm(f[i]);
+}
+
+void real_weighted_accum_scalar(const cfloat* f, double w, double* acc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += w * f[i].real();
+}
+
+constexpr VecOps kScalarOps = {cmul_scalar, cmul_conj_real_scalar,
+                               norm_weighted_accum_scalar, real_weighted_accum_scalar};
+
+}  // namespace
+
+const VecOps& vec_ops(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? vec_ops_avx2() : kScalarOps;
+}
+
+FftInplaceFn fft_inplace_for(SimdLevel level) {
+  return level == SimdLevel::kAvx2 ? fft_inplace_avx2 : fft_inplace_scalar;
+}
+
+}  // namespace ganopc::fft

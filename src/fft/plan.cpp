@@ -25,6 +25,14 @@ FftPlan::FftPlan(std::size_t n_) : n(n_) {
     const double ang = -2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n);
     twiddle[j] = {static_cast<float>(std::cos(ang)), static_cast<float>(std::sin(ang))};
   }
+  if (n > 1) {
+    stage_twiddle.resize(n - 1);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2, step = n / len;
+      for (std::size_t k = 0; k < half; ++k)
+        stage_twiddle[half - 1 + k] = twiddle[k * step];
+    }
+  }
 }
 
 const FftPlan& plan_for(std::size_t n) {

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "ilt/ilt_kernels.hpp"
 #include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +80,17 @@ geom::Grid IltEngine::smoothness_gradient(const geom::Grid& mask) {
   return grad;
 }
 
+double IltEngine::smoothness_energy(const geom::Grid& mask) {
+  double e = 0.0;
+  for (std::int32_t r = 0; r < mask.rows; ++r)
+    for (std::int32_t c = 0; c < mask.cols; ++c) {
+      const double m = mask.at(r, c);
+      if (r + 1 < mask.rows) e += (m - mask.at(r + 1, c)) * (m - mask.at(r + 1, c));
+      if (c + 1 < mask.cols) e += (m - mask.at(r, c + 1)) * (m - mask.at(r, c + 1));
+    }
+  return e;
+}
+
 IltResult IltEngine::optimize(const geom::Grid& target,
                               const geom::Grid& initial_mask) const {
   GANOPC_OBS_SPAN("ilt.optimize");
@@ -98,12 +110,11 @@ IltResult IltEngine::optimize(const geom::Grid& target,
   for (std::size_t i = 0; i < npx; ++i)
     p[i] = 2.0f * std::clamp(initial_mask.data[i], 0.0f, 1.0f) - 1.0f;
 
+  // The pixel passes (sigmoid relaxation, Eq. 14 chain rule, descent update)
+  // run through the dispatched fused kernels — one table lookup per solve.
+  const IltKernels& kern = ilt_kernels();
   geom::Grid mask_b(target.rows, target.cols, target.pixel_nm, target.origin_x,
                     target.origin_y);
-  auto refresh_mask_b = [&] {
-    for (std::size_t i = 0; i < npx; ++i)
-      mask_b.data[i] = 1.0f / (1.0f + std::exp(-beta * p[i]));
-  };
   // `hard` is refreshed by every hard_l2() call, so the PVB evaluation and
   // the history recorder below can reuse it without re-thresholding.
   geom::Grid hard(target.rows, target.cols, target.pixel_nm, target.origin_x,
@@ -139,9 +150,28 @@ IltResult IltEngine::optimize(const geom::Grid& target,
       obs::ledger_emit(rec);
     }
   };
-  refresh_mask_b();
+  kern.sigmoid_relax(p.data(), beta, mask_b.data.data(), npx);
+  // Checkpoint selection scores iterates by the same objective the gradient
+  // descends: thresholded L2 plus (when enabled) the weighted smoothness
+  // energy of the relaxed mask. Scoring by L2 alone would let a regularized
+  // solve checkpoint a speckled iterate whose print happens to be marginally
+  // better — exactly what the regularizer exists to forbid.
+  auto objective = [&](double l2) {
+    return config_.smoothness_lambda > 0.0f
+               ? l2 + static_cast<double>(config_.smoothness_lambda) *
+                          smoothness_energy(mask_b)
+               : l2;
+  };
   double best_l2 = hard_l2();
+  double best_obj = objective(best_l2);
   geom::Grid best_mask_b = mask_b;
+  std::vector<float> best_p = p;
+  // Backtracking: a check that fails to improve the best objective means the
+  // normalized step overshot — restart from the best checkpoint with half the
+  // step. Without this the solve orbits chaotically around the optimum and
+  // which iterate a checkpoint samples becomes a coin flip (and diverges
+  // between SIMD dispatch arms from sub-ULP rounding differences).
+  float step_backoff = 1.0f;
   record_check(0, best_l2);
   const double initial_l2 = best_l2;
   double prev_l2 = best_l2;
@@ -173,28 +203,25 @@ IltResult IltEngine::optimize(const geom::Grid& target,
       for (std::size_t i = 0; i < npx; ++i)
         grad_mb.data[i] += config_.smoothness_lambda * reg.data[i];
     }
+    // Chain rule through the Eq. 13 relaxation, fused with the max/finite
+    // reduction in one sweep (grad_p = dE/dP, max_abs for normalization).
     float max_abs = 0.0f;
     bool grad_finite = true;
-    for (std::size_t i = 0; i < npx; ++i) {
-      const float mb = mask_b.data[i];
-      const float g = grad_mb.data[i] * beta * mb * (1.0f - mb);
-      grad_p[i] = g;
-      if (!std::isfinite(g)) grad_finite = false;
-      max_abs = std::max(max_abs, std::fabs(g));
-    }
+    kern.chain_rule(mask_b.data.data(), grad_mb.data.data(), beta, grad_p.data(), npx,
+                    &max_abs, &grad_finite);
     if (!grad_finite) {
       // A NaN/Inf anywhere in the step direction would silently corrupt P
-      // (std::max does not propagate NaN) — abandon the step, keep the best
-      // checkpoint, and report the numeric fault.
+      // (the max reduction does not propagate NaN) — abandon the step, keep
+      // the best checkpoint, and report the numeric fault.
       reason = TerminationReason::kDiverged;
       break;
     }
-    const float scale = config_.normalize_gradient && max_abs > 0.0f
-                            ? config_.step_size / max_abs
-                            : config_.step_size;
+    const float scale = step_backoff * (config_.normalize_gradient && max_abs > 0.0f
+                                            ? config_.step_size / max_abs
+                                            : config_.step_size);
     last_scale = scale;
-    for (std::size_t i = 0; i < npx; ++i) p[i] -= scale * grad_p[i];
-    refresh_mask_b();
+    // Fused descent step + sigmoid refresh — the former two pixel sweeps.
+    kern.update_sigmoid(p.data(), grad_p.data(), scale, beta, mask_b.data.data(), npx);
 
     if ((iter + 1) % config_.check_every == 0) {
       const double l2 = hard_l2();
@@ -207,9 +234,12 @@ IltResult IltEngine::optimize(const geom::Grid& target,
         ++iter;
         break;
       }
-      if (l2 < best_l2) {
+      const double obj = objective(l2);
+      if (obj < best_obj) {
+        best_obj = obj;
         best_l2 = l2;
         best_mask_b = mask_b;
+        best_p = p;
         stall_checks = 0;
         plateau_checks = 0;
       } else {
@@ -217,6 +247,9 @@ IltResult IltEngine::optimize(const geom::Grid& target,
         const double tol =
             static_cast<double>(config_.stall_rel_tol) * std::max(prev_l2, 1.0);
         plateau_checks = std::fabs(l2 - prev_l2) <= tol ? plateau_checks + 1 : 0;
+        p = best_p;
+        mask_b = best_mask_b;
+        step_backoff *= 0.5f;
       }
       prev_l2 = l2;
       if (best_l2 <= config_.target_l2_px) {

@@ -117,6 +117,10 @@ class IltEngine {
   /// 2 * (degree * M - sum of 4-neighbours).
   static geom::Grid smoothness_gradient(const geom::Grid& mask);
 
+  /// The energy smoothness_gradient differentiates: sum over horizontal and
+  /// vertical neighbour pairs of (M_a - M_b)^2, each pair counted once.
+  static double smoothness_energy(const geom::Grid& mask);
+
  private:
   const litho::LithoSim& sim_;
   IltConfig config_;

@@ -1,0 +1,102 @@
+// AVX2+FMA arm of the fused ILT pixel passes (compiled with -mavx2 -mfma;
+// dispatch contract in ilt_kernels.hpp).
+#include "ilt/ilt_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <algorithm>
+#include <cmath>
+#include <immintrin.h>
+#include <limits>
+
+#include "common/simd_math_avx2.hpp"
+
+namespace ganopc::ilt {
+
+namespace {
+
+inline __m256 abs_mask() {
+  return _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+}
+
+void sigmoid_relax_avx2(const float* p, float beta, float* mask_b, std::size_t n) {
+  const __m256 bv = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(mask_b + i,
+                     simd::sigmoid256_ps(_mm256_mul_ps(bv, _mm256_loadu_ps(p + i))));
+  for (; i < n; ++i) mask_b[i] = 1.0f / (1.0f + std::exp(-beta * p[i]));
+}
+
+void chain_rule_avx2(const float* mask_b, const float* grad_mb, float beta,
+                     float* grad_p, std::size_t n, float* max_abs, bool* finite) {
+  const __m256 bv = _mm256_set1_ps(beta);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 amask = abs_mask();
+  const __m256 inf = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  __m256 vmax = _mm256_setzero_ps();
+  __m256 vfinite = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mb = _mm256_loadu_ps(mask_b + i);
+    const __m256 g = _mm256_mul_ps(
+        _mm256_mul_ps(_mm256_loadu_ps(grad_mb + i), bv),
+        _mm256_mul_ps(mb, _mm256_sub_ps(one, mb)));
+    _mm256_storeu_ps(grad_p + i, g);
+    const __m256 ag = _mm256_and_ps(g, amask);
+    // |g| < inf is false for NaN and Inf alike — exactly !isfinite.
+    vfinite = _mm256_and_ps(vfinite, _mm256_cmp_ps(ag, inf, _CMP_LT_OQ));
+    vmax = _mm256_max_ps(vmax, ag);
+  }
+  float mx = 0.0f;
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  for (const float v : lanes) mx = std::max(mx, v);
+  bool ok = _mm256_movemask_ps(vfinite) == 0xFF;
+  for (; i < n; ++i) {
+    const float mb = mask_b[i];
+    const float g = grad_mb[i] * beta * mb * (1.0f - mb);
+    grad_p[i] = g;
+    if (!std::isfinite(g)) ok = false;
+    mx = std::max(mx, std::fabs(g));
+  }
+  *max_abs = mx;
+  *finite = ok;
+}
+
+void update_sigmoid_avx2(float* p, const float* grad_p, float scale, float beta,
+                         float* mask_b, std::size_t n) {
+  const __m256 sv = _mm256_set1_ps(scale);
+  const __m256 bv = _mm256_set1_ps(beta);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 pn =
+        _mm256_fnmadd_ps(sv, _mm256_loadu_ps(grad_p + i), _mm256_loadu_ps(p + i));
+    _mm256_storeu_ps(p + i, pn);
+    _mm256_storeu_ps(mask_b + i, simd::sigmoid256_ps(_mm256_mul_ps(bv, pn)));
+  }
+  for (; i < n; ++i) {
+    const float pn = p[i] - scale * grad_p[i];
+    p[i] = pn;
+    mask_b[i] = 1.0f / (1.0f + std::exp(-beta * pn));
+  }
+}
+
+constexpr IltKernels kAvx2Kernels = {sigmoid_relax_avx2, chain_rule_avx2,
+                                     update_sigmoid_avx2};
+
+}  // namespace
+
+const IltKernels& ilt_kernels_avx2() { return kAvx2Kernels; }
+
+}  // namespace ganopc::ilt
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace ganopc::ilt {
+
+const IltKernels& ilt_kernels_avx2() { return ilt_kernels(SimdLevel::kScalar); }
+
+}  // namespace ganopc::ilt
+
+#endif

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/status.hpp"
 #include "fft/fft.hpp"
+#include "fft/fft_kernels.hpp"
 #include "obs/trace.hpp"
 
 namespace ganopc::litho {
@@ -50,11 +51,13 @@ void socs_forward(const SocsKernels& kernels, const geom::Grid& mask,
   const int num_k = kernels.count();
   ws.ensure_forward(num_k, npx);
 
-  for (std::size_t i = 0; i < npx; ++i) ws.mask_hat[i] = cfloat(mask.data[i], 0.0f);
-  fft::fft_2d(ws.mask_hat.data(), un, un, false);
+  // Masks are real, so the forward transform runs the half-cost real-input
+  // path; the full Hermitian spectrum comes out in the usual layout.
+  fft::rfft_2d(mask.data.data(), ws.mask_hat.data(), un, un);
 
   for (int k = 0; k < num_k; ++k) ws.weights[static_cast<std::size_t>(k)] = kernels.weight(k);
 
+  const fft::VecOps& ops = fft::vec_ops();
   // Coherent fields: one kernel per unit of work; each worker's nested FFT
   // parallelism degrades to serial inside the pool (no oversubscription).
   ThreadPool::instance().parallel_blocks(
@@ -63,8 +66,7 @@ void socs_forward(const SocsKernels& kernels, const geom::Grid& mask,
         for (std::size_t k = kb; k < ke; ++k) {
           auto& field = ws.fields[k];
           const auto& hat = kernels.freq_kernel(static_cast<int>(k));
-          const cfloat* mh = ws.mask_hat.data();
-          for (std::size_t i = 0; i < npx; ++i) field[i] = mh[i] * hat[i];
+          ops.cmul(ws.mask_hat.data(), hat.data(), field.data(), npx);
           fft::fft_2d(field.data(), un, un, true);
         }
       });
@@ -76,7 +78,7 @@ void socs_forward(const SocsKernels& kernels, const geom::Grid& mask,
     for (int k = 0; k < num_k; ++k) {
       const double w = ws.weights[static_cast<std::size_t>(k)];
       const cfloat* f = ws.fields[static_cast<std::size_t>(k)].data();
-      for (std::size_t i = b; i < e; ++i) acc[i] += w * std::norm(f[i]);
+      ops.norm_weighted_accum(f + b, w, acc + b, e - b);
     }
     float* out = aerial_image.data.data();
     for (std::size_t i = b; i < e; ++i) out[i] = static_cast<float>(acc[i]);
@@ -236,17 +238,17 @@ void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
     //       = sum_k w_k * 2 Re( IFFT( FFT(X .* conj(A_k)) .* H_k_hat(-f) ) ).
     // This is the frequency-domain form of Eq. (14)'s two convolution terms
     // (conv with H and with H*), fused via the 2 Re(.) identity.
+    const fft::VecOps& ops = fft::vec_ops();
     ThreadPool::instance().parallel_blocks(
         static_cast<std::size_t>(num_k),
         [&](std::size_t /*block*/, std::size_t kb, std::size_t ke) {
           for (std::size_t k = kb; k < ke; ++k) {
             auto& buf = ws.adjoint[k];
             const auto& field = ws.fields[k];
-            const float* x = ws.x.data();
-            for (std::size_t i = 0; i < npx; ++i) buf[i] = x[i] * std::conj(field[i]);
+            ops.cmul_conj_real(ws.x.data(), field.data(), buf.data(), npx);
             fft::fft_2d(buf.data(), un, un, false);
             const auto& hat_flipped = kernels_.freq_kernel_flipped(static_cast<int>(k));
-            for (std::size_t i = 0; i < npx; ++i) buf[i] *= hat_flipped[i];
+            ops.cmul(buf.data(), hat_flipped.data(), buf.data(), npx);
             fft::fft_2d(buf.data(), un, un, true);
           }
         });
@@ -255,7 +257,7 @@ void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
       for (int k = 0; k < num_k; ++k) {
         const double w2 = 2.0 * ws.weights[static_cast<std::size_t>(k)];
         const cfloat* buf = ws.adjoint[static_cast<std::size_t>(k)].data();
-        for (std::size_t i = b; i < e; ++i) acc[i] += w2 * buf[i].real();
+        ops.real_weighted_accum(buf + b, w2, acc + b, e - b);
       }
     }, /*serial_threshold=*/1024);
   }

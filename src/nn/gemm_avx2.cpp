@@ -1,0 +1,128 @@
+// AVX2+FMA arm of the SGEMM micro-kernel (compiled with -mavx2 -mfma; see
+// gemm_kernels.hpp for the dispatch contract).
+#include "nn/gemm_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <cstring>
+#include <immintrin.h>
+
+namespace ganopc::nn {
+
+namespace {
+
+inline float a_at(const float* a, std::size_t lda, bool trans_a, std::size_t i,
+                  std::size_t p) {
+  return trans_a ? a[p * lda + i] : a[i * lda + p];
+}
+
+/// Scale row `crow` by beta (0 means overwrite semantics -> zero fill).
+inline void beta_scale_row(float* crow, std::size_t n, float beta) {
+  if (beta == 0.0f) {
+    std::memset(crow, 0, n * sizeof(float));
+  } else if (beta != 1.0f) {
+    const __m256 b = _mm256_set1_ps(beta);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      _mm256_storeu_ps(crow + j, _mm256_mul_ps(_mm256_loadu_ps(crow + j), b));
+    for (; j < n; ++j) crow[j] *= beta;
+  }
+}
+
+/// One row: C[i][:] += sum_p (alpha * op(A)[i][p]) * B_packed[p][:].
+void gemm_row1(std::size_t i, std::size_t n, std::size_t k, float alpha, const float* a,
+               std::size_t lda, bool trans_a, const float* b_packed, float* crow) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float aval = alpha * a_at(a, lda, trans_a, i, p);
+    const float* brow = b_packed + p * n;
+    const __m256 av = _mm256_set1_ps(aval);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      _mm256_storeu_ps(crow + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j),
+                                                 _mm256_loadu_ps(crow + j)));
+    for (; j < n; ++j) crow[j] += aval * brow[j];
+  }
+}
+
+}  // namespace
+
+void gemm_rows_avx2(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                    float alpha, const float* a, std::size_t lda, bool trans_a,
+                    const float* b_packed, float beta, float* c, std::size_t ldc) {
+  for (std::size_t i = m0; i < m1; ++i) beta_scale_row(c + i * ldc, n, beta);
+
+  // 4x16 register-blocked core: 8 accumulators, one B load pair shared by
+  // four broadcast-FMA row updates per k step. Tail rows/columns fall back to
+  // the single-row kernel and scalar column loop.
+  std::size_t i = m0;
+  for (; i + 4 <= m1; i += 4) {
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256 acc00 = _mm256_loadu_ps(c0 + j), acc01 = _mm256_loadu_ps(c0 + j + 8);
+      __m256 acc10 = _mm256_loadu_ps(c1 + j), acc11 = _mm256_loadu_ps(c1 + j + 8);
+      __m256 acc20 = _mm256_loadu_ps(c2 + j), acc21 = _mm256_loadu_ps(c2 + j + 8);
+      __m256 acc30 = _mm256_loadu_ps(c3 + j), acc31 = _mm256_loadu_ps(c3 + j + 8);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float* brow = b_packed + p * n + j;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const __m256 a0 = _mm256_set1_ps(alpha * a_at(a, lda, trans_a, i + 0, p));
+        const __m256 a1 = _mm256_set1_ps(alpha * a_at(a, lda, trans_a, i + 1, p));
+        const __m256 a2 = _mm256_set1_ps(alpha * a_at(a, lda, trans_a, i + 2, p));
+        const __m256 a3 = _mm256_set1_ps(alpha * a_at(a, lda, trans_a, i + 3, p));
+        acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+        acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+        acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+        acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+        acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+        acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+        acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+        acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+      }
+      _mm256_storeu_ps(c0 + j, acc00);
+      _mm256_storeu_ps(c0 + j + 8, acc01);
+      _mm256_storeu_ps(c1 + j, acc10);
+      _mm256_storeu_ps(c1 + j + 8, acc11);
+      _mm256_storeu_ps(c2 + j, acc20);
+      _mm256_storeu_ps(c2 + j + 8, acc21);
+      _mm256_storeu_ps(c3 + j, acc30);
+      _mm256_storeu_ps(c3 + j + 8, acc31);
+    }
+    // Column tail (< 16): scalar over the four rows, same k order.
+    for (; j < n; ++j) {
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const float b = b_packed[p * n + j];
+        s0 += alpha * a_at(a, lda, trans_a, i + 0, p) * b;
+        s1 += alpha * a_at(a, lda, trans_a, i + 1, p) * b;
+        s2 += alpha * a_at(a, lda, trans_a, i + 2, p) * b;
+        s3 += alpha * a_at(a, lda, trans_a, i + 3, p) * b;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < m1; ++i) gemm_row1(i, n, k, alpha, a, lda, trans_a, b_packed, c + i * ldc);
+}
+
+}  // namespace ganopc::nn
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace ganopc::nn {
+
+void gemm_rows_avx2(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                    float alpha, const float* a, std::size_t lda, bool trans_a,
+                    const float* b_packed, float beta, float* c, std::size_t ldc) {
+  gemm_rows_scalar(m0, m1, n, k, alpha, a, lda, trans_a, b_packed, beta, c, ldc);
+}
+
+}  // namespace ganopc::nn
+
+#endif

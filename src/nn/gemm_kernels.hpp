@@ -1,0 +1,38 @@
+// Dispatched inner kernels of the SGEMM family (DESIGN.md §12).
+//
+// `sgemm` packs op(B) row-major [k x n] and splits C's rows across the thread
+// pool; the per-row-range micro-kernel below is the dispatch point. The
+// scalar arm is the conformance reference; the AVX2+FMA arm (gemm_avx2.cpp,
+// built with -mavx2 -mfma) register-blocks 4 rows x 16 columns. Both arms
+// accumulate over the k dimension in the same order, so they differ only by
+// FMA rounding, and each is bit-deterministic run-to-run (one worker owns
+// each output row).
+#pragma once
+
+#include <cstddef>
+
+#include "common/cpu.hpp"
+
+namespace ganopc::nn {
+
+/// Computes rows [m0, m1) of C = alpha * op(A) * B_packed + beta * C, with
+/// B_packed contiguous row-major [k x n]. lda/ldc are the stored leading
+/// dimensions; op(A)[i][p] is a[p * lda + i] when trans_a else a[i * lda + p].
+using GemmRowsFn = void (*)(std::size_t m0, std::size_t m1, std::size_t n,
+                            std::size_t k, float alpha, const float* a,
+                            std::size_t lda, bool trans_a, const float* b_packed,
+                            float beta, float* c, std::size_t ldc);
+
+void gemm_rows_scalar(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                      float alpha, const float* a, std::size_t lda, bool trans_a,
+                      const float* b_packed, float beta, float* c, std::size_t ldc);
+
+/// AVX2+FMA arm; forwards to scalar on non-x86 builds.
+void gemm_rows_avx2(std::size_t m0, std::size_t m1, std::size_t n, std::size_t k,
+                    float alpha, const float* a, std::size_t lda, bool trans_a,
+                    const float* b_packed, float beta, float* c, std::size_t ldc);
+
+/// Kernel for an explicit arm — the conformance tier's entry point.
+GemmRowsFn gemm_rows_for(SimdLevel level);
+
+}  // namespace ganopc::nn

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/prng.hpp"
@@ -43,6 +45,34 @@ inline void check_grid_gradient(const LossFn& loss, const geom::Grid& x,
     ++checked;
   }
   EXPECT_GE(checked, min_probes) << "not enough pixels with significant gradient";
+}
+
+/// check_grid_gradient for a flat parameter vector: central-difference check
+/// of `analytic` = dLoss/dx at `x`. Used by the SIMD conformance tier to
+/// validate the fused sigmoid-relax + Eq. 14 chain-rule pass (dE/dP) under
+/// each dispatch arm. Same probing/tolerance contract as the grid variant.
+template <typename LossFn>
+inline void check_vector_gradient(const LossFn& loss, const std::vector<float>& x,
+                                  const std::vector<float>& analytic, Prng& rng,
+                                  int probes = 20, float eps = 3e-3f,
+                                  float rel_tol = 5e-2f, float min_grad = 1e-2f,
+                                  int min_probes = 10) {
+  ASSERT_EQ(x.size(), analytic.size());
+  int checked = 0;
+  for (int trial = 0; trial < 40 * probes && checked < probes; ++trial) {
+    const auto idx = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(x.size()) - 1));
+    if (std::fabs(analytic[idx]) < min_grad) continue;
+    std::vector<float> xp = x, xm = x;
+    xp[idx] += eps;
+    xm[idx] -= eps;
+    const double fd = (loss(xp) - loss(xm)) / (2.0 * static_cast<double>(eps));
+    const double ana = analytic[idx];
+    EXPECT_NEAR(ana, fd, rel_tol * std::max(std::fabs(fd), std::fabs(ana)))
+        << "vector gradient mismatch at index " << idx;
+    ++checked;
+  }
+  EXPECT_GE(checked, min_probes) << "not enough entries with significant gradient";
 }
 
 inline float dot(const nn::Tensor& a, const nn::Tensor& b) {

@@ -1,0 +1,77 @@
+// Dispatch-selection unit tests for the runtime SIMD arm (DESIGN.md §12):
+// the pure resolution function across every env/hardware combination, the
+// process-wide cached level, and the test override hook.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/cpu.hpp"
+#include "common/error.hpp"
+
+namespace ganopc {
+namespace {
+
+TEST(SimdDispatch, AutoFollowsHardwareProbe) {
+  for (const char* env : {static_cast<const char*>(nullptr), "", "auto"}) {
+    EXPECT_EQ(resolve_simd_level(env, /*hw_avx2=*/true), SimdLevel::kAvx2);
+    EXPECT_EQ(resolve_simd_level(env, /*hw_avx2=*/false), SimdLevel::kScalar);
+  }
+}
+
+TEST(SimdDispatch, ScalarOverrideAlwaysWins) {
+  EXPECT_EQ(resolve_simd_level("scalar", true), SimdLevel::kScalar);
+  EXPECT_EQ(resolve_simd_level("scalar", false), SimdLevel::kScalar);
+}
+
+TEST(SimdDispatch, Avx2OverrideRequiresHardware) {
+  // Forcing avx2 on a machine with it: honoured. On a machine without it:
+  // a recognised request that falls back to scalar instead of crashing on
+  // the first illegal instruction.
+  bool recognized = false;
+  EXPECT_EQ(resolve_simd_level("avx2", true, &recognized), SimdLevel::kAvx2);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(resolve_simd_level("avx2", false, &recognized), SimdLevel::kScalar);
+  EXPECT_TRUE(recognized);
+}
+
+TEST(SimdDispatch, UnrecognizedValueFallsBackToAuto) {
+  bool recognized = true;
+  EXPECT_EQ(resolve_simd_level("sse9", true, &recognized), SimdLevel::kAvx2);
+  EXPECT_FALSE(recognized);
+  recognized = true;
+  EXPECT_EQ(resolve_simd_level("AVX2", false, &recognized), SimdLevel::kScalar);
+  EXPECT_FALSE(recognized);  // values are case-sensitive
+}
+
+TEST(SimdDispatch, ProcessLevelMatchesEnvAndProbe) {
+  // The cached process-wide level must be exactly what the pure resolver
+  // yields for this process's environment and hardware (run before any
+  // set_simd_level call in this binary).
+  const SimdLevel expected =
+      resolve_simd_level(std::getenv("GANOPC_SIMD"), cpu_supports_avx2_fma());
+  EXPECT_EQ(simd_level(), expected);
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  EXPECT_STREQ(simd_level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, OverrideHookForcesScalarAndRestores) {
+  const SimdLevel entry = simd_level();
+  set_simd_level(SimdLevel::kScalar);
+  EXPECT_EQ(simd_level(), SimdLevel::kScalar);
+  if (cpu_supports_avx2_fma()) {
+    set_simd_level(SimdLevel::kAvx2);
+    EXPECT_EQ(simd_level(), SimdLevel::kAvx2);
+  } else {
+    // Forcing the AVX2 arm without hardware support is a checked error, not
+    // a deferred SIGILL.
+    EXPECT_THROW(set_simd_level(SimdLevel::kAvx2), Error);
+  }
+  set_simd_level(entry);
+  EXPECT_EQ(simd_level(), entry);
+}
+
+}  // namespace
+}  // namespace ganopc
