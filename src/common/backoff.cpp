@@ -1,0 +1,41 @@
+#include "common/backoff.hpp"
+
+#include <algorithm>
+
+namespace ganopc {
+
+namespace {
+
+// splitmix64: tiny, stateless, excellent avalanche — ideal for turning a
+// (key, attempt) pair into an independent jitter draw.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double backoff_delay_s(double base_s, double cap_s, int attempt,
+                       std::uint64_t key) {
+  if (attempt <= 0 || base_s <= 0.0) return 0.0;
+  // 2^(attempt-1) without pow(); saturate well past any sane cap.
+  const int shift = std::min(attempt - 1, 62);
+  const double raw = base_s * static_cast<double>(1ULL << shift);
+  const std::uint64_t h = splitmix64(key ^ (0xA0761D6478BD642FULL *
+                                            static_cast<std::uint64_t>(attempt)));
+  // 53 random bits -> uniform in [0, 1); jitter factor in [0.5, 1.5).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return std::min(cap_s > 0.0 ? cap_s : raw, raw * (0.5 + u));
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text)
+    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+        1099511628211ULL;
+  return h;
+}
+
+}  // namespace ganopc

@@ -1,0 +1,29 @@
+// Deterministic exponential backoff with jitter.
+//
+// Shared by BatchRunner's perturbed-retry loop and the process supervisor's
+// worker-restart loop (DESIGN.md §13). Both need the same two properties:
+//   - exponential growth so a persistently failing resource is not hammered,
+//   - jitter so N retriers keyed differently do not synchronize,
+// and — unusually — *determinism*: given the same (base, cap, attempt, key)
+// the delay is bit-identical on every platform, so crash/resume tests and
+// ledger replays see a reproducible schedule. The jitter therefore comes
+// from a splitmix64 hash of (key, attempt), not from a clock or global PRNG.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ganopc {
+
+/// Delay in seconds before retry `attempt` (1-based). Exponential in the
+/// attempt number — base * 2^(attempt-1) — scaled by a deterministic jitter
+/// factor in [0.5, 1.5) derived from (key, attempt), and clamped to `cap`.
+/// attempt <= 0 or base <= 0 yields 0 (retry immediately).
+double backoff_delay_s(double base_s, double cap_s, int attempt,
+                       std::uint64_t key);
+
+/// FNV-1a 64-bit hash — the conventional key for backoff_delay_s when the
+/// retried unit is identified by a string (clip id, worker name).
+std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace ganopc

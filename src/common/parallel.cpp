@@ -44,6 +44,17 @@ void ThreadPool::reset(std::size_t num_threads) {
   pool = std::make_unique<ThreadPool>(std::max<std::size_t>(1, num_threads));
 }
 
+void ThreadPool::reinit_after_fork(std::size_t num_threads) {
+  std::lock_guard lock(instance_mutex());
+  auto& pool = instance_slot();
+  // The worker std::threads died with the fork; ~ThreadPool would join them
+  // and hang forever. Release the husk (one-time leak per forked worker) and
+  // start a pool whose threads actually exist in this process.
+  (void)pool.release();
+  pool = std::make_unique<ThreadPool>(
+      num_threads > 0 ? num_threads : default_thread_count());
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)

@@ -26,6 +26,14 @@ class ThreadPool {
   /// tests (determinism at several thread counts) and thread-scaling benches.
   static void reset(std::size_t num_threads);
 
+  /// Child-side repair after fork(): the parent's pool threads do not exist
+  /// in this process, so the inherited pool object is abandoned (leaked — its
+  /// threads cannot be joined) and a fresh pool of `num_threads` workers
+  /// (0 = default_thread_count()) is installed. Must be the child's first
+  /// interaction with the pool; the forking thread must not hold pool locks,
+  /// i.e. no parallel work may be in flight in the parent at fork time.
+  static void reinit_after_fork(std::size_t num_threads = 0);
+
   /// Worker count the shared pool starts with (GANOPC_THREADS or hardware).
   static std::size_t default_thread_count();
 

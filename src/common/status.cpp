@@ -12,6 +12,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kIo: return "Io";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kQuarantined: return "Quarantined";
   }
   return "Unknown";
 }
@@ -20,7 +21,7 @@ StatusCode status_code_from_name(const std::string& name) {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidInput, StatusCode::kLithoNumeric,
         StatusCode::kIltStalled, StatusCode::kDeadlineExceeded, StatusCode::kIo,
-        StatusCode::kCancelled, StatusCode::kInternal}) {
+        StatusCode::kCancelled, StatusCode::kInternal, StatusCode::kQuarantined}) {
     if (name == status_code_name(code)) return code;
   }
   GANOPC_CHECK_MSG(false, "unknown status code name '" << name << "'");

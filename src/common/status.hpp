@@ -38,6 +38,7 @@ enum class StatusCode : int {
   kIo,                 ///< file missing / unreadable / write failure
   kCancelled,          ///< stopped by an external request
   kInternal,           ///< unclassified invariant failure
+  kQuarantined,        ///< poison clip: crashed K worker processes in a row
 };
 
 /// Stable machine-readable name ("InvalidInput", ...) used in manifests.

@@ -1,16 +1,20 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "common/backoff.hpp"
 #include "common/csv.hpp"
 #include "common/failpoint.hpp"
 #include "common/prng.hpp"
@@ -22,13 +26,17 @@
 #include "mbopc/mbopc.hpp"
 #include "obs/ledger.hpp"
 #include "obs/trace.hpp"
+#include "proc/supervisor.hpp"
 
 namespace ganopc::core {
 
 namespace {
 
 constexpr char kJournalMagic[] = "GOPCBAT1";
-constexpr std::uint32_t kJournalVersion = 1;
+// v2: meta carries quarantine_kills; rows may carry StatusCode::kQuarantined.
+// `workers` is deliberately *not* journaled — a supervised run may be resumed
+// sequentially or with a different worker count and replay identically.
+constexpr std::uint32_t kJournalVersion = 2;
 
 bool file_exists(const std::string& path) {
   return std::ifstream(path, std::ios::binary).good();
@@ -60,6 +68,105 @@ void count_manifest_row(const BatchClipResult& res) {
   if (res.fallbacks > 0)
     obs::counter("batch.fallbacks").inc(static_cast<std::uint64_t>(res.fallbacks));
   if (res.from_journal) obs::counter("batch.clips.resumed").inc();
+  if (res.code == StatusCode::kQuarantined)
+    obs::counter("batch.clips.quarantined").inc();
+}
+
+// One codec for a manifest row's non-id fields, shared by the journal
+// sections and the supervised-mode wire payloads so both stay field-for-field
+// identical by construction.
+void encode_result(ByteWriter& w, const BatchClipResult& res) {
+  w.str(res.source);
+  w.pod(static_cast<std::uint32_t>(res.code));
+  w.str(res.error);
+  w.pod(static_cast<std::uint32_t>(res.stage));
+  w.pod(static_cast<std::uint8_t>(res.has_termination ? 1 : 0));
+  w.pod(static_cast<std::uint32_t>(res.termination));
+  w.pod(static_cast<std::int32_t>(res.retries));
+  w.pod(static_cast<std::int32_t>(res.fallbacks));
+  w.pod(static_cast<std::int32_t>(res.ilt_iterations));
+  w.pod(res.l2_px);
+  w.pod(res.l2_nm2);
+  w.pod(res.pvb_nm2);
+  w.pod(res.runtime_s);
+}
+
+BatchClipResult decode_result(ByteReader& r, const std::string& id,
+                              const std::string& context) {
+  BatchClipResult res;
+  res.id = id;
+  res.source = r.str();
+  const auto code = r.pod<std::uint32_t>();
+  res.error = r.str(1 << 16);
+  const auto stage = r.pod<std::uint32_t>();
+  res.has_termination = r.pod<std::uint8_t>() != 0;
+  const auto termination = r.pod<std::uint32_t>();
+  res.retries = r.pod<std::int32_t>();
+  res.fallbacks = r.pod<std::int32_t>();
+  res.ilt_iterations = r.pod<std::int32_t>();
+  res.l2_px = r.pod<double>();
+  res.l2_nm2 = r.pod<double>();
+  res.pvb_nm2 = r.pod<std::int64_t>();
+  res.runtime_s = r.pod<double>();
+  r.expect_exhausted();
+  GANOPC_TYPED_CHECK(
+      StatusCode::kInvalidInput,
+      code <= static_cast<std::uint32_t>(StatusCode::kQuarantined) &&
+          stage <= static_cast<std::uint32_t>(BatchStage::Failed) &&
+          termination <= static_cast<std::uint32_t>(
+                             ilt::TerminationReason::kDeadlineExceeded),
+      "batch: out-of-range enum in " << context);
+  res.code = static_cast<StatusCode>(code);
+  res.stage = static_cast<BatchStage>(stage);
+  res.termination = static_cast<ilt::TerminationReason>(termination);
+  return res;
+}
+
+// Kill-matrix fault injection for the supervised-mode tests, armed by the
+// `proc.clip_fault` failpoint (off => zero cost, tests only). Faults are
+// selected by clip-id suffix so a test can poison clip k of N without caring
+// which worker draws it; a trailing digit bounds the crash count so
+// restart-then-succeed and quarantine-after-K are both expressible:
+//   <id>_segv  / _kill / _oom / _hang   -> faults on every delivery
+//   <id>_segv2 (etc.)                   -> faults until `crashes` reaches 2
+// Failpoint counters are per-process, so a restarted worker would re-arm
+// them identically — the supervisor-tracked crash count is the only state
+// that survives a worker death, hence it gates the bounded variants.
+void maybe_inject_clip_fault(const std::string& id, int crashes) {
+  if (!GANOPC_FAILPOINT("proc.clip_fault")) return;
+  std::string marker = id;
+  int bound = -1;  // -1 = unbounded: fault on every delivery
+  if (!marker.empty() && marker.back() >= '0' && marker.back() <= '9') {
+    bound = marker.back() - '0';
+    marker.pop_back();
+  }
+  if (bound >= 0 && crashes >= bound) return;  // crashed enough; succeed now
+  if (marker.ends_with("_segv")) {
+    std::raise(SIGSEGV);  // sanitizers report + exit(1); either way it dies
+    std::abort();
+  }
+  if (marker.ends_with("_kill")) {
+    std::raise(SIGKILL);  // uncatchable, like the kernel OOM killer
+    std::abort();
+  }
+  if (marker.ends_with("_oom")) {
+    // Grow until the worker's RLIMIT_DATA refuses the allocation, touching
+    // every page so the growth is real; then die the way the OOM killer
+    // would. Bounded at 2 GiB so a missing rlimit cannot take the host down.
+    constexpr std::size_t kChunk = 64u << 20;
+    for (std::size_t total = 0; total < (2048u << 20); total += kChunk) {
+      char* p = static_cast<char*>(std::malloc(kChunk));
+      if (p == nullptr) break;
+      std::memset(p, 0x5A, kChunk);
+    }
+    std::raise(SIGKILL);
+    std::abort();
+  }
+  if (marker.ends_with("_hang")) {
+    // Wedged computation: heartbeats keep ticking (the beat thread is alive)
+    // but the task never returns — only the task deadline can catch this.
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 }  // namespace
@@ -93,6 +200,14 @@ BatchRunner::BatchRunner(const GanOpcConfig& config, Generator* generator,
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
                      !batch.resume || !batch.journal_path.empty(),
                      "batch: resume requires a journal path");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     batch.workers >= 0 && batch.quarantine_kills >= 1 &&
+                         batch.task_deadline_s >= 0.0 &&
+                         batch.worker_mem_mb >= 0 && batch.worker_cpu_s >= 0 &&
+                         batch.retry_backoff_base_s >= 0.0 &&
+                         batch.retry_backoff_cap_s >= 0.0,
+                     "batch: workers/quarantine/limits/backoff must be >= 0 "
+                     "(quarantine_kills >= 1)");
 }
 
 BatchSummary BatchRunner::run_files(const std::vector<std::string>& paths) const {
@@ -129,6 +244,8 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
   const bool journaling = !batch_.journal_path.empty();
   if (journaling) write_meta(journal, clips);
 
+  if (batch_.workers > 0) return run_supervised(clips, prior, journal, journaling);
+
   BatchSummary summary;
   summary.clips.reserve(clips.size());
   for (const auto& clip : clips) {
@@ -142,22 +259,10 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
       res = process_clip(clip);
     }
     ++(res.ok() ? summary.succeeded : summary.failed);
+    if (res.code == StatusCode::kQuarantined) ++summary.quarantined;
     if (obs::metrics_enabled()) count_manifest_row(res);
     if (journaling) {
-      ByteWriter& w = journal.section("clip/" + clip.id);
-      w.str(res.source);
-      w.pod(static_cast<std::uint32_t>(res.code));
-      w.str(res.error);
-      w.pod(static_cast<std::uint32_t>(res.stage));
-      w.pod(static_cast<std::uint8_t>(res.has_termination ? 1 : 0));
-      w.pod(static_cast<std::uint32_t>(res.termination));
-      w.pod(static_cast<std::int32_t>(res.retries));
-      w.pod(static_cast<std::int32_t>(res.fallbacks));
-      w.pod(static_cast<std::int32_t>(res.ilt_iterations));
-      w.pod(res.l2_px);
-      w.pod(res.l2_nm2);
-      w.pod(res.pvb_nm2);
-      w.pod(res.runtime_s);
+      encode_result(journal.section("clip/" + clip.id), res);
       journal.write(batch_.journal_path);
       // Crash simulation for the kill-and-resume robustness test: dies right
       // after a journal commit, exactly where a real power cut would land.
@@ -173,7 +278,125 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
   return summary;
 }
 
-BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
+BatchSummary BatchRunner::run_supervised(
+    const std::vector<BatchClip>& clips,
+    const std::map<std::string, BatchClipResult>& prior,
+    SectionedFileWriter& journal, bool journaling) const {
+  std::vector<BatchClipResult> rows(clips.size());
+  std::vector<char> have(clips.size(), 0);
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < clips.size(); ++i) index_of.emplace(clips[i].id, i);
+
+  BatchSummary summary;
+  auto journal_row = [&](const std::string& id, const BatchClipResult& res) {
+    if (!journaling) return;
+    encode_result(journal.section("clip/" + id), res);
+    journal.write(batch_.journal_path);
+    // Same post-commit crash point as the sequential path: the supervised
+    // kill-and-resume test SIGKILLs the *dispatcher* here, mid-fan-out.
+    if (GANOPC_FAILPOINT("batch.kill")) {
+#ifdef SIGKILL
+      std::raise(SIGKILL);
+#endif
+      std::abort();
+    }
+  };
+
+  // Replay journaled rows first, then fan the remainder out to the workers.
+  // The payload is just the clip index: workers are fork() twins of this
+  // process and share the clip list by inheritance.
+  std::vector<proc::Task> tasks;
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    const auto it = prior.find(clips[i].id);
+    if (it != prior.end()) {
+      rows[i] = it->second;
+      rows[i].from_journal = true;
+      have[i] = 1;
+      ++summary.resumed;
+      journal_row(clips[i].id, rows[i]);
+    } else {
+      proc::Task task;
+      task.id = clips[i].id;
+      const auto idx = static_cast<std::uint32_t>(i);
+      task.payload.assign(reinterpret_cast<const char*>(&idx), sizeof idx);
+      tasks.push_back(std::move(task));
+    }
+  }
+
+  if (!tasks.empty()) {
+    proc::SupervisorConfig scfg;
+    scfg.workers = batch_.workers;
+    scfg.quarantine_kills = batch_.quarantine_kills;
+    scfg.task_deadline_s = batch_.task_deadline_s;
+    scfg.limits.mem_mb = batch_.worker_mem_mb;
+    scfg.limits.cpu_s = batch_.worker_cpu_s;
+    scfg.seed = batch_.seed;
+
+    proc::Supervisor supervisor(
+        scfg, [this, &clips](const std::string& payload, int crashes) {
+          GANOPC_TYPED_CHECK(StatusCode::kInternal,
+                             payload.size() == sizeof(std::uint32_t),
+                             "batch: malformed supervised task payload");
+          std::uint32_t idx = 0;
+          std::memcpy(&idx, payload.data(), sizeof idx);
+          GANOPC_TYPED_CHECK(StatusCode::kInternal, idx < clips.size(),
+                             "batch: supervised task index out of range");
+          maybe_inject_clip_fault(clips[idx].id, crashes);
+          const BatchClipResult res = process_clip(clips[idx], crashes);
+          ByteWriter w;
+          encode_result(w, res);
+          return w.buffer();
+        });
+
+    supervisor.run(tasks, [&](const proc::TaskResult& tr) {
+      const std::size_t i = index_of.at(tr.id);
+      BatchClipResult res;
+      if (tr.quarantined) {
+        res.id = clips[i].id;
+        res.source = clips[i].path.empty() ? "<memory>" : clips[i].path;
+        res.code = StatusCode::kQuarantined;
+        res.error = "clip crashed " + std::to_string(tr.crashes) +
+                    " worker process(es); quarantined as a poison clip";
+        res.stage = BatchStage::Failed;
+        if (obs::ledger_enabled()) {
+          obs::LedgerRecord rec("clip_quarantined");
+          rec.field("clip", res.id).field("crashes", tr.crashes);
+          obs::ledger_emit(rec);
+        }
+      } else if (!tr.error.empty()) {
+        // The worker fn maps per-clip faults to Status rows itself; an error
+        // marshalled back here means the dispatch machinery failed.
+        res.id = clips[i].id;
+        res.source = clips[i].path.empty() ? "<memory>" : clips[i].path;
+        res.code = StatusCode::kInternal;
+        res.error = tr.error;
+        res.stage = BatchStage::Failed;
+      } else {
+        ByteReader r(tr.payload.data(), tr.payload.size(),
+                     "supervised result for clip '" + tr.id + "'");
+        res = decode_result(r, tr.id, "supervised result for '" + tr.id + "'");
+      }
+      rows[i] = std::move(res);
+      have[i] = 1;
+      journal_row(clips[i].id, rows[i]);
+    });
+    summary.worker_deaths = static_cast<int>(supervisor.crash_reports().size());
+  }
+
+  for (std::size_t i = 0; i < clips.size(); ++i) {
+    GANOPC_TYPED_CHECK(StatusCode::kInternal, have[i] != 0,
+                       "batch: no supervised result for clip '" << clips[i].id
+                                                                << "'");
+    ++(rows[i].ok() ? summary.succeeded : summary.failed);
+    if (rows[i].code == StatusCode::kQuarantined) ++summary.quarantined;
+    if (obs::metrics_enabled()) count_manifest_row(rows[i]);
+    summary.clips.push_back(std::move(rows[i]));
+  }
+  return summary;
+}
+
+BatchClipResult BatchRunner::process_clip(const BatchClip& clip,
+                                          int start_rung) const {
   GANOPC_OBS_SPAN("batch.clip");
   // Every ledger event emitted while this clip is in flight — including the
   // ILT engine's ilt_iter records — carries scope = the clip id.
@@ -194,7 +417,7 @@ BatchClipResult BatchRunner::process_clip(const BatchClip& clip) const {
   if (poisoned) failpoint::arm("litho.gradient_nan", 0, -1);
   try {
     const geom::Layout layout = clip.layout ? *clip.layout : load_clip(clip.path);
-    optimize_clip(layout, res, timer);
+    optimize_clip(layout, res, timer, start_rung);
   } catch (const std::exception& e) {
     const Status s = status_from_exception(e);
     res.code = s.code();
@@ -233,7 +456,7 @@ geom::Layout BatchRunner::load_clip(const std::string& path) const {
 }
 
 void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
-                                const WallTimer& timer) const {
+                                const WallTimer& timer, int start_rung) const {
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
                      clip.clip().width() == config_.clip_nm &&
                          clip.clip().height() == config_.clip_nm,
@@ -255,6 +478,14 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
   chain.push_back(BatchStage::Ilt);
   chain.push_back(BatchStage::MbOpc);
   if (!batch_.allow_fallback) chain.resize(1);
+  // Supervised mode retries a crash-survivor one rung down its chain per
+  // prior crash (a clip whose GAN+ILT segfaulted a worker restarts at plain
+  // ILT, then MB-OPC) — skipped rungs count as fallbacks like any other
+  // abandonment. The last rung is never skipped; quarantine caps the loop.
+  const int skip = std::min(std::max(start_rung, 0),
+                            static_cast<int>(chain.size()) - 1);
+  chain.erase(chain.begin(), chain.begin() + skip);
+  res.fallbacks += skip;
 
   Status last(StatusCode::kInternal, "no optimization attempt ran");
   for (std::size_t si = 0; si < chain.size(); ++si) {
@@ -276,7 +507,25 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
           return;
         }
       }
-      if (attempt > 0) ++res.retries;
+      if (attempt > 0) {
+        ++res.retries;
+        // Perturbed restarts back off exponentially with deterministic
+        // jitter (keyed on seed + clip id, see common/backoff) instead of
+        // re-entering the engine back-to-back: transient pressure — page
+        // cache, sibling supervised workers — gets a chance to clear, and
+        // the delay sequence is reproducible run-to-run.
+        double delay = backoff_delay_s(batch_.retry_backoff_base_s,
+                                       batch_.retry_backoff_cap_s, attempt,
+                                       batch_.seed ^ fnv1a64(res.id));
+        // Never sleep away more than half the clip's remaining budget.
+        if (std::isfinite(remaining)) delay = std::min(delay, remaining * 0.5);
+        if (delay > 0.0) {
+          if (obs::metrics_enabled())
+            obs::histogram("batch.retry_delay_s", obs::time_buckets())
+                .observe(delay);
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+        }
+      }
       try {
         const bool done =
             stage == BatchStage::MbOpc
@@ -385,11 +634,7 @@ geom::Grid BatchRunner::gan_initial_mask(const geom::Grid& target) const {
 void BatchRunner::perturb(geom::Grid& mask, const std::string& id, int attempt) const {
   // FNV-1a over the clip id keeps the perturbation stream deterministic per
   // (seed, clip, attempt) and independent of batch order or platform.
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : id)
-    h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
-        1099511628211ULL;
-  Prng rng(batch_.seed ^ h ^
+  Prng rng(batch_.seed ^ fnv1a64(id) ^
            (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(attempt)));
   const double amp = batch_.perturb_amplitude;
   for (auto& v : mask.data)
@@ -407,6 +652,7 @@ void BatchRunner::write_meta(SectionedFileWriter& journal,
   w.pod(batch_.l2_accept_factor);
   w.pod(batch_.perturb_amplitude);
   w.pod(static_cast<std::uint8_t>(batch_.deterministic_manifest ? 1 : 0));
+  w.pod(static_cast<std::int32_t>(batch_.quarantine_kills));
   w.pod(static_cast<std::uint8_t>(generator_ != nullptr ? 1 : 0));
   w.pod(config_.clip_nm);
   w.pod(config_.litho_grid);
@@ -430,6 +676,10 @@ std::vector<BatchClipResult> BatchRunner::load_journal(
   match &= meta.pod<float>() == batch_.l2_accept_factor;
   match &= meta.pod<float>() == batch_.perturb_amplitude;
   match &= (meta.pod<std::uint8_t>() != 0) == batch_.deterministic_manifest;
+  // quarantine_kills shapes quarantined rows, so it must match; `workers`
+  // deliberately does not — resuming with a different pool size (or
+  // sequentially) replays the same journal.
+  match &= meta.pod<std::int32_t>() == batch_.quarantine_kills;
   match &= (meta.pod<std::uint8_t>() != 0) == (generator_ != nullptr);
   match &= meta.pod<std::int32_t>() == config_.clip_nm;
   match &= meta.pod<std::int32_t>() == config_.litho_grid;
@@ -449,34 +699,9 @@ std::vector<BatchClipResult> BatchRunner::load_journal(
     const std::string name = "clip/" + clip.id;
     if (!reader.has(name)) continue;
     ByteReader r = reader.open(name);
-    BatchClipResult res;
-    res.id = clip.id;
-    res.source = r.str();
-    const auto code = r.pod<std::uint32_t>();
-    res.error = r.str(1 << 16);
-    const auto stage = r.pod<std::uint32_t>();
-    res.has_termination = r.pod<std::uint8_t>() != 0;
-    const auto termination = r.pod<std::uint32_t>();
-    res.retries = r.pod<std::int32_t>();
-    res.fallbacks = r.pod<std::int32_t>();
-    res.ilt_iterations = r.pod<std::int32_t>();
-    res.l2_px = r.pod<double>();
-    res.l2_nm2 = r.pod<double>();
-    res.pvb_nm2 = r.pod<std::int64_t>();
-    res.runtime_s = r.pod<double>();
-    r.expect_exhausted();
-    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
-                       code <= static_cast<std::uint32_t>(StatusCode::kInternal) &&
-                           stage <= static_cast<std::uint32_t>(BatchStage::Failed) &&
-                           termination <= static_cast<std::uint32_t>(
-                                              ilt::TerminationReason::kDeadlineExceeded),
-                       "batch journal '" << batch_.journal_path
-                                         << "': out-of-range enum in section '"
-                                         << name << "'");
-    res.code = static_cast<StatusCode>(code);
-    res.stage = static_cast<BatchStage>(stage);
-    res.termination = static_cast<ilt::TerminationReason>(termination);
-    out.push_back(std::move(res));
+    out.push_back(decode_result(
+        r, clip.id,
+        "journal '" + batch_.journal_path + "' section '" + name + "'"));
   }
   return out;
 }

@@ -11,16 +11,28 @@
 //       -> MB-OPC (gradient-free, immune to litho numeric faults)
 //         -> reported failure with diagnostics
 //
-// with bounded perturbed-restart retries at each gradient-based rung and a
-// per-clip wall-clock deadline threaded into the ILT watchdog.
+// with bounded perturbed-restart retries at each gradient-based rung (paced
+// by exponential backoff with deterministic jitter) and a per-clip
+// wall-clock deadline threaded into the ILT watchdog.
 //
 // When a journal path is set the runner atomically rewrites a sectioned
 // container (magic GOPCBAT1, per-section + whole-file CRC32) after every
 // clip, so a SIGKILL mid-batch loses at most the in-flight clip: rerunning
 // with resume=true replays journaled results and recomputes only the rest.
+//
+// Supervised mode (workers > 0, DESIGN.md §13) adds *process* isolation on
+// top: clips are dispatched to N sandboxed forked workers via
+// proc::Supervisor, so a SIGSEGV / OOM kill / hang destroys one worker —
+// which is restarted — instead of the batch. A clip that crashes
+// `quarantine_kills` workers is quarantined (StatusCode::kQuarantined row),
+// and each crash a clip survives drops one rung off its degradation chain
+// (a clip that killed a worker during GAN+ILT restarts at plain ILT).
+// Results are journaled in completion order as they stream back, keyed by
+// clip id, so a supervised run resumes exactly like a sequential one.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -89,13 +101,33 @@ struct BatchConfig {
   /// Zero every wall-clock field before journaling/manifesting so an
   /// interrupted-and-resumed run is bit-identical to an uninterrupted one.
   bool deterministic_manifest = false;
+
+  /// Base/cap for the retry backoff sleep before each perturbed restart
+  /// (deterministic jitter keyed on seed + clip id; see common/backoff).
+  double retry_backoff_base_s = 0.025;
+  double retry_backoff_cap_s = 1.0;
+
+  // ---- supervised mode (process isolation via proc::Supervisor) ----
+  /// 0 = run clips in-process (the default); >= 1 forks that many sandboxed
+  /// worker subprocesses and dispatches clips over pipes.
+  int workers = 0;
+  /// A clip that crashes this many workers is quarantined, not retried.
+  int quarantine_kills = 3;
+  /// Per-clip wall deadline enforced by supervisor SIGKILL (0 = none).
+  /// Unlike clip_deadline_s — which the in-process watchdog honors
+  /// cooperatively — this one catches a wedged worker that stopped checking.
+  double task_deadline_s = 0.0;
+  int worker_mem_mb = 0;  ///< per-worker RLIMIT_DATA cap in MiB (0 = none)
+  int worker_cpu_s = 0;   ///< per-worker RLIMIT_CPU cap in seconds (0 = none)
 };
 
 struct BatchSummary {
   std::vector<BatchClipResult> clips;  ///< one row per input, input order
   int succeeded = 0;
   int failed = 0;
-  int resumed = 0;  ///< rows replayed from the journal
+  int resumed = 0;      ///< rows replayed from the journal
+  int quarantined = 0;  ///< rows with code kQuarantined (subset of failed)
+  int worker_deaths = 0;  ///< supervised mode: worker processes lost
 };
 
 class BatchRunner {
@@ -114,15 +146,21 @@ class BatchRunner {
   BatchSummary run_files(const std::vector<std::string>& paths) const;
 
   /// One clip through load + degradation chain, exceptions mapped to Status.
-  BatchClipResult process_clip(const BatchClip& clip) const;
+  /// `start_rung` drops that many rungs off the front of the chain (counted
+  /// as fallbacks) — supervised mode passes the clip's crash count so a clip
+  /// that killed a worker retries one rung more conservatively.
+  BatchClipResult process_clip(const BatchClip& clip, int start_rung = 0) const;
 
   /// Machine-readable CSV manifest (one row per clip, input order).
   static void write_manifest(const std::string& path, const BatchSummary& summary);
 
  private:
+  BatchSummary run_supervised(const std::vector<BatchClip>& clips,
+                              const std::map<std::string, BatchClipResult>& prior,
+                              SectionedFileWriter& journal, bool journaling) const;
   geom::Layout load_clip(const std::string& path) const;
   void optimize_clip(const geom::Layout& clip, BatchClipResult& res,
-                     const WallTimer& timer) const;
+                     const WallTimer& timer, int start_rung) const;
   bool attempt_ilt(BatchStage stage, const geom::Grid& target, double accept_l2,
                    double remaining_s, int attempt, BatchClipResult& res,
                    Status& last) const;

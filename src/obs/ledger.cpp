@@ -1,5 +1,7 @@
 #include "obs/ledger.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <deque>
@@ -183,6 +185,12 @@ void set_crash_report_path(std::string path) {
   s.crash_path_override = std::move(path);
 }
 
+std::string crash_report_path_for_worker(const std::string& ledger_path,
+                                         int worker_id, long pid) {
+  return ledger_path + ".crash.w" + std::to_string(worker_id) + ".pid" +
+         std::to_string(pid) + ".json";
+}
+
 std::vector<std::string> flight_events() {
   LedgerState& s = state();
   std::lock_guard lock(s.mutex);
@@ -203,7 +211,11 @@ void flight_dump(std::string_view reason) noexcept {
       json::escape_into(report, reason);
       report += "\",\"version\":\"";
       json::escape_into(report, build_version());
-      report += "\",\"t_s\":" + format_double(static_cast<double>(
+      // The dumping process identifies itself: in a supervised run several
+      // workers share one ledger stem, and the pid ties a report to the
+      // supervisor's worker_death event for that process.
+      report += "\",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+      report += ",\"t_s\":" + format_double(static_cast<double>(
                                     monotonic_ns() - s.start_ns) *
                                 1e-9);
       report += ",\"events\":[";

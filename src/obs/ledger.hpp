@@ -108,6 +108,14 @@ void flight_dump(std::string_view reason) noexcept;
 /// Override the crash report destination ("" restores the default).
 void set_crash_report_path(std::string path);
 
+/// `<ledger>.crash.w<worker>.pid<pid>.json` — the collision-free crash-dump
+/// destination for one worker process of a supervised run. The default
+/// `<ledger>.crash.json` is fine for a single process, but N forked workers
+/// dying simultaneously would clobber each other's forensics; every worker
+/// sets this as its override right after fork (DESIGN.md §13).
+std::string crash_report_path_for_worker(const std::string& ledger_path,
+                                         int worker_id, long pid);
+
 /// Events currently buffered in the ring (testing / diagnostics).
 std::vector<std::string> flight_events();
 

@@ -1,0 +1,557 @@
+#include "proc/supervisor.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/atomic_file.hpp"
+#include "common/backoff.hpp"
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "proc/wire.hpp"
+
+namespace ganopc::proc {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+// One worker slot. The slot index is stable across restarts; the pid, pipes
+// and parse buffer belong to the current incarnation.
+struct Slot {
+  int id = 0;
+  pid_t pid = -1;
+  int task_fd = -1;    ///< supervisor write end
+  int result_fd = -1;  ///< supervisor read end (O_NONBLOCK)
+  FrameBuffer rx;
+  int inflight = -1;   ///< task index, -1 = idle
+  double task_start_s = 0.0;
+  double last_frame_s = 0.0;  ///< heartbeat/result recency
+  int restarts = 0;           ///< deaths so far
+  double respawn_at_s = 0.0;
+  bool retired = false;
+  std::string kill_reason;  ///< set when the supervisor SIGKILLs on purpose
+
+  bool live() const { return pid > 0; }
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  GANOPC_TYPED_CHECK(StatusCode::kInternal,
+                     flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                     "supervisor: fcntl(O_NONBLOCK) failed");
+}
+
+void apply_rlimit(int resource, rlim_t cap) {
+  struct rlimit lim {};
+  lim.rlim_cur = cap;
+  lim.rlim_max = cap;
+  // Best-effort: a container may forbid raising/altering limits; the
+  // heartbeat + task-deadline layer still contains an unbounded worker.
+  (void)::setrlimit(resource, &lim);
+}
+
+// RAII SIGPIPE suppression: a worker dying between poll() and our task write
+// must surface as a failed write, not kill the supervisor process.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
+
+ private:
+  using Handler = void (*)(int);
+  Handler previous_ = SIG_DFL;
+};
+
+// ------------------------------------------------------------- worker side
+
+struct WorkerContext {
+  int slot_id = 0;
+  int task_fd = -1;
+  int result_fd = -1;
+  double heartbeat_interval_s = 0.25;
+  std::string parent_ledger;
+};
+
+// Runs the task loop inside the forked worker. Never returns to the caller's
+// stack frame logic — the caller _Exit()s with what this returns.
+int worker_main(const WorkerFn& fn, const WorkerContext& ctx) {
+  if (!ctx.parent_ledger.empty()) {
+    // The inherited ledger handle belongs to the supervisor: appending from
+    // two processes would interleave seq counters. Each worker narrates into
+    // its own `<ledger>.w<id>` file, and its flight recorder dumps to a
+    // per-(worker, pid) path so simultaneous deaths never clobber forensics.
+    obs::ledger_close();
+    obs::ledger_open(ctx.parent_ledger + ".w" + std::to_string(ctx.slot_id));
+    obs::set_crash_report_path(obs::crash_report_path_for_worker(
+        ctx.parent_ledger, ctx.slot_id, static_cast<long>(::getpid())));
+    obs::LedgerRecord rec("worker_start");
+    rec.field("worker", ctx.slot_id)
+        .field("pid", static_cast<std::int64_t>(::getpid()));
+    obs::ledger_emit(rec);
+  }
+
+  // The result pipe is shared by this loop and the heartbeat thread; the
+  // mutex keeps frames whole. leaked on purpose: the heartbeat thread may
+  // still hold it when the process _Exit()s.
+  auto* write_mu = new std::mutex();
+  {
+    std::lock_guard lock(*write_mu);
+    std::int64_t pid = ::getpid();
+    if (!write_frame(ctx.result_fd, FrameType::kHello,
+                     {reinterpret_cast<const char*>(&pid), sizeof pid}))
+      return 1;
+  }
+  std::thread([write_mu, fd = ctx.result_fd, interval = ctx.heartbeat_interval_s] {
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      std::lock_guard lock(*write_mu);
+      if (!write_frame(fd, FrameType::kHeartbeat, {})) return;  // peer gone
+    }
+  }).detach();
+
+  for (;;) {
+    Frame frame;
+    if (!read_frame(ctx.task_fd, frame)) break;  // supervisor closed the pipe
+    if (frame.type == FrameType::kShutdown) break;
+    if (frame.type != FrameType::kTask) continue;
+    GANOPC_TYPED_CHECK(StatusCode::kInternal, frame.payload.size() >= 4,
+                       "worker: malformed task frame");
+    std::uint32_t crashes = 0;
+    std::memcpy(&crashes, frame.payload.data(), sizeof crashes);
+    const std::string payload = frame.payload.substr(sizeof crashes);
+
+    std::string response(1, '\x01');  // u8 ok | result-or-error bytes
+    try {
+      response += fn(payload, static_cast<int>(crashes));
+    } catch (const std::exception& e) {
+      response.assign(1, '\x00');
+      response += e.what();
+      obs::flight_dump("worker.task_exception");
+    } catch (...) {
+      response.assign(1, '\x00');
+      response += "unknown exception in worker fn";
+    }
+    std::lock_guard lock(*write_mu);
+    if (!write_frame(ctx.result_fd, FrameType::kResult, response)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SupervisorConfig::validate() const {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     workers >= 1 && quarantine_kills >= 1 && max_restarts >= 1,
+                     "supervisor: workers/quarantine_kills/max_restarts must be >= 1");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     heartbeat_interval_s > 0.0 &&
+                         heartbeat_timeout_s > heartbeat_interval_s,
+                     "supervisor: heartbeat timeout must exceed the interval");
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     task_deadline_s >= 0.0 && restart_backoff_base_s >= 0.0 &&
+                         restart_backoff_cap_s >= 0.0 && worker_threads >= 0 &&
+                         limits.mem_mb >= 0 && limits.cpu_s >= 0,
+                     "supervisor: deadlines/backoff/limits must be >= 0");
+}
+
+Supervisor::Supervisor(const SupervisorConfig& config, WorkerFn fn)
+    : config_(config), fn_(std::move(fn)) {
+  config_.validate();
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, static_cast<bool>(fn_),
+                     "supervisor: a worker function is required");
+}
+
+std::vector<TaskResult> Supervisor::run(
+    const std::vector<Task>& tasks,
+    const std::function<void(const TaskResult&)>& on_result) {
+  crash_reports_.clear();
+  spawn_count_ = 0;
+  if (tasks.empty()) return {};
+  {
+    std::map<std::string, int> ids;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                         ids.emplace(tasks[i].id, static_cast<int>(i)).second,
+                         "supervisor: duplicate task id '" << tasks[i].id << "'");
+  }
+
+  const std::string parent_ledger = obs::ledger_path();
+  const bool metrics = obs::metrics_enabled();
+  const std::size_t worker_threads =
+      config_.worker_threads > 0
+          ? static_cast<std::size_t>(config_.worker_threads)
+          : std::max<std::size_t>(1, ThreadPool::default_thread_count() /
+                                         static_cast<std::size_t>(config_.workers));
+
+  SigpipeGuard sigpipe;
+  std::vector<Slot> slots(static_cast<std::size_t>(config_.workers));
+  for (std::size_t i = 0; i < slots.size(); ++i) slots[i].id = static_cast<int>(i);
+
+  std::deque<int> queue;
+  for (std::size_t i = 0; i < tasks.size(); ++i) queue.push_back(static_cast<int>(i));
+  std::vector<int> crashes(tasks.size(), 0);
+  std::vector<TaskResult> results(tasks.size());
+  std::vector<bool> have(tasks.size(), false);
+  std::size_t done = 0;
+
+  auto finalize = [&](int idx, TaskResult res) {
+    res.id = tasks[static_cast<std::size_t>(idx)].id;
+    res.crashes = crashes[static_cast<std::size_t>(idx)];
+    results[static_cast<std::size_t>(idx)] = res;
+    have[static_cast<std::size_t>(idx)] = true;
+    ++done;
+    if (on_result) on_result(results[static_cast<std::size_t>(idx)]);
+  };
+
+  auto spawn = [&](Slot& slot) {
+    int task_pipe[2], result_pipe[2];
+    GANOPC_TYPED_CHECK(StatusCode::kInternal,
+                       ::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
+                       "supervisor: pipe() failed: " << std::strerror(errno));
+    // Any buffered stdio duplicated into the child would be flushed twice.
+    std::fflush(nullptr);
+    const pid_t pid = ::fork();
+    GANOPC_TYPED_CHECK(StatusCode::kInternal, pid >= 0,
+                       "supervisor: fork() failed: " << std::strerror(errno));
+    if (pid == 0) {
+      // ---- child ----
+      ::close(task_pipe[1]);
+      ::close(result_pipe[0]);
+      // Drop every other worker's pipe ends: a sibling holding a stray write
+      // end would defeat the supervisor's EOF detection for that worker.
+      for (const Slot& other : slots) {
+        if (other.task_fd >= 0) ::close(other.task_fd);
+        if (other.result_fd >= 0) ::close(other.result_fd);
+      }
+      if (config_.limits.mem_mb > 0)
+        apply_rlimit(RLIMIT_DATA,
+                     static_cast<rlim_t>(config_.limits.mem_mb) << 20);
+      if (config_.limits.cpu_s > 0)
+        apply_rlimit(RLIMIT_CPU, static_cast<rlim_t>(config_.limits.cpu_s));
+      // The parent's pool threads do not exist in this process; install a
+      // fresh pool sized so N workers share the machine instead of each
+      // claiming every hardware thread.
+      ThreadPool::reinit_after_fork(worker_threads);
+      WorkerContext ctx;
+      ctx.slot_id = slot.id;
+      ctx.task_fd = task_pipe[0];
+      ctx.result_fd = result_pipe[1];
+      ctx.heartbeat_interval_s = config_.heartbeat_interval_s;
+      ctx.parent_ledger = parent_ledger;
+      int rc = 1;
+      try {
+        rc = worker_main(fn_, ctx);
+      } catch (const std::exception&) {
+        obs::flight_dump("worker.fatal");
+      }
+      // _Exit: no static destructors, no inherited atexit hooks, no double
+      // stdio flush — the worker's state is the supervisor's to mourn.
+      std::_Exit(rc);
+    }
+    // ---- parent ----
+    ::close(task_pipe[0]);
+    ::close(result_pipe[1]);
+    slot.pid = pid;
+    slot.task_fd = task_pipe[1];
+    slot.result_fd = result_pipe[0];
+    set_nonblocking(slot.result_fd);
+    slot.rx = FrameBuffer();
+    slot.inflight = -1;
+    slot.last_frame_s = now_s();
+    slot.kill_reason.clear();
+    ++spawn_count_;
+    if (metrics) {
+      obs::counter("proc.worker.spawns").inc();
+      obs::gauge("proc.worker." + std::to_string(slot.id) + ".restarts")
+          .set(slot.restarts);
+    }
+    if (obs::ledger_enabled()) {
+      obs::LedgerRecord rec("worker_spawn");
+      rec.field("worker", slot.id)
+          .field("pid", static_cast<std::int64_t>(pid))
+          .field("restarts", slot.restarts);
+      obs::ledger_emit(rec);
+    }
+  };
+
+  auto send_task = [&](Slot& slot, int idx) {
+    std::string payload;
+    const auto n = static_cast<std::uint32_t>(crashes[static_cast<std::size_t>(idx)]);
+    payload.append(reinterpret_cast<const char*>(&n), sizeof n);
+    payload += tasks[static_cast<std::size_t>(idx)].payload;
+    if (!write_frame(slot.task_fd, FrameType::kTask, payload)) {
+      // Worker is unwritable (dying or dead); the reaper below will requeue.
+      queue.push_front(idx);
+      return;
+    }
+    slot.inflight = idx;
+    slot.task_start_s = now_s();
+  };
+
+  auto write_death_report = [&](const Slot& slot, CrashReport& report) {
+    if (parent_ledger.empty()) return;
+    report.worker_ledger = parent_ledger + ".w" + std::to_string(slot.id);
+    report.crash_dump =
+        obs::crash_report_path_for_worker(parent_ledger, slot.id, report.pid);
+    report.report_path = parent_ledger + ".death.w" + std::to_string(slot.id) +
+                         ".pid" + std::to_string(report.pid) + ".json";
+    std::string json = "{\"schema\":1,\"worker\":" + std::to_string(report.worker) +
+                       ",\"pid\":" + std::to_string(report.pid) + ",\"reason\":\"";
+    json::escape_into(json, report.reason);
+    json += "\",\"signaled\":";
+    json += report.signaled ? "true" : "false";
+    json += ",\"code\":" + std::to_string(report.code) + ",\"task\":\"";
+    json::escape_into(json, report.task_id);
+    json += "\",\"rusage\":{\"max_rss_kb\":" + std::to_string(report.max_rss_kb) +
+            ",\"user_s\":" + format_double(report.user_s) +
+            ",\"sys_s\":" + format_double(report.sys_s) + "},\"worker_ledger\":\"";
+    json::escape_into(json, report.worker_ledger);
+    json += "\",\"crash_dump\":\"";
+    json::escape_into(json, report.crash_dump);
+    json += "\"}\n";
+    try {
+      atomic_write_file(report.report_path,
+                        [&](std::ostream& out) { out << json; });
+    } catch (...) {
+      // Forensics are best-effort; the in-memory CrashReport survives.
+      report.report_path.clear();
+    }
+  };
+
+  auto handle_death = [&](Slot& slot, int status, const struct rusage& ru) {
+    // A result written before the crash is still sitting in the pipe; honor
+    // it — the task completed, the worker merely died afterwards.
+    if (slot.result_fd >= 0) {
+      try {
+        slot.rx.fill(slot.result_fd);
+        Frame frame;
+        while (slot.rx.next(frame)) {
+          if (frame.type != FrameType::kResult || slot.inflight < 0) continue;
+          TaskResult res;
+          if (!frame.payload.empty() && frame.payload[0] == '\x01')
+            res.payload = frame.payload.substr(1);
+          else
+            res.error = frame.payload.empty() ? "empty worker response"
+                                              : frame.payload.substr(1);
+          finalize(slot.inflight, std::move(res));
+          slot.inflight = -1;
+        }
+      } catch (...) {
+        // Torn tail from a mid-write death: the in-flight task did not
+        // complete; fall through to the requeue path.
+      }
+    }
+    CrashReport report;
+    report.worker = slot.id;
+    report.pid = static_cast<long>(slot.pid);
+    report.signaled = WIFSIGNALED(status);
+    report.code = report.signaled ? WTERMSIG(status) : WEXITSTATUS(status);
+    report.task_id = slot.inflight >= 0
+                         ? tasks[static_cast<std::size_t>(slot.inflight)].id
+                         : "";
+    report.reason = !slot.kill_reason.empty() ? slot.kill_reason
+                    : report.signaled         ? "signal"
+                                              : "exit";
+    report.max_rss_kb = static_cast<long>(ru.ru_maxrss);
+    report.user_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                    static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    report.sys_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                   static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    write_death_report(slot, report);
+    if (metrics) obs::counter("proc.worker.deaths").inc();
+    if (obs::ledger_enabled()) {
+      obs::LedgerRecord rec("worker_death");
+      rec.field("worker", slot.id)
+          .field("pid", static_cast<std::int64_t>(slot.pid))
+          .field("reason", report.reason)
+          .field("signaled", report.signaled)
+          .field("code", report.code)
+          .field("task", report.task_id)
+          .field("max_rss_kb", static_cast<std::int64_t>(report.max_rss_kb))
+          .field("user_s", report.user_s)
+          .field("sys_s", report.sys_s);
+      if (!report.report_path.empty()) rec.field("report", report.report_path);
+      obs::ledger_emit(rec);
+    }
+    crash_reports_.push_back(report);
+
+    if (slot.inflight >= 0) {
+      const int idx = slot.inflight;
+      slot.inflight = -1;
+      ++crashes[static_cast<std::size_t>(idx)];
+      if (crashes[static_cast<std::size_t>(idx)] >= config_.quarantine_kills) {
+        if (metrics) obs::counter("proc.tasks.quarantined").inc();
+        TaskResult res;
+        res.quarantined = true;
+        finalize(idx, std::move(res));
+      } else {
+        if (metrics) obs::counter("proc.tasks.requeued").inc();
+        queue.push_front(idx);
+      }
+    }
+
+    close_fd(slot.task_fd);
+    close_fd(slot.result_fd);
+    slot.pid = -1;
+    ++slot.restarts;
+    if (slot.restarts >= config_.max_restarts) {
+      slot.retired = true;
+      return;
+    }
+    const double delay =
+        backoff_delay_s(config_.restart_backoff_base_s, config_.restart_backoff_cap_s,
+                        slot.restarts,
+                        config_.seed ^ (0x9E3779B97F4A7C15ULL *
+                                        static_cast<std::uint64_t>(slot.id + 1)));
+    slot.respawn_at_s = now_s() + delay;
+    if (metrics)
+      obs::histogram("proc.restart_delay_s", obs::time_buckets()).observe(delay);
+  };
+
+  // ------------------------------------------------------ dispatch loop
+  while (done < tasks.size()) {
+    const double now = now_s();
+
+    for (Slot& slot : slots)
+      if (!slot.live() && !slot.retired && !queue.empty() && now >= slot.respawn_at_s)
+        spawn(slot);
+
+    for (Slot& slot : slots) {
+      if (!slot.live() || slot.inflight >= 0 || queue.empty()) continue;
+      const int idx = queue.front();
+      queue.pop_front();
+      send_task(slot, idx);
+    }
+
+    std::vector<struct pollfd> fds;
+    std::vector<Slot*> fd_slots;
+    for (Slot& slot : slots) {
+      if (!slot.live()) continue;
+      fds.push_back({slot.result_fd, POLLIN, 0});
+      fd_slots.push_back(&slot);
+    }
+    if (fds.empty()) {
+      bool any_pending = false;
+      for (const Slot& slot : slots) any_pending |= !slot.retired;
+      GANOPC_TYPED_CHECK(StatusCode::kInternal, any_pending,
+                         "supervisor: every worker slot retired with "
+                             << (tasks.size() - done) << " task(s) unfinished");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    } else {
+      (void)::poll(fds.data(), fds.size(), /*timeout_ms=*/20);
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Slot& slot = *fd_slots[i];
+        bool eof = false;
+        try {
+          eof = !slot.rx.fill(slot.result_fd);
+        } catch (...) {
+          eof = true;  // unreadable pipe: treat as gone, reaper confirms
+        }
+        Frame frame;
+        while (slot.rx.next(frame)) {
+          slot.last_frame_s = now_s();
+          if (frame.type != FrameType::kResult) continue;  // hello/heartbeat
+          if (slot.inflight < 0) continue;  // stale frame from a shutdown race
+          TaskResult res;
+          if (!frame.payload.empty() && frame.payload[0] == '\x01')
+            res.payload = frame.payload.substr(1);
+          else
+            res.error = frame.payload.empty() ? "empty worker response"
+                                              : frame.payload.substr(1);
+          finalize(slot.inflight, std::move(res));
+          slot.inflight = -1;
+        }
+        (void)eof;  // death is handled by the reaper below
+      }
+    }
+
+    // Reap every child that has exited since the last pass.
+    for (;;) {
+      int status = 0;
+      struct rusage ru {};
+      const pid_t pid = ::wait4(-1, &status, WNOHANG, &ru);
+      if (pid <= 0) break;
+      for (Slot& slot : slots)
+        if (slot.pid == pid) {
+          handle_death(slot, status, ru);
+          break;
+        }
+    }
+
+    // Liveness enforcement: a frozen process stops heartbeating; a wedged
+    // computation heartbeats forever but never returns its task.
+    const double t = now_s();
+    for (Slot& slot : slots) {
+      if (!slot.live() || !slot.kill_reason.empty()) continue;
+      if (t - slot.last_frame_s > config_.heartbeat_timeout_s)
+        slot.kill_reason = "heartbeat_timeout";
+      else if (config_.task_deadline_s > 0.0 && slot.inflight >= 0 &&
+               t - slot.task_start_s > config_.task_deadline_s)
+        slot.kill_reason = "task_deadline";
+      else
+        continue;
+      ::kill(slot.pid, SIGKILL);
+    }
+  }
+
+  // ------------------------------------------------------------ shutdown
+  for (Slot& slot : slots) {
+    if (!slot.live()) continue;
+    (void)write_frame(slot.task_fd, FrameType::kShutdown, {});
+    close_fd(slot.task_fd);
+  }
+  const double grace_until = now_s() + 5.0;
+  for (Slot& slot : slots) {
+    if (!slot.live()) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t pid = ::waitpid(slot.pid, &status, WNOHANG);
+      if (pid == slot.pid || (pid < 0 && errno == ECHILD)) break;
+      if (now_s() > grace_until) {
+        ::kill(slot.pid, SIGKILL);
+        (void)::waitpid(slot.pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    slot.pid = -1;
+    close_fd(slot.result_fd);
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    GANOPC_TYPED_CHECK(StatusCode::kInternal, have[i],
+                       "supervisor: task '" << tasks[i].id << "' never resolved");
+  return results;
+}
+
+}  // namespace ganopc::proc

@@ -1,0 +1,132 @@
+// Process-isolated supervised worker pool (DESIGN.md §13).
+//
+// A Supervisor forks N sandboxed worker subprocesses and drives a task queue
+// through them over the pipe protocol in proc/wire.hpp. It is the crash
+// containment layer *around* the in-process fault tolerance the repo already
+// has (watchdog, divergence guard, per-clip Status isolation): a SIGSEGV in
+// a vectorized kernel, an OOM kill, or a stuck syscall destroys one worker,
+// not the batch.
+//
+//   - Workers run the user-supplied WorkerFn; per-worker setrlimit caps
+//     (RLIMIT_DATA / RLIMIT_CPU) bound memory and CPU, and each worker
+//     reopens its own ledger (`<ledger>.w<id>`) with a collision-free
+//     crash-dump path (obs::crash_report_path_for_worker).
+//   - Liveness: a heartbeat thread in each worker ticks the result pipe; the
+//     supervisor also enforces a per-task wall deadline, so both a frozen
+//     process (no beats) and a wedged computation (beats, no result) are
+//     detected and SIGKILLed.
+//   - On any worker death the supervisor reaps the pid with wait4, records a
+//     structured CrashReport (signal/exit code, in-flight task, rusage, the
+//     worker's forensics paths) plus a `worker_death` ledger event, re-queues
+//     the in-flight task at the front, and respawns the slot after a bounded
+//     exponential backoff with deterministic jitter (common/backoff).
+//   - A task whose processing has killed `quarantine_kills` workers is not
+//     re-queued again: it is surfaced as a quarantined TaskResult so the
+//     caller can emit a typed Status row instead of looping forever on a
+//     poison input. The crash count is also passed to the WorkerFn on each
+//     retry, letting the caller degrade (BatchRunner skips one rung of its
+//     GAN+ILT -> ILT -> MB-OPC ladder per prior crash).
+//
+// The Supervisor is deliberately generic over (id, payload-bytes) tasks —
+// it is the process-management skeleton the `ganopc serve` daemon will
+// reuse; BatchRunner is its first client.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ganopc::proc {
+
+struct WorkerLimits {
+  /// RLIMIT_DATA cap in MiB (0 = unlimited). RLIMIT_DATA rather than
+  /// RLIMIT_AS so the cap composes with sanitizer shadow mappings.
+  int mem_mb = 0;
+  /// RLIMIT_CPU cap in seconds (0 = unlimited); overrun delivers SIGXCPU.
+  int cpu_s = 0;
+};
+
+struct SupervisorConfig {
+  int workers = 1;            ///< worker subprocesses (>= 1)
+  /// A task that has crashed this many workers is quarantined, not re-queued.
+  int quarantine_kills = 3;
+  /// A worker slot that has died this many times is retired for the run.
+  int max_restarts = 16;
+  double heartbeat_interval_s = 0.25;  ///< worker-side beat period
+  double heartbeat_timeout_s = 30.0;   ///< no frames for this long -> SIGKILL
+  double task_deadline_s = 0.0;        ///< per-task wall cap (0 = none) -> SIGKILL
+  double restart_backoff_base_s = 0.05;
+  double restart_backoff_cap_s = 2.0;
+  /// Thread-pool size inside each worker (0 = hardware threads / workers,
+  /// at least 1) so N workers do not oversubscribe the machine N-fold.
+  int worker_threads = 0;
+  std::uint64_t seed = 1847;  ///< restart-jitter stream
+  WorkerLimits limits;
+
+  void validate() const;
+};
+
+struct Task {
+  std::string id;       ///< unique; quarantine counting is keyed on it
+  std::string payload;  ///< opaque bytes handed to the WorkerFn
+};
+
+struct TaskResult {
+  std::string id;
+  std::string payload;      ///< WorkerFn return value ("" when not run)
+  std::string error;        ///< WorkerFn exception text ("" = clean)
+  int crashes = 0;          ///< workers this task killed before completing
+  bool quarantined = false; ///< crashes reached quarantine_kills; no payload
+};
+
+/// One entry per worker death, in death order — the forensics trail the
+/// batch layer surfaces and the kill-matrix tests assert on.
+struct CrashReport {
+  int worker = -1;          ///< slot index (stable across restarts)
+  long pid = 0;
+  bool signaled = false;    ///< died of a signal (vs exit())
+  int code = 0;             ///< signal number or exit status
+  std::string task_id;      ///< in-flight task ("" if idle)
+  std::string reason;       ///< "signal" | "exit" | "heartbeat_timeout" | "task_deadline"
+  long max_rss_kb = 0;      ///< wait4 rusage
+  double user_s = 0.0;
+  double sys_s = 0.0;
+  std::string worker_ledger;  ///< per-worker ledger path ("" when ledger off)
+  std::string crash_dump;     ///< worker's flight-recorder dump destination
+  std::string report_path;    ///< supervisor-written death report ("" when ledger off)
+};
+
+/// Runs inside the worker process. `crashes` is how many workers this task
+/// has already killed (0 on first delivery) — the degradation hook.
+/// Exceptions are caught, marshalled back, and surfaced as TaskResult::error.
+using WorkerFn = std::function<std::string(const std::string& payload, int crashes)>;
+
+class Supervisor {
+ public:
+  Supervisor(const SupervisorConfig& config, WorkerFn fn);
+
+  /// Process every task; returns results in task order. `on_result` (may be
+  /// empty) fires in the supervisor process as each task completes or is
+  /// quarantined — completion order — so the caller can journal
+  /// incrementally. Throws StatusError(kInternal) only for pool-level faults
+  /// (every worker slot retired with work remaining, fork failure storms);
+  /// per-task faults land in the TaskResults.
+  std::vector<TaskResult> run(
+      const std::vector<Task>& tasks,
+      const std::function<void(const TaskResult&)>& on_result = {});
+
+  /// Every worker death observed by the last run(), in death order.
+  const std::vector<CrashReport>& crash_reports() const { return crash_reports_; }
+
+  /// Total worker processes forked by the last run() (initial + restarts).
+  int spawn_count() const { return spawn_count_; }
+
+ private:
+  SupervisorConfig config_;
+  WorkerFn fn_;
+  std::vector<CrashReport> crash_reports_;
+  int spawn_count_ = 0;
+};
+
+}  // namespace ganopc::proc

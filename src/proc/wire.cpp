@@ -1,0 +1,119 @@
+#include "proc/wire.hpp"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace ganopc::proc {
+
+namespace {
+
+// Full blocking write of `size` bytes; false on EPIPE or any other error.
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Full blocking read. Returns bytes read: `size` on success, 0 on EOF before
+// the first byte, and throws on EOF mid-object (torn frame).
+std::size_t read_all(int fd, void* out, std::size_t size) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StatusError(StatusCode::kInternal,
+                        std::string("wire: read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      throw StatusError(StatusCode::kInternal, "wire: torn frame (EOF mid-frame)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool write_frame(int fd, FrameType type, std::string_view payload) {
+  GANOPC_TYPED_CHECK(StatusCode::kInternal, payload.size() <= kMaxFramePayload,
+                     "wire: oversized frame payload (" << payload.size() << " bytes)");
+  // Header and payload are written in one buffer so small frames (heartbeats,
+  // task handles) land in a single atomic pipe write: the worker-side
+  // heartbeat thread and result writes share the fd under a mutex, but the
+  // supervisor additionally never sees an interleaved header.
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  buf.push_back(static_cast<char>(type));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof len);
+  buf.append(payload.data(), payload.size());
+  return write_all(fd, buf.data(), buf.size());
+}
+
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t type = 0;
+  if (read_all(fd, &type, 1) == 0) return false;
+  std::uint32_t len = 0;
+  if (read_all(fd, &len, sizeof len) == 0)
+    throw StatusError(StatusCode::kInternal, "wire: torn frame (EOF after type)");
+  GANOPC_TYPED_CHECK(StatusCode::kInternal, len <= kMaxFramePayload,
+                     "wire: oversized frame length " << len);
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(len);
+  if (len > 0 && read_all(fd, out.payload.data(), len) == 0)
+    throw StatusError(StatusCode::kInternal, "wire: torn frame (EOF in payload)");
+  return true;
+}
+
+bool FrameBuffer::fill(int fd) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    throw StatusError(StatusCode::kInternal,
+                      std::string("wire: read failed: ") + std::strerror(errno));
+  }
+}
+
+bool FrameBuffer::next(Frame& out) {
+  // Compact once consumed bytes dominate, so a long-lived worker connection
+  // does not grow the buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 5) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_ + 1, sizeof len);
+  GANOPC_TYPED_CHECK(StatusCode::kInternal, len <= kMaxFramePayload,
+                     "wire: oversized frame length " << len);
+  if (avail < 5 + static_cast<std::size_t>(len)) return false;
+  out.type = static_cast<FrameType>(static_cast<std::uint8_t>(buf_[pos_]));
+  out.payload.assign(buf_, pos_ + 5, len);
+  pos_ += 5 + static_cast<std::size_t>(len);
+  return true;
+}
+
+}  // namespace ganopc::proc

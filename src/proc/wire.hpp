@@ -1,0 +1,73 @@
+// Pipe wire protocol for the supervised worker pool (DESIGN.md §13).
+//
+// One frame = u8 type | u32 payload length | payload bytes, little-endian
+// host order — supervisor and workers are fork() twins, so no cross-machine
+// concerns. Frames flow over two unidirectional pipes per worker:
+//
+//   supervisor --task pipe-->  worker     kTask, kShutdown
+//   worker   --result pipe--> supervisor  kHello, kHeartbeat, kResult
+//
+// The writer side is blocking (payloads are tiny — a clip index out, a
+// manifest row back) and retries EINTR; EPIPE/short-write surfaces as
+// `false` so the supervisor treats an unwritable worker as dead rather than
+// crashing on SIGPIPE (which the supervisor ignores while running).
+//
+// The supervisor reads through FrameBuffer: result pipes are O_NONBLOCK, raw
+// bytes are drained into a per-worker buffer after poll(), and complete
+// frames are popped as they materialize. A worker dying mid-frame therefore
+// leaves a recognizable torn tail instead of wedging the dispatch loop, and
+// a result that was fully written before the crash is still recovered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ganopc::proc {
+
+enum class FrameType : std::uint8_t {
+  kTask = 1,       ///< supervisor -> worker: one unit of work
+  kShutdown = 2,   ///< supervisor -> worker: drain and exit(0)
+  kHello = 3,      ///< worker -> supervisor: alive, pid in payload
+  kHeartbeat = 4,  ///< worker -> supervisor: periodic liveness tick
+  kResult = 5,     ///< worker -> supervisor: completed task payload
+};
+
+/// Frames above this are a protocol violation (a desynced or corrupt peer);
+/// readers fail hard instead of allocating unbounded memory.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Blocking full-frame write (EINTR retried). False on EPIPE / short write —
+/// the peer is gone; the caller decides whether that is fatal.
+bool write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Blocking full-frame read (EINTR retried). False on clean EOF before the
+/// first byte; throws StatusError(kInternal) on a torn frame or an oversized
+/// length — a half-written frame on the *task* pipe means the supervisor
+/// died mid-send, which a worker must not misread as a valid task.
+bool read_frame(int fd, Frame& out);
+
+/// Incremental frame parser over a nonblocking fd (supervisor side).
+class FrameBuffer {
+ public:
+  /// Drain whatever is readable right now into the buffer. Returns false
+  /// once the peer has closed the pipe (EOF); EAGAIN is a normal true.
+  bool fill(int fd);
+
+  /// Pop the next complete frame; false when more bytes are needed.
+  /// Throws StatusError(kInternal) on an oversized frame length.
+  bool next(Frame& out);
+
+  /// Bytes buffered but not yet forming a complete frame (torn tail).
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ganopc::proc

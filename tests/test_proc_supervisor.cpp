@@ -1,0 +1,220 @@
+// In-process kill matrix for proc::Supervisor: the test binary itself acts
+// as the dispatcher, forking real sandboxed workers whose WorkerFn is a
+// lambda that crashes / wedges / freezes on command. Proves restart with
+// requeue, quarantine-after-K, task-deadline and heartbeat-timeout kills,
+// and the per-worker forensics trail (ledgers, death reports, crash paths).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/ledger.hpp"
+#include "proc/supervisor.hpp"
+
+namespace ganopc::proc {
+namespace {
+
+namespace fs = std::filesystem;
+
+SupervisorConfig quick_config(int workers) {
+  SupervisorConfig cfg;
+  cfg.workers = workers;
+  cfg.heartbeat_interval_s = 0.05;
+  cfg.heartbeat_timeout_s = 20.0;
+  cfg.restart_backoff_base_s = 0.01;
+  cfg.restart_backoff_cap_s = 0.1;
+  return cfg;
+}
+
+// Echo worker with fault verbs: a payload of "<verb>" acts out the fault on
+// the first delivery only (crashes == 0), then behaves on the retry — the
+// same shape as a flaky clip that takes out a worker once.
+std::string faulty_fn(const std::string& payload, int crashes) {
+  if (crashes == 0) {
+    if (payload == "kill") std::raise(SIGKILL);
+    if (payload == "exit") std::_Exit(7);
+    if (payload == "hang")
+      for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (payload == "freeze") std::raise(SIGSTOP);  // heartbeats stop too
+    if (payload == "throw") throw StatusError(StatusCode::kLithoNumeric, "boom");
+  }
+  if (payload == "always-kill") std::raise(SIGKILL);
+  return "ok:" + payload + ":" + std::to_string(crashes);
+}
+
+TEST(Supervisor, DispatchesTasksAndReturnsResultsInTaskOrder) {
+  Supervisor sup(quick_config(3), [](const std::string& p, int) {
+    return "echo:" + p;
+  });
+  std::vector<Task> tasks;
+  for (int i = 0; i < 12; ++i)
+    tasks.push_back({"t" + std::to_string(i), std::to_string(i)});
+  int completions = 0;
+  const auto results =
+      sup.run(tasks, [&](const TaskResult&) { ++completions; });
+  ASSERT_EQ(results.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(results[i].id, tasks[i].id);
+    EXPECT_EQ(results[i].payload, "echo:" + tasks[i].payload);
+    EXPECT_TRUE(results[i].error.empty());
+    EXPECT_FALSE(results[i].quarantined);
+  }
+  EXPECT_EQ(completions, 12);
+  EXPECT_EQ(sup.spawn_count(), 3);  // no deaths, no restarts
+  EXPECT_TRUE(sup.crash_reports().empty());
+}
+
+TEST(Supervisor, ExceptionsAreMarshalledNotFatal) {
+  Supervisor sup(quick_config(2), faulty_fn);
+  const auto results = sup.run({{"a", "throw"}, {"b", "fine"}});
+  // "throw" faults only on crashes == 0 and an exception is not a crash, so
+  // the error is marshalled back and the worker survives to serve more tasks.
+  EXPECT_NE(results[0].error.find("boom"), std::string::npos);
+  EXPECT_FALSE(results[0].quarantined);
+  EXPECT_EQ(results[1].payload, "ok:fine:0");
+  EXPECT_TRUE(sup.crash_reports().empty());
+}
+
+TEST(Supervisor, CrashedTaskIsRequeuedOntoAFreshWorker) {
+  // A single slot, so the only way the requeued task can complete is a
+  // respawn of the dead worker (respawns are lazy: a surviving sibling may
+  // pick up the requeue instead, so a 1-slot pool pins down the restart).
+  Supervisor sup(quick_config(1), faulty_fn);
+  const auto results = sup.run({{"victim", "kill"}, {"bystander", "fine"}});
+  // The SIGKILLed task came back with crashes == 1 and completed.
+  EXPECT_EQ(results[0].payload, "ok:kill:1");
+  EXPECT_EQ(results[0].crashes, 1);
+  EXPECT_EQ(results[1].payload, "ok:fine:0");
+  ASSERT_EQ(sup.crash_reports().size(), 1u);
+  const CrashReport& cr = sup.crash_reports()[0];
+  EXPECT_EQ(cr.task_id, "victim");
+  EXPECT_EQ(cr.reason, "signal");
+  EXPECT_TRUE(cr.signaled);
+  EXPECT_EQ(cr.code, SIGKILL);
+  EXPECT_EQ(sup.spawn_count(), 2);  // 1 initial + 1 restart
+}
+
+TEST(Supervisor, CleanExitMidTaskCountsAsACrashToo) {
+  Supervisor sup(quick_config(1), faulty_fn);
+  const auto results = sup.run({{"quitter", "exit"}});
+  EXPECT_EQ(results[0].payload, "ok:exit:1");
+  ASSERT_EQ(sup.crash_reports().size(), 1u);
+  EXPECT_EQ(sup.crash_reports()[0].reason, "exit");
+  EXPECT_FALSE(sup.crash_reports()[0].signaled);
+  EXPECT_EQ(sup.crash_reports()[0].code, 7);
+}
+
+TEST(Supervisor, PoisonTaskIsQuarantinedAfterKKills) {
+  SupervisorConfig cfg = quick_config(2);
+  cfg.quarantine_kills = 3;
+  Supervisor sup(cfg, faulty_fn);
+  const auto results = sup.run({{"poison", "always-kill"}, {"good", "fine"}});
+  EXPECT_TRUE(results[0].quarantined);
+  EXPECT_EQ(results[0].crashes, 3);
+  EXPECT_TRUE(results[0].payload.empty());
+  EXPECT_EQ(results[1].payload, "ok:fine:0");
+  // Exactly K deaths are attributed to the poison task — the run then moves
+  // on instead of looping forever.
+  int poison_deaths = 0;
+  for (const auto& cr : sup.crash_reports())
+    if (cr.task_id == "poison") ++poison_deaths;
+  EXPECT_EQ(poison_deaths, 3);
+}
+
+TEST(Supervisor, WedgedTaskIsKilledByTheTaskDeadline) {
+  SupervisorConfig cfg = quick_config(1);
+  cfg.task_deadline_s = 0.5;
+  Supervisor sup(cfg, faulty_fn);
+  const auto results = sup.run({{"wedge", "hang"}});
+  // The hang keeps heartbeating (the beat thread lives), so only the task
+  // deadline can catch it; the retry (crashes == 1) then completes.
+  EXPECT_EQ(results[0].payload, "ok:hang:1");
+  ASSERT_GE(sup.crash_reports().size(), 1u);
+  EXPECT_EQ(sup.crash_reports()[0].reason, "task_deadline");
+}
+
+TEST(Supervisor, FrozenWorkerIsKilledByTheHeartbeatTimeout) {
+  SupervisorConfig cfg = quick_config(1);
+  cfg.heartbeat_interval_s = 0.05;
+  cfg.heartbeat_timeout_s = 0.6;
+  Supervisor sup(cfg, faulty_fn);
+  const auto results = sup.run({{"ice", "freeze"}});
+  // SIGSTOP freezes the whole process including its heartbeat thread — the
+  // liveness layer, not the task deadline, must reclaim the slot.
+  EXPECT_EQ(results[0].payload, "ok:freeze:1");
+  ASSERT_GE(sup.crash_reports().size(), 1u);
+  EXPECT_EQ(sup.crash_reports()[0].reason, "heartbeat_timeout");
+}
+
+TEST(Supervisor, EverySlotRetiredWithWorkLeftIsAPoolLevelFault) {
+  SupervisorConfig cfg = quick_config(1);
+  cfg.max_restarts = 2;
+  cfg.quarantine_kills = 100;  // never quarantine; exhaust the slot instead
+  Supervisor sup(cfg, faulty_fn);
+  EXPECT_THROW(sup.run({{"poison", "always-kill"}}), StatusError);
+}
+
+TEST(Supervisor, RejectsDuplicateTaskIdsAndBadConfigs) {
+  Supervisor sup(quick_config(1), faulty_fn);
+  EXPECT_THROW(sup.run({{"same", "a"}, {"same", "b"}}), StatusError);
+  SupervisorConfig bad;
+  bad.workers = 0;
+  EXPECT_THROW(Supervisor(bad, faulty_fn), StatusError);
+  SupervisorConfig bad2;
+  bad2.heartbeat_timeout_s = bad2.heartbeat_interval_s / 2;
+  EXPECT_THROW(Supervisor(bad2, faulty_fn), StatusError);
+}
+
+TEST(Supervisor, WritesPerWorkerLedgersAndDeathReports) {
+  const std::string dir =
+      (fs::temp_directory_path() / "ganopc_supervisor_ledger").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string ledger = dir + "/run.jsonl";
+  obs::ledger_open(ledger);
+
+  SupervisorConfig cfg = quick_config(2);
+  cfg.quarantine_kills = 2;
+  Supervisor sup(cfg, faulty_fn);
+  const auto results = sup.run({{"poison", "always-kill"}, {"good", "fine"}});
+  obs::ledger_close();
+  EXPECT_TRUE(results[0].quarantined);
+
+  // Supervisor-side narration: every spawn and death is an event.
+  const obs::LedgerFile lf = obs::read_ledger(ledger);
+  int spawns = 0, deaths = 0;
+  for (const auto& ev : lf.events) {
+    const std::string type = ev.string_or("type", "");
+    if (type == "worker_spawn") ++spawns;
+    if (type == "worker_death") ++deaths;
+  }
+  EXPECT_EQ(deaths, 2);
+  EXPECT_EQ(spawns, sup.spawn_count());
+  EXPECT_GE(spawns, 2);  // both slots spawned (restarts are lazy)
+
+  // Worker-side narration: each slot appends to its own `<ledger>.w<id>`.
+  EXPECT_TRUE(fs::exists(ledger + ".w0"));
+  EXPECT_TRUE(fs::exists(ledger + ".w1"));
+
+  // Death reports are per (worker, pid), named in the crash report, and
+  // parse as one JSON object with the rusage block.
+  ASSERT_EQ(sup.crash_reports().size(), 2u);
+  for (const auto& cr : sup.crash_reports()) {
+    ASSERT_FALSE(cr.report_path.empty());
+    EXPECT_TRUE(fs::exists(cr.report_path)) << cr.report_path;
+    const obs::LedgerFile report = obs::read_ledger(cr.report_path);
+    ASSERT_EQ(report.events.size(), 1u);
+    EXPECT_EQ(report.events[0].string_or("task", ""), "poison");
+    EXPECT_EQ(report.events[0].string_or("reason", ""), "signal");
+    EXPECT_EQ(cr.worker_ledger, ledger + ".w" + std::to_string(cr.worker));
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ganopc::proc

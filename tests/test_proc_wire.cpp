@@ -1,0 +1,166 @@
+// Unit coverage for the supervised-pool plumbing that needs no fork():
+// the pipe wire protocol (proc/wire), the deterministic retry/restart
+// backoff (common/backoff), and the forensics path helpers.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/status.hpp"
+#include "obs/ledger.hpp"
+#include "proc/wire.hpp"
+
+namespace ganopc::proc {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int rd() const { return fds[0]; }
+  int wr() const { return fds[1]; }
+  void close_wr() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+  void make_rd_nonblocking() const {
+    ASSERT_EQ(::fcntl(fds[0], F_SETFL,
+                      ::fcntl(fds[0], F_GETFL, 0) | O_NONBLOCK),
+              0);
+  }
+};
+
+TEST(ProcWire, FrameRoundTripsThroughAPipe) {
+  Pipe p;
+  const std::string payload = "clip #7 \x00\x01\xff bytes";
+  ASSERT_TRUE(write_frame(p.wr(), FrameType::kResult, payload));
+  ASSERT_TRUE(write_frame(p.wr(), FrameType::kHeartbeat, {}));
+
+  Frame f;
+  ASSERT_TRUE(read_frame(p.rd(), f));
+  EXPECT_EQ(f.type, FrameType::kResult);
+  EXPECT_EQ(f.payload, payload);
+  ASSERT_TRUE(read_frame(p.rd(), f));
+  EXPECT_EQ(f.type, FrameType::kHeartbeat);
+  EXPECT_TRUE(f.payload.empty());
+
+  p.close_wr();
+  EXPECT_FALSE(read_frame(p.rd(), f));  // clean EOF
+}
+
+TEST(ProcWire, TornFrameThrowsInsteadOfParsing) {
+  Pipe p;
+  // A type byte and half a length header, then the writer "dies".
+  const char torn[3] = {1, 42, 0};
+  ASSERT_EQ(::write(p.wr(), torn, sizeof torn), 3);
+  p.close_wr();
+  Frame f;
+  EXPECT_THROW(read_frame(p.rd(), f), StatusError);
+}
+
+TEST(ProcWire, WriteToClosedPipeReturnsFalseNotSigpipe) {
+  Pipe p;
+  ::signal(SIGPIPE, SIG_IGN);
+  ::close(p.fds[0]);
+  p.fds[0] = -1;
+  EXPECT_FALSE(write_frame(p.wr(), FrameType::kTask, "x"));
+  ::signal(SIGPIPE, SIG_DFL);
+}
+
+TEST(ProcWire, FrameBufferReassemblesDribbledBytes) {
+  // Serialize two frames, then feed them through a nonblocking pipe one byte
+  // at a time — the parser must never yield a frame early or lose one.
+  Pipe serial;
+  ASSERT_TRUE(write_frame(serial.wr(), FrameType::kTask, "abc"));
+  ASSERT_TRUE(write_frame(serial.wr(), FrameType::kResult, std::string(300, 'z')));
+  serial.close_wr();
+  std::string bytes;
+  char c;
+  while (::read(serial.rd(), &c, 1) == 1) bytes.push_back(c);
+
+  Pipe p;
+  p.make_rd_nonblocking();
+  FrameBuffer buf;
+  std::vector<Frame> got;
+  for (const char b : bytes) {
+    ASSERT_EQ(::write(p.wr(), &b, 1), 1);
+    ASSERT_TRUE(buf.fill(p.rd()));
+    Frame f;
+    while (buf.next(f)) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, FrameType::kTask);
+  EXPECT_EQ(got[0].payload, "abc");
+  EXPECT_EQ(got[1].type, FrameType::kResult);
+  EXPECT_EQ(got[1].payload, std::string(300, 'z'));
+  EXPECT_EQ(buf.pending_bytes(), 0u);
+
+  p.close_wr();
+  EXPECT_FALSE(buf.fill(p.rd()));  // EOF reported once drained
+}
+
+TEST(ProcWire, FrameBufferRejectsOversizedLength) {
+  Pipe p;
+  p.make_rd_nonblocking();
+  std::string evil(1, '\x05');
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  evil.append(reinterpret_cast<const char*>(&huge), sizeof huge);
+  ASSERT_EQ(::write(p.wr(), evil.data(), evil.size()),
+            static_cast<ssize_t>(evil.size()));
+  FrameBuffer buf;
+  ASSERT_TRUE(buf.fill(p.rd()));
+  Frame f;
+  EXPECT_THROW(buf.next(f), StatusError);
+}
+
+TEST(Backoff, DeterministicJitteredExponentialGrowth) {
+  const std::uint64_t key = fnv1a64("clip_042");
+  // Same (base, cap, attempt, key) -> same delay, bit for bit.
+  EXPECT_EQ(backoff_delay_s(0.05, 10.0, 3, key), backoff_delay_s(0.05, 10.0, 3, key));
+  // Different keys decorrelate the jitter.
+  EXPECT_NE(backoff_delay_s(0.05, 10.0, 3, key),
+            backoff_delay_s(0.05, 10.0, 3, fnv1a64("clip_043")));
+  // Jitter stays within [0.5, 1.5) of the nominal 2^(n-1) ramp.
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double nominal = 0.05 * static_cast<double>(1 << (attempt - 1));
+    const double d = backoff_delay_s(0.05, 1e9, attempt, key);
+    EXPECT_GE(d, 0.5 * nominal) << attempt;
+    EXPECT_LT(d, 1.5 * nominal) << attempt;
+  }
+  // The cap clamps, attempt 0 and a zero base disable the delay entirely.
+  EXPECT_LE(backoff_delay_s(0.05, 2.0, 30, key), 2.0);
+  EXPECT_EQ(backoff_delay_s(0.05, 2.0, 0, key), 0.0);
+  EXPECT_EQ(backoff_delay_s(0.0, 2.0, 5, key), 0.0);
+  // Huge attempt counts must not overflow the 2^n ramp into UB.
+  EXPECT_LE(backoff_delay_s(0.05, 3.0, 1000, key), 3.0);
+}
+
+TEST(Backoff, Fnv1a64MatchesReferenceVector) {
+  // FNV-1a 64 official test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(CrashPaths, PerWorkerCrashDumpPathsCannotCollide) {
+  EXPECT_EQ(obs::crash_report_path_for_worker("run.jsonl", 2, 4711),
+            "run.jsonl.crash.w2.pid4711.json");
+  EXPECT_NE(obs::crash_report_path_for_worker("run.jsonl", 0, 100),
+            obs::crash_report_path_for_worker("run.jsonl", 1, 100));
+  EXPECT_NE(obs::crash_report_path_for_worker("run.jsonl", 0, 100),
+            obs::crash_report_path_for_worker("run.jsonl", 0, 101));
+}
+
+TEST(QuarantinedStatus, NameRoundTrips) {
+  EXPECT_STREQ(status_code_name(StatusCode::kQuarantined), "Quarantined");
+  EXPECT_EQ(status_code_from_name("Quarantined"), StatusCode::kQuarantined);
+}
+
+}  // namespace
+}  // namespace ganopc::proc

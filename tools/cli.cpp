@@ -13,7 +13,9 @@
 //                  [--iters N] [--generator FILE.bin] [--journal FILE]
 //                  [--resume FILE] [--manifest FILE.csv] [--deadline-s SEC]
 //                  [--max-retries N] [--fallback 0|1] [--accept-factor F]
-//                  [--deterministic-manifest 0|1]
+//                  [--deterministic-manifest 0|1] [--retry-backoff-s SEC]
+//                  [--workers N] [--quarantine-kills K] [--task-deadline-s SEC]
+//                  [--worker-mem-mb MB] [--worker-cpu-s SEC]
 //   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
 //   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
 //                  [--clipsize NM]
@@ -27,6 +29,11 @@
 // checkpoint that --resume continues from bit-identically (DESIGN.md §8).
 // `batch` is fault-tolerant: clips fail individually with typed codes in the
 // manifest, and its journal makes a killed run resumable (DESIGN.md §9).
+// With --workers N it adds *process* isolation (DESIGN.md §13): clips are
+// dispatched to N sandboxed forked workers; a SIGSEGV/OOM/hang kills one
+// worker (restarted with backoff), a clip that kills K workers in a row is
+// quarantined with status Quarantined, and every crash a clip survives drops
+// one rung off its GAN+ILT -> ILT -> MB-OPC degradation chain.
 // Every command also accepts the observability flags (DESIGN.md §10-11):
 //   --metrics-out FILE   Prometheus text snapshot (JSON when FILE is *.json)
 //   --trace-out FILE     chrome://tracing span JSON
@@ -393,6 +400,13 @@ int cmd_batch(const Args& args) {
   bcfg.journal_path = resume.empty() ? args.get("journal", "") : resume;
   bcfg.resume = !resume.empty();
   bcfg.deterministic_manifest = args.get_int("deterministic-manifest", 0) != 0;
+  bcfg.retry_backoff_base_s =
+      args.get_double("retry-backoff-s", bcfg.retry_backoff_base_s);
+  bcfg.workers = args.get_int("workers", 0);
+  bcfg.quarantine_kills = args.get_int("quarantine-kills", bcfg.quarantine_kills);
+  bcfg.task_deadline_s = args.get_double("task-deadline-s", 0.0);
+  bcfg.worker_mem_mb = args.get_int("worker-mem-mb", 0);
+  bcfg.worker_cpu_s = args.get_int("worker-cpu-s", 0);
 
   const core::BatchRunner runner(cfg, generator.get(), sim, bcfg);
   const core::BatchSummary summary = runner.run_files(paths);
@@ -411,6 +425,10 @@ int cmd_batch(const Args& args) {
   core::BatchRunner::write_manifest(manifest, summary);
   std::printf("batch: %d ok, %d failed, %d resumed from journal; wrote %s\n",
               summary.succeeded, summary.failed, summary.resumed, manifest.c_str());
+  if (bcfg.workers > 0)
+    std::printf("batch: supervised with %d worker(s): %d worker death(s), "
+                "%d clip(s) quarantined\n",
+                bcfg.workers, summary.worker_deaths, summary.quarantined);
   return summary.failed == 0 ? 0 : 3;
 }
 
