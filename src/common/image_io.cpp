@@ -29,13 +29,20 @@ GrayImage to_gray(const float* data, int width, int height, float lo, float hi) 
   return img;
 }
 
+std::string encode_pgm(const GrayImage& img) {
+  GANOPC_CHECK(img.pixels.size() == static_cast<std::size_t>(img.width) * img.height);
+  std::string out = "P5\n" + std::to_string(img.width) + " " +
+                    std::to_string(img.height) + "\n255\n";
+  out.append(reinterpret_cast<const char*>(img.pixels.data()), img.pixels.size());
+  return out;
+}
+
 void write_pgm(const std::string& path, const GrayImage& img) {
   GANOPC_CHECK(img.pixels.size() == static_cast<std::size_t>(img.width) * img.height);
   GANOPC_FAILPOINT_THROW("image_io.write");
+  const std::string bytes = encode_pgm(img);
   atomic_write_file(path, [&](std::ostream& out) {
-    out << "P5\n" << img.width << " " << img.height << "\n255\n";
-    out.write(reinterpret_cast<const char*>(img.pixels.data()),
-              static_cast<std::streamsize>(img.pixels.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   });
 }
 

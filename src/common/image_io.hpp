@@ -33,6 +33,10 @@ struct RgbImage {
 /// Map float data in [lo, hi] to an 8-bit grayscale image (clamped).
 GrayImage to_gray(const float* data, int width, int height, float lo = 0.0f, float hi = 1.0f);
 
+/// Serialize as binary PGM (P5) into a byte string — the in-memory form the
+/// serve daemon returns as a `?mask=pgm` response body.
+std::string encode_pgm(const GrayImage& img);
+
 /// Write binary PGM (P5). Throws ganopc::Error on I/O failure.
 void write_pgm(const std::string& path, const GrayImage& img);
 

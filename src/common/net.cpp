@@ -1,0 +1,107 @@
+#include "common/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace ganopc::net {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  GANOPC_TYPED_CHECK(StatusCode::kInternal,
+                     flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                     "net: fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  GANOPC_TYPED_CHECK(
+      StatusCode::kInternal,
+      fdflags >= 0 && ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) == 0,
+      "net: fcntl(FD_CLOEXEC) failed: " << std::strerror(errno));
+}
+
+int listen_tcp(const std::string& host, int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GANOPC_TYPED_CHECK(StatusCode::kIo, fd >= 0,
+                     "net: socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, false,
+                       "net: not an IPv4 address: " << host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GANOPC_TYPED_CHECK(StatusCode::kIo, false,
+                       "net: bind/listen on " << host << ":" << port
+                                              << " failed: " << std::strerror(err));
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  GANOPC_TYPED_CHECK(StatusCode::kInternal,
+                     ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                     "net: getsockname failed: " << std::strerror(errno));
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                     path.size() < sizeof(addr.sun_path),
+                     "net: unix socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  GANOPC_TYPED_CHECK(StatusCode::kIo, fd >= 0,
+                     "net: socket(AF_UNIX) failed: " << std::strerror(errno));
+  ::unlink(path.c_str());  // a stale socket from a killed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    GANOPC_TYPED_CHECK(StatusCode::kIo, false,
+                       "net: bind/listen on " << path
+                                              << " failed: " << std::strerror(err));
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int accept_client(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  try {
+    set_nonblocking(fd);
+  } catch (const std::exception&) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace ganopc::net

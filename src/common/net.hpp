@@ -1,0 +1,40 @@
+// Thin POSIX socket helpers for the serve daemon (DESIGN.md §14).
+//
+// Deliberately minimal: create/bind/listen for TCP (IPv4 loopback by default)
+// and Unix-domain sockets, non-blocking accept, and a monotonic clock shared
+// with the supervisor's liveness bookkeeping. Everything error-checks into
+// typed Status so the daemon's startup failures are diagnosable, and every
+// returned fd is non-blocking + CLOEXEC (workers re-close inherited fds via
+// SupervisorConfig::child_setup as a second line of defense).
+#pragma once
+
+#include <string>
+
+namespace ganopc::net {
+
+/// Monotonic seconds (CLOCK_MONOTONIC). Comparable across fork(), which is
+/// how a worker computes a request's remaining deadline budget from the
+/// absolute deadline stamped by the daemon.
+double now_s();
+
+/// O_NONBLOCK + FD_CLOEXEC; throws StatusError(kInternal) on fcntl failure.
+void set_nonblocking(int fd);
+
+/// Bind + listen on host:port (SO_REUSEADDR; port 0 picks an ephemeral port —
+/// read it back with bound_port). Returns a non-blocking listening fd.
+/// Throws StatusError(kIo) on resolution/bind failure.
+int listen_tcp(const std::string& host, int port, int backlog = 64);
+
+/// The actual bound TCP port of a listening fd (for --port 0 + --port-file).
+int bound_port(int fd);
+
+/// Bind + listen on a Unix-domain socket path (unlinks a stale socket first).
+/// Throws StatusError(kIo) on failure or when the path exceeds sun_path.
+int listen_unix(const std::string& path, int backlog = 64);
+
+/// Accept one connection. Returns a non-blocking connected fd, or -1 when
+/// nothing is pending / the accept failed transiently (EAGAIN, ECONNABORTED,
+/// EMFILE...). Never throws: a bad accept must not take the daemon down.
+int accept_client(int listen_fd);
+
+}  // namespace ganopc::net

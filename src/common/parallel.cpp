@@ -151,9 +151,18 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
     body(begin, end);
     return;
   }
+  // Chunk boundaries are snapped to a fixed quantum so every chunk start is a
+  // multiple of all SIMD group widths used downstream (8 floats / 4 doubles /
+  // 4 complex<float> per 256-bit vector, 4-row GEMM panels). Vectorized
+  // bodies group elements from the chunk start; with unaligned boundaries the
+  // vector-body/scalar-tail split — and therefore FMA rounding — would depend
+  // on the thread count. Quantum alignment makes the grouping identical to
+  // the serial sweep at any worker count (kParallelChunkQuantum, see header).
+  const std::size_t quanta = (n + kParallelChunkQuantum - 1) / kParallelChunkQuantum;
   ThreadPool::instance().parallel_blocks(
-      n, [&](std::size_t /*block*/, std::size_t b, std::size_t e) {
-        body(begin + b, begin + e);
+      quanta, [&](std::size_t /*block*/, std::size_t qb, std::size_t qe) {
+        body(begin + qb * kParallelChunkQuantum,
+             begin + std::min(n, qe * kParallelChunkQuantum));
       });
 }
 

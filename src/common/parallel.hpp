@@ -74,8 +74,18 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t serial_threshold = 256);
 
+/// Chunk boundaries handed to parallel_for_chunks bodies are multiples of
+/// this quantum (relative to `begin`, except the final chunk end). 16 covers
+/// every SIMD group width in the kernels (8 f32 / 4 f64 / 4 c64 per 256-bit
+/// vector, 4-row GEMM panels), so vectorized bodies that group elements from
+/// the chunk start produce bit-identical floating-point results at any
+/// thread count — the grouping matches a serial sweep exactly.
+inline constexpr std::size_t kParallelChunkQuantum = 16;
+
 /// Parallel loop over contiguous chunks: body(chunk_begin, chunk_end).
 /// Use when per-index dispatch overhead matters (inner loops stay fused).
+/// Chunk starts are kParallelChunkQuantum-aligned relative to `begin` so
+/// SIMD grouping inside the body cannot depend on the worker count.
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& body,
                          std::size_t serial_threshold = 256);

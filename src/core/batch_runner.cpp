@@ -70,12 +70,16 @@ void count_manifest_row(const BatchClipResult& res) {
   if (res.from_journal) obs::counter("batch.clips.resumed").inc();
   if (res.code == StatusCode::kQuarantined)
     obs::counter("batch.clips.quarantined").inc();
+  if (res.code == StatusCode::kCancelled)
+    obs::counter("batch.clips.cancelled").inc();
 }
 
+}  // namespace
+
 // One codec for a manifest row's non-id fields, shared by the journal
-// sections and the supervised-mode wire payloads so both stay field-for-field
-// identical by construction.
-void encode_result(ByteWriter& w, const BatchClipResult& res) {
+// sections, the supervised-mode wire payloads, and the serve daemon's worker
+// responses so all three stay field-for-field identical by construction.
+void encode_clip_result(ByteWriter& w, const BatchClipResult& res) {
   w.str(res.source);
   w.pod(static_cast<std::uint32_t>(res.code));
   w.str(res.error);
@@ -91,8 +95,8 @@ void encode_result(ByteWriter& w, const BatchClipResult& res) {
   w.pod(res.runtime_s);
 }
 
-BatchClipResult decode_result(ByteReader& r, const std::string& id,
-                              const std::string& context) {
+BatchClipResult decode_clip_result(ByteReader& r, const std::string& id,
+                                   const std::string& context) {
   BatchClipResult res;
   res.id = id;
   res.source = r.str();
@@ -108,7 +112,8 @@ BatchClipResult decode_result(ByteReader& r, const std::string& id,
   res.l2_nm2 = r.pod<double>();
   res.pvb_nm2 = r.pod<std::int64_t>();
   res.runtime_s = r.pod<double>();
-  r.expect_exhausted();
+  // No expect_exhausted() here: the serve daemon appends response fields
+  // (mask bytes) after the row; strict callers check exhaustion themselves.
   GANOPC_TYPED_CHECK(
       StatusCode::kInvalidInput,
       code <= static_cast<std::uint32_t>(StatusCode::kQuarantined) &&
@@ -168,8 +173,6 @@ void maybe_inject_clip_fault(const std::string& id, int crashes) {
     for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 }
-
-}  // namespace
 
 const char* batch_stage_name(BatchStage stage) {
   switch (stage) {
@@ -255,6 +258,21 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
       res = it->second;
       res.from_journal = true;
       ++summary.resumed;
+    } else if (batch_.stop != nullptr &&
+               batch_.stop->load(std::memory_order_relaxed)) {
+      // Graceful drain: the remainder becomes kCancelled rows that are NOT
+      // journaled, so a --resume run recomputes exactly the drained clips.
+      summary.drained = true;
+      res.id = clip.id;
+      res.source = clip.path.empty() ? "<memory>" : clip.path;
+      res.code = StatusCode::kCancelled;
+      res.error = "cancelled: batch drain requested before this clip started";
+      res.stage = BatchStage::Failed;
+      ++summary.failed;
+      ++summary.cancelled;
+      if (obs::metrics_enabled()) count_manifest_row(res);
+      summary.clips.push_back(std::move(res));
+      continue;
     } else {
       res = process_clip(clip);
     }
@@ -262,7 +280,7 @@ BatchSummary BatchRunner::run(const std::vector<BatchClip>& clips) const {
     if (res.code == StatusCode::kQuarantined) ++summary.quarantined;
     if (obs::metrics_enabled()) count_manifest_row(res);
     if (journaling) {
-      encode_result(journal.section("clip/" + clip.id), res);
+      encode_clip_result(journal.section("clip/" + clip.id), res);
       journal.write(batch_.journal_path);
       // Crash simulation for the kill-and-resume robustness test: dies right
       // after a journal commit, exactly where a real power cut would land.
@@ -290,7 +308,7 @@ BatchSummary BatchRunner::run_supervised(
   BatchSummary summary;
   auto journal_row = [&](const std::string& id, const BatchClipResult& res) {
     if (!journaling) return;
-    encode_result(journal.section("clip/" + id), res);
+    encode_clip_result(journal.section("clip/" + id), res);
     journal.write(batch_.journal_path);
     // Same post-commit crash point as the sequential path: the supervised
     // kill-and-resume test SIGKILLs the *dispatcher* here, mid-fan-out.
@@ -331,6 +349,7 @@ BatchSummary BatchRunner::run_supervised(
     scfg.limits.mem_mb = batch_.worker_mem_mb;
     scfg.limits.cpu_s = batch_.worker_cpu_s;
     scfg.seed = batch_.seed;
+    scfg.stop = batch_.stop;
 
     proc::Supervisor supervisor(
         scfg, [this, &clips](const std::string& payload, int crashes) {
@@ -344,13 +363,26 @@ BatchSummary BatchRunner::run_supervised(
           maybe_inject_clip_fault(clips[idx].id, crashes);
           const BatchClipResult res = process_clip(clips[idx], crashes);
           ByteWriter w;
-          encode_result(w, res);
+          encode_clip_result(w, res);
           return w.buffer();
         });
 
     supervisor.run(tasks, [&](const proc::TaskResult& tr) {
       const std::size_t i = index_of.at(tr.id);
       BatchClipResult res;
+      if (tr.cancelled) {
+        // SIGTERM drain resolved this clip before it was dispatched. The row
+        // is typed but deliberately NOT journaled: --resume recomputes it.
+        summary.drained = true;
+        res.id = clips[i].id;
+        res.source = clips[i].path.empty() ? "<memory>" : clips[i].path;
+        res.code = StatusCode::kCancelled;
+        res.error = tr.error;
+        res.stage = BatchStage::Failed;
+        rows[i] = std::move(res);
+        have[i] = 1;
+        return;
+      }
       if (tr.quarantined) {
         res.id = clips[i].id;
         res.source = clips[i].path.empty() ? "<memory>" : clips[i].path;
@@ -374,7 +406,8 @@ BatchSummary BatchRunner::run_supervised(
       } else {
         ByteReader r(tr.payload.data(), tr.payload.size(),
                      "supervised result for clip '" + tr.id + "'");
-        res = decode_result(r, tr.id, "supervised result for '" + tr.id + "'");
+        res = decode_clip_result(r, tr.id, "supervised result for '" + tr.id + "'");
+        r.expect_exhausted();
       }
       rows[i] = std::move(res);
       have[i] = 1;
@@ -389,14 +422,15 @@ BatchSummary BatchRunner::run_supervised(
                                                                 << "'");
     ++(rows[i].ok() ? summary.succeeded : summary.failed);
     if (rows[i].code == StatusCode::kQuarantined) ++summary.quarantined;
+    if (rows[i].code == StatusCode::kCancelled) ++summary.cancelled;
     if (obs::metrics_enabled()) count_manifest_row(rows[i]);
     summary.clips.push_back(std::move(rows[i]));
   }
   return summary;
 }
 
-BatchClipResult BatchRunner::process_clip(const BatchClip& clip,
-                                          int start_rung) const {
+BatchClipResult BatchRunner::process_clip(const BatchClip& clip, int start_rung,
+                                          const ClipRunOptions& opts) const {
   GANOPC_OBS_SPAN("batch.clip");
   // Every ledger event emitted while this clip is in flight — including the
   // ILT engine's ilt_iter records — carries scope = the clip id.
@@ -417,7 +451,7 @@ BatchClipResult BatchRunner::process_clip(const BatchClip& clip,
   if (poisoned) failpoint::arm("litho.gradient_nan", 0, -1);
   try {
     const geom::Layout layout = clip.layout ? *clip.layout : load_clip(clip.path);
-    optimize_clip(layout, res, timer, start_rung);
+    optimize_clip(layout, res, timer, start_rung, opts);
   } catch (const std::exception& e) {
     const Status s = status_from_exception(e);
     res.code = s.code();
@@ -456,7 +490,12 @@ geom::Layout BatchRunner::load_clip(const std::string& path) const {
 }
 
 void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
-                                const WallTimer& timer, int start_rung) const {
+                                const WallTimer& timer, int start_rung,
+                                const ClipRunOptions& opts) const {
+  // A per-request deadline (serve) overrides the batch-wide one; both flow
+  // into the ILT watchdog through `remaining` below.
+  const double clip_deadline_s =
+      opts.deadline_s >= 0.0 ? opts.deadline_s : batch_.clip_deadline_s;
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
                      clip.clip().width() == config_.clip_nm &&
                          clip.clip().height() == config_.clip_nm,
@@ -497,11 +536,11 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
         stage == BatchStage::MbOpc ? 1 : 1 + std::max(0, batch_.max_retries);
     for (int attempt = 0; attempt < attempts; ++attempt) {
       double remaining = std::numeric_limits<double>::infinity();
-      if (batch_.clip_deadline_s > 0.0) {
-        remaining = batch_.clip_deadline_s - timer.seconds();
+      if (clip_deadline_s > 0.0) {
+        remaining = clip_deadline_s - timer.seconds();
         if (remaining <= 0.0) {
           res.code = StatusCode::kDeadlineExceeded;
-          res.error = "clip budget of " + format_g(batch_.clip_deadline_s) +
+          res.error = "clip budget of " + format_g(clip_deadline_s) +
                       "s exhausted before " + batch_stage_name(stage);
           res.stage = BatchStage::Failed;
           return;
@@ -529,8 +568,9 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
       try {
         const bool done =
             stage == BatchStage::MbOpc
-                ? attempt_mbopc(clip, accept_l2, res, last)
-                : attempt_ilt(stage, target, accept_l2, remaining, attempt, res, last);
+                ? attempt_mbopc(clip, accept_l2, res, last, opts.mask_out)
+                : attempt_ilt(stage, target, accept_l2, remaining, attempt, res,
+                              last, opts.mask_out);
         if (done) return;
         if (last.code() == StatusCode::kDeadlineExceeded) {
           // The watchdog already ate the whole budget; neither a retry nor a
@@ -552,7 +592,8 @@ void BatchRunner::optimize_clip(const geom::Layout& clip, BatchClipResult& res,
 
 bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
                               double accept_l2, double remaining_s, int attempt,
-                              BatchClipResult& res, Status& last) const {
+                              BatchClipResult& res, Status& last,
+                              geom::Grid* mask_out) const {
   GANOPC_OBS_SPAN("batch.attempt_ilt");
   ilt::IltConfig icfg = config_.ilt;
   if (std::isfinite(remaining_s))
@@ -576,7 +617,7 @@ bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
     return false;
   }
   if (std::isfinite(r.l2_px) && r.l2_px <= accept_l2) {
-    accept(stage, r.mask, r.l2_px, res);
+    accept(stage, r.mask, r.l2_px, res, mask_out);
     return true;
   }
   if (r.termination == ilt::TerminationReason::kDeadlineExceeded) {
@@ -594,7 +635,8 @@ bool BatchRunner::attempt_ilt(BatchStage stage, const geom::Grid& target,
 }
 
 bool BatchRunner::attempt_mbopc(const geom::Layout& clip, double accept_l2,
-                                BatchClipResult& res, Status& last) const {
+                                BatchClipResult& res, Status& last,
+                                geom::Grid* mask_out) const {
   GANOPC_OBS_SPAN("batch.attempt_mbopc");
   const mbopc::MbOpcEngine engine(sim_, mbopc::MbOpcConfig{});
   const mbopc::MbOpcResult r = engine.optimize(clip);
@@ -604,7 +646,7 @@ bool BatchRunner::attempt_mbopc(const geom::Layout& clip, double accept_l2,
     return false;
   }
   if (r.l2_px <= accept_l2) {
-    accept(BatchStage::MbOpc, r.mask, r.l2_px, res);
+    accept(BatchStage::MbOpc, r.mask, r.l2_px, res, mask_out);
     return true;
   }
   last = Status(StatusCode::kIltStalled,
@@ -614,7 +656,7 @@ bool BatchRunner::attempt_mbopc(const geom::Layout& clip, double accept_l2,
 }
 
 void BatchRunner::accept(BatchStage stage, const geom::Grid& mask, double l2_px,
-                         BatchClipResult& res) const {
+                         BatchClipResult& res, geom::Grid* mask_out) const {
   res.code = StatusCode::kOk;
   res.error.clear();
   res.stage = stage;
@@ -623,6 +665,7 @@ void BatchRunner::accept(BatchStage stage, const geom::Grid& mask, double l2_px,
       static_cast<double>(sim_.pixel_nm()) * static_cast<double>(sim_.pixel_nm());
   res.l2_nm2 = l2_px * px_area;
   res.pvb_nm2 = sim_.pv_band(mask).area_nm2;
+  if (mask_out != nullptr) *mask_out = mask;
 }
 
 geom::Grid BatchRunner::gan_initial_mask(const geom::Grid& target) const {
@@ -699,9 +742,10 @@ std::vector<BatchClipResult> BatchRunner::load_journal(
     const std::string name = "clip/" + clip.id;
     if (!reader.has(name)) continue;
     ByteReader r = reader.open(name);
-    out.push_back(decode_result(
+    out.push_back(decode_clip_result(
         r, clip.id,
         "journal '" + batch_.journal_path + "' section '" + name + "'"));
+    r.expect_exhausted();
   }
   return out;
 }

@@ -31,6 +31,7 @@
 // clip id, so a supervised run resumes exactly like a sequential one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -47,6 +48,8 @@
 
 namespace ganopc {
 class SectionedFileWriter;
+class ByteWriter;
+class ByteReader;
 }
 
 namespace ganopc::core {
@@ -119,6 +122,12 @@ struct BatchConfig {
   double task_deadline_s = 0.0;
   int worker_mem_mb = 0;  ///< per-worker RLIMIT_DATA cap in MiB (0 = none)
   int worker_cpu_s = 0;   ///< per-worker RLIMIT_CPU cap in seconds (0 = none)
+
+  /// Optional graceful-drain flag (SIGTERM handler). Once it reads true the
+  /// run stops starting new clips, lets in-flight work finish (bounded by the
+  /// usual deadlines), and reports the untouched remainder as kCancelled rows
+  /// that are *not* journaled — a later --resume run recomputes exactly them.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct BatchSummary {
@@ -127,7 +136,21 @@ struct BatchSummary {
   int failed = 0;
   int resumed = 0;      ///< rows replayed from the journal
   int quarantined = 0;  ///< rows with code kQuarantined (subset of failed)
+  int cancelled = 0;    ///< rows drained as kCancelled (subset of failed)
   int worker_deaths = 0;  ///< supervised mode: worker processes lost
+  bool drained = false;   ///< the stop flag ended the run early
+};
+
+/// Per-call knobs for BatchRunner::process_clip beyond the batch-wide config
+/// — the request→BatchRunner adaptation point the serve daemon drives.
+struct ClipRunOptions {
+  /// Overrides BatchConfig::clip_deadline_s when >= 0 (0 = no deadline);
+  /// a serve request's remaining budget lands here and flows into the ILT
+  /// watchdog unchanged.
+  double deadline_s = -1.0;
+  /// When set, receives a copy of the accepted mask (empty on failure).
+  /// Batch mode leaves this null — only metrics reach the manifest.
+  geom::Grid* mask_out = nullptr;
 };
 
 class BatchRunner {
@@ -149,7 +172,8 @@ class BatchRunner {
   /// `start_rung` drops that many rungs off the front of the chain (counted
   /// as fallbacks) — supervised mode passes the clip's crash count so a clip
   /// that killed a worker retries one rung more conservatively.
-  BatchClipResult process_clip(const BatchClip& clip, int start_rung = 0) const;
+  BatchClipResult process_clip(const BatchClip& clip, int start_rung = 0,
+                               const ClipRunOptions& opts = {}) const;
 
   /// Machine-readable CSV manifest (one row per clip, input order).
   static void write_manifest(const std::string& path, const BatchSummary& summary);
@@ -160,14 +184,16 @@ class BatchRunner {
                               SectionedFileWriter& journal, bool journaling) const;
   geom::Layout load_clip(const std::string& path) const;
   void optimize_clip(const geom::Layout& clip, BatchClipResult& res,
-                     const WallTimer& timer, int start_rung) const;
+                     const WallTimer& timer, int start_rung,
+                     const ClipRunOptions& opts) const;
   bool attempt_ilt(BatchStage stage, const geom::Grid& target, double accept_l2,
                    double remaining_s, int attempt, BatchClipResult& res,
-                   Status& last) const;
+                   Status& last, geom::Grid* mask_out) const;
   bool attempt_mbopc(const geom::Layout& clip, double accept_l2,
-                     BatchClipResult& res, Status& last) const;
+                     BatchClipResult& res, Status& last,
+                     geom::Grid* mask_out) const;
   void accept(BatchStage stage, const geom::Grid& mask, double l2_px,
-              BatchClipResult& res) const;
+              BatchClipResult& res, geom::Grid* mask_out) const;
   geom::Grid gan_initial_mask(const geom::Grid& target) const;
   void perturb(geom::Grid& mask, const std::string& id, int attempt) const;
 
@@ -180,5 +206,18 @@ class BatchRunner {
   const litho::LithoSim& sim_;
   BatchConfig batch_;
 };
+
+/// Wire/journal codec for a manifest row's non-id fields — one codec shared
+/// by the journal sections, the supervised-mode pipe payloads, and the serve
+/// daemon's worker responses, so all three stay field-for-field identical.
+void encode_clip_result(ByteWriter& w, const BatchClipResult& res);
+BatchClipResult decode_clip_result(ByteReader& r, const std::string& id,
+                                   const std::string& context);
+
+/// Kill-matrix fault injection keyed on clip-id suffix (`_segv`, `_kill`,
+/// `_oom`, `_hang`, optionally digit-bounded), armed by the `proc.clip_fault`
+/// failpoint — exposed so the serve worker path shares the batch tests'
+/// fault vocabulary. No-op unless the failpoint is armed.
+void maybe_inject_clip_fault(const std::string& id, int crashes);
 
 }  // namespace ganopc::core

@@ -47,8 +47,9 @@ struct Slot {
   int task_fd = -1;    ///< supervisor write end
   int result_fd = -1;  ///< supervisor read end (O_NONBLOCK)
   FrameBuffer rx;
-  int inflight = -1;   ///< task index, -1 = idle
+  std::int64_t inflight = -1;  ///< task sequence number, -1 = idle
   double task_start_s = 0.0;
+  double inflight_deadline_s = 0.0;  ///< effective wall cap for the task (0 = none)
   double last_frame_s = 0.0;  ///< heartbeat/result recency
   int restarts = 0;           ///< deaths so far
   double respawn_at_s = 0.0;
@@ -190,49 +191,88 @@ Supervisor::Supervisor(const SupervisorConfig& config, WorkerFn fn)
                      "supervisor: a worker function is required");
 }
 
-std::vector<TaskResult> Supervisor::run(
-    const std::vector<Task>& tasks,
-    const std::function<void(const TaskResult&)>& on_result) {
-  crash_reports_.clear();
-  spawn_count_ = 0;
-  if (tasks.empty()) return {};
-  {
-    std::map<std::string, int> ids;
-    for (std::size_t i = 0; i < tasks.size(); ++i)
-      GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
-                         ids.emplace(tasks[i].id, static_cast<int>(i)).second,
-                         "supervisor: duplicate task id '" << tasks[i].id << "'");
+// One queued-or-in-flight task plus its crash tally (quarantine counting).
+struct PendingTask {
+  Task task;
+  int crashes = 0;
+};
+
+// The dispatch session: slots, queue, and the per-iteration state machine.
+// run() builds an ephemeral Engine over a fixed task list; the persistent
+// session API (start/submit/pump/shutdown) keeps one alive across calls so a
+// daemon can feed requests in as they arrive.
+struct Supervisor::Engine {
+  SupervisorConfig config;
+  const WorkerFn& fn;
+  std::vector<CrashReport>& crash_reports;
+  int& spawn_count;
+  std::function<void(const TaskResult&)> on_result;
+
+  std::string parent_ledger;
+  bool metrics = false;
+  std::size_t worker_threads = 1;
+  SigpipeGuard sigpipe;  ///< suppressed for the whole session
+  std::vector<Slot> slots;
+  std::deque<std::uint64_t> queue;            ///< queued (not dispatched) seqs
+  std::map<std::uint64_t, PendingTask> tasks; ///< every unresolved seq
+  std::uint64_t next_seq = 1;
+  bool dispatch_enabled = true;
+
+  Engine(const SupervisorConfig& cfg, const WorkerFn& worker_fn,
+         std::vector<CrashReport>& reports, int& spawns,
+         std::function<void(const TaskResult&)> cb)
+      : config(cfg),
+        fn(worker_fn),
+        crash_reports(reports),
+        spawn_count(spawns),
+        on_result(std::move(cb)) {
+    parent_ledger = obs::ledger_path();
+    metrics = obs::metrics_enabled();
+    worker_threads =
+        config.worker_threads > 0
+            ? static_cast<std::size_t>(config.worker_threads)
+            : std::max<std::size_t>(1, ThreadPool::default_thread_count() /
+                                           static_cast<std::size_t>(config.workers));
+    slots.resize(static_cast<std::size_t>(config.workers));
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      slots[i].id = static_cast<int>(i);
   }
 
-  const std::string parent_ledger = obs::ledger_path();
-  const bool metrics = obs::metrics_enabled();
-  const std::size_t worker_threads =
-      config_.worker_threads > 0
-          ? static_cast<std::size_t>(config_.worker_threads)
-          : std::max<std::size_t>(1, ThreadPool::default_thread_count() /
-                                         static_cast<std::size_t>(config_.workers));
+  std::uint64_t submit(Task task) {
+    const std::uint64_t seq = next_seq++;
+    tasks.emplace(seq, PendingTask{std::move(task), 0});
+    queue.push_back(seq);
+    return seq;
+  }
 
-  SigpipeGuard sigpipe;
-  std::vector<Slot> slots(static_cast<std::size_t>(config_.workers));
-  for (std::size_t i = 0; i < slots.size(); ++i) slots[i].id = static_cast<int>(i);
+  std::size_t inflight_count() const {
+    std::size_t n = 0;
+    for (const Slot& slot : slots) n += slot.inflight >= 0 ? 1 : 0;
+    return n;
+  }
 
-  std::deque<int> queue;
-  for (std::size_t i = 0; i < tasks.size(); ++i) queue.push_back(static_cast<int>(i));
-  std::vector<int> crashes(tasks.size(), 0);
-  std::vector<TaskResult> results(tasks.size());
-  std::vector<bool> have(tasks.size(), false);
-  std::size_t done = 0;
+  void finalize(std::uint64_t seq, TaskResult res) {
+    const auto it = tasks.find(seq);
+    if (it == tasks.end()) return;
+    res.id = it->second.task.id;
+    res.crashes = it->second.crashes;
+    tasks.erase(it);
+    if (on_result) on_result(res);
+  }
 
-  auto finalize = [&](int idx, TaskResult res) {
-    res.id = tasks[static_cast<std::size_t>(idx)].id;
-    res.crashes = crashes[static_cast<std::size_t>(idx)];
-    results[static_cast<std::size_t>(idx)] = res;
-    have[static_cast<std::size_t>(idx)] = true;
-    ++done;
-    if (on_result) on_result(results[static_cast<std::size_t>(idx)]);
-  };
+  void cancel_queued(const std::string& reason) {
+    while (!queue.empty()) {
+      const std::uint64_t seq = queue.front();
+      queue.pop_front();
+      if (metrics) obs::counter("proc.tasks.cancelled").inc();
+      TaskResult res;
+      res.cancelled = true;
+      res.error = reason;
+      finalize(seq, std::move(res));
+    }
+  }
 
-  auto spawn = [&](Slot& slot) {
+  void spawn(Slot& slot) {
     int task_pipe[2], result_pipe[2];
     GANOPC_TYPED_CHECK(StatusCode::kInternal,
                        ::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
@@ -252,11 +292,12 @@ std::vector<TaskResult> Supervisor::run(
         if (other.task_fd >= 0) ::close(other.task_fd);
         if (other.result_fd >= 0) ::close(other.result_fd);
       }
-      if (config_.limits.mem_mb > 0)
+      if (config.child_setup) config.child_setup();
+      if (config.limits.mem_mb > 0)
         apply_rlimit(RLIMIT_DATA,
-                     static_cast<rlim_t>(config_.limits.mem_mb) << 20);
-      if (config_.limits.cpu_s > 0)
-        apply_rlimit(RLIMIT_CPU, static_cast<rlim_t>(config_.limits.cpu_s));
+                     static_cast<rlim_t>(config.limits.mem_mb) << 20);
+      if (config.limits.cpu_s > 0)
+        apply_rlimit(RLIMIT_CPU, static_cast<rlim_t>(config.limits.cpu_s));
       // The parent's pool threads do not exist in this process; install a
       // fresh pool sized so N workers share the machine instead of each
       // claiming every hardware thread.
@@ -265,11 +306,11 @@ std::vector<TaskResult> Supervisor::run(
       ctx.slot_id = slot.id;
       ctx.task_fd = task_pipe[0];
       ctx.result_fd = result_pipe[1];
-      ctx.heartbeat_interval_s = config_.heartbeat_interval_s;
+      ctx.heartbeat_interval_s = config.heartbeat_interval_s;
       ctx.parent_ledger = parent_ledger;
       int rc = 1;
       try {
-        rc = worker_main(fn_, ctx);
+        rc = worker_main(fn, ctx);
       } catch (const std::exception&) {
         obs::flight_dump("worker.fatal");
       }
@@ -288,7 +329,7 @@ std::vector<TaskResult> Supervisor::run(
     slot.inflight = -1;
     slot.last_frame_s = now_s();
     slot.kill_reason.clear();
-    ++spawn_count_;
+    ++spawn_count;
     if (metrics) {
       obs::counter("proc.worker.spawns").inc();
       obs::gauge("proc.worker." + std::to_string(slot.id) + ".restarts")
@@ -301,23 +342,26 @@ std::vector<TaskResult> Supervisor::run(
           .field("restarts", slot.restarts);
       obs::ledger_emit(rec);
     }
-  };
+  }
 
-  auto send_task = [&](Slot& slot, int idx) {
+  void send_task(Slot& slot, std::uint64_t seq) {
+    const PendingTask& pt = tasks.at(seq);
     std::string payload;
-    const auto n = static_cast<std::uint32_t>(crashes[static_cast<std::size_t>(idx)]);
+    const auto n = static_cast<std::uint32_t>(pt.crashes);
     payload.append(reinterpret_cast<const char*>(&n), sizeof n);
-    payload += tasks[static_cast<std::size_t>(idx)].payload;
+    payload += pt.task.payload;
     if (!write_frame(slot.task_fd, FrameType::kTask, payload)) {
       // Worker is unwritable (dying or dead); the reaper below will requeue.
-      queue.push_front(idx);
+      queue.push_front(seq);
       return;
     }
-    slot.inflight = idx;
+    slot.inflight = static_cast<std::int64_t>(seq);
     slot.task_start_s = now_s();
-  };
+    slot.inflight_deadline_s =
+        pt.task.deadline_s > 0.0 ? pt.task.deadline_s : config.task_deadline_s;
+  }
 
-  auto write_death_report = [&](const Slot& slot, CrashReport& report) {
+  void write_death_report(const Slot& slot, CrashReport& report) {
     if (parent_ledger.empty()) return;
     report.worker_ledger = parent_ledger + ".w" + std::to_string(slot.id);
     report.crash_dump =
@@ -345,9 +389,9 @@ std::vector<TaskResult> Supervisor::run(
       // Forensics are best-effort; the in-memory CrashReport survives.
       report.report_path.clear();
     }
-  };
+  }
 
-  auto handle_death = [&](Slot& slot, int status, const struct rusage& ru) {
+  void handle_death(Slot& slot, int status, const struct rusage& ru) {
     // A result written before the crash is still sitting in the pipe; honor
     // it — the task completed, the worker merely died afterwards.
     if (slot.result_fd >= 0) {
@@ -362,7 +406,7 @@ std::vector<TaskResult> Supervisor::run(
           else
             res.error = frame.payload.empty() ? "empty worker response"
                                               : frame.payload.substr(1);
-          finalize(slot.inflight, std::move(res));
+          finalize(static_cast<std::uint64_t>(slot.inflight), std::move(res));
           slot.inflight = -1;
         }
       } catch (...) {
@@ -375,9 +419,10 @@ std::vector<TaskResult> Supervisor::run(
     report.pid = static_cast<long>(slot.pid);
     report.signaled = WIFSIGNALED(status);
     report.code = report.signaled ? WTERMSIG(status) : WEXITSTATUS(status);
-    report.task_id = slot.inflight >= 0
-                         ? tasks[static_cast<std::size_t>(slot.inflight)].id
-                         : "";
+    report.task_id =
+        slot.inflight >= 0
+            ? tasks.at(static_cast<std::uint64_t>(slot.inflight)).task.id
+            : "";
     report.reason = !slot.kill_reason.empty() ? slot.kill_reason
                     : report.signaled         ? "signal"
                                               : "exit";
@@ -402,20 +447,21 @@ std::vector<TaskResult> Supervisor::run(
       if (!report.report_path.empty()) rec.field("report", report.report_path);
       obs::ledger_emit(rec);
     }
-    crash_reports_.push_back(report);
+    crash_reports.push_back(report);
 
     if (slot.inflight >= 0) {
-      const int idx = slot.inflight;
+      const auto seq = static_cast<std::uint64_t>(slot.inflight);
       slot.inflight = -1;
-      ++crashes[static_cast<std::size_t>(idx)];
-      if (crashes[static_cast<std::size_t>(idx)] >= config_.quarantine_kills) {
+      PendingTask& pt = tasks.at(seq);
+      ++pt.crashes;
+      if (pt.crashes >= config.quarantine_kills) {
         if (metrics) obs::counter("proc.tasks.quarantined").inc();
         TaskResult res;
         res.quarantined = true;
-        finalize(idx, std::move(res));
+        finalize(seq, std::move(res));
       } else {
         if (metrics) obs::counter("proc.tasks.requeued").inc();
-        queue.push_front(idx);
+        queue.push_front(seq);
       }
     }
 
@@ -423,33 +469,38 @@ std::vector<TaskResult> Supervisor::run(
     close_fd(slot.result_fd);
     slot.pid = -1;
     ++slot.restarts;
-    if (slot.restarts >= config_.max_restarts) {
+    if (slot.restarts >= config.max_restarts) {
       slot.retired = true;
       return;
     }
     const double delay =
-        backoff_delay_s(config_.restart_backoff_base_s, config_.restart_backoff_cap_s,
+        backoff_delay_s(config.restart_backoff_base_s, config.restart_backoff_cap_s,
                         slot.restarts,
-                        config_.seed ^ (0x9E3779B97F4A7C15ULL *
-                                        static_cast<std::uint64_t>(slot.id + 1)));
+                        config.seed ^ (0x9E3779B97F4A7C15ULL *
+                                       static_cast<std::uint64_t>(slot.id + 1)));
     slot.respawn_at_s = now_s() + delay;
     if (metrics)
       obs::histogram("proc.restart_delay_s", obs::time_buckets()).observe(delay);
-  };
+  }
 
-  // ------------------------------------------------------ dispatch loop
-  while (done < tasks.size()) {
+  // One dispatch iteration: spawn due slots, hand out queued tasks, poll the
+  // result pipes for up to timeout_s, parse frames, reap deaths, and enforce
+  // heartbeat/deadline liveness.
+  void pump(double timeout_s) {
     const double now = now_s();
 
     for (Slot& slot : slots)
-      if (!slot.live() && !slot.retired && !queue.empty() && now >= slot.respawn_at_s)
+      if (!slot.live() && !slot.retired && dispatch_enabled && !queue.empty() &&
+          now >= slot.respawn_at_s)
         spawn(slot);
 
-    for (Slot& slot : slots) {
-      if (!slot.live() || slot.inflight >= 0 || queue.empty()) continue;
-      const int idx = queue.front();
-      queue.pop_front();
-      send_task(slot, idx);
+    if (dispatch_enabled) {
+      for (Slot& slot : slots) {
+        if (!slot.live() || slot.inflight >= 0 || queue.empty()) continue;
+        const std::uint64_t seq = queue.front();
+        queue.pop_front();
+        send_task(slot, seq);
+      }
     }
 
     std::vector<struct pollfd> fds;
@@ -460,14 +511,20 @@ std::vector<TaskResult> Supervisor::run(
       fd_slots.push_back(&slot);
     }
     if (fds.empty()) {
-      bool any_pending = false;
-      for (const Slot& slot : slots) any_pending |= !slot.retired;
-      GANOPC_TYPED_CHECK(StatusCode::kInternal, any_pending,
-                         "supervisor: every worker slot retired with "
-                             << (tasks.size() - done) << " task(s) unfinished");
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (!tasks.empty() && dispatch_enabled) {
+        bool any_pending = false;
+        for (const Slot& slot : slots) any_pending |= !slot.retired;
+        GANOPC_TYPED_CHECK(StatusCode::kInternal, any_pending,
+                           "supervisor: every worker slot retired with "
+                               << tasks.size() << " task(s) unfinished");
+      }
+      if (timeout_s > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(timeout_s, 0.010)));
     } else {
-      (void)::poll(fds.data(), fds.size(), /*timeout_ms=*/20);
+      const int timeout_ms =
+          std::max(0, static_cast<int>(timeout_s * 1000.0 + 0.5));
+      (void)::poll(fds.data(), fds.size(), timeout_ms);
       for (std::size_t i = 0; i < fds.size(); ++i) {
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         Slot& slot = *fd_slots[i];
@@ -488,7 +545,7 @@ std::vector<TaskResult> Supervisor::run(
           else
             res.error = frame.payload.empty() ? "empty worker response"
                                               : frame.payload.substr(1);
-          finalize(slot.inflight, std::move(res));
+          finalize(static_cast<std::uint64_t>(slot.inflight), std::move(res));
           slot.inflight = -1;
         }
         (void)eof;  // death is handled by the reaper below
@@ -513,10 +570,10 @@ std::vector<TaskResult> Supervisor::run(
     const double t = now_s();
     for (Slot& slot : slots) {
       if (!slot.live() || !slot.kill_reason.empty()) continue;
-      if (t - slot.last_frame_s > config_.heartbeat_timeout_s)
+      if (t - slot.last_frame_s > config.heartbeat_timeout_s)
         slot.kill_reason = "heartbeat_timeout";
-      else if (config_.task_deadline_s > 0.0 && slot.inflight >= 0 &&
-               t - slot.task_start_s > config_.task_deadline_s)
+      else if (slot.inflight >= 0 && slot.inflight_deadline_s > 0.0 &&
+               t - slot.task_start_s > slot.inflight_deadline_s)
         slot.kill_reason = "task_deadline";
       else
         continue;
@@ -524,34 +581,146 @@ std::vector<TaskResult> Supervisor::run(
     }
   }
 
-  // ------------------------------------------------------------ shutdown
-  for (Slot& slot : slots) {
-    if (!slot.live()) continue;
-    (void)write_frame(slot.task_fd, FrameType::kShutdown, {});
-    close_fd(slot.task_fd);
+  void collect_poll_fds(std::vector<struct pollfd>& out) const {
+    for (const Slot& slot : slots)
+      if (slot.live()) out.push_back({slot.result_fd, POLLIN, 0});
   }
-  const double grace_until = now_s() + 5.0;
-  for (Slot& slot : slots) {
-    if (!slot.live()) continue;
-    for (;;) {
-      int status = 0;
-      const pid_t pid = ::waitpid(slot.pid, &status, WNOHANG);
-      if (pid == slot.pid || (pid < 0 && errno == ECHILD)) break;
-      if (now_s() > grace_until) {
-        ::kill(slot.pid, SIGKILL);
-        (void)::waitpid(slot.pid, &status, 0);
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  void shutdown(double grace_s) {
+    for (Slot& slot : slots) {
+      if (!slot.live()) continue;
+      (void)write_frame(slot.task_fd, FrameType::kShutdown, {});
+      close_fd(slot.task_fd);
     }
-    slot.pid = -1;
-    close_fd(slot.result_fd);
+    const double grace_until = now_s() + grace_s;
+    for (Slot& slot : slots) {
+      if (!slot.live()) continue;
+      for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(slot.pid, &status, WNOHANG);
+        if (pid == slot.pid || (pid < 0 && errno == ECHILD)) break;
+        if (now_s() > grace_until) {
+          ::kill(slot.pid, SIGKILL);
+          (void)::waitpid(slot.pid, &status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      slot.pid = -1;
+      close_fd(slot.result_fd);
+    }
   }
+};
+
+Supervisor::~Supervisor() {
+  if (engine_) {
+    try {
+      engine_->shutdown(0.5);
+    } catch (...) {
+      // Destructor cleanup is best-effort; workers get SIGKILLed regardless.
+    }
+    engine_.reset();
+  }
+}
+
+std::vector<TaskResult> Supervisor::run(
+    const std::vector<Task>& tasks,
+    const std::function<void(const TaskResult&)>& on_result) {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, !engine_,
+                     "supervisor: run() while a persistent session is open");
+  crash_reports_.clear();
+  spawn_count_ = 0;
+  if (tasks.empty()) return {};
+  std::map<std::string, int> index_of;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
+                       index_of.emplace(tasks[i].id, static_cast<int>(i)).second,
+                       "supervisor: duplicate task id '" << tasks[i].id << "'");
+
+  std::vector<TaskResult> results(tasks.size());
+  std::vector<bool> have(tasks.size(), false);
+  Engine engine(config_, fn_, crash_reports_, spawn_count_,
+                [&](const TaskResult& res) {
+                  const auto idx =
+                      static_cast<std::size_t>(index_of.at(res.id));
+                  results[idx] = res;
+                  have[idx] = true;
+                  if (on_result) on_result(results[idx]);
+                });
+  for (const Task& task : tasks) engine.submit(task);
+
+  bool draining = false;
+  while (!engine.tasks.empty()) {
+    if (!draining && config_.stop &&
+        config_.stop->load(std::memory_order_relaxed)) {
+      draining = true;
+      engine.dispatch_enabled = false;
+      if (obs::ledger_enabled()) {
+        obs::LedgerRecord rec("supervisor_drain");
+        rec.field("inflight", static_cast<std::int64_t>(engine.inflight_count()))
+            .field("queued", static_cast<std::int64_t>(engine.queue.size()));
+        obs::ledger_emit(rec);
+      }
+    }
+    if (draining && engine.inflight_count() == 0) {
+      engine.cancel_queued("cancelled: drain requested before dispatch");
+      break;
+    }
+    engine.pump(0.020);
+  }
+  engine.shutdown(5.0);
 
   for (std::size_t i = 0; i < tasks.size(); ++i)
     GANOPC_TYPED_CHECK(StatusCode::kInternal, have[i],
                        "supervisor: task '" << tasks[i].id << "' never resolved");
   return results;
+}
+
+void Supervisor::start(std::function<void(const TaskResult&)> on_result) {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, !engine_,
+                     "supervisor: session already open");
+  crash_reports_.clear();
+  spawn_count_ = 0;
+  engine_ = std::make_unique<Engine>(config_, fn_, crash_reports_, spawn_count_,
+                                     std::move(on_result));
+}
+
+void Supervisor::submit(Task task) {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, engine_ != nullptr,
+                     "supervisor: submit() without an open session");
+  engine_->submit(std::move(task));
+}
+
+void Supervisor::pump(double timeout_s) {
+  GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, engine_ != nullptr,
+                     "supervisor: pump() without an open session");
+  engine_->pump(timeout_s);
+}
+
+std::size_t Supervisor::pending() const {
+  return engine_ ? engine_->tasks.size() : 0;
+}
+
+std::size_t Supervisor::inflight() const {
+  return engine_ ? engine_->inflight_count() : 0;
+}
+
+void Supervisor::set_dispatch_enabled(bool enabled) {
+  if (engine_) engine_->dispatch_enabled = enabled;
+}
+
+void Supervisor::cancel_queued(const std::string& reason) {
+  if (engine_) engine_->cancel_queued(reason);
+}
+
+void Supervisor::collect_poll_fds(std::vector<struct pollfd>& out) const {
+  if (engine_) engine_->collect_poll_fds(out);
+}
+
+void Supervisor::shutdown(double grace_s) {
+  if (!engine_) return;
+  engine_->shutdown(grace_s);
+  engine_.reset();
 }
 
 }  // namespace ganopc::proc

@@ -32,8 +32,12 @@
 // reuse; BatchRunner is its first client.
 #pragma once
 
+#include <poll.h>
+
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,6 +67,17 @@ struct SupervisorConfig {
   int worker_threads = 0;
   std::uint64_t seed = 1847;  ///< restart-jitter stream
   WorkerLimits limits;
+  /// Optional drain flag polled by run(): once it reads true the dispatcher
+  /// stops handing out queued tasks, lets in-flight tasks finish (still
+  /// bounded by the task deadline / heartbeat kills), resolves the remaining
+  /// queue as `cancelled` TaskResults, and shuts the pool down cleanly —
+  /// the SIGTERM-drain hook for `ganopc batch`.
+  const std::atomic<bool>* stop = nullptr;
+  /// Runs in each worker child right after fork() (after sibling pipe ends
+  /// are closed, before rlimits). The serve daemon closes its listen socket,
+  /// signal pipe and every client connection here so a long-lived worker
+  /// cannot hold a dup of a connection the daemon already hung up on.
+  std::function<void()> child_setup;
 
   void validate() const;
 };
@@ -70,6 +85,10 @@ struct SupervisorConfig {
 struct Task {
   std::string id;       ///< unique; quarantine counting is keyed on it
   std::string payload;  ///< opaque bytes handed to the WorkerFn
+  /// Per-task wall cap once dispatched, overriding the pool-wide
+  /// task_deadline_s (0 = use the pool default). The serve front-end plumbs
+  /// each request's remaining deadline budget through this.
+  double deadline_s = 0.0;
 };
 
 struct TaskResult {
@@ -78,6 +97,7 @@ struct TaskResult {
   std::string error;        ///< WorkerFn exception text ("" = clean)
   int crashes = 0;          ///< workers this task killed before completing
   bool quarantined = false; ///< crashes reached quarantine_kills; no payload
+  bool cancelled = false;   ///< drained from the queue before dispatch
 };
 
 /// One entry per worker death, in death order — the forensics trail the
@@ -105,28 +125,85 @@ using WorkerFn = std::function<std::string(const std::string& payload, int crash
 class Supervisor {
  public:
   Supervisor(const SupervisorConfig& config, WorkerFn fn);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
 
   /// Process every task; returns results in task order. `on_result` (may be
   /// empty) fires in the supervisor process as each task completes or is
   /// quarantined — completion order — so the caller can journal
   /// incrementally. Throws StatusError(kInternal) only for pool-level faults
   /// (every worker slot retired with work remaining, fork failure storms);
-  /// per-task faults land in the TaskResults.
+  /// per-task faults land in the TaskResults. When `config.stop` flips true
+  /// mid-run the batch drains: in-flight tasks finish, queued tasks come back
+  /// as `cancelled` results. Implemented on top of the persistent session
+  /// API below; a batch run and a session must not overlap.
   std::vector<TaskResult> run(
       const std::vector<Task>& tasks,
       const std::function<void(const TaskResult&)>& on_result = {});
 
-  /// Every worker death observed by the last run(), in death order.
+  // ---- persistent session mode (the `ganopc serve` front-end) -----------
+  //
+  // start() opens a long-lived dispatch session; submit() enqueues work at
+  // any time; pump() performs one dispatch iteration (spawn due workers,
+  // hand out tasks, poll result pipes for up to timeout_s, reap deaths,
+  // enforce liveness) and fires `on_result` for every task that completed.
+  // shutdown() ends the session. Workers are forked lazily on first demand.
+
+  /// Open a persistent session. `on_result` fires from within pump() in
+  /// completion order. Throws if a session is already open.
+  void start(std::function<void(const TaskResult&)> on_result);
+
+  /// Enqueue one task (FIFO; crash-requeues go to the front as in run()).
+  void submit(Task task);
+
+  /// One dispatch iteration; blocks in poll() for at most timeout_s when no
+  /// result pipe is readable. Throws StatusError(kInternal) on pool-level
+  /// faults (every slot retired with work pending) — the caller owns the
+  /// policy for that (serve fails pending requests and reports unready).
+  void pump(double timeout_s = 0.02);
+
+  /// Queued + in-flight tasks not yet resolved.
+  std::size_t pending() const;
+
+  /// Tasks currently executing in a worker.
+  std::size_t inflight() const;
+
+  /// When disabled, queued tasks stay queued (in-flight ones still finish) —
+  /// the drain half-step between "stop accepting" and cancel_queued().
+  void set_dispatch_enabled(bool enabled);
+
+  /// Resolve every queued (not yet dispatched) task as cancelled, with
+  /// `reason` as the error text. Fires on_result for each.
+  void cancel_queued(const std::string& reason);
+
+  /// Append the session's live worker result fds (events=POLLIN) so an outer
+  /// event loop can merge them into its own poll() set and call pump(0) only
+  /// when something is actually readable.
+  void collect_poll_fds(std::vector<struct pollfd>& out) const;
+
+  /// End the session: send Shutdown frames, give workers grace_s to exit,
+  /// SIGKILL stragglers, reap everything. Safe to call with work pending
+  /// (it is abandoned — cancel or drain first if results matter).
+  void shutdown(double grace_s = 5.0);
+
+  bool session_open() const { return engine_ != nullptr; }
+
+  /// Every worker death observed by the last run() / the open session.
   const std::vector<CrashReport>& crash_reports() const { return crash_reports_; }
 
-  /// Total worker processes forked by the last run() (initial + restarts).
+  /// Total worker processes forked by the last run() / the open session.
   int spawn_count() const { return spawn_count_; }
 
  private:
+  struct Engine;
+
   SupervisorConfig config_;
   WorkerFn fn_;
   std::vector<CrashReport> crash_reports_;
   int spawn_count_ = 0;
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace ganopc::proc

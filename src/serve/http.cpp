@@ -1,0 +1,232 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ganopc::serve {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::query_param(std::string_view key) const {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  std::string_view qs = std::string_view(target).substr(q + 1);
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    const std::string_view pair = qs.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key)
+      return std::string(pair.substr(eq + 1));
+    if (eq == std::string_view::npos && pair == key) return "";
+    if (amp == std::string_view::npos) break;
+    qs.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
+bool HttpRequest::wants_close() const {
+  const std::string* c = header("Connection");
+  return c != nullptr && iequals(trim(*c), "close");
+}
+
+HttpRequestParser::HttpRequestParser(const HttpLimits& limits)
+    : limits_(limits) {}
+
+ParseState HttpRequestParser::fail(int code, std::string reason) {
+  state_ = ParseState::Error;
+  error_code_ = code;
+  error_reason_ = std::move(reason);
+  return state_;
+}
+
+void HttpRequestParser::reset() {
+  buf_.clear();
+  head_done_ = false;
+  started_ = false;
+  body_expected_ = 0;
+  state_ = ParseState::NeedMore;
+  req_ = HttpRequest{};
+  error_code_ = 0;
+  error_reason_.clear();
+}
+
+bool HttpRequestParser::parse_head(std::string_view head) {
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (first) {
+      first = false;
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string_view::npos || sp2 == sp1) {
+        fail(400, "malformed request line");
+        return false;
+      }
+      req_.method = std::string(line.substr(0, sp1));
+      req_.target = std::string(trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+      req_.version = std::string(line.substr(sp2 + 1));
+      if (req_.method.empty() ||
+          !std::all_of(req_.method.begin(), req_.method.end(), [](char c) {
+            return std::isupper(static_cast<unsigned char>(c)) != 0;
+          })) {
+        fail(400, "malformed method");
+        return false;
+      }
+      if (req_.target.empty() || req_.target[0] != '/') {
+        fail(400, "malformed request target");
+        return false;
+      }
+      if (req_.version != "HTTP/1.1" && req_.version != "HTTP/1.0") {
+        fail(400, "unsupported HTTP version");
+        return false;
+      }
+      continue;
+    }
+    if (line.empty()) continue;  // tolerated stray blank (should not occur)
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      fail(400, "malformed header line");
+      return false;
+    }
+    req_.headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                              std::string(trim(line.substr(colon + 1))));
+  }
+
+  if (req_.header("Transfer-Encoding") != nullptr) {
+    fail(501, "Transfer-Encoding is not supported; send Content-Length");
+    return false;
+  }
+  if (const std::string* cl = req_.header("Content-Length")) {
+    if (cl->empty() || !std::all_of(cl->begin(), cl->end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) != 0;
+        }) ||
+        cl->size() > 12) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    const unsigned long long n = std::stoull(*cl);
+    if (n > limits_.max_body_bytes) {
+      fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                    " bytes");
+      return false;
+    }
+    body_expected_ = static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ParseState HttpRequestParser::feed(const char* data, std::size_t n) {
+  if (state_ != ParseState::NeedMore) return state_;
+  if (n > 0) started_ = true;
+  std::size_t off = 0;
+
+  if (!head_done_) {
+    buf_.append(data, n);
+    // The head ends at the first blank line: CRLFCRLF or bare LFLF.
+    std::size_t head_end = std::string::npos;
+    std::size_t body_off = 0;
+    const std::size_t crlf = buf_.find("\r\n\r\n");
+    const std::size_t lflf = buf_.find("\n\n");
+    if (crlf != std::string::npos && (lflf == std::string::npos || crlf <= lflf)) {
+      head_end = crlf;
+      body_off = crlf + 4;
+    } else if (lflf != std::string::npos) {
+      head_end = lflf;
+      body_off = lflf + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buf_.size() > limits_.max_header_bytes)
+        return fail(431, "request head exceeds " +
+                             std::to_string(limits_.max_header_bytes) + " bytes");
+      return state_;
+    }
+    if (head_end > limits_.max_header_bytes)
+      return fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    if (!parse_head(std::string_view(buf_).substr(0, head_end))) return state_;
+    head_done_ = true;
+    req_.body.reserve(std::min(body_expected_, std::size_t{1} << 20));
+    req_.body.assign(buf_, body_off, std::string::npos);
+    buf_.clear();
+    data = nullptr;
+    off = n = 0;  // everything already moved through buf_
+  }
+
+  if (n > off) req_.body.append(data + off, n - off);
+  if (req_.body.size() > body_expected_)
+    return fail(400, "body longer than Content-Length");
+  if (req_.body.size() == body_expected_) state_ = ParseState::Complete;
+  return state_;
+}
+
+const char* http_status_reason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(
+    int code, std::string_view body, std::string_view content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra,
+    bool close_connection) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    http_status_reason(code) + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  out += close_connection ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  for (const auto& [k, v] : extra) out += k + ": " + v + "\r\n";
+  out += "\r\n";
+  out.append(body);
+  return out;
+}
+
+}  // namespace ganopc::serve

@@ -1,0 +1,100 @@
+// Incremental HTTP/1.1 request parser + response serializer (DESIGN.md §14).
+//
+// The daemon reads sockets non-blocking, so requests arrive in arbitrary
+// fragments; HttpRequestParser is a push parser in the style of
+// proc::FrameBuffer — feed() bytes as they land, get NeedMore / Complete /
+// Error back. It enforces the wire discipline up front (header-bytes cap,
+// Content-Length body cap mirroring proc::wire's 64 MB frame ceiling) and
+// classifies malformed input into the HTTP status the daemon should answer
+// with (400 malformed, 413 too large, 501 chunked-unsupported), so a
+// garbage or hostile client costs one typed response, never a crash.
+//
+// Scope: exactly what the daemon needs. Request line + headers + fixed
+// Content-Length bodies; both CRLF and bare-LF line endings are accepted
+// (curl sends CRLF, tests often write LF). No chunked encoding, no
+// multipart, no HTTP/2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ganopc::serve {
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 16u << 10;
+  /// Cap on Content-Length; mirrors proc::kMaxFramePayload so a request body
+  /// that would not fit a worker frame is rejected at the door with 413.
+  std::size_t max_body_bytes = 64u << 20;
+};
+
+struct HttpRequest {
+  std::string method;   ///< e.g. "POST" (upper-case as sent)
+  std::string target;   ///< raw request target, e.g. "/v1/optimize?mask=pgm"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< order kept
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// `target` up to the first '?'.
+  std::string path() const;
+  /// Value of `key` in the query string ("" when absent; no %-decoding —
+  /// the daemon's parameters are all token-valued).
+  std::string query_param(std::string_view key) const;
+  /// Connection: close requested (HTTP/1.1 defaults to keep-alive).
+  bool wants_close() const;
+};
+
+enum class ParseState { NeedMore, Complete, Error };
+
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(const HttpLimits& limits = {});
+
+  /// Consume `n` bytes. Once Complete or Error is returned the parser stops
+  /// consuming until reset(). On Error, error_code()/error_reason() carry the
+  /// HTTP status + detail the server should answer with.
+  ParseState feed(const char* data, std::size_t n);
+
+  ParseState state() const { return state_; }
+  const HttpRequest& request() const { return req_; }
+  int error_code() const { return error_code_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// True once any byte of the current request has been consumed — a timed
+  /// out connection with progress is a slow-loris, without is just idle.
+  bool started() const { return started_; }
+
+  /// Ready the parser for the next request on a keep-alive connection.
+  void reset();
+
+ private:
+  ParseState fail(int code, std::string reason);
+  bool parse_head(std::string_view head);
+
+  HttpLimits limits_;
+  std::string buf_;           ///< accumulated head bytes until blank line
+  bool head_done_ = false;
+  bool started_ = false;
+  std::size_t body_expected_ = 0;
+  ParseState state_ = ParseState::NeedMore;
+  HttpRequest req_;
+  int error_code_ = 0;
+  std::string error_reason_;
+};
+
+/// Serialize a complete response. Content-Length and Connection are always
+/// emitted (plus `extra` headers, e.g. Retry-After); body may be binary.
+std::string http_response(
+    int code, std::string_view body,
+    std::string_view content_type = "application/json",
+    const std::vector<std::pair<std::string, std::string>>& extra = {},
+    bool close_connection = false);
+
+/// Canonical reason phrase ("OK", "Too Many Requests", ...).
+const char* http_status_reason(int code);
+
+}  // namespace ganopc::serve

@@ -75,7 +75,7 @@ TEST(LithoDeterminism, BitIdenticalAtEveryThreadCount) {
   const Snapshot base = run_engine(sim, target);
 
   const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  std::vector<std::size_t> counts = {1, 2, hw, hw + 3};
+  std::vector<std::size_t> counts = {1, 2, 3, 4, hw, hw + 3};
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
@@ -90,6 +90,45 @@ TEST(LithoDeterminism, BitIdenticalAtEveryThreadCount) {
     ASSERT_EQ(s.batch.size(), base.batch.size());
     for (std::size_t i = 0; i < s.batch.size(); ++i)
       expect_identical(s.batch[i], base.batch[i], "batch print", t);
+  }
+  ThreadPool::reset(ThreadPool::default_thread_count());
+}
+
+TEST(LithoDeterminism, IltSolveBitIdenticalAcrossOddThreadCounts) {
+  // Regression for the cross-thread divergence ROADMAP tracked: before chunk
+  // boundaries were quantum-aligned (common/parallel.hpp), the AVX2 kernels'
+  // vector-body/scalar-tail grouping shifted with the partition, so a
+  // multi-iteration ILT solve diverged at N=3 (1024 px / 3 workers puts chunk
+  // starts off the SIMD group width) while N=1 and N=4 agreed. A single
+  // iteration can mask the bug — ULP-level differences need iterations to
+  // amplify — so this runs a real solve and pins 1/3/4 workers bit-for-bit.
+  OpticsConfig optics;
+  optics.num_kernels = 12;
+  const LithoSim sim(optics, ResistConfig{}, 32, 32);
+  geom::Grid target(32, 32, 32);
+  for (std::int32_t r = 6; r < 26; ++r)
+    for (std::int32_t c = 10; c < 22; ++c) target.at(r, c) = 1.0f;
+  for (std::int32_t r = 14; r < 18; ++r)
+    for (std::int32_t c = 10; c < 16; ++c) target.at(r, c) = 0.0f;
+
+  ilt::IltConfig cfg;
+  cfg.max_iterations = 24;
+  cfg.check_every = 4;
+
+  ThreadPool::reset(1);
+  const ilt::IltResult base = ilt::IltEngine(sim, cfg).optimize(target);
+
+  for (const std::size_t t : {std::size_t{3}, std::size_t{4}}) {
+    ThreadPool::reset(t);
+    ASSERT_EQ(ThreadPool::instance().size(), t);
+    const ilt::IltResult got = ilt::IltEngine(sim, cfg).optimize(target);
+    EXPECT_EQ(got.iterations, base.iterations) << t << " threads";
+    expect_identical(got.mask, base.mask, "ILT binary mask", t);
+    expect_identical(got.mask_relaxed, base.mask_relaxed, "ILT relaxed mask", t);
+    ASSERT_EQ(got.l2_history.size(), base.l2_history.size()) << t << " threads";
+    for (std::size_t i = 0; i < got.l2_history.size(); ++i)
+      EXPECT_EQ(got.l2_history[i], base.l2_history[i])
+          << "L2 history entry " << i << " at " << t << " threads";
   }
   ThreadPool::reset(ThreadPool::default_thread_count());
 }

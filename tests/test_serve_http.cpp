@@ -1,0 +1,165 @@
+// Units for the serve HTTP push parser and response serializer
+// (DESIGN.md §14). The parser is the daemon's first line of defense against
+// malformed and hostile clients, so every rejection class is pinned here:
+// 400 malformed, 413 body cap, 431 head cap, 501 chunked-unsupported — plus
+// the benign variation it must tolerate (fragmented delivery, bare-LF line
+// endings, keep-alive reuse).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http.hpp"
+
+namespace ganopc::serve {
+namespace {
+
+ParseState feed_all(HttpRequestParser& p, const std::string& bytes) {
+  return p.feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParser, PostWithBodyParsesInOneFeed) {
+  HttpRequestParser p;
+  const std::string wire =
+      "POST /v1/optimize?mask=pgm&deadline_s=5 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: text/plain\r\n"
+      "X-Request-Id: clip7\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "clip 2048 0";
+  ASSERT_EQ(feed_all(p, wire), ParseState::Complete);
+  const HttpRequest& r = p.request();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.target, "/v1/optimize?mask=pgm&deadline_s=5");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_EQ(r.path(), "/v1/optimize");
+  EXPECT_EQ(r.query_param("mask"), "pgm");
+  EXPECT_EQ(r.query_param("deadline_s"), "5");
+  EXPECT_EQ(r.query_param("absent"), "");
+  EXPECT_EQ(r.body, "clip 2048 0");
+  ASSERT_NE(r.header("x-request-id"), nullptr);  // lookup is case-insensitive
+  EXPECT_EQ(*r.header("x-request-id"), "clip7");
+  EXPECT_EQ(r.header("Authorization"), nullptr);
+  EXPECT_FALSE(r.wants_close());
+}
+
+TEST(HttpParser, ByteAtATimeDeliveryReachesTheSameParse) {
+  HttpRequestParser p;
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(p.feed(&wire[i], 1), ParseState::NeedMore) << "at byte " << i;
+    EXPECT_TRUE(p.started());
+  }
+  ASSERT_EQ(p.feed(&wire[wire.size() - 1], 1), ParseState::Complete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().path(), "/healthz");
+  EXPECT_TRUE(p.request().wants_close());
+}
+
+TEST(HttpParser, BareLfLineEndingsAreAccepted) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "POST /v1/optimize HTTP/1.1\nContent-Length: 2\n\nok"),
+            ParseState::Complete);
+  EXPECT_EQ(p.request().body, "ok");
+}
+
+TEST(HttpParser, HeadAndBodySplitAcrossFeedsIncludingPartialBody) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 6\r\n\r\nab"),
+            ParseState::NeedMore);
+  ASSERT_EQ(feed_all(p, "cd"), ParseState::NeedMore);
+  ASSERT_EQ(feed_all(p, "ef"), ParseState::Complete);
+  EXPECT_EQ(p.request().body, "abcdef");
+}
+
+TEST(HttpParser, ResetReadiesKeepAliveForTheNextRequest) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "POST /a HTTP/1.1\r\nContent-Length: 1\r\n\r\nx"),
+            ParseState::Complete);
+  // Complete is sticky: further bytes are ignored until reset().
+  ASSERT_EQ(feed_all(p, "garbage"), ParseState::Complete);
+  p.reset();
+  EXPECT_FALSE(p.started());
+  ASSERT_EQ(feed_all(p, "GET /b HTTP/1.1\r\n\r\n"), ParseState::Complete);
+  EXPECT_EQ(p.request().target, "/b");
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParser, MalformedInputsFailWith400) {
+  const char* cases[] = {
+      "NOT_HTTP\r\n\r\n",                            // no spaces in request line
+      "get / HTTP/1.1\r\n\r\n",                      // lowercase method
+      "GET relative HTTP/1.1\r\n\r\n",               // target without leading /
+      "GET / HTTP/2.0\r\n\r\n",                      // unsupported version
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",       // header without ':'
+      "GET / HTTP/1.1\r\nContent-Length: 12a\r\n\r\n",  // non-numeric length
+      "POST / HTTP/1.1\r\nContent-Length: 9999999999999\r\n\r\n",  // >12 digits
+  };
+  for (const char* wire : cases) {
+    HttpRequestParser p;
+    ASSERT_EQ(feed_all(p, wire), ParseState::Error) << wire;
+    EXPECT_EQ(p.error_code(), 400) << wire;
+    EXPECT_FALSE(p.error_reason().empty());
+  }
+}
+
+TEST(HttpParser, BodyLongerThanContentLengthFailsWith400) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabc"),
+            ParseState::Error);
+  EXPECT_EQ(p.error_code(), 400);
+}
+
+TEST(HttpParser, ContentLengthOverCapFailsWith413BeforeAnyBodyByte) {
+  HttpRequestParser p({/*max_header_bytes=*/16u << 10, /*max_body_bytes=*/64});
+  ASSERT_EQ(feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n"),
+            ParseState::Error);
+  EXPECT_EQ(p.error_code(), 413);
+  // At the cap exactly is fine.
+  HttpRequestParser ok({16u << 10, 64});
+  EXPECT_EQ(feed_all(ok, "POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n"),
+            ParseState::NeedMore);
+}
+
+TEST(HttpParser, UnterminatedHeadOverCapFailsWith431) {
+  HttpRequestParser p({/*max_header_bytes=*/128, /*max_body_bytes=*/64u << 20});
+  std::string wire = "GET / HTTP/1.1\r\n";
+  while (wire.size() <= 256) wire += "X-Padding: aaaaaaaaaaaaaaaa\r\n";
+  ASSERT_EQ(feed_all(p, wire), ParseState::Error);  // never saw the blank line
+  EXPECT_EQ(p.error_code(), 431);
+}
+
+TEST(HttpParser, TransferEncodingIsRejectedWith501) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p,
+                     "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseState::Error);
+  EXPECT_EQ(p.error_code(), 501);
+}
+
+TEST(HttpResponse, SerializesStatusHeadersAndBody) {
+  const std::string out =
+      http_response(503, "{\"error\":\"queue full\"}", "application/json",
+                    {{"Retry-After", "3"}}, /*close_connection=*/false);
+  EXPECT_EQ(out.find("HTTP/1.1 503 Service Unavailable\r\n"), 0u);
+  EXPECT_NE(out.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 22\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Retry-After: 3\r\n"), std::string::npos);
+  EXPECT_NE(out.find("\r\n\r\n{\"error\":\"queue full\"}"), std::string::npos);
+
+  const std::string closing = http_response(200, "", "text/plain", {}, true);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(closing.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(HttpResponse, ReasonPhrasesCoverTheDaemonsStatusCodes) {
+  EXPECT_STREQ(http_status_reason(200), "OK");
+  EXPECT_STREQ(http_status_reason(429), "Too Many Requests");
+  EXPECT_STREQ(http_status_reason(504), "Gateway Timeout");
+  EXPECT_STREQ(http_status_reason(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace ganopc::serve

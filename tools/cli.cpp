@@ -16,6 +16,16 @@
 //                  [--deterministic-manifest 0|1] [--retry-backoff-s SEC]
 //                  [--workers N] [--quarantine-kills K] [--task-deadline-s SEC]
 //                  [--worker-mem-mb MB] [--worker-cpu-s SEC]
+//   ganopc serve   [--port N | --socket PATH] [--host ADDR] [--port-file FILE]
+//                  [--workers N] [--max-queue N] [--default-deadline-s SEC]
+//                  [--max-deadline-s SEC] [--read-timeout-s SEC]
+//                  [--write-timeout-s SEC] [--max-body-mb MB] [--max-conns N]
+//                  [--breaker-kills K] [--breaker-cooldown-s SEC]
+//                  [--drain-grace-s SEC] [--spool-dir DIR] [--scale NAME]
+//                  [--grid N] [--iters N] [--generator FILE.bin]
+//                  [--accept-factor F] [--max-retries N] [--fallback 0|1]
+//                  [--quarantine-kills K] [--worker-mem-mb MB]
+//                  [--worker-cpu-s SEC]
 //   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
 //   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
 //                  [--clipsize NM]
@@ -80,6 +90,7 @@
 #include "obs/ledger.hpp"
 #include "obs/regress.hpp"
 #include "obs/trace.hpp"
+#include "serve/server.hpp"
 #include "sraf/sraf.hpp"
 
 namespace {
@@ -407,6 +418,12 @@ int cmd_batch(const Args& args) {
   bcfg.task_deadline_s = args.get_double("task-deadline-s", 0.0);
   bcfg.worker_mem_mb = args.get_int("worker-mem-mb", 0);
   bcfg.worker_cpu_s = args.get_int("worker-cpu-s", 0);
+  // Graceful drain: SIGTERM/SIGINT stops dispatching new clips, lets
+  // in-flight ones finish (bounded by their deadlines), journals what
+  // completed, and reports the untouched remainder as Cancelled rows.
+  bcfg.stop = &g_stop;
+  std::signal(SIGINT, handle_sigint);
+  std::signal(SIGTERM, handle_sigint);
 
   const core::BatchRunner runner(cfg, generator.get(), sim, bcfg);
   const core::BatchSummary summary = runner.run_files(paths);
@@ -429,7 +446,79 @@ int cmd_batch(const Args& args) {
     std::printf("batch: supervised with %d worker(s): %d worker death(s), "
                 "%d clip(s) quarantined\n",
                 bcfg.workers, summary.worker_deaths, summary.quarantined);
+  if (summary.drained) {
+    // A drained run exits 0 when everything that actually ran succeeded;
+    // the cancelled remainder is not a failure — it is resumable work.
+    std::printf("batch: drained on SIGTERM/SIGINT; %d clip(s) cancelled%s\n",
+                summary.cancelled,
+                bcfg.journal_path.empty()
+                    ? ""
+                    : " (rerun with --resume to finish them)");
+    return summary.failed == summary.cancelled ? 0 : 3;
+  }
   return summary.failed == 0 ? 0 : 3;
+}
+
+// Fault-tolerant mask-optimization daemon (DESIGN.md §14): HTTP/1.1 over TCP
+// or a Unix socket, bounded-queue admission control with deadline-aware
+// shedding, per-request degradation (GAN+ILT -> ILT -> MB-OPC) across
+// sandboxed workers, a circuit breaker after consecutive worker deaths, and
+// graceful SIGTERM drain (exit 0).
+int cmd_serve(const Args& args) {
+  core::GanOpcConfig cfg =
+      core::make_config(core::parse_scale(args.get("scale", "quick")));
+  cfg.litho_grid = args.get_int("grid", cfg.litho_grid);
+  cfg.ilt.max_iterations = args.get_int("iters", cfg.ilt.max_iterations);
+
+  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
+                            cfg.litho_pixel_nm());
+  Prng rng(cfg.seed);
+  std::unique_ptr<core::Generator> generator;
+  const std::string gen_path = args.get("generator", "");
+  if (!gen_path.empty()) {
+    generator = std::make_unique<core::Generator>(cfg.gan_grid, cfg.base_channels, rng);
+    nn::load_parameters(generator->net(), gen_path);
+  }
+
+  core::BatchConfig bcfg;
+  bcfg.max_retries = args.get_int("max-retries", 1);
+  bcfg.allow_fallback = args.get_int("fallback", 1) != 0;
+  bcfg.l2_accept_factor = static_cast<float>(args.get_double("accept-factor", 1.0));
+  bcfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<int>(cfg.seed)));
+
+  serve::ServeConfig scfg;
+  scfg.host = args.get("host", "127.0.0.1");
+  scfg.port = args.get_int("port", 8347);
+  scfg.unix_socket = args.get("socket", "");
+  scfg.port_file = args.get("port-file", "");
+  scfg.max_conns = args.get_int("max-conns", scfg.max_conns);
+  scfg.max_queue = args.get_int("max-queue", scfg.max_queue);
+  scfg.default_deadline_s =
+      args.get_double("default-deadline-s", scfg.default_deadline_s);
+  scfg.max_deadline_s = args.get_double("max-deadline-s", scfg.max_deadline_s);
+  scfg.read_timeout_s = args.get_double("read-timeout-s", scfg.read_timeout_s);
+  scfg.write_timeout_s =
+      args.get_double("write-timeout-s", scfg.write_timeout_s);
+  scfg.max_body_bytes =
+      static_cast<std::size_t>(args.get_int("max-body-mb", 64)) << 20;
+  scfg.breaker_kills = args.get_int("breaker-kills", scfg.breaker_kills);
+  scfg.breaker_cooldown_s =
+      args.get_double("breaker-cooldown-s", scfg.breaker_cooldown_s);
+  scfg.drain_grace_s = args.get_double("drain-grace-s", scfg.drain_grace_s);
+  scfg.spool_dir = args.get("spool-dir", "");
+  scfg.workers = args.get_int("workers", 1);
+  scfg.quarantine_kills = args.get_int("quarantine-kills", scfg.quarantine_kills);
+  scfg.heartbeat_timeout_s =
+      args.get_double("heartbeat-timeout-s", scfg.heartbeat_timeout_s);
+  scfg.worker_mem_mb = args.get_int("worker-mem-mb", 0);
+  scfg.worker_cpu_s = args.get_int("worker-cpu-s", 0);
+  scfg.seed = bcfg.seed;
+  scfg.stop = &g_stop;
+  std::signal(SIGINT, handle_sigint);
+  std::signal(SIGTERM, handle_sigint);
+
+  serve::Server server(cfg, generator.get(), sim, bcfg, scfg);
+  return server.run();
 }
 
 int cmd_txt2gds(const Args& args) {
@@ -502,7 +591,7 @@ int cmd_report(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch|report> [--flag value ...]\n"
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch|serve|report> [--flag value ...]\n"
                "global flags: --metrics-out FILE (Prometheus text, or JSON when\n"
                "FILE ends in .json), --trace-out FILE (chrome://tracing JSON)\n"
                "and --ledger-out FILE (JSONL run ledger + flight recorder)\n"
@@ -609,6 +698,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "flow") return cmd_flow(args);
   if (cmd == "batch") return cmd_batch(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "txt2gds") return cmd_txt2gds(args);
   if (cmd == "gds2txt") return cmd_gds2txt(args);
   if (cmd == "report") return cmd_report(args);
