@@ -1,0 +1,40 @@
+#include "engine/clip_io.hpp"
+
+#include "common/error.hpp"
+#include "common/image_io.hpp"
+#include "gds/gds.hpp"
+#include "layout/glp.hpp"
+
+namespace ganopc::engine {
+
+geom::Layout load_layout_file(const std::string& path, std::int32_t clip_nm,
+                              const std::string& cell, std::int16_t layer) {
+  const geom::Rect clip{0, 0, clip_nm, clip_nm};
+  if (path.ends_with(".gds"))
+    return gds::gds_to_layout(gds::read_gds(path), clip, cell, layer);
+  if (path.ends_with(".glp")) return layout::read_glp(path, clip);
+  return geom::Layout::load(path);
+}
+
+std::string encode_mask_pgm(const geom::Grid& mask) {
+  return encode_pgm(to_gray(mask.data.data(), mask.cols, mask.rows));
+}
+
+void write_mask_pgm(const std::string& path, const geom::Grid& mask) {
+  write_pgm(path, to_gray(mask.data.data(), mask.cols, mask.rows));
+}
+
+geom::Grid load_mask_pgm(const std::string& path, std::int32_t grid_size,
+                         std::int32_t pixel_nm) {
+  const GrayImage img = read_pgm(path);
+  GANOPC_CHECK_MSG(img.width == grid_size && img.height == grid_size,
+                   "mask PGM " << path << " must be " << grid_size << "x"
+                               << grid_size << " (got " << img.width << "x"
+                               << img.height << ")");
+  geom::Grid mask(img.height, img.width, pixel_nm);
+  for (std::size_t i = 0; i < mask.data.size(); ++i)
+    mask.data[i] = img.pixels[i] >= 128 ? 1.0f : 0.0f;
+  return mask;
+}
+
+}  // namespace ganopc::engine

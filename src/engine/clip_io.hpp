@@ -1,0 +1,37 @@
+// Clip and mask I/O helpers shared by every engine front-end.
+//
+// Before the engine extraction, layout loading and mask PGM handling were
+// copied between tools/cli.cpp, the batch runner and the serve worker path,
+// and the copies had drifted: the CLI honored --cell/--layer when clipping a
+// GDS library while the batch loader silently ignored both. One loader (and
+// one mask codec) here keeps the front-ends byte-for-byte interchangeable —
+// the bit-identity contract test in test_engine.cpp depends on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/grid.hpp"
+#include "geometry/layout.hpp"
+
+namespace ganopc::engine {
+
+/// Load a clip layout from text, GDSII (.gds) or contest GLP (.glp), picked
+/// by extension. `clip_nm` sets the square clip window for the binary
+/// formats; `cell`/`layer` select a GDS structure ("" = sole/top structure).
+geom::Layout load_layout_file(const std::string& path, std::int32_t clip_nm,
+                              const std::string& cell = "",
+                              std::int16_t layer = 1);
+
+/// Mask -> 8-bit binary PGM bytes (the serve response / CLI artifact format).
+std::string encode_mask_pgm(const geom::Grid& mask);
+
+/// Write `encode_mask_pgm` output to a file.
+void write_mask_pgm(const std::string& path, const geom::Grid& mask);
+
+/// Load a mask PGM at the given simulation geometry; pixels >= 128 become
+/// 1.0f. Throws on a geometry mismatch.
+geom::Grid load_mask_pgm(const std::string& path, std::int32_t grid_size,
+                         std::int32_t pixel_nm);
+
+}  // namespace ganopc::engine

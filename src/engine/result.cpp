@@ -1,0 +1,122 @@
+#include "engine/result.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/failpoint.hpp"
+#include "common/sectioned_file.hpp"
+
+namespace ganopc::engine {
+
+const char* batch_stage_name(BatchStage stage) {
+  switch (stage) {
+    case BatchStage::GanIlt: return "gan+ilt";
+    case BatchStage::Ilt: return "ilt";
+    case BatchStage::MbOpc: return "mbopc";
+    case BatchStage::Failed: return "failed";
+  }
+  return "?";
+}
+
+// One codec for a manifest row's non-id fields, shared by the journal
+// sections, the supervised-mode wire payloads, and the serve daemon's worker
+// responses so all three stay field-for-field identical by construction.
+void encode_clip_result(ByteWriter& w, const BatchClipResult& res) {
+  w.str(res.source);
+  w.pod(static_cast<std::uint32_t>(res.code));
+  w.str(res.error);
+  w.pod(static_cast<std::uint32_t>(res.stage));
+  w.pod(static_cast<std::uint8_t>(res.has_termination ? 1 : 0));
+  w.pod(static_cast<std::uint32_t>(res.termination));
+  w.pod(static_cast<std::int32_t>(res.retries));
+  w.pod(static_cast<std::int32_t>(res.fallbacks));
+  w.pod(static_cast<std::int32_t>(res.ilt_iterations));
+  w.pod(res.l2_px);
+  w.pod(res.l2_nm2);
+  w.pod(res.pvb_nm2);
+  w.pod(res.runtime_s);
+}
+
+BatchClipResult decode_clip_result(ByteReader& r, const std::string& id,
+                                   const std::string& context) {
+  BatchClipResult res;
+  res.id = id;
+  res.source = r.str();
+  const auto code = r.pod<std::uint32_t>();
+  res.error = r.str(1 << 16);
+  const auto stage = r.pod<std::uint32_t>();
+  res.has_termination = r.pod<std::uint8_t>() != 0;
+  const auto termination = r.pod<std::uint32_t>();
+  res.retries = r.pod<std::int32_t>();
+  res.fallbacks = r.pod<std::int32_t>();
+  res.ilt_iterations = r.pod<std::int32_t>();
+  res.l2_px = r.pod<double>();
+  res.l2_nm2 = r.pod<double>();
+  res.pvb_nm2 = r.pod<std::int64_t>();
+  res.runtime_s = r.pod<double>();
+  // No expect_exhausted() here: the serve daemon appends response fields
+  // (mask bytes) after the row; strict callers check exhaustion themselves.
+  GANOPC_TYPED_CHECK(
+      StatusCode::kInvalidInput,
+      code <= static_cast<std::uint32_t>(StatusCode::kQuarantined) &&
+          stage <= static_cast<std::uint32_t>(BatchStage::Failed) &&
+          termination <= static_cast<std::uint32_t>(
+                             ilt::TerminationReason::kDeadlineExceeded),
+      "batch: out-of-range enum in " << context);
+  res.code = static_cast<StatusCode>(code);
+  res.stage = static_cast<BatchStage>(stage);
+  res.termination = static_cast<ilt::TerminationReason>(termination);
+  return res;
+}
+
+// Kill-matrix fault injection for the supervised-mode tests, armed by the
+// `proc.clip_fault` failpoint (off => zero cost, tests only). Faults are
+// selected by clip-id suffix so a test can poison clip k of N without caring
+// which worker draws it; a trailing digit bounds the crash count so
+// restart-then-succeed and quarantine-after-K are both expressible:
+//   <id>_segv  / _kill / _oom / _hang   -> faults on every delivery
+//   <id>_segv2 (etc.)                   -> faults until `crashes` reaches 2
+// Failpoint counters are per-process, so a restarted worker would re-arm
+// them identically — the supervisor-tracked crash count is the only state
+// that survives a worker death, hence it gates the bounded variants.
+void maybe_inject_clip_fault(const std::string& id, int crashes) {
+  if (!GANOPC_FAILPOINT("proc.clip_fault")) return;
+  std::string marker = id;
+  int bound = -1;  // -1 = unbounded: fault on every delivery
+  if (!marker.empty() && marker.back() >= '0' && marker.back() <= '9') {
+    bound = marker.back() - '0';
+    marker.pop_back();
+  }
+  if (bound >= 0 && crashes >= bound) return;  // crashed enough; succeed now
+  if (marker.ends_with("_segv")) {
+    std::raise(SIGSEGV);  // sanitizers report + exit(1); either way it dies
+    std::abort();
+  }
+  if (marker.ends_with("_kill")) {
+    std::raise(SIGKILL);  // uncatchable, like the kernel OOM killer
+    std::abort();
+  }
+  if (marker.ends_with("_oom")) {
+    // Grow until the worker's RLIMIT_DATA refuses the allocation, touching
+    // every page so the growth is real; then die the way the OOM killer
+    // would. Bounded at 2 GiB so a missing rlimit cannot take the host down.
+    constexpr std::size_t kChunk = 64u << 20;
+    for (std::size_t total = 0; total < (2048u << 20); total += kChunk) {
+      char* p = static_cast<char*>(std::malloc(kChunk));
+      if (p == nullptr) break;
+      std::memset(p, 0x5A, kChunk);
+    }
+    std::raise(SIGKILL);
+    std::abort();
+  }
+  if (marker.ends_with("_hang")) {
+    // Wedged computation: heartbeats keep ticking (the beat thread is alive)
+    // but the task never returns — only the task deadline can catch this.
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace ganopc::engine

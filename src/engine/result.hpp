@@ -1,0 +1,75 @@
+// Clip work items and manifest rows — the vocabulary shared by every
+// front-end of the engine (one-shot CLI, batch, serve) and by the journal /
+// supervised-pipe / serve-response wire formats.
+//
+// Extracted from the old core batch runner (DESIGN.md §15): the Engine's
+// `submit` consumes a BatchClip and produces a BatchClipResult, and the
+// codec below keeps the three persistence surfaces field-for-field identical
+// by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "geometry/layout.hpp"
+#include "ilt/ilt.hpp"
+
+namespace ganopc {
+class ByteWriter;
+class ByteReader;
+}
+
+namespace ganopc::engine {
+
+/// Which rung of the degradation chain produced the accepted mask.
+enum class BatchStage { GanIlt, Ilt, MbOpc, Failed };
+
+const char* batch_stage_name(BatchStage stage);
+
+/// One unit of work: a file path (text / .gds / .glp, loaded lazily so a
+/// corrupt file only fails its own clip) or an in-memory layout.
+struct BatchClip {
+  std::string id;
+  std::string path;                    ///< empty when `layout` is set
+  std::optional<geom::Layout> layout;  ///< in-memory clip (tests, pipelines)
+};
+
+/// Per-clip manifest row. `code == kOk` means `stage` produced a mask that
+/// passed the acceptance gate; otherwise `code`/`error` carry the diagnosis
+/// of the last failed attempt.
+struct BatchClipResult {
+  std::string id;
+  std::string source;                 ///< file path or "<memory>"
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  BatchStage stage = BatchStage::Failed;
+  bool has_termination = false;       ///< at least one ILT attempt ran
+  ilt::TerminationReason termination = ilt::TerminationReason::kConverged;
+  int retries = 0;                    ///< perturbed restarts consumed
+  int fallbacks = 0;                  ///< chain rungs abandoned
+  int ilt_iterations = 0;             ///< iterations of the last ILT attempt
+  double l2_px = 0.0;
+  double l2_nm2 = 0.0;
+  std::int64_t pvb_nm2 = 0;
+  double runtime_s = 0.0;             ///< 0 when deterministic_manifest is set
+  bool from_journal = false;          ///< replayed on resume, not recomputed
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Wire/journal codec for a manifest row's non-id fields — one codec shared
+/// by the journal sections, the supervised-mode pipe payloads, and the serve
+/// daemon's worker responses, so all three stay field-for-field identical.
+void encode_clip_result(ByteWriter& w, const BatchClipResult& res);
+BatchClipResult decode_clip_result(ByteReader& r, const std::string& id,
+                                   const std::string& context);
+
+/// Kill-matrix fault injection keyed on clip-id suffix (`_segv`, `_kill`,
+/// `_oom`, `_hang`, optionally digit-bounded), armed by the `proc.clip_fault`
+/// failpoint — exposed so the serve worker path shares the batch tests'
+/// fault vocabulary. No-op unless the failpoint is armed.
+void maybe_inject_clip_fault(const std::string& id, int crashes);
+
+}  // namespace ganopc::engine

@@ -66,6 +66,13 @@ struct IltConfig {
   /// 0 disables. Should be < patience to ever fire first.
   int stall_checks = 0;
   float stall_rel_tol = 1e-4f;
+
+  /// Optional caller-owned litho workspace reused across optimize() calls
+  /// (nullptr = per-call scratch). An Engine session points this at its
+  /// persistent workspace so steady-state submits allocate nothing; the
+  /// buffers only grow, so one workspace serves any same-or-smaller grid.
+  /// Not thread-safe: a shared workspace serializes optimize() calls.
+  litho::LithoWorkspace* workspace = nullptr;
 };
 
 /// Why optimize() returned — every exit path reports exactly one of these.

@@ -27,28 +27,58 @@ std::vector<std::complex<float>> flip_freq(const std::vector<std::complex<float>
 
 }  // namespace
 
+void SocsKernels::validate_geometry() const {
+  GANOPC_CHECK_MSG(config_.valid(), "invalid optics configuration");
+  GANOPC_CHECK_MSG(fft::is_pow2(static_cast<std::size_t>(grid_)),
+                   "grid size must be a power of two");
+  GANOPC_CHECK(pixel_nm_ > 0);
+  // The grid must resolve the full pupil: the highest passed frequency is
+  // (1 + sigma_outer) * NA / lambda, which must be below Nyquist.
+  const double f_max = (1.0 + config_.sigma_outer) * config_.cutoff();
+  const double nyquist = 0.5 / pixel_nm_;
+  GANOPC_CHECK_MSG(f_max < nyquist, "pixel size too coarse for the pupil: f_max="
+                                        << f_max << " >= nyquist=" << nyquist);
+}
+
+void SocsKernels::adopt(TccKernelSet set) {
+  GANOPC_CHECK_MSG(!set.kernels_hat.empty() &&
+                       set.kernels_hat.size() == set.weights.size(),
+                   "kernel set must carry one weight per kernel");
+  const std::size_t npx = static_cast<std::size_t>(grid_) * grid_;
+  for (std::size_t k = 0; k < set.kernels_hat.size(); ++k) {
+    GANOPC_CHECK_MSG(set.kernels_hat[k].size() == npx,
+                     "kernel " << k << " is not on the " << grid_ << "x" << grid_
+                               << " grid");
+    GANOPC_CHECK_MSG(std::isfinite(set.weights[k]) && set.weights[k] >= 0.0f,
+                     "kernel weights must be finite and nonnegative");
+    GANOPC_CHECK_MSG(k == 0 || set.weights[k] <= set.weights[k - 1],
+                     "kernel weights must be nonincreasing");
+    freq_kernels_flipped_.push_back(flip_freq(set.kernels_hat[k], grid_));
+    freq_kernels_.push_back(std::move(set.kernels_hat[k]));
+    weights_.push_back(set.weights[k]);
+  }
+  GANOPC_CHECK_MSG(std::isfinite(set.captured_energy) &&
+                       set.captured_energy >= 0.0 && set.captured_energy <= 1.0 + 1e-9,
+                   "captured_energy must be a fraction in [0, 1]");
+  captured_energy_ = std::min(set.captured_energy, 1.0);
+}
+
+SocsKernels::SocsKernels(const OpticsConfig& config, std::int32_t grid_size,
+                         std::int32_t pixel_nm, TccKernelSet set)
+    : config_(config), grid_(grid_size), pixel_nm_(pixel_nm) {
+  validate_geometry();
+  adopt(std::move(set));
+}
+
 SocsKernels::SocsKernels(const OpticsConfig& config, std::int32_t grid_size,
                          std::int32_t pixel_nm)
     : config_(config), grid_(grid_size), pixel_nm_(pixel_nm) {
-  GANOPC_CHECK_MSG(config.valid(), "invalid optics configuration");
-  GANOPC_CHECK_MSG(fft::is_pow2(static_cast<std::size_t>(grid_size)),
-                   "grid size must be a power of two");
-  GANOPC_CHECK(pixel_nm > 0);
-  // The grid must resolve the full pupil: the highest passed frequency is
-  // (1 + sigma_outer) * NA / lambda, which must be below Nyquist.
-  const double f_max = (1.0 + config.sigma_outer) * config.cutoff();
-  const double nyquist = 0.5 / pixel_nm;
-  GANOPC_CHECK_MSG(f_max < nyquist, "pixel size too coarse for the pupil: f_max="
-                                        << f_max << " >= nyquist=" << nyquist);
+  validate_geometry();
 
   if (config.kernel_method == KernelMethod::TccSvd) {
     TccKernelSet tcc = compute_tcc_kernels(config, grid_size, pixel_nm,
                                            config.num_kernels);
-    for (std::size_t k = 0; k < tcc.kernels_hat.size(); ++k) {
-      freq_kernels_flipped_.push_back(flip_freq(tcc.kernels_hat[k], grid_));
-      freq_kernels_.push_back(std::move(tcc.kernels_hat[k]));
-      weights_.push_back(tcc.weights[k]);
-    }
+    adopt(std::move(tcc));
     return;
   }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "litho/optics.hpp"
+#include "litho/tcc.hpp"
 
 namespace ganopc::litho {
 
@@ -23,10 +24,24 @@ class SocsKernels {
   /// given physical pixel size. grid_size must be a power of two.
   SocsKernels(const OpticsConfig& config, std::int32_t grid_size, std::int32_t pixel_nm);
 
+  /// Adopt a prebuilt kernel set (e.g. truncated TCC eigen-kernels from a
+  /// litho backend). The set's weights must be nonincreasing and finite; the
+  /// flipped kernels for the adjoint pass are derived here so every consumer
+  /// of the hot paths sees the same invariants as the Abbe constructor.
+  SocsKernels(const OpticsConfig& config, std::int32_t grid_size,
+              std::int32_t pixel_nm, TccKernelSet set);
+
   std::int32_t grid_size() const { return grid_; }
   std::int32_t pixel_nm() const { return pixel_nm_; }
   int count() const { return static_cast<int>(weights_.size()); }
   const OpticsConfig& config() const { return config_; }
+
+  /// Fraction of the imaging operator's trace the kernel set retains, in
+  /// [0, 1]. Exactly 1 for the Abbe construction (every sampled source point
+  /// keeps its kernel); < 1 for truncated TCC sets, where `1 - captured
+  /// energy` bounds the relative aerial-image L2 error against the
+  /// untruncated reference (DESIGN.md §15).
+  double captured_energy() const { return captured_energy_; }
 
   /// Frequency-domain kernel k (grid*grid complex values, unshifted layout).
   const std::vector<std::complex<float>>& freq_kernel(int k) const;
@@ -42,9 +57,13 @@ class SocsKernels {
   std::vector<std::complex<float>> spatial_kernel(int k) const;
 
  private:
+  void validate_geometry() const;
+  void adopt(TccKernelSet set);
+
   OpticsConfig config_;
   std::int32_t grid_;
   std::int32_t pixel_nm_;
+  double captured_energy_ = 1.0;
   std::vector<float> weights_;
   std::vector<std::vector<std::complex<float>>> freq_kernels_;
   std::vector<std::vector<std::complex<float>>> freq_kernels_flipped_;

@@ -10,6 +10,7 @@
 #include "common/status.hpp"
 #include "fft/fft.hpp"
 #include "fft/fft_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ganopc::litho {
@@ -49,7 +50,8 @@ void socs_forward(const SocsKernels& kernels, const geom::Grid& mask,
   const auto un = static_cast<std::size_t>(n);
   const std::size_t npx = un * un;
   const int num_k = kernels.count();
-  ws.ensure_forward(num_k, npx);
+  if (ws.ensure_forward(num_k, npx) && obs::metrics_enabled())
+    obs::counter("litho.workspace.grows").inc();
 
   // Masks are real, so the forward transform runs the half-cost real-input
   // path; the full Hermitian spectrum comes out in the usual layout.
@@ -109,6 +111,12 @@ float calibrate_threshold(const SocsKernels& kernels) {
 LithoSim::LithoSim(const OpticsConfig& optics, const ResistConfig& resist,
                    std::int32_t grid_size, std::int32_t pixel_nm)
     : kernels_(optics, grid_size, pixel_nm), resist_(resist) {
+  GANOPC_CHECK(resist.sigmoid_alpha > 0.0f);
+  threshold_ = resist.threshold > 0.0f ? resist.threshold : calibrate_threshold(kernels_);
+}
+
+LithoSim::LithoSim(SocsKernels kernels, const ResistConfig& resist)
+    : kernels_(std::move(kernels)), resist_(resist) {
   GANOPC_CHECK(resist.sigmoid_alpha > 0.0f);
   threshold_ = resist.threshold > 0.0f ? resist.threshold : calibrate_threshold(kernels_);
 }
@@ -213,7 +221,8 @@ void LithoSim::gradient_into(const geom::Grid& mask_b, const geom::Grid& target,
 
   // Forward fields A_k are computed once and shared by every dose corner.
   socs_forward(kernels_, mask_b, ws.aerial_scratch, ws);
-  ws.ensure_adjoint(num_k, npx);
+  if (ws.ensure_adjoint(num_k, npx) && obs::metrics_enabled())
+    obs::counter("litho.workspace.grows").inc();
 
   double* acc = ws.acc.data();
   std::fill(acc, acc + npx, 0.0);

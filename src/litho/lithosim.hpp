@@ -35,6 +35,11 @@ class LithoSim {
   LithoSim(const OpticsConfig& optics, const ResistConfig& resist,
            std::int32_t grid_size, std::int32_t pixel_nm);
 
+  /// Adopt a prebuilt kernel set (from a litho backend, DESIGN.md §15). The
+  /// resist threshold is auto-calibrated against *these* kernels unless the
+  /// config pins one, so each backend prints a wide feature edge in place.
+  LithoSim(SocsKernels kernels, const ResistConfig& resist);
+
   const SocsKernels& kernels() const { return kernels_; }
   std::int32_t grid_size() const { return kernels_.grid_size(); }
   std::int32_t pixel_nm() const { return kernels_.pixel_nm(); }

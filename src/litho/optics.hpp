@@ -9,6 +9,7 @@
 // with N_h = 24.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -33,8 +34,14 @@ struct OpticsConfig {
   double cutoff() const { return na / wavelength_nm; }
 
   bool valid() const {
-    return wavelength_nm > 0 && na > 0 && sigma_inner >= 0 &&
-           sigma_outer > sigma_inner && sigma_outer <= 1.0 && num_kernels > 0;
+    // Finiteness first: a NaN/Inf smuggled into any optical parameter would
+    // poison every kernel (and the TCC eigensolve) silently — NaN compares
+    // false, so the range checks alone would not catch wavelength or defocus.
+    return std::isfinite(wavelength_nm) && std::isfinite(na) &&
+           std::isfinite(sigma_inner) && std::isfinite(sigma_outer) &&
+           std::isfinite(defocus_nm) && wavelength_nm > 0 && na > 0 &&
+           sigma_inner >= 0 && sigma_outer > sigma_inner && sigma_outer <= 1.0 &&
+           num_kernels > 0;
   }
 };
 

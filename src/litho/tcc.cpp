@@ -90,8 +90,9 @@ TccKernelSet compute_tcc_kernels(const OpticsConfig& config, std::int32_t grid_s
   GANOPC_CHECK_MSG(config.valid(), "invalid optics configuration");
   GANOPC_CHECK_MSG(fft::is_pow2(static_cast<std::size_t>(grid_size)),
                    "grid size must be a power of two");
-  GANOPC_CHECK(num_kernels > 0 && options.source_samples > 8 &&
-               options.power_iterations > 0);
+  GANOPC_CHECK(num_kernels > 0 && options.power_iterations > 0);
+  GANOPC_CHECK_MSG(!options.source_points.empty() || options.source_samples > 8,
+                   "dense source discretization needs more than 8 samples");
   const double df = 1.0 / (static_cast<double>(grid_size) * pixel_nm);
   const double support = (1.0 + config.sigma_outer) * config.cutoff();
   GANOPC_CHECK_MSG(support < 0.5 / pixel_nm, "pixel size too coarse for the pupil");
@@ -115,7 +116,20 @@ TccKernelSet compute_tcc_kernels(const OpticsConfig& config, std::int32_t grid_s
   // shifted-pupil vector for one source sample. Row blocks accumulate in
   // parallel.
   std::vector<cdouble> tcc(n * n, cdouble{0.0, 0.0});
-  const auto source = dense_source(config, options.source_samples);
+  std::vector<SourceSample> source;
+  if (options.source_points.empty()) {
+    source = dense_source(config, options.source_samples);
+  } else {
+    double total = 0.0;
+    for (const auto& p : options.source_points) {
+      GANOPC_CHECK_MSG(std::isfinite(p.fx) && std::isfinite(p.fy) &&
+                           std::isfinite(p.weight) && p.weight > 0.0,
+                       "tcc: explicit source points need finite positive weights");
+      source.push_back({p.fx, p.fy, p.weight});
+      total += p.weight;
+    }
+    for (auto& s : source) s.weight /= total;
+  }
   std::vector<std::vector<cdouble>> shifted(source.size());
   for (std::size_t s = 0; s < source.size(); ++s) {
     shifted[s].resize(n);
@@ -186,6 +200,9 @@ TccKernelSet compute_tcc_kernels(const OpticsConfig& config, std::int32_t grid_s
   double captured = 0.0;
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const std::size_t k = order[rank];
+    GANOPC_CHECK_MSG(std::isfinite(eigenvalues[k]),
+                     "tcc: eigensolve produced a non-finite eigenvalue "
+                     "(poisoned optics?)");
     const double lambda = std::max(eigenvalues[k], 0.0);
     captured += lambda;
     std::vector<std::complex<float>> kernel(grid_px, {0.0f, 0.0f});

@@ -36,6 +36,13 @@ struct TccOptions {
   int source_samples = 256;   ///< dense source discretization for the TCC
   int power_iterations = 40;  ///< subspace-iteration sweeps
   std::uint64_t seed = 7;     ///< deterministic start block
+  /// When non-empty, assemble the TCC from exactly these source points
+  /// (weights need not sum to 1; they are normalized) instead of the dense
+  /// polar discretization. Passing the Abbe sampling here makes the truncated
+  /// SOCS converge to the Abbe reference image as k grows, so the retained
+  /// trace fraction (`captured_energy`) bounds the Abbe-vs-TCC image error —
+  /// the property the backend-equivalence tier pins (DESIGN.md §15).
+  std::vector<SourcePoint> source_points;
 };
 
 /// Compute the top `num_kernels` TCC eigen-kernels for the given optics and

@@ -36,7 +36,11 @@ class LithoWorkspace {
   }
 
   /// Grow (never shrink) the forward-pass buffers to `kernels` x `npx`.
-  void ensure_forward(int kernels, std::size_t npx) {
+  /// Returns true when any buffer actually grew — the caller bumps the
+  /// `litho.workspace.grows` counter, which the engine contract test asserts
+  /// stays flat across steady-state submits.
+  bool ensure_forward(int kernels, std::size_t npx) {
+    const std::size_t before = bytes();
     if (mask_hat.size() < npx) mask_hat.resize(npx);
     if (fields.size() < static_cast<std::size_t>(kernels))
       fields.resize(static_cast<std::size_t>(kernels));
@@ -45,15 +49,19 @@ class LithoWorkspace {
     if (weights.size() < static_cast<std::size_t>(kernels))
       weights.resize(static_cast<std::size_t>(kernels));
     if (acc.size() < npx) acc.resize(npx);
+    return bytes() != before;
   }
 
   /// Grow the adjoint-pass buffers (gradient only) to `kernels` x `npx`.
-  void ensure_adjoint(int kernels, std::size_t npx) {
+  /// Returns true when any buffer actually grew.
+  bool ensure_adjoint(int kernels, std::size_t npx) {
+    const std::size_t before = bytes();
     if (adjoint.size() < static_cast<std::size_t>(kernels))
       adjoint.resize(static_cast<std::size_t>(kernels));
     for (auto& f : adjoint)
       if (f.size() < npx) f.resize(npx);
     if (x.size() < npx) x.resize(npx);
+    return bytes() != before;
   }
 
   /// FFT of the mask (unshifted layout).

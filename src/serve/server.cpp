@@ -14,10 +14,10 @@
 
 #include "common/atomic_file.hpp"
 #include "common/failpoint.hpp"
-#include "common/image_io.hpp"
 #include "common/net.hpp"
 #include "common/sectioned_file.hpp"
 #include "common/status.hpp"
+#include "engine/clip_io.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 
@@ -65,27 +65,14 @@ std::string retry_after(double seconds) {
 
 }  // namespace
 
-Server::Server(const core::GanOpcConfig& config, core::Generator* generator,
-               const litho::LithoSim& sim, core::BatchConfig batch,
-               ServeConfig serve)
-    : config_(config),
-      batch_(std::move(batch)),
+Server::Server(const engine::Engine& engine, ServeConfig serve)
+    : engine_(engine),
       serve_(std::move(serve)),
-      has_generator_(generator != nullptr) {
+      has_generator_(engine.generator() != nullptr) {
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, serve_.workers >= 1,
                      "serve: workers must be >= 1");
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput, serve_.max_queue >= 1,
                      "serve: max-queue must be >= 1");
-  // The daemon owns process-level policy: requests run in-process inside the
-  // forked worker (the supervisor *is* the process isolation), results are
-  // returned over the pipe (no journal), and drain is driven by the event
-  // loop rather than BatchRunner.
-  batch_.workers = 0;
-  batch_.journal_path.clear();
-  batch_.resume = false;
-  batch_.stop = nullptr;
-  batch_.clip_deadline_s = 0.0;  // per-request deadline arrives via options
-  runner_ = std::make_unique<core::BatchRunner>(config_, generator, sim, batch_);
 }
 
 Server::~Server() {
@@ -121,34 +108,34 @@ std::string Server::worker_entry(const std::string& payload, int crashes) const 
   const bool want_mask = r.pod<std::uint8_t>() != 0;
   const bool degraded = r.pod<std::uint8_t>() != 0;
 
-  core::maybe_inject_clip_fault(id, crashes);
+  engine::maybe_inject_clip_fault(id, crashes);
 
-  core::BatchClipResult res;
-  geom::Grid mask;
+  engine::MaskResult result;
   const double remaining_s = deadline_abs_s - net::now_s();
   if (remaining_s <= 0.0) {
     // The request's budget burned away in the queue; answer without paying
     // for an optimization nobody is waiting for.
-    res.id = id;
-    res.source = spool;
-    res.code = StatusCode::kDeadlineExceeded;
-    res.error = "deadline expired before the request reached a worker";
+    result.row.id = id;
+    result.row.source = spool;
+    result.row.code = StatusCode::kDeadlineExceeded;
+    result.row.error = "deadline expired before the request reached a worker";
   } else {
     const int rungs = has_generator_ ? 3 : 2;
     int start_rung = degraded ? rungs - 1 : 0;
     start_rung = std::min(start_rung + crashes, rungs - 1);
-    core::ClipRunOptions opts;
+    engine::SubmitOptions opts;
     opts.deadline_s = remaining_s;
-    opts.mask_out = want_mask ? &mask : nullptr;
-    res = runner_->process_clip(core::BatchClip{id, spool, {}}, start_rung, opts);
+    opts.start_rung = start_rung;
+    opts.want_mask = want_mask;
+    result = engine_.submit(engine::BatchClip{id, spool, {}}, opts);
   }
 
   ByteWriter w;
-  core::encode_clip_result(w, res);
-  const bool has_mask = want_mask && res.ok() && !mask.data.empty();
+  engine::encode_clip_result(w, result.row);
+  const bool has_mask =
+      want_mask && result.row.ok() && !result.mask.data.empty();
   w.pod<std::uint8_t>(has_mask ? 1 : 0);
-  if (has_mask)
-    w.str(encode_pgm(to_gray(mask.data.data(), mask.cols, mask.rows)));
+  if (has_mask) w.str(engine::encode_mask_pgm(result.mask));
   return w.buffer();
 }
 
@@ -659,7 +646,7 @@ void Server::on_result(const proc::TaskResult& tr) {
   int http = 500;
   std::string body;
   std::string mask_pgm;
-  core::BatchClipResult res;
+  engine::BatchClipResult res;
   bool decoded = false;
 
   if (tr.cancelled) {
@@ -680,7 +667,7 @@ void Server::on_result(const proc::TaskResult& tr) {
   } else {
     try {
       ByteReader r(tr.payload.data(), tr.payload.size(), "serve result");
-      res = core::decode_clip_result(r, tr.id, "serve result");
+      res = engine::decode_clip_result(r, tr.id, "serve result");
       if (r.pod<std::uint8_t>() != 0) mask_pgm = r.str((64u << 20) + 64);
       decoded = true;
     } catch (const std::exception& e) {
@@ -701,7 +688,7 @@ void Server::on_result(const proc::TaskResult& tr) {
     obj.set("id", json::Value::string(tr.id));
     obj.set("ok", json::Value::boolean(res.ok()));
     obj.set("code", json::Value::string(status_code_name(res.code)));
-    obj.set("stage", json::Value::string(core::batch_stage_name(res.stage)));
+    obj.set("stage", json::Value::string(engine::batch_stage_name(res.stage)));
     obj.set("degraded", json::Value::boolean(pr.degraded));
     obj.set("crashes", json::Value::number(tr.crashes));
     obj.set("retries", json::Value::number(res.retries));
@@ -730,7 +717,7 @@ void Server::on_result(const proc::TaskResult& tr) {
                                         : tr.quarantined
                                             ? StatusCode::kQuarantined
                                             : StatusCode::kInternal))
-        .field("stage", decoded ? core::batch_stage_name(res.stage) : "Failed")
+        .field("stage", decoded ? engine::batch_stage_name(res.stage) : "Failed")
         .field("crashes", tr.crashes)
         .field("degraded", pr.degraded)
         .field("wall_s", wall_s);
@@ -740,7 +727,7 @@ void Server::on_result(const proc::TaskResult& tr) {
   if (decoded && pr.want_mask && http == 200 && !mask_pgm.empty()) {
     deliver(pr, 200, mask_pgm, "image/x-portable-graymap",
             {{"X-Ganopc-Id", tr.id},
-             {"X-Ganopc-Stage", core::batch_stage_name(res.stage)},
+             {"X-Ganopc-Stage", engine::batch_stage_name(res.stage)},
              {"X-Ganopc-L2-Nm2", std::to_string(res.l2_nm2)},
              {"X-Ganopc-Crashes", std::to_string(tr.crashes)}});
   } else {

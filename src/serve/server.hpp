@@ -4,7 +4,7 @@
 // connection and the supervisor's worker result pipes. Requests (layout text,
 // JSON, or raw GDS) are admission-controlled against a bounded queue and the
 // request's deadline, spooled to disk, and dispatched to proc::Supervisor
-// workers that run the BatchRunner degradation chain in a sandboxed child —
+// workers that run the Engine degradation chain in a sandboxed child —
 // a SIGSEGV / OOM kill / hang while optimizing one request costs that worker,
 // never the daemon, and the requester still gets a typed answer.
 //
@@ -13,7 +13,7 @@
 //     check against an EWMA of recent optimization times (429 + Retry-After)
 //   - deadline propagation: the request deadline is stamped as an absolute
 //     monotonic instant, so queue wait burns budget; the worker passes the
-//     remainder into the ILT watchdog (ClipRunOptions::deadline_s) and the
+//     remainder into the ILT watchdog (SubmitOptions::deadline_s) and the
 //     supervisor holds a SIGKILL backstop slightly above it
 //   - degradation: each worker crash drops one rung (supervisor crash count);
 //     a circuit breaker trips to MB-OPC-only mode after `breaker_kills`
@@ -37,7 +37,7 @@
 #include <string>
 #include <vector>
 
-#include "core/batch_runner.hpp"
+#include "engine/engine.hpp"
 #include "proc/supervisor.hpp"
 #include "serve/http.hpp"
 
@@ -76,13 +76,12 @@ struct ServeConfig {
 
 class Server {
  public:
-  /// `sim` must run at config.litho_grid; `generator` may be null (the
-  /// degradation chain then starts at plain ILT). `batch` supplies the
-  /// acceptance gate / retry policy; its process-level fields (workers,
-  /// journal, stop) are overridden — the daemon owns those.
-  Server(const core::GanOpcConfig& config, core::Generator* generator,
-         const litho::LithoSim& sim, core::BatchConfig batch,
-         ServeConfig serve);
+  /// `engine` is the shared mask-optimization session (litho backend,
+  /// generator, SubmitPolicy acceptance gate / retry pacing); it must outlive
+  /// the server. Its per-clip deadline is ignored — every request carries its
+  /// own budget into Engine::submit. Process-level policy (workers, journal,
+  /// drain) is the daemon's, not the engine's.
+  Server(const engine::Engine& engine, ServeConfig serve);
   ~Server();
 
   Server(const Server&) = delete;
@@ -147,11 +146,9 @@ class Server {
   bool breaker_open(double now) const;
   std::size_t queued_depth() const;
 
-  core::GanOpcConfig config_;
-  core::BatchConfig batch_;
+  const engine::Engine& engine_;
   ServeConfig serve_;
   bool has_generator_ = false;
-  std::unique_ptr<core::BatchRunner> runner_;
   std::unique_ptr<proc::Supervisor> supervisor_;
 
   int listen_fd_ = -1;

@@ -1,6 +1,5 @@
-// BatchRunner: per-clip isolation, graceful degradation, typed failure
-// reporting and crash-safe journal resume (DESIGN.md §9, ISSUE acceptance
-// criteria).
+// Engine-driven BatchRunner: per-clip isolation, graceful degradation, typed
+// failure reporting and crash-safe journal resume (DESIGN.md §9, §15).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -14,13 +13,14 @@
 #include "common/prng.hpp"
 #include "common/sectioned_file.hpp"
 #include "common/status.hpp"
-#include "core/batch_runner.hpp"
 #include "core/config.hpp"
 #include "core/generator.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/engine.hpp"
 #include "gds/gds.hpp"
 #include "geometry/layout.hpp"
 
-namespace ganopc::core {
+namespace ganopc::engine {
 namespace {
 
 std::string temp_path(const std::string& name) {
@@ -32,8 +32,8 @@ std::string read_bytes(const std::string& path) {
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
-GanOpcConfig make_cfg() {
-  GanOpcConfig cfg = make_config(ReproScale::Quick);
+core::GanOpcConfig make_cfg() {
+  core::GanOpcConfig cfg = core::make_config(core::ReproScale::Quick);
   cfg.litho_grid = 64;   // 32 nm pixels: seconds for a 10-clip batch
   cfg.gan_grid = 32;
   cfg.optics.num_kernels = 8;
@@ -42,9 +42,14 @@ GanOpcConfig make_cfg() {
   return cfg;
 }
 
-litho::LithoSim make_sim(const GanOpcConfig& cfg) {
-  return litho::LithoSim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
-                         cfg.litho_pixel_nm());
+EngineOptions make_options(const core::GanOpcConfig& cfg,
+                           SubmitPolicy policy = {},
+                           core::Generator* generator = nullptr) {
+  EngineOptions options;
+  options.config = cfg;
+  options.policy = policy;
+  options.generator = generator;
+  return options;
 }
 
 // An isolated vertical wire, shifted per index so clips are distinct.
@@ -81,10 +86,9 @@ class BatchRunnerTest : public ::testing::Test {
 };
 
 TEST_F(BatchRunnerTest, CleanBatchSucceedsOnEveryClip) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
-  const BatchSummary s = runner.run(make_clips(3, cfg.clip_nm));
+  const Engine eng(make_options(make_cfg()));
+  const BatchRunner runner(eng, BatchConfig{});
+  const BatchSummary s = runner.run(make_clips(3, eng.config().clip_nm));
   EXPECT_EQ(s.succeeded, 3);
   EXPECT_EQ(s.failed, 0);
   for (const auto& c : s.clips) {
@@ -99,18 +103,18 @@ TEST_F(BatchRunnerTest, CleanBatchSucceedsOnEveryClip) {
 }
 
 TEST_F(BatchRunnerTest, PoisonedClipIsIsolatedAndTyped) {
-  // The ISSUE acceptance scenario: inject a litho NaN into clip k of 10 and
-  // the other 9 must complete, with the manifest naming clip k and the code.
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  BatchConfig bcfg;
-  bcfg.allow_fallback = false;  // isolate the failure, no rescue
-  bcfg.max_retries = 1;
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  // The DESIGN §9 acceptance scenario: inject a litho NaN into clip k of 10
+  // and the other 9 must complete, with the manifest naming clip k and the
+  // code.
+  SubmitPolicy policy;
+  policy.allow_fallback = false;  // isolate the failure, no rescue
+  policy.max_retries = 1;
+  const Engine eng(make_options(make_cfg(), policy));
+  const BatchRunner runner(eng, BatchConfig{});
 
   const int k = 3;
   failpoint::arm("batch.poison_clip", /*skip=*/k, /*count=*/1);
-  const BatchSummary s = runner.run(make_clips(10, cfg.clip_nm));
+  const BatchSummary s = runner.run(make_clips(10, eng.config().clip_nm));
 
   EXPECT_EQ(s.succeeded, 9);
   EXPECT_EQ(s.failed, 1);
@@ -138,17 +142,16 @@ TEST_F(BatchRunnerTest, PoisonedClipIsIsolatedAndTyped) {
 TEST_F(BatchRunnerTest, PoisonedClipDegradesToMbOpc) {
   // With fallback enabled the same numeric fault is rescued by the
   // gradient-free MB-OPC rung: the batch completes 10/10.
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  BatchConfig bcfg;
-  bcfg.max_retries = 1;
+  SubmitPolicy policy;
+  policy.max_retries = 1;
   // ILT drives this easy wire to L2 ~0, a bar the coarser gradient-free
   // MB-OPC rung cannot match; widen the gate so the chain can rescue.
-  bcfg.l2_accept_factor = 20.0f;
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  policy.l2_accept_factor = 20.0f;
+  const Engine eng(make_options(make_cfg(), policy));
+  const BatchRunner runner(eng, BatchConfig{});
 
   failpoint::arm("batch.poison_clip", /*skip=*/2, /*count=*/1);
-  const BatchSummary s = runner.run(make_clips(5, cfg.clip_nm));
+  const BatchSummary s = runner.run(make_clips(5, eng.config().clip_nm));
   EXPECT_EQ(s.succeeded, 5);
   const BatchClipResult& poisoned = s.clips[2];
   EXPECT_TRUE(poisoned.ok()) << poisoned.error;
@@ -161,13 +164,13 @@ TEST_F(BatchRunnerTest, PoisonedClipDegradesToMbOpc) {
 }
 
 TEST_F(BatchRunnerTest, CorruptGdsFailsOnlyThatClip) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
+  const Engine eng(make_options(make_cfg()));
 
   std::vector<std::string> paths;
   for (int i = 0; i < 3; ++i) {
     const std::string path = scratch("batch_gds_" + std::to_string(i) + ".gds");
-    gds::write_gds(path, gds::layout_to_gds(wire_clip(cfg.clip_nm, 64 * i), "TOP"));
+    gds::write_gds(path, gds::layout_to_gds(
+                             wire_clip(eng.config().clip_nm, 64 * i), "TOP"));
     paths.push_back(path);
   }
   {  // truncate the middle file: a typed InvalidInput, not a batch abort
@@ -176,7 +179,7 @@ TEST_F(BatchRunnerTest, CorruptGdsFailsOnlyThatClip) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
   }
 
-  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  const BatchRunner runner(eng, BatchConfig{});
   const BatchSummary s = runner.run_files(paths);
   EXPECT_EQ(s.succeeded, 2);
   EXPECT_EQ(s.failed, 1);
@@ -188,23 +191,22 @@ TEST_F(BatchRunnerTest, CorruptGdsFailsOnlyThatClip) {
 }
 
 TEST_F(BatchRunnerTest, ExhaustedDeadlineReportedAsDeadlineExceeded) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  BatchConfig bcfg;
-  bcfg.clip_deadline_s = 1e-6;  // expires during clip setup
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
-  const BatchSummary s = runner.run(make_clips(1, cfg.clip_nm));
+  SubmitPolicy policy;
+  policy.clip_deadline_s = 1e-6;  // expires during clip setup
+  const Engine eng(make_options(make_cfg(), policy));
+  const BatchRunner runner(eng, BatchConfig{});
+  const BatchSummary s = runner.run(make_clips(1, eng.config().clip_nm));
   EXPECT_EQ(s.failed, 1);
   EXPECT_EQ(s.clips[0].code, StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(BatchRunnerTest, GeneratorAttachedStartsAtGanIltRung) {
-  GanOpcConfig cfg = make_cfg();
+  core::GanOpcConfig cfg = make_cfg();
   cfg.ilt.max_iterations = 60;  // headroom to refine the untrained init
-  const auto sim = make_sim(cfg);
   Prng rng(cfg.seed);
-  Generator generator(cfg.gan_grid, cfg.base_channels, rng);
-  const BatchRunner runner(cfg, &generator, sim, BatchConfig{});
+  core::Generator generator(cfg.gan_grid, cfg.base_channels, rng);
+  const Engine eng(make_options(cfg, SubmitPolicy{}, &generator));
+  const BatchRunner runner(eng, BatchConfig{});
   const BatchSummary s = runner.run(make_clips(1, cfg.clip_nm));
   ASSERT_TRUE(s.clips[0].ok()) << s.clips[0].error;
   if (s.clips[0].fallbacks == 0) {
@@ -213,20 +215,19 @@ TEST_F(BatchRunnerTest, GeneratorAttachedStartsAtGanIltRung) {
 }
 
 TEST_F(BatchRunnerTest, ResumeReplaysJournaledClips) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
+  const Engine eng(make_options(make_cfg()));
   BatchConfig bcfg;
   bcfg.journal_path = scratch("batch_resume.journal");
   bcfg.deterministic_manifest = true;
-  const auto clips = make_clips(4, cfg.clip_nm);
+  const auto clips = make_clips(4, eng.config().clip_nm);
 
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const BatchRunner runner(eng, bcfg);
   const BatchSummary first = runner.run(clips);
   ASSERT_EQ(first.succeeded, 4);
   const std::string journal_after_first = read_bytes(bcfg.journal_path);
 
   bcfg.resume = true;
-  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
+  const BatchRunner resumer(eng, bcfg);
   const BatchSummary second = resumer.run(clips);
   EXPECT_EQ(second.resumed, 4);
   EXPECT_EQ(second.succeeded, 4);
@@ -243,14 +244,13 @@ TEST_F(BatchRunnerTest, ResumeReplaysJournaledClips) {
 TEST_F(BatchRunnerTest, PartialJournalRecomputesOnlyMissingClips) {
   // Simulate a crash between clips by dropping the last clip's section from
   // a complete journal, then resuming.
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
+  const Engine eng(make_options(make_cfg()));
   BatchConfig bcfg;
   bcfg.journal_path = scratch("batch_partial.journal");
   bcfg.deterministic_manifest = true;
-  const auto clips = make_clips(3, cfg.clip_nm);
+  const auto clips = make_clips(3, eng.config().clip_nm);
 
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
+  const BatchRunner runner(eng, bcfg);
   const BatchSummary full = runner.run(clips);
   const std::string complete_journal = read_bytes(bcfg.journal_path);
 
@@ -267,7 +267,7 @@ TEST_F(BatchRunnerTest, PartialJournalRecomputesOnlyMissingClips) {
   }
 
   bcfg.resume = true;
-  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
+  const BatchRunner resumer(eng, bcfg);
   const BatchSummary resumed = resumer.run(clips);
   EXPECT_EQ(resumed.resumed, 2);
   EXPECT_EQ(resumed.succeeded, 3);
@@ -278,16 +278,15 @@ TEST_F(BatchRunnerTest, PartialJournalRecomputesOnlyMissingClips) {
 }
 
 TEST_F(BatchRunnerTest, ResumeRejectsJournalFromDifferentBatch) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
+  const Engine eng(make_options(make_cfg()));
   BatchConfig bcfg;
   bcfg.journal_path = scratch("batch_mismatch.journal");
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
-  runner.run(make_clips(2, cfg.clip_nm));
+  const BatchRunner runner(eng, bcfg);
+  runner.run(make_clips(2, eng.config().clip_nm));
 
   bcfg.resume = true;
-  const BatchRunner resumer(cfg, nullptr, sim, bcfg);
-  auto other = make_clips(2, cfg.clip_nm);
+  const BatchRunner resumer(eng, bcfg);
+  auto other = make_clips(2, eng.config().clip_nm);
   other[1].id = "renamed";
   try {
     resumer.run(other);
@@ -298,12 +297,11 @@ TEST_F(BatchRunnerTest, ResumeRejectsJournalFromDifferentBatch) {
 }
 
 TEST_F(BatchRunnerTest, DeterministicManifestIsBitIdenticalAcrossRuns) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
+  const Engine eng(make_options(make_cfg()));
   BatchConfig bcfg;
   bcfg.deterministic_manifest = true;
-  const BatchRunner runner(cfg, nullptr, sim, bcfg);
-  const auto clips = make_clips(3, cfg.clip_nm);
+  const BatchRunner runner(eng, bcfg);
+  const auto clips = make_clips(3, eng.config().clip_nm);
 
   const std::string m1 = scratch("batch_det_1.csv");
   const std::string m2 = scratch("batch_det_2.csv");
@@ -315,34 +313,34 @@ TEST_F(BatchRunnerTest, DeterministicManifestIsBitIdenticalAcrossRuns) {
 }
 
 TEST_F(BatchRunnerTest, RejectsInvalidBatchInputs) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  const Engine eng(make_options(make_cfg()));
+  const BatchRunner runner(eng, BatchConfig{});
   EXPECT_THROW(runner.run({}), StatusError);
 
-  auto dup = make_clips(2, cfg.clip_nm);
+  auto dup = make_clips(2, eng.config().clip_nm);
   dup[1].id = dup[0].id;
   EXPECT_THROW(runner.run(dup), StatusError);
 
   BatchConfig bad;
   bad.resume = true;  // resume with no journal path
-  EXPECT_THROW(BatchRunner(cfg, nullptr, sim, bad), StatusError);
+  EXPECT_THROW(BatchRunner(eng, bad), StatusError);
 
-  BatchConfig neg;
+  // Per-clip policy moved into the session: a bad policy fails the Engine
+  // ctor, before any batch machinery exists.
+  SubmitPolicy neg;
   neg.max_retries = -1;
-  EXPECT_THROW(BatchRunner(cfg, nullptr, sim, neg), StatusError);
+  EXPECT_THROW(Engine(make_options(make_cfg(), neg)), StatusError);
 }
 
 TEST_F(BatchRunnerTest, WrongClipWindowIsTypedInvalidInput) {
-  const GanOpcConfig cfg = make_cfg();
-  const auto sim = make_sim(cfg);
-  const BatchRunner runner(cfg, nullptr, sim, BatchConfig{});
+  const Engine eng(make_options(make_cfg()));
+  const BatchRunner runner(eng, BatchConfig{});
   std::vector<BatchClip> clips;
-  clips.push_back({"bad_window", "", wire_clip(cfg.clip_nm / 2)});
+  clips.push_back({"bad_window", "", wire_clip(eng.config().clip_nm / 2)});
   const BatchSummary s = runner.run(clips);
   EXPECT_EQ(s.failed, 1);
   EXPECT_EQ(s.clips[0].code, StatusCode::kInvalidInput);
 }
 
 }  // namespace
-}  // namespace ganopc::core
+}  // namespace ganopc::engine

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "geometry/grid.hpp"
@@ -113,6 +114,83 @@ TEST(Tcc, DeterministicAcrossCalls) {
   ASSERT_EQ(a.weights.size(), b.weights.size());
   for (std::size_t i = 0; i < a.weights.size(); ++i)
     EXPECT_EQ(a.weights[i], b.weights[i]);
+}
+
+TEST(Tcc, DeterministicForNonDefaultOptions) {
+  // The full option surface (seed, source_samples) must stay bitwise
+  // reproducible — kernels too, not just eigenvalues: the equivalence tier
+  // and the batch journal both assume identical kernels per configuration.
+  TccOptions opts;
+  opts.seed = 99;
+  opts.source_samples = 128;
+  const auto a = compute_tcc_kernels(base_optics(), 32, 32, 4, opts);
+  const auto b = compute_tcc_kernels(base_optics(), 32, 32, 4, opts);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  ASSERT_EQ(a.kernels_hat.size(), b.kernels_hat.size());
+  EXPECT_EQ(a.captured_energy, b.captured_energy);
+  for (std::size_t k = 0; k < a.kernels_hat.size(); ++k) {
+    EXPECT_EQ(a.weights[k], b.weights[k]);
+    ASSERT_EQ(a.kernels_hat[k].size(), b.kernels_hat[k].size());
+    for (std::size_t i = 0; i < a.kernels_hat[k].size(); ++i)
+      EXPECT_EQ(a.kernels_hat[k][i], b.kernels_hat[k][i]) << "kernel " << k;
+  }
+}
+
+TEST(Tcc, SeedOnlyChoosesStartBlockNotConvergedSpectrum) {
+  // The seed randomizes the subspace-iteration start block; after the
+  // configured sweeps the leading eigenvalues (and the retained trace) must
+  // agree across seeds — the spectrum belongs to the operator, not the RNG.
+  TccOptions a_opts, b_opts;
+  a_opts.seed = 7;
+  b_opts.seed = 20260807;
+  const auto a = compute_tcc_kernels(base_optics(), 64, 16, 6, a_opts);
+  const auto b = compute_tcc_kernels(base_optics(), 64, 16, 6, b_opts);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  // Subspace iteration converges to ~1e-4 in the trailing eigenvalues at the
+  // default sweep count; the retained trace inherits that residual.
+  EXPECT_NEAR(a.captured_energy, b.captured_energy, 5e-4);
+  for (std::size_t i = 0; i < a.weights.size(); ++i)
+    EXPECT_NEAR(a.weights[i], b.weights[i],
+                1e-3f * std::max(a.weights[0], 1e-6f))
+        << "eigenvalue " << i << " drifts with the start-block seed";
+}
+
+TEST(Tcc, CapturedEnergyMonotoneInKernelCount) {
+  // Retained trace fraction is a prefix sum of a fixed nonnegative spectrum:
+  // it must be nondecreasing in k, and each set's own weights nonincreasing.
+  double previous = 0.0;
+  for (const int k : {2, 4, 8, 12, 16}) {
+    const auto set = compute_tcc_kernels(base_optics(), 64, 16, k);
+    ASSERT_EQ(set.weights.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 1; i < set.weights.size(); ++i)
+      EXPECT_LE(set.weights[i], set.weights[i - 1] + 1e-5f) << "k=" << k;
+    EXPECT_GE(set.captured_energy, previous - 1e-6) << "k=" << k;
+    EXPECT_LE(set.captured_energy, 1.0 + 1e-9);
+    previous = set.captured_energy;
+  }
+}
+
+TEST(Tcc, RejectsPoisonedOptics) {
+  // NaN compares false against every range bound, so finiteness must be an
+  // explicit gate — otherwise it silently poisons the whole eigensolve.
+  OpticsConfig nan_defocus = base_optics();
+  nan_defocus.defocus_nm = std::nan("");
+  EXPECT_THROW(compute_tcc_kernels(nan_defocus, 64, 16, 8), Error);
+
+  OpticsConfig inf_na = base_optics();
+  inf_na.na = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(compute_tcc_kernels(inf_na, 64, 16, 8), Error);
+
+  OpticsConfig nan_sigma = base_optics();
+  nan_sigma.sigma_outer = std::nan("");
+  EXPECT_THROW(compute_tcc_kernels(nan_sigma, 64, 16, 8), Error);
+
+  // Injected source points are validated too (the equivalence-tier path).
+  TccOptions poisoned_points;
+  poisoned_points.source_points = sample_annular_source(base_optics(), 24);
+  poisoned_points.source_points[3].fx = std::nan("");
+  EXPECT_THROW(compute_tcc_kernels(base_optics(), 64, 16, 8, poisoned_points),
+               Error);
 }
 
 }  // namespace

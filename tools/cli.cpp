@@ -1,42 +1,59 @@
 // ganopc — command-line driver for the mask-optimization flows.
 //
-//   ganopc synth   [--count N] [--seed S] [--out PREFIX]
-//   ganopc sraf    --layout FILE [--out FILE]
-//   ganopc ilt     --layout FILE [--grid N] [--iters N] [--out PREFIX]
-//   ganopc mbopc   --layout FILE [--grid N] [--iters N] [--out PREFIX]
-//   ganopc eval    --layout FILE --mask FILE.pgm [--grid N]
-//   ganopc train   [--scale NAME] [--dataset FILE] [--out FILE.bin]
-//                  [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
-//                  [--pretrain-iters N] [--train-iters N]
-//   ganopc flow    --layout FILE --generator FILE.bin [--scale NAME]
-//   ganopc batch   (--list FILE | --clips A,B,...) [--scale NAME] [--grid N]
-//                  [--iters N] [--generator FILE.bin] [--journal FILE]
-//                  [--resume FILE] [--manifest FILE.csv] [--deadline-s SEC]
-//                  [--max-retries N] [--fallback 0|1] [--accept-factor F]
-//                  [--deterministic-manifest 0|1] [--retry-backoff-s SEC]
-//                  [--workers N] [--quarantine-kills K] [--task-deadline-s SEC]
-//                  [--worker-mem-mb MB] [--worker-cpu-s SEC]
-//   ganopc serve   [--port N | --socket PATH] [--host ADDR] [--port-file FILE]
-//                  [--workers N] [--max-queue N] [--default-deadline-s SEC]
-//                  [--max-deadline-s SEC] [--read-timeout-s SEC]
-//                  [--write-timeout-s SEC] [--max-body-mb MB] [--max-conns N]
-//                  [--breaker-kills K] [--breaker-cooldown-s SEC]
-//                  [--drain-grace-s SEC] [--spool-dir DIR] [--scale NAME]
-//                  [--grid N] [--iters N] [--generator FILE.bin]
-//                  [--accept-factor F] [--max-retries N] [--fallback 0|1]
-//                  [--quarantine-kills K] [--worker-mem-mb MB]
-//                  [--worker-cpu-s SEC]
-//   ganopc txt2gds --layout FILE --out FILE.gds [--cell NAME] [--layer N]
-//   ganopc gds2txt --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
-//                  [--clipsize NM]
-//   ganopc report  [--bench-base A[,B,...] --bench-cur A[,B,...]]
-//                  [--ledger-base FILE --ledger-cur FILE]
-//                  [--max-runtime-ratio R] [--max-quality-ratio R]
+//   ganopc synth    [--count N] [--seed S] [--out PREFIX]
+//   ganopc sraf     --layout FILE [--out FILE]
+//   ganopc ilt      --layout FILE [--grid N] [--iters N] [--out PREFIX]
+//                   [--litho-backend abbe|tcc|tcc:K]
+//   ganopc mbopc    --layout FILE [--grid N] [--iters N] [--out PREFIX]
+//                   [--litho-backend SPEC]
+//   ganopc eval     --layout FILE --mask FILE.pgm [--grid N]
+//                   [--litho-backend SPEC]
+//   ganopc train    [--scale NAME] [--dataset FILE] [--out FILE.bin]
+//                   [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//                   [--pretrain-iters N] [--train-iters N]
+//   ganopc flow     --layout FILE --generator FILE.bin [--scale NAME]
+//                   [--litho-backend SPEC]
+//   ganopc optimize --layout FILE [--id NAME] [--scale NAME] [--grid N]
+//                   [--iters N] [--generator FILE.bin] [--litho-backend SPEC]
+//                   [--deadline-s SEC] [--max-retries N] [--fallback 0|1]
+//                   [--accept-factor F] [--seed S] [--mask-out FILE.pgm]
+//   ganopc batch    (--list FILE | --clips A,B,...) [--scale NAME] [--grid N]
+//                   [--iters N] [--generator FILE.bin] [--journal FILE]
+//                   [--resume FILE] [--manifest FILE.csv] [--deadline-s SEC]
+//                   [--max-retries N] [--fallback 0|1] [--accept-factor F]
+//                   [--deterministic-manifest 0|1] [--retry-backoff-s SEC]
+//                   [--workers N] [--quarantine-kills K] [--task-deadline-s SEC]
+//                   [--worker-mem-mb MB] [--worker-cpu-s SEC]
+//                   [--litho-backend SPEC]
+//   ganopc serve    [--port N | --socket PATH] [--host ADDR] [--port-file FILE]
+//                   [--workers N] [--max-queue N] [--default-deadline-s SEC]
+//                   [--max-deadline-s SEC] [--read-timeout-s SEC]
+//                   [--write-timeout-s SEC] [--max-body-mb MB] [--max-conns N]
+//                   [--breaker-kills K] [--breaker-cooldown-s SEC]
+//                   [--drain-grace-s SEC] [--spool-dir DIR] [--scale NAME]
+//                   [--grid N] [--iters N] [--generator FILE.bin]
+//                   [--accept-factor F] [--max-retries N] [--fallback 0|1]
+//                   [--quarantine-kills K] [--worker-mem-mb MB]
+//                   [--worker-cpu-s SEC] [--litho-backend SPEC]
+//   ganopc txt2gds  --layout FILE --out FILE.gds [--cell NAME] [--layer N]
+//   ganopc gds2txt  --gds FILE.gds --out FILE.txt [--cell NAME] [--layer N]
+//                   [--clipsize NM]
+//   ganopc report   [--bench-base A[,B,...] --bench-cur A[,B,...]]
+//                   [--ledger-base FILE --ledger-cur FILE]
+//                   [--max-runtime-ratio R] [--max-quality-ratio R]
 //
-// Layout files use the text format of geom::Layout (clip/rect lines) or
-// GDSII (.gds extension, loaded with --clipsize window); masks are 8-bit
-// PGM at the simulation grid. `train` is crash-safe: Ctrl-C flushes a
+// Layout files use the text format of geom::Layout (clip/rect lines), GDSII
+// (.gds extension, loaded with --clipsize window), or contest GLP; masks are
+// 8-bit PGM at the simulation grid. `train` is crash-safe: Ctrl-C flushes a
 // checkpoint that --resume continues from bit-identically (DESIGN.md §8).
+//
+// `optimize`, `batch` and `serve` all route through the same
+// ganopc::engine::Engine session (DESIGN.md §15), so one clip produces
+// bit-identical results no matter which front-end carried it in. The litho
+// model behind any command is chosen with --litho-backend (DESIGN.md §15):
+//   abbe    exact Abbe source-point kernels (the default, the reference)
+//   tcc     TCC eigen-kernels auto-truncated at >= 99% captured energy
+//   tcc:K   exactly K TCC eigen-kernels (caller owns the accuracy trade-off)
 // `batch` is fault-tolerant: clips fail individually with typed codes in the
 // manifest, and its journal makes a killed run resumable (DESIGN.md §9).
 // With --workers N it adds *process* isolation (DESIGN.md §13): clips are
@@ -71,17 +88,19 @@
 #include "common/prng.hpp"
 #include "common/status.hpp"
 #include "common/version.hpp"
-#include "core/batch_runner.hpp"
 #include "core/config.hpp"
 #include "core/dataset.hpp"
 #include "core/discriminator.hpp"
 #include "core/flow.hpp"
 #include "core/generator.hpp"
 #include "core/trainer.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/clip_io.hpp"
+#include "engine/engine.hpp"
 #include "geometry/raster.hpp"
 #include "ilt/ilt.hpp"
-#include "layout/glp.hpp"
 #include "layout/synthesizer.hpp"
+#include "litho/backend.hpp"
 #include "litho/lithosim.hpp"
 #include "mbopc/mbopc.hpp"
 #include "metrics/printability.hpp"
@@ -143,41 +162,35 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Load a layout from text, GDSII, or contest GLP, by extension.
+// Load a layout from text, GDSII, or contest GLP, by extension (the decode
+// itself lives in engine/clip_io so every front-end agrees on the formats).
 geom::Layout load_layout(const Args& args, const std::string& key = "layout") {
-  const std::string path = args.require(key);
-  const std::int32_t clip_nm = args.get_int("clipsize", 2048);
-  const geom::Rect clip{0, 0, clip_nm, clip_nm};
-  if (ends_with(path, ".gds"))
-    return gds::gds_to_layout(gds::read_gds(path), clip, args.get("cell", ""),
-                              static_cast<std::int16_t>(args.get_int("layer", 1)));
-  if (ends_with(path, ".glp")) return layout::read_glp(path, clip);
-  return geom::Layout::load(path);
+  return engine::load_layout_file(
+      args.require(key), args.get_int("clipsize", 2048), args.get("cell", ""),
+      static_cast<std::int16_t>(args.get_int("layer", 1)));
 }
 
-litho::LithoSim make_sim(const geom::Layout& clip, int grid) {
+litho::LithoBackendSpec backend_spec(const Args& args) {
+  return litho::parse_litho_backend(args.get("litho-backend", "abbe"));
+}
+
+// Standalone simulator for the direct commands (ilt/mbopc/eval), built
+// through the same pluggable backend the Engine uses.
+litho::LithoSim make_sim(const geom::Layout& clip, int grid, const Args& args) {
   GANOPC_CHECK_MSG(clip.clip().width() == clip.clip().height(),
                    "clip window must be square");
   GANOPC_CHECK_MSG(clip.clip().width() % grid == 0,
                    "grid " << grid << " does not divide the clip extent");
   litho::OpticsConfig optics;
-  return litho::LithoSim(optics, litho::ResistConfig{},
-                         grid, clip.clip().width() / grid);
+  return litho::LithoSim(
+      litho::make_litho_backend(backend_spec(args))
+          ->build(optics, grid, clip.clip().width() / grid),
+      litho::ResistConfig{});
 }
 
 void dump(const geom::Grid& g, const std::string& name) {
-  write_pgm(name, to_gray(g.data.data(), g.cols, g.rows));
+  engine::write_mask_pgm(name, g);
   std::printf("wrote %s (%dx%d @%dnm)\n", name.c_str(), g.cols, g.rows, g.pixel_nm);
-}
-
-geom::Grid load_mask(const std::string& path, const litho::LithoSim& sim) {
-  const GrayImage img = read_pgm(path);
-  GANOPC_CHECK_MSG(img.width == sim.grid_size() && img.height == sim.grid_size(),
-                   "mask PGM must be " << sim.grid_size() << "x" << sim.grid_size());
-  geom::Grid mask(img.height, img.width, sim.pixel_nm());
-  for (std::size_t i = 0; i < mask.data.size(); ++i)
-    mask.data[i] = img.pixels[i] >= 128 ? 1.0f : 0.0f;
-  return mask;
 }
 
 int cmd_synth(const Args& args) {
@@ -207,7 +220,7 @@ int cmd_sraf(const Args& args) {
 
 int cmd_ilt(const Args& args) {
   const geom::Layout clip = load_layout(args);
-  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256), args);
   const geom::Grid target = geom::rasterize(clip, sim.pixel_nm(), /*threshold=*/true);
   ilt::IltConfig cfg;
   cfg.max_iterations = args.get_int("iters", 200);
@@ -225,7 +238,7 @@ int cmd_ilt(const Args& args) {
 
 int cmd_mbopc(const Args& args) {
   const geom::Layout clip = load_layout(args);
-  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256), args);
   mbopc::MbOpcConfig cfg;
   cfg.max_iterations = args.get_int("iters", 12);
   const mbopc::MbOpcEngine engine(sim, cfg);
@@ -241,9 +254,10 @@ int cmd_mbopc(const Args& args) {
 
 int cmd_eval(const Args& args) {
   const geom::Layout clip = load_layout(args);
-  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256));
+  const litho::LithoSim sim = make_sim(clip, args.get_int("grid", 256), args);
   const geom::Grid target = geom::rasterize(clip, sim.pixel_nm(), /*threshold=*/true);
-  const geom::Grid mask = load_mask(args.require("mask"), sim);
+  const geom::Grid mask =
+      engine::load_mask_pgm(args.require("mask"), sim.grid_size(), sim.pixel_nm());
   const auto report = metrics::evaluate_printability(sim, mask, clip, target);
   std::printf("%s\n", report.str().c_str());
   return 0;
@@ -343,8 +357,10 @@ int cmd_flow(const Args& args) {
   GANOPC_CHECK_MSG(clip.clip().width() == cfg.clip_nm,
                    "layout clip must be " << cfg.clip_nm << "nm for scale "
                                           << args.get("scale", "quick"));
-  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
-                            cfg.litho_pixel_nm());
+  const litho::LithoSim sim(
+      litho::make_litho_backend(backend_spec(args))
+          ->build(cfg.optics, cfg.litho_grid, cfg.litho_pixel_nm()),
+      litho::ResistConfig{});
   Prng rng(cfg.seed);
   core::Generator generator(cfg.gan_grid, cfg.base_channels, rng);
   nn::load_parameters(generator.net(), args.require("generator"));
@@ -357,15 +373,78 @@ int cmd_flow(const Args& args) {
   return 0;
 }
 
+// Comma-separated list -> items ("A,B" -> {"A","B"}); empty items dropped.
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// One Engine session configured from the shared command-line vocabulary —
+// optimize/batch/serve all build their session here, which is what keeps a
+// clip's result bit-identical across the three front-ends.
+engine::EngineOptions engine_options_from_args(const Args& args) {
+  engine::EngineOptions opts;
+  opts.config = core::make_config(core::parse_scale(args.get("scale", "quick")));
+  opts.config.litho_grid = args.get_int("grid", opts.config.litho_grid);
+  opts.config.ilt.max_iterations =
+      args.get_int("iters", opts.config.ilt.max_iterations);
+  opts.backend = backend_spec(args);
+  opts.generator_path = args.get("generator", "");
+  engine::SubmitPolicy& policy = opts.policy;
+  policy.clip_deadline_s = args.get_double("deadline-s", 0.0);
+  policy.max_retries = args.get_int("max-retries", 1);
+  policy.allow_fallback = args.get_int("fallback", 1) != 0;
+  policy.l2_accept_factor = static_cast<float>(args.get_double("accept-factor", 1.0));
+  policy.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(opts.config.seed)));
+  policy.retry_backoff_base_s =
+      args.get_double("retry-backoff-s", policy.retry_backoff_base_s);
+  return opts;
+}
+
+// One-shot mask optimization through the Engine session — exactly the
+// degradation chain a batch clip or serve request walks, so its mask bytes
+// are the contract the engine test pins against the embedded API. Exit 0
+// when the mask was accepted, 3 when the clip failed (typed code printed).
+int cmd_optimize(const Args& args) {
+  const engine::Engine eng(engine_options_from_args(args));
+  engine::BatchClip clip;
+  clip.path = args.require("layout");
+  clip.id = args.get("id", "clip");
+  engine::SubmitOptions opts;
+  opts.want_mask = true;
+  const engine::MaskResult result = eng.submit(clip, opts);
+  const engine::BatchClipResult& row = result.row;
+  if (!row.ok()) {
+    std::printf("%s: FAILED %s: %s\n", row.id.c_str(), status_code_name(row.code),
+                row.error.c_str());
+    return 3;
+  }
+  std::printf("%s: ok stage=%s%s L2 %.0f nm^2, PVB %ld nm^2 (%d ILT iters, "
+              "backend %s)\n",
+              row.id.c_str(), engine::batch_stage_name(row.stage),
+              row.retries > 0 ? " (retried)" : "", row.l2_nm2,
+              static_cast<long>(row.pvb_nm2), row.ilt_iterations,
+              eng.backend_name().c_str());
+  const std::string out =
+      args.get("mask-out", args.get("out", "optimize") + "_mask.pgm");
+  dump(result.mask, out);
+  return 0;
+}
+
 // Fault-tolerant batch mask optimization over many clip files. Exit code 0
 // when every clip produced an accepted mask, 3 when the batch completed but
 // some clips failed (their manifest rows carry the typed error code).
 int cmd_batch(const Args& args) {
-  core::GanOpcConfig cfg =
-      core::make_config(core::parse_scale(args.get("scale", "quick")));
-  cfg.litho_grid = args.get_int("grid", cfg.litho_grid);
-  cfg.ilt.max_iterations = args.get_int("iters", cfg.ilt.max_iterations);
-
   std::vector<std::string> paths;
   const std::string list = args.get("list", "");
   if (!list.empty()) {
@@ -378,41 +457,17 @@ int cmd_batch(const Args& args) {
       if (!line.empty() && line[0] != '#') paths.push_back(line);
     }
   } else {
-    std::string csv = args.require("clips");
-    std::size_t start = 0;
-    while (start <= csv.size()) {
-      const std::size_t comma = csv.find(',', start);
-      const std::string item = csv.substr(
-          start, comma == std::string::npos ? std::string::npos : comma - start);
-      if (!item.empty()) paths.push_back(item);
-      if (comma == std::string::npos) break;
-      start = comma + 1;
-    }
+    paths = split_csv(args.require("clips"));
   }
   GANOPC_CHECK_MSG(!paths.empty(), "no clips given (use --list or --clips)");
 
-  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
-                            cfg.litho_pixel_nm());
-  Prng rng(cfg.seed);
-  std::unique_ptr<core::Generator> generator;
-  const std::string gen_path = args.get("generator", "");
-  if (!gen_path.empty()) {
-    generator = std::make_unique<core::Generator>(cfg.gan_grid, cfg.base_channels, rng);
-    nn::load_parameters(generator->net(), gen_path);
-  }
+  const engine::Engine eng(engine_options_from_args(args));
 
-  core::BatchConfig bcfg;
-  bcfg.clip_deadline_s = args.get_double("deadline-s", 0.0);
-  bcfg.max_retries = args.get_int("max-retries", 1);
-  bcfg.allow_fallback = args.get_int("fallback", 1) != 0;
-  bcfg.l2_accept_factor = static_cast<float>(args.get_double("accept-factor", 1.0));
-  bcfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<int>(cfg.seed)));
+  engine::BatchConfig bcfg;
   const std::string resume = args.get("resume", "");
   bcfg.journal_path = resume.empty() ? args.get("journal", "") : resume;
   bcfg.resume = !resume.empty();
   bcfg.deterministic_manifest = args.get_int("deterministic-manifest", 0) != 0;
-  bcfg.retry_backoff_base_s =
-      args.get_double("retry-backoff-s", bcfg.retry_backoff_base_s);
   bcfg.workers = args.get_int("workers", 0);
   bcfg.quarantine_kills = args.get_int("quarantine-kills", bcfg.quarantine_kills);
   bcfg.task_deadline_s = args.get_double("task-deadline-s", 0.0);
@@ -425,13 +480,13 @@ int cmd_batch(const Args& args) {
   std::signal(SIGINT, handle_sigint);
   std::signal(SIGTERM, handle_sigint);
 
-  const core::BatchRunner runner(cfg, generator.get(), sim, bcfg);
-  const core::BatchSummary summary = runner.run_files(paths);
+  const engine::BatchRunner runner(eng, bcfg);
+  const engine::BatchSummary summary = runner.run_files(paths);
 
   for (const auto& c : summary.clips) {
     if (c.ok())
       std::printf("  %-16s ok      stage=%s%s L2 %.0f nm^2, PVB %ld nm^2%s\n",
-                  c.id.c_str(), core::batch_stage_name(c.stage),
+                  c.id.c_str(), engine::batch_stage_name(c.stage),
                   c.retries > 0 ? " (retried)" : "", c.l2_nm2,
                   static_cast<long>(c.pvb_nm2), c.from_journal ? " [journal]" : "");
     else
@@ -439,7 +494,7 @@ int cmd_batch(const Args& args) {
                   status_code_name(c.code), c.error.c_str());
   }
   const std::string manifest = args.get("manifest", "batch_manifest.csv");
-  core::BatchRunner::write_manifest(manifest, summary);
+  engine::BatchRunner::write_manifest(manifest, summary);
   std::printf("batch: %d ok, %d failed, %d resumed from journal; wrote %s\n",
               summary.succeeded, summary.failed, summary.resumed, manifest.c_str());
   if (bcfg.workers > 0)
@@ -465,26 +520,7 @@ int cmd_batch(const Args& args) {
 // sandboxed workers, a circuit breaker after consecutive worker deaths, and
 // graceful SIGTERM drain (exit 0).
 int cmd_serve(const Args& args) {
-  core::GanOpcConfig cfg =
-      core::make_config(core::parse_scale(args.get("scale", "quick")));
-  cfg.litho_grid = args.get_int("grid", cfg.litho_grid);
-  cfg.ilt.max_iterations = args.get_int("iters", cfg.ilt.max_iterations);
-
-  const litho::LithoSim sim(cfg.optics, litho::ResistConfig{}, cfg.litho_grid,
-                            cfg.litho_pixel_nm());
-  Prng rng(cfg.seed);
-  std::unique_ptr<core::Generator> generator;
-  const std::string gen_path = args.get("generator", "");
-  if (!gen_path.empty()) {
-    generator = std::make_unique<core::Generator>(cfg.gan_grid, cfg.base_channels, rng);
-    nn::load_parameters(generator->net(), gen_path);
-  }
-
-  core::BatchConfig bcfg;
-  bcfg.max_retries = args.get_int("max-retries", 1);
-  bcfg.allow_fallback = args.get_int("fallback", 1) != 0;
-  bcfg.l2_accept_factor = static_cast<float>(args.get_double("accept-factor", 1.0));
-  bcfg.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<int>(cfg.seed)));
+  const engine::Engine eng(engine_options_from_args(args));
 
   serve::ServeConfig scfg;
   scfg.host = args.get("host", "127.0.0.1");
@@ -512,12 +548,12 @@ int cmd_serve(const Args& args) {
       args.get_double("heartbeat-timeout-s", scfg.heartbeat_timeout_s);
   scfg.worker_mem_mb = args.get_int("worker-mem-mb", 0);
   scfg.worker_cpu_s = args.get_int("worker-cpu-s", 0);
-  scfg.seed = bcfg.seed;
+  scfg.seed = eng.policy().seed;
   scfg.stop = &g_stop;
   std::signal(SIGINT, handle_sigint);
   std::signal(SIGTERM, handle_sigint);
 
-  serve::Server server(cfg, generator.get(), sim, bcfg, scfg);
+  serve::Server server(eng, scfg);
   return server.run();
 }
 
@@ -540,21 +576,6 @@ int cmd_gds2txt(const Args& args) {
   std::printf("wrote %s (%zu rects, %ld nm^2)\n", out.c_str(), clip.size(),
               static_cast<long>(clip.union_area()));
   return 0;
-}
-
-// Comma-separated list -> items ("A,B" -> {"A","B"}); empty items dropped.
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const std::size_t comma = csv.find(',', start);
-    const std::string item = csv.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start);
-    if (!item.empty()) out.push_back(item);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
 }
 
 // Regression verdict over baseline/current BENCH_*.json and/or ledger pairs.
@@ -591,10 +612,11 @@ int cmd_report(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|batch|serve|report> [--flag value ...]\n"
+               "usage: ganopc <synth|sraf|ilt|mbopc|eval|train|flow|optimize|batch|serve|report> [--flag value ...]\n"
                "global flags: --metrics-out FILE (Prometheus text, or JSON when\n"
                "FILE ends in .json), --trace-out FILE (chrome://tracing JSON)\n"
-               "and --ledger-out FILE (JSONL run ledger + flight recorder)\n"
+               "and --ledger-out FILE (JSONL run ledger + flight recorder);\n"
+               "litho commands accept --litho-backend abbe|tcc|tcc:K\n"
                "see tools/cli.cpp header for per-command flags\n");
 }
 
@@ -697,6 +719,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "eval") return cmd_eval(args);
   if (cmd == "train") return cmd_train(args);
   if (cmd == "flow") return cmd_flow(args);
+  if (cmd == "optimize") return cmd_optimize(args);
   if (cmd == "batch") return cmd_batch(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "txt2gds") return cmd_txt2gds(args);
