@@ -123,9 +123,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0) out_dir = need("--out");
     else if (std::strcmp(argv[i], "--grid") == 0) grid = std::atoi(need("--grid"));
     else if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(need("--reps"));
+    // --trace 1 arms span recording for the whole run so CI can price the
+    // tracing fast path: diff a traced BENCH run against an untraced one.
+    else if (std::strcmp(argv[i], "--trace") == 0)
+      obs::set_trace_enabled(std::atoi(need("--trace")) != 0);
     else {
       std::fprintf(stderr,
-                   "usage: bench_regress [--out DIR] [--grid N] [--reps N]\n");
+                   "usage: bench_regress [--out DIR] [--grid N] [--reps N] "
+                   "[--trace 0|1]\n");
       return 2;
     }
   }

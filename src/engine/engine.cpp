@@ -75,6 +75,11 @@ Engine::Engine(EngineOptions options)
 }
 
 MaskResult Engine::submit(const BatchClip& clip, const SubmitOptions& opts) const {
+  // Adopt the caller's trace context (if any) before the first span opens,
+  // so batch.clip and everything beneath it nest under the request span.
+  std::optional<obs::TraceContextScope> trace_scope;
+  if (opts.trace_id != 0)
+    trace_scope.emplace(obs::TraceContext{opts.trace_id, opts.parent_span});
   GANOPC_OBS_SPAN("batch.clip");
   // Every ledger event emitted while this clip is in flight — including the
   // ILT engine's ilt_iter records — carries scope = the clip id.

@@ -94,6 +94,12 @@ struct SubmitOptions {
   /// Also return the accepted mask pixels (empty on failure). Batch mode
   /// leaves this off — only metrics reach the manifest.
   bool want_mask = false;
+  /// Request trace context (DESIGN.md §16): when trace_id != 0, submit()
+  /// installs it thread-locally so its batch.*/litho.*/ilt.* spans nest
+  /// under `parent_span` — the serve worker threads the context it received
+  /// over the proc wire through here, the CLI mints a fresh root.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// What a submission returns: the manifest row plus (on request) the mask.

@@ -60,6 +60,18 @@ void Histogram::observe(double v) {
   }
 }
 
+void Histogram::merge_delta(std::span<const std::uint64_t> counts,
+                            double sum) {
+  const std::size_t n = bounds_.size() + 1;
+  for (std::size_t i = 0; i < n && i < counts.size(); ++i) {
+    if (counts[i] != 0) counts_[i].fetch_add(counts[i], std::memory_order_relaxed);
+  }
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (
+      !sum_.compare_exchange_weak(cur, cur + sum, std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t Histogram::count() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i <= bounds_.size(); ++i)

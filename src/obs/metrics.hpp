@@ -83,6 +83,12 @@ class Histogram {
 
   void observe(double v);
 
+  /// Merge a pre-bucketed delta (per-bucket count increments, overflow last;
+  /// size must be bounds().size() + 1) plus a sum increment. Used by the
+  /// supervisor to fold worker-shipped MetricsDelta frames into the fleet
+  /// registry (DESIGN.md §16); relaxed adds, same as observe().
+  void merge_delta(std::span<const std::uint64_t> counts, double sum);
+
   const std::vector<double>& bounds() const { return bounds_; }
   std::uint64_t count() const;
   double sum() const;

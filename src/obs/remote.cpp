@@ -1,0 +1,223 @@
+#include "obs/remote.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "common/sectioned_file.hpp"
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ganopc::obs {
+
+namespace {
+
+constexpr std::uint8_t kDeltaVersion = 1;
+constexpr std::uint8_t kSpanBatchVersion = 1;
+/// Sanity bound on decoded element counts — a corrupt length field fails
+/// typed instead of attempting a multi-GB allocation.
+constexpr std::uint32_t kMaxEntries = 1u << 16;
+
+std::uint32_t checked_count(ByteReader& r, const char* what) {
+  const std::uint32_t n = r.pod<std::uint32_t>();
+  if (n > kMaxEntries) {
+    throw StatusError(StatusCode::kInternal,
+                      std::string("obs delta: implausible ") + what +
+                          " count " + std::to_string(n));
+  }
+  return n;
+}
+
+}  // namespace
+
+MetricsDeltaTracker::MetricsDeltaTracker() {
+  const Snapshot snap = snapshot();
+  for (const auto& [name, value] : snap.counters) counters_[name] = value;
+  for (const auto& h : snap.histograms)
+    histograms_[h.name] = HistBaseline{h.counts, h.sum};
+}
+
+std::string MetricsDeltaTracker::take_delta() {
+  const Snapshot snap = snapshot();
+
+  ByteWriter counters;
+  std::uint32_t n_counters = 0;
+  for (const auto& [name, value] : snap.counters) {
+    std::uint64_t& base = counters_[name];
+    if (value < base) base = 0;  // reset in-process; re-ship from zero
+    const std::uint64_t delta = value - base;
+    if (delta == 0) continue;
+    base = value;
+    counters.str(name);
+    counters.pod<std::uint64_t>(delta);
+    ++n_counters;
+  }
+
+  ByteWriter hists;
+  std::uint32_t n_hists = 0;
+  for (const auto& h : snap.histograms) {
+    HistBaseline& base = histograms_[h.name];
+    if (base.counts.size() != h.counts.size()) base = HistBaseline{};
+    base.counts.resize(h.counts.size(), 0);
+    bool shrank = h.sum < base.sum;
+    for (std::size_t i = 0; i < h.counts.size() && !shrank; ++i)
+      shrank = h.counts[i] < base.counts[i];
+    if (shrank) base = HistBaseline{std::vector<std::uint64_t>(h.counts.size(), 0), 0.0};
+
+    std::vector<std::uint64_t> delta(h.counts.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      delta[i] = h.counts[i] - base.counts[i];
+      total += delta[i];
+    }
+    const double sum_delta = h.sum - base.sum;
+    if (total == 0 && sum_delta == 0.0) continue;
+    base.counts = h.counts;
+    base.sum = h.sum;
+
+    hists.str(h.name);
+    hists.pod<std::uint32_t>(static_cast<std::uint32_t>(h.bounds.size()));
+    for (double b : h.bounds) hists.pod<double>(b);
+    hists.pod<std::uint32_t>(static_cast<std::uint32_t>(delta.size()));
+    for (std::uint64_t c : delta) hists.pod<std::uint64_t>(c);
+    hists.pod<double>(sum_delta);
+    ++n_hists;
+  }
+
+  if (n_counters == 0 && n_hists == 0) return "";
+  ByteWriter w;
+  w.pod<std::uint8_t>(kDeltaVersion);
+  w.pod<std::uint32_t>(n_counters);
+  w.bytes(counters.buffer().data(), counters.buffer().size());
+  w.pod<std::uint32_t>(n_hists);
+  w.bytes(hists.buffer().data(), hists.buffer().size());
+  return w.buffer();
+}
+
+void apply_metrics_delta(std::string_view payload) {
+  ByteReader r(payload.data(), payload.size(), "metrics delta frame");
+  const auto version = r.pod<std::uint8_t>();
+  if (version != kDeltaVersion) {
+    throw StatusError(StatusCode::kInternal,
+                      "metrics delta: unknown version " +
+                          std::to_string(version));
+  }
+
+  // Stage 1: decode the whole payload. Any throw here leaves the registry
+  // untouched — the frame is dropped whole.
+  struct CounterDelta {
+    std::string name;
+    std::uint64_t delta;
+  };
+  struct HistDelta {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    double sum;
+  };
+  std::vector<CounterDelta> counters;
+  const std::uint32_t n_counters = checked_count(r, "counter");
+  counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    CounterDelta c;
+    c.name = r.str();
+    c.delta = r.pod<std::uint64_t>();
+    counters.push_back(std::move(c));
+  }
+  std::vector<HistDelta> hists;
+  const std::uint32_t n_hists = checked_count(r, "histogram");
+  hists.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    HistDelta h;
+    h.name = r.str();
+    const std::uint32_t n_bounds = checked_count(r, "bound");
+    h.bounds.resize(n_bounds);
+    for (auto& b : h.bounds) b = r.pod<double>();
+    const std::uint32_t n_counts = checked_count(r, "bucket");
+    if (n_counts != n_bounds + 1) {
+      throw StatusError(StatusCode::kInternal,
+                        "metrics delta: bucket/bound size mismatch for " +
+                            h.name);
+    }
+    h.counts.resize(n_counts);
+    for (auto& c : h.counts) c = r.pod<std::uint64_t>();
+    h.sum = r.pod<double>();
+    hists.push_back(std::move(h));
+  }
+  r.expect_exhausted();
+
+  // Stage 2: resolve handles (find-or-create validates names/bounds; a
+  // throw here has registered at most some zero-valued metrics — values are
+  // still untouched), then apply all increments.
+  std::vector<Counter*> counter_handles;
+  counter_handles.reserve(counters.size());
+  for (const auto& c : counters) counter_handles.push_back(&counter(c.name));
+  std::vector<Histogram*> hist_handles;
+  hist_handles.reserve(hists.size());
+  for (const auto& h : hists) hist_handles.push_back(&histogram(h.name, h.bounds));
+  for (std::size_t i = 0; i < counters.size(); ++i)
+    counter_handles[i]->inc(counters[i].delta);
+  for (std::size_t i = 0; i < hists.size(); ++i)
+    hist_handles[i]->merge_delta(hists[i].counts, hists[i].sum);
+}
+
+std::string encode_span_batch() {
+  const std::vector<TraceEvent> events = trace_drain();
+  if (events.empty()) return "";
+  ByteWriter w;
+  w.pod<std::uint8_t>(kSpanBatchVersion);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(::getpid()));
+  w.pod<std::uint64_t>(monotonic_ns());
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(events.size()));
+  for (const TraceEvent& e : events) {
+    w.str(e.name);
+    w.pod<std::uint64_t>(e.start_ns);
+    w.pod<std::uint64_t>(e.dur_ns);
+    w.pod<std::uint64_t>(e.trace_id);
+    w.pod<std::uint64_t>(e.span_id);
+    w.pod<std::uint64_t>(e.parent_id);
+    w.pod<std::uint32_t>(e.tid);
+  }
+  return w.buffer();
+}
+
+void apply_span_batch(std::string_view payload) {
+  ByteReader r(payload.data(), payload.size(), "span batch frame");
+  const auto version = r.pod<std::uint8_t>();
+  if (version != kSpanBatchVersion) {
+    throw StatusError(StatusCode::kInternal,
+                      "span batch: unknown version " + std::to_string(version));
+  }
+  const auto pid = r.pod<std::uint32_t>();
+  const auto sent_ns = r.pod<std::uint64_t>();
+  const std::uint32_t n = checked_count(r, "span");
+  std::vector<RemoteSpan> spans;
+  spans.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RemoteSpan s;
+    s.name = r.str();
+    s.start_ns = r.pod<std::uint64_t>();
+    s.dur_ns = r.pod<std::uint64_t>();
+    s.trace_id = r.pod<std::uint64_t>();
+    s.span_id = r.pod<std::uint64_t>();
+    s.parent_id = r.pod<std::uint64_t>();
+    s.tid = r.pod<std::uint32_t>();
+    s.pid = pid;
+    spans.push_back(std::move(s));
+  }
+  r.expect_exhausted();
+
+  // Defensive clock reconciliation: fork twins share CLOCK_MONOTONIC, so
+  // the skew is normally zero. If the sender's clock somehow reads ahead of
+  // ours, shift the batch back so no span postdates its own delivery.
+  const std::uint64_t now = monotonic_ns();
+  if (sent_ns > now) {
+    const std::uint64_t skew = sent_ns - now;
+    for (RemoteSpan& s : spans)
+      s.start_ns = s.start_ns > skew ? s.start_ns - skew : 0;
+  }
+  trace_ingest(spans);
+}
+
+}  // namespace ganopc::obs

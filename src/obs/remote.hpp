@@ -1,0 +1,72 @@
+// Cross-process observability shipping (DESIGN.md §16).
+//
+// Forked workers do the real litho/ILT work, so their metrics and spans die
+// with the process unless shipped back. Two payload codecs ride the proc
+// wire protocol (FrameType::kMetricsDelta / kSpanBatch):
+//
+//   * MetricsDeltaTracker — worker side. Captures a baseline of the registry
+//     at construction (right after fork, the registry still holds the
+//     supervisor's values — the baseline subtracts them out) and each
+//     take_delta() encodes only what changed since the previous ship,
+//     advancing the baseline. Deltas are pure increments, so the
+//     supervisor-side merge keeps every counter monotonic no matter how
+//     workers die and restart.
+//
+//   * apply_metrics_delta / apply_span_batch — supervisor side. Decode the
+//     whole payload before touching the registry, so a malformed frame
+//     throws and is dropped whole: a dead worker's last delta is either
+//     fully applied or fully dropped, never half-merged.
+//
+// Clock note: workers are fork twins of the supervisor and share
+// CLOCK_MONOTONIC, so span timestamps are directly comparable. The span
+// batch still carries the sender's clock at encode time; apply_span_batch
+// clamps against it defensively (a sender clock reading ahead of the
+// receiver's shifts the batch back) so a stitched trace can never show a
+// worker span ending after the frame that delivered it was read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganopc::obs {
+
+/// Worker-side delta computation against an advancing baseline. Not
+/// thread-safe: the caller serializes take_delta() (the proc worker shares
+/// one pipe-write mutex between its task loop and heartbeat thread).
+class MetricsDeltaTracker {
+ public:
+  /// Captures the current registry values as the baseline.
+  MetricsDeltaTracker();
+
+  /// Encode every metric increment since the last call and advance the
+  /// baseline. Returns "" when nothing changed. Gauges are not shipped
+  /// (last-value semantics do not aggregate across a fleet).
+  std::string take_delta();
+
+ private:
+  struct HistBaseline {
+    std::vector<std::uint64_t> counts;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, HistBaseline> histograms_;
+};
+
+/// Merge an encoded delta into the local registry. Decodes the full payload
+/// first and throws (ganopc::StatusError / std::invalid_argument) on any
+/// malformation without applying anything.
+void apply_metrics_delta(std::string_view payload);
+
+/// Encode the calling process's drained local trace events (trace_drain)
+/// with origin pid + a send-time clock sample. Returns "" when no events.
+std::string encode_span_batch();
+
+/// Decode a span batch and ingest it into the local remote-trace buffer,
+/// reconciling clocks against the embedded send timestamp. Throws on a
+/// malformed payload without ingesting anything.
+void apply_span_batch(std::string_view payload);
+
+}  // namespace ganopc::obs

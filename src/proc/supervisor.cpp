@@ -21,6 +21,8 @@
 #include "common/status.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/remote.hpp"
+#include "obs/trace.hpp"
 #include "proc/wire.hpp"
 
 namespace ganopc::proc {
@@ -102,6 +104,33 @@ struct WorkerContext {
   std::string parent_ledger;
 };
 
+thread_local TaskHeader g_current_task_header;
+
+// Worker-side observability shipper: computes registry deltas against an
+// advancing baseline (captured at construction, i.e. right after fork, so
+// the supervisor's inherited values are subtracted out) and writes
+// kMetricsDelta / kSpanBatch frames. Callers hold the pipe-write mutex, which
+// also serializes the tracker between the task loop and the heartbeat thread.
+struct ObsShipper {
+  obs::MetricsDeltaTracker tracker;
+
+  // Returns false when the pipe is unwritable (supervisor gone).
+  bool ship(int fd) {
+    if (obs::metrics_enabled()) {
+      const std::string delta = tracker.take_delta();
+      if (!delta.empty() &&
+          !write_frame(fd, FrameType::kMetricsDelta, delta))
+        return false;
+    }
+    if (obs::trace_enabled()) {
+      const std::string spans = obs::encode_span_batch();
+      if (!spans.empty() && !write_frame(fd, FrameType::kSpanBatch, spans))
+        return false;
+    }
+    return true;
+  }
+};
+
 // Runs the task loop inside the forked worker. Never returns to the caller's
 // stack frame logic — the caller _Exit()s with what this returns.
 int worker_main(const WorkerFn& fn, const WorkerContext& ctx) {
@@ -121,9 +150,11 @@ int worker_main(const WorkerFn& fn, const WorkerContext& ctx) {
   }
 
   // The result pipe is shared by this loop and the heartbeat thread; the
-  // mutex keeps frames whole. leaked on purpose: the heartbeat thread may
-  // still hold it when the process _Exit()s.
+  // mutex keeps frames whole (and serializes the obs shipper's baseline).
+  // Both are leaked on purpose: the heartbeat thread may still hold them
+  // when the process _Exit()s.
   auto* write_mu = new std::mutex();
+  auto* shipper = new ObsShipper();
   {
     std::lock_guard lock(*write_mu);
     std::int64_t pid = ::getpid();
@@ -131,11 +162,15 @@ int worker_main(const WorkerFn& fn, const WorkerContext& ctx) {
                      {reinterpret_cast<const char*>(&pid), sizeof pid}))
       return 1;
   }
-  std::thread([write_mu, fd = ctx.result_fd, interval = ctx.heartbeat_interval_s] {
+  std::thread([write_mu, shipper, fd = ctx.result_fd,
+               interval = ctx.heartbeat_interval_s] {
     for (;;) {
       std::this_thread::sleep_for(std::chrono::duration<double>(interval));
       std::lock_guard lock(*write_mu);
-      if (!write_frame(fd, FrameType::kHeartbeat, {})) return;  // peer gone
+      // Ship pending metric/span increments with every beat so a long task
+      // (or an imminent crash) still surfaces its progress fleet-wide.
+      if (!shipper->ship(fd)) return;  // peer gone
+      if (!write_frame(fd, FrameType::kHeartbeat, {})) return;
     }
   }).detach();
 
@@ -144,30 +179,51 @@ int worker_main(const WorkerFn& fn, const WorkerContext& ctx) {
     if (!read_frame(ctx.task_fd, frame)) break;  // supervisor closed the pipe
     if (frame.type == FrameType::kShutdown) break;
     if (frame.type != FrameType::kTask) continue;
-    GANOPC_TYPED_CHECK(StatusCode::kInternal, frame.payload.size() >= 4,
-                       "worker: malformed task frame");
-    std::uint32_t crashes = 0;
-    std::memcpy(&crashes, frame.payload.data(), sizeof crashes);
-    const std::string payload = frame.payload.substr(sizeof crashes);
+    std::string payload;
+    const TaskHeader header = decode_task_payload(frame.payload, payload);
+    const std::uint64_t recv_ns = obs::monotonic_ns();
 
     std::string response(1, '\x01');  // u8 ok | result-or-error bytes
-    try {
-      response += fn(payload, static_cast<int>(crashes));
-    } catch (const std::exception& e) {
-      response.assign(1, '\x00');
-      response += e.what();
-      obs::flight_dump("worker.task_exception");
-    } catch (...) {
-      response.assign(1, '\x00');
-      response += "unknown exception in worker fn";
+    {
+      // Install the request's trace context so every span the WorkerFn opens
+      // (engine/litho/ILT sites) nests under the supervisor-side parent.
+      obs::TraceContextScope trace_scope(
+          obs::TraceContext{header.trace_id, header.parent_span});
+      g_current_task_header = header;
+      if (header.trace_id != 0 && header.dispatch_ns != 0 &&
+          header.dispatch_ns <= recv_ns) {
+        static const obs::SpanSite& dispatch_site =
+            obs::span_site("proc.dispatch");
+        obs::record_span(dispatch_site, header.dispatch_ns, recv_ns,
+                         header.trace_id, obs::next_span_id(),
+                         header.parent_span);
+      }
+      static const obs::SpanSite& task_site = obs::span_site("proc.task");
+      obs::ObsSpan task_span(task_site);
+      try {
+        response += fn(payload, static_cast<int>(header.crashes));
+      } catch (const std::exception& e) {
+        response.assign(1, '\x00');
+        response += e.what();
+        obs::flight_dump("worker.task_exception");
+      } catch (...) {
+        response.assign(1, '\x00');
+        response += "unknown exception in worker fn";
+      }
+      g_current_task_header = TaskHeader{};
     }
     std::lock_guard lock(*write_mu);
+    // Deltas and spans go out before the result so the supervisor's registry
+    // already reflects this task when its on_result callback fires.
+    if (!shipper->ship(ctx.result_fd)) break;
     if (!write_frame(ctx.result_fd, FrameType::kResult, response)) break;
   }
   return 0;
 }
 
 }  // namespace
+
+TaskHeader current_task_header() { return g_current_task_header; }
 
 void SupervisorConfig::validate() const {
   GANOPC_TYPED_CHECK(StatusCode::kInvalidInput,
@@ -346,10 +402,12 @@ struct Supervisor::Engine {
 
   void send_task(Slot& slot, std::uint64_t seq) {
     const PendingTask& pt = tasks.at(seq);
-    std::string payload;
-    const auto n = static_cast<std::uint32_t>(pt.crashes);
-    payload.append(reinterpret_cast<const char*>(&n), sizeof n);
-    payload += pt.task.payload;
+    TaskHeader header;
+    header.crashes = static_cast<std::uint32_t>(pt.crashes);
+    header.trace_id = pt.task.trace_id;
+    header.parent_span = pt.task.parent_span;
+    header.dispatch_ns = obs::monotonic_ns();
+    const std::string payload = encode_task_payload(header, pt.task.payload);
     if (!write_frame(slot.task_fd, FrameType::kTask, payload)) {
       // Worker is unwritable (dying or dead); the reaper below will requeue.
       queue.push_front(seq);
@@ -359,6 +417,32 @@ struct Supervisor::Engine {
     slot.task_start_s = now_s();
     slot.inflight_deadline_s =
         pt.task.deadline_s > 0.0 ? pt.task.deadline_s : config.task_deadline_s;
+  }
+
+  // Merge a worker-shipped observability frame into this process's registry /
+  // trace buffer. Returns true when the frame was an obs frame (consumed).
+  // FrameBuffer only yields complete frames and the apply functions decode
+  // fully before touching the registry, so a dying worker's last delta is
+  // either fully applied or fully dropped.
+  bool apply_obs_frame(const Frame& frame) {
+    if (frame.type == FrameType::kMetricsDelta) {
+      try {
+        obs::apply_metrics_delta(frame.payload);
+        if (metrics) obs::counter("proc.obs.delta_applied").inc();
+      } catch (...) {
+        if (metrics) obs::counter("proc.obs.delta_dropped").inc();
+      }
+      return true;
+    }
+    if (frame.type == FrameType::kSpanBatch) {
+      try {
+        obs::apply_span_batch(frame.payload);
+      } catch (...) {
+        if (metrics) obs::counter("proc.obs.spans_dropped").inc();
+      }
+      return true;
+    }
+    return false;
   }
 
   void write_death_report(const Slot& slot, CrashReport& report) {
@@ -399,6 +483,7 @@ struct Supervisor::Engine {
         slot.rx.fill(slot.result_fd);
         Frame frame;
         while (slot.rx.next(frame)) {
+          if (apply_obs_frame(frame)) continue;  // dead worker's last deltas
           if (frame.type != FrameType::kResult || slot.inflight < 0) continue;
           TaskResult res;
           if (!frame.payload.empty() && frame.payload[0] == '\x01')
@@ -537,6 +622,7 @@ struct Supervisor::Engine {
         Frame frame;
         while (slot.rx.next(frame)) {
           slot.last_frame_s = now_s();
+          if (apply_obs_frame(frame)) continue;
           if (frame.type != FrameType::kResult) continue;  // hello/heartbeat
           if (slot.inflight < 0) continue;  // stale frame from a shutdown race
           TaskResult res;

@@ -20,6 +20,13 @@
 //     worker's forensics paths) plus a `worker_death` ledger event, re-queues
 //     the in-flight task at the front, and respawns the slot after a bounded
 //     exponential backoff with deterministic jitter (common/backoff).
+//   - Observability crosses the process boundary (DESIGN.md §16): each kTask
+//     frame carries the request's trace context + dispatch clock, and workers
+//     ship registry increments (kMetricsDelta) and completed spans
+//     (kSpanBatch) back before every result and on each heartbeat. The
+//     supervisor merges complete frames into its own registry/trace buffer,
+//     so `/metrics` and `--trace-out` reflect the whole fleet; a torn frame
+//     from a dying worker is dropped whole, never half-merged.
 //   - A task whose processing has killed `quarantine_kills` workers is not
 //     re-queued again: it is surfaced as a quarantined TaskResult so the
 //     caller can emit a typed Status row instead of looping forever on a
@@ -40,6 +47,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "proc/wire.hpp"
 
 namespace ganopc::proc {
 
@@ -89,7 +98,17 @@ struct Task {
   /// task_deadline_s (0 = use the pool default). The serve front-end plumbs
   /// each request's remaining deadline budget through this.
   double deadline_s = 0.0;
+  /// Request trace identity (DESIGN.md §16), carried in the kTask frame
+  /// header: the worker installs it thread-locally around the WorkerFn so
+  /// every span recorded inside nests under `parent_span`. 0 = untraced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
+
+/// Header of the task currently executing in this worker process (all-zero
+/// outside a WorkerFn). Front-ends read `dispatch_ns` for queue/dispatch
+/// stage attribution without widening the WorkerFn signature.
+TaskHeader current_task_header();
 
 struct TaskResult {
   std::string id;

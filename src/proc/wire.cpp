@@ -65,6 +65,39 @@ bool write_frame(int fd, FrameType type, std::string_view payload) {
   return write_all(fd, buf.data(), buf.size());
 }
 
+std::string encode_task_payload(const TaskHeader& header,
+                                std::string_view payload) {
+  std::string buf;
+  buf.reserve(28 + payload.size());
+  buf.append(reinterpret_cast<const char*>(&header.crashes),
+             sizeof header.crashes);
+  buf.append(reinterpret_cast<const char*>(&header.trace_id),
+             sizeof header.trace_id);
+  buf.append(reinterpret_cast<const char*>(&header.parent_span),
+             sizeof header.parent_span);
+  buf.append(reinterpret_cast<const char*>(&header.dispatch_ns),
+             sizeof header.dispatch_ns);
+  buf.append(payload.data(), payload.size());
+  return buf;
+}
+
+TaskHeader decode_task_payload(const std::string& frame_payload,
+                               std::string& payload_out) {
+  constexpr std::size_t kHeaderSize = 28;
+  GANOPC_TYPED_CHECK(StatusCode::kInternal, frame_payload.size() >= kHeaderSize,
+                     "wire: short task frame (" << frame_payload.size()
+                                                << " bytes)");
+  TaskHeader h;
+  const char* p = frame_payload.data();
+  std::memcpy(&h.crashes, p, sizeof h.crashes);
+  std::memcpy(&h.trace_id, p + 4, sizeof h.trace_id);
+  std::memcpy(&h.parent_span, p + 12, sizeof h.parent_span);
+  std::memcpy(&h.dispatch_ns, p + 20, sizeof h.dispatch_ns);
+  payload_out.assign(frame_payload, kHeaderSize,
+                     frame_payload.size() - kHeaderSize);
+  return h;
+}
+
 bool read_frame(int fd, Frame& out) {
   std::uint8_t type = 0;
   if (read_all(fd, &type, 1) == 0) return false;

@@ -5,7 +5,8 @@
 // concerns. Frames flow over two unidirectional pipes per worker:
 //
 //   supervisor --task pipe-->  worker     kTask, kShutdown
-//   worker   --result pipe--> supervisor  kHello, kHeartbeat, kResult
+//   worker   --result pipe--> supervisor  kHello, kHeartbeat, kResult,
+//                                         kMetricsDelta, kSpanBatch
 //
 // The writer side is blocking (payloads are tiny — a clip index out, a
 // manifest row back) and retries EINTR; EPIPE/short-write surfaces as
@@ -30,7 +31,28 @@ enum class FrameType : std::uint8_t {
   kHello = 3,      ///< worker -> supervisor: alive, pid in payload
   kHeartbeat = 4,  ///< worker -> supervisor: periodic liveness tick
   kResult = 5,     ///< worker -> supervisor: completed task payload
+  kMetricsDelta = 6,  ///< worker -> supervisor: registry increments since
+                      ///< the last ship (obs/remote.hpp codec)
+  kSpanBatch = 7,     ///< worker -> supervisor: completed trace spans
 };
+
+/// Decoded prefix of every kTask frame payload: retry count plus the
+/// request's trace identity and the supervisor's dispatch clock (DESIGN.md
+/// §16 — queue/dispatch stage attribution and cross-process span nesting).
+/// The caller payload follows the fixed 28-byte header.
+struct TaskHeader {
+  std::uint32_t crashes = 0;      ///< prior deliveries that killed a worker
+  std::uint64_t trace_id = 0;     ///< 0 = untraced task
+  std::uint64_t parent_span = 0;  ///< supervisor-side span to nest under
+  std::uint64_t dispatch_ns = 0;  ///< obs::monotonic_ns() at send_task
+};
+
+/// Build / split a kTask payload. decode throws StatusError(kInternal) on a
+/// short payload.
+std::string encode_task_payload(const TaskHeader& header,
+                                std::string_view payload);
+TaskHeader decode_task_payload(const std::string& frame_payload,
+                               std::string& payload_out);
 
 /// Frames above this are a protocol violation (a desynced or corrupt peer);
 /// readers fail hard instead of allocating unbounded memory.

@@ -13,13 +13,17 @@
 #include <fstream>
 
 #include "common/atomic_file.hpp"
+#include "common/cpu.hpp"
 #include "common/failpoint.hpp"
 #include "common/net.hpp"
 #include "common/sectioned_file.hpp"
 #include "common/status.hpp"
+#include "common/version.hpp"
 #include "engine/clip_io.hpp"
+#include "litho/kernels.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ganopc::serve {
 
@@ -63,6 +67,66 @@ std::string retry_after(double seconds) {
       std::max(1L, std::lround(std::ceil(std::max(0.0, seconds)))));
 }
 
+// ---- per-request stage attribution (DESIGN.md §16) ----
+
+struct StageSeconds {
+  double queue_s = 0.0;     ///< admission -> supervisor dispatch
+  double dispatch_s = 0.0;  ///< dispatch -> worker pickup (pipe transit)
+  double decode_s = 0.0;    ///< layout load/parse inside the worker
+  double litho_s = 0.0;     ///< aerial/gradient/pv-band simulation
+  double ilt_s = 0.0;       ///< ILT solver wall time
+  double encode_s = 0.0;    ///< result row + mask PGM encoding
+};
+
+void encode_stages(ByteWriter& w, const StageSeconds& s) {
+  w.pod<double>(s.queue_s);
+  w.pod<double>(s.dispatch_s);
+  w.pod<double>(s.decode_s);
+  w.pod<double>(s.litho_s);
+  w.pod<double>(s.ilt_s);
+  w.pod<double>(s.encode_s);
+}
+
+StageSeconds decode_stages(ByteReader& r) {
+  StageSeconds s;
+  s.queue_s = r.pod<double>();
+  s.dispatch_s = r.pod<double>();
+  s.decode_s = r.pod<double>();
+  s.litho_s = r.pod<double>();
+  s.ilt_s = r.pod<double>();
+  s.encode_s = r.pod<double>();
+  return s;
+}
+
+/// Sum of a named histogram's observations, 0 when absent.
+double hist_sum(const obs::Snapshot& snap, std::string_view name) {
+  const obs::HistogramSnapshot* h = snap.find_histogram(name);
+  return h != nullptr ? h->sum : 0.0;
+}
+
+/// Total litho seconds: every `litho.*.seconds` duration histogram.
+double litho_seconds(const obs::Snapshot& snap) {
+  double total = 0.0;
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("litho.", 0) == 0 && h.name.size() > 8 &&
+        h.name.compare(h.name.size() - 8, 8, ".seconds") == 0)
+      total += h.sum;
+  }
+  return total;
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", s);
+  return buf;
+}
+
 }  // namespace
 
 Server::Server(const engine::Engine& engine, ServeConfig serve)
@@ -101,14 +165,39 @@ proc::SupervisorConfig Server::supervisor_config() {
 // ---------------------------------------------------------------- worker side
 
 std::string Server::worker_entry(const std::string& payload, int crashes) const {
+  const std::uint64_t recv_ns = obs::monotonic_ns();
   ByteReader r(payload.data(), payload.size(), "serve task payload");
   const std::string id = r.str(64);
   const std::string spool = r.str(4096);
   const double deadline_abs_s = r.pod<double>();
   const bool want_mask = r.pod<std::uint8_t>() != 0;
   const bool degraded = r.pod<std::uint8_t>() != 0;
+  const std::uint64_t admit_ns = r.pod<std::uint64_t>();
 
   engine::maybe_inject_clip_fault(id, crashes);
+
+  // Stage attribution (DESIGN.md §16): queue/dispatch from the wire-carried
+  // clocks (workers are fork twins, CLOCK_MONOTONIC is shared), decode/
+  // litho/ILT from per-task deltas of the engine's duration histograms.
+  const proc::TaskHeader th = proc::current_task_header();
+  StageSeconds stages;
+  if (admit_ns != 0 && th.dispatch_ns >= admit_ns)
+    stages.queue_s = static_cast<double>(th.dispatch_ns - admit_ns) * 1e-9;
+  if (th.dispatch_ns != 0 && recv_ns >= th.dispatch_ns)
+    stages.dispatch_s = static_cast<double>(recv_ns - th.dispatch_ns) * 1e-9;
+  if (th.trace_id != 0 && admit_ns != 0 && th.dispatch_ns >= admit_ns) {
+    // Trace-only (the supervisor owns the serve.stage.* histograms; a
+    // metric here would double-count once the delta merges).
+    static const obs::SpanSite& queue_site =
+        obs::span_site("serve.stage.queue");
+    obs::record_span(queue_site, admit_ns, th.dispatch_ns, th.trace_id,
+                     obs::next_span_id(), th.parent_span,
+                     /*with_metrics=*/false);
+  }
+
+  const bool track_stages = obs::metrics_enabled();
+  obs::Snapshot before;
+  if (track_stages) before = obs::snapshot();
 
   engine::MaskResult result;
   const double remaining_s = deadline_abs_s - net::now_s();
@@ -127,15 +216,41 @@ std::string Server::worker_entry(const std::string& payload, int crashes) const 
     opts.deadline_s = remaining_s;
     opts.start_rung = start_rung;
     opts.want_mask = want_mask;
+    // Thread the proc-installed request context through SubmitOptions so
+    // the engine's spans nest under the proc.task span.
+    const obs::TraceContext tc = obs::trace_context();
+    opts.trace_id = tc.trace_id;
+    opts.parent_span = tc.parent_span;
     result = engine_.submit(engine::BatchClip{id, spool, {}}, opts);
   }
 
+  if (track_stages) {
+    const obs::Snapshot after = obs::snapshot();
+    stages.decode_s = hist_sum(after, "batch.load_clip.seconds") -
+                      hist_sum(before, "batch.load_clip.seconds");
+    stages.litho_s = litho_seconds(after) - litho_seconds(before);
+    stages.ilt_s = hist_sum(after, "ilt.optimize.seconds") -
+                   hist_sum(before, "ilt.optimize.seconds");
+  }
+
+  const std::uint64_t encode_start_ns = obs::monotonic_ns();
   ByteWriter w;
   engine::encode_clip_result(w, result.row);
   const bool has_mask =
       want_mask && result.row.ok() && !result.mask.data.empty();
   w.pod<std::uint8_t>(has_mask ? 1 : 0);
   if (has_mask) w.str(engine::encode_mask_pgm(result.mask));
+  const std::uint64_t encode_end_ns = obs::monotonic_ns();
+  stages.encode_s =
+      static_cast<double>(encode_end_ns - encode_start_ns) * 1e-9;
+  if (th.trace_id != 0) {
+    static const obs::SpanSite& encode_site =
+        obs::span_site("serve.stage.encode");
+    obs::record_span(encode_site, encode_start_ns, encode_end_ns, th.trace_id,
+                     obs::next_span_id(), obs::trace_context().parent_span,
+                     /*with_metrics=*/false);
+  }
+  encode_stages(w, stages);
   return w.buffer();
 }
 
@@ -459,6 +574,17 @@ void Server::handle_request(Conn& conn, const HttpRequest& req) {
     obj.set("workers_lost",
             json::Value::number(
                 static_cast<double>(supervisor_->crash_reports().size())));
+    // Build/runtime identity: which binary, SIMD arm, and litho model this
+    // fleet member actually runs (fleet-skew triage reads this first).
+    obj.set("version", json::Value::string(std::string(build_version())));
+    obj.set("simd", json::Value::string(simd_level_name(simd_level())));
+    obj.set("litho_backend", json::Value::string(engine_.backend_name()));
+    obj.set("tcc_kernels",
+            json::Value::number(
+                static_cast<double>(engine_.sim().kernels().count())));
+    obj.set("captured_energy",
+            json::Value::number(engine_.sim().kernels().captured_energy()));
+    obj.set("workers", json::Value::number(static_cast<double>(serve_.workers)));
     respond(conn, ready ? 200 : 503, obj.dump());
     return;
   }
@@ -596,12 +722,21 @@ void Server::handle_optimize(Conn& conn, const HttpRequest& req) {
 
   const bool want_mask = req.query_param("mask") == "pgm";
   const bool degraded = breaker_open(now);
+
+  // Mint the request's trace identity at admission (DESIGN.md §16): one
+  // trace id for the whole request, one span id for its root. Both travel
+  // in the kTask frame header so worker spans nest under the root.
+  const std::uint64_t trace_id = obs::next_span_id();
+  const std::uint64_t root_span = obs::next_span_id();
+  const std::uint64_t admit_ns = obs::monotonic_ns();
+
   ByteWriter w;
   w.str(id);
   w.str(spool);
   w.pod<double>(now + deadline_s);
   w.pod<std::uint8_t>(want_mask ? 1 : 0);
   w.pod<std::uint8_t>(degraded ? 1 : 0);
+  w.pod<std::uint64_t>(admit_ns);
 
   proc::Task task;
   task.id = id;
@@ -609,6 +744,8 @@ void Server::handle_optimize(Conn& conn, const HttpRequest& req) {
   // SIGKILL backstop just above the cooperative budget: the watchdog inside
   // the worker should win; this catches a worker that stopped checking.
   task.deadline_s = deadline_s + std::max(5.0, 0.25 * deadline_s);
+  task.trace_id = trace_id;
+  task.parent_span = root_span;
 
   PendingReq pr;
   pr.conn_fd = conn.fd;
@@ -618,6 +755,9 @@ void Server::handle_optimize(Conn& conn, const HttpRequest& req) {
   pr.deadline_s = deadline_s;
   pr.submit_s = now;
   pr.spool_path = spool;
+  pr.trace_id = trace_id;
+  pr.span_id = root_span;
+  pr.admit_ns = admit_ns;
   pending_.emplace(id, std::move(pr));
   conn.awaiting_result = true;
   conn.io_deadline_s = 0.0;  // the worker pipeline owns the deadline now
@@ -627,7 +767,8 @@ void Server::handle_optimize(Conn& conn, const HttpRequest& req) {
     rec.field("id", id)
         .field("deadline_s", deadline_s)
         .field("queued", static_cast<std::int64_t>(queued))
-        .field("degraded", degraded);
+        .field("degraded", degraded)
+        .field("trace", hex_id(trace_id));
     obs::ledger_emit(rec);
   }
   supervisor_->submit(std::move(task));
@@ -647,6 +788,7 @@ void Server::on_result(const proc::TaskResult& tr) {
   std::string body;
   std::string mask_pgm;
   engine::BatchClipResult res;
+  StageSeconds stages;
   bool decoded = false;
 
   if (tr.cancelled) {
@@ -669,6 +811,7 @@ void Server::on_result(const proc::TaskResult& tr) {
       ByteReader r(tr.payload.data(), tr.payload.size(), "serve result");
       res = engine::decode_clip_result(r, tr.id, "serve result");
       if (r.pod<std::uint8_t>() != 0) mask_pgm = r.str((64u << 20) + 64);
+      stages = decode_stages(r);
       decoded = true;
     } catch (const std::exception& e) {
       http = 500;
@@ -699,14 +842,39 @@ void Server::on_result(const proc::TaskResult& tr) {
     obj.set("pvb_nm2", json::Value::number(static_cast<double>(res.pvb_nm2)));
     obj.set("runtime_s", json::Value::number(res.runtime_s));
     obj.set("wall_s", json::Value::number(wall_s));
+    obj.set("trace", json::Value::string(hex_id(pr.trace_id)));
     if (!res.ok()) obj.set("error", json::Value::string(res.error));
     body = obj.dump();
   }
 
   ++completed_;
   obs::counter(http < 400 ? "serve.requests.ok" : "serve.requests.error").inc();
-  if (obs::metrics_enabled())
+  if (obs::metrics_enabled()) {
     obs::histogram("serve.request_s", obs::time_buckets()).observe(wall_s);
+    if (decoded) {
+      // The supervisor owns the fleet-visible stage histograms; the worker
+      // ships raw seconds and records trace-only spans (no double count).
+      obs::histogram("serve.stage.queue_s", obs::time_buckets())
+          .observe(stages.queue_s);
+      obs::histogram("serve.stage.dispatch_s", obs::time_buckets())
+          .observe(stages.dispatch_s);
+      obs::histogram("serve.stage.decode_s", obs::time_buckets())
+          .observe(stages.decode_s);
+      obs::histogram("serve.stage.litho_s", obs::time_buckets())
+          .observe(stages.litho_s);
+      obs::histogram("serve.stage.ilt_s", obs::time_buckets())
+          .observe(stages.ilt_s);
+      obs::histogram("serve.stage.encode_s", obs::time_buckets())
+          .observe(stages.encode_s);
+    }
+  }
+  // The request root span: admission to delivery, recorded explicitly since
+  // it crosses many event-loop iterations. Worker spans parent under it.
+  {
+    static const obs::SpanSite& request_site = obs::span_site("serve.request");
+    obs::record_span(request_site, pr.admit_ns, obs::monotonic_ns(),
+                     pr.trace_id, pr.span_id, 0);
+  }
   if (obs::ledger_enabled()) {
     obs::LedgerRecord rec("request_end");
     rec.field("id", tr.id)
@@ -720,18 +888,40 @@ void Server::on_result(const proc::TaskResult& tr) {
         .field("stage", decoded ? engine::batch_stage_name(res.stage) : "Failed")
         .field("crashes", tr.crashes)
         .field("degraded", pr.degraded)
-        .field("wall_s", wall_s);
+        .field("wall_s", wall_s)
+        .field("trace", hex_id(pr.trace_id));
+    if (decoded) {
+      rec.field("queue_s", stages.queue_s)
+          .field("dispatch_s", stages.dispatch_s)
+          .field("decode_s", stages.decode_s)
+          .field("litho_s", stages.litho_s)
+          .field("ilt_s", stages.ilt_s)
+          .field("encode_s", stages.encode_s);
+    }
     obs::ledger_emit(rec);
   }
 
+  std::vector<std::pair<std::string, std::string>> extra;
+  extra.emplace_back("X-Ganopc-Trace", hex_id(pr.trace_id));
+  if (decoded) {
+    extra.emplace_back("X-Ganopc-Stage-Queue-S", format_seconds(stages.queue_s));
+    extra.emplace_back("X-Ganopc-Stage-Dispatch-S",
+                       format_seconds(stages.dispatch_s));
+    extra.emplace_back("X-Ganopc-Stage-Decode-S",
+                       format_seconds(stages.decode_s));
+    extra.emplace_back("X-Ganopc-Stage-Litho-S", format_seconds(stages.litho_s));
+    extra.emplace_back("X-Ganopc-Stage-Ilt-S", format_seconds(stages.ilt_s));
+    extra.emplace_back("X-Ganopc-Stage-Encode-S",
+                       format_seconds(stages.encode_s));
+  }
   if (decoded && pr.want_mask && http == 200 && !mask_pgm.empty()) {
-    deliver(pr, 200, mask_pgm, "image/x-portable-graymap",
-            {{"X-Ganopc-Id", tr.id},
-             {"X-Ganopc-Stage", engine::batch_stage_name(res.stage)},
-             {"X-Ganopc-L2-Nm2", std::to_string(res.l2_nm2)},
-             {"X-Ganopc-Crashes", std::to_string(tr.crashes)}});
+    extra.emplace_back("X-Ganopc-Id", tr.id);
+    extra.emplace_back("X-Ganopc-Stage", engine::batch_stage_name(res.stage));
+    extra.emplace_back("X-Ganopc-L2-Nm2", std::to_string(res.l2_nm2));
+    extra.emplace_back("X-Ganopc-Crashes", std::to_string(tr.crashes));
+    deliver(pr, 200, mask_pgm, "image/x-portable-graymap", extra);
   } else {
-    deliver(pr, http, body, "application/json", {});
+    deliver(pr, http, body, "application/json", extra);
   }
 }
 

@@ -117,6 +117,9 @@ class Server {
     double deadline_s = 0.0;   ///< granted budget (already clamped)
     double submit_s = 0.0;
     std::string spool_path;
+    std::uint64_t trace_id = 0;  ///< minted at admission (DESIGN.md §16)
+    std::uint64_t span_id = 0;   ///< the request root span
+    std::uint64_t admit_ns = 0;  ///< obs::monotonic_ns() at admission
   };
 
   void setup_listener();

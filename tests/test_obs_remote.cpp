@@ -1,0 +1,214 @@
+// Cross-process observability unit tier (DESIGN.md §16): histogram delta
+// merge, MetricsDeltaTracker baseline/advance semantics, all-or-nothing
+// application of corrupt payloads, span-batch roundtrip with origin pid,
+// thread-local trace-context nesting, and the kTask header codec.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/remote.hpp"
+#include "obs/trace.hpp"
+#include "proc/wire.hpp"
+
+namespace ganopc::obs {
+namespace {
+
+// The registry is process-global: every test uses its own name prefix, and
+// tests that flip the enable flags restore them on exit.
+struct ObsOn {
+  ObsOn(bool metrics, bool trace) {
+    set_metrics_enabled(metrics);
+    set_trace_enabled(trace);
+    trace_clear();
+  }
+  ~ObsOn() {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    trace_clear();
+  }
+};
+
+TEST(HistogramMergeDelta, AddsBucketCountsAndSum) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  Histogram& h = histogram("test.remote.hist.merge", bounds);
+  h.observe(0.5);
+  const std::vector<std::uint64_t> delta = {2, 0, 3};  // le1, le2, overflow
+  h.merge_delta(delta, 10.5);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 11.0);
+  const std::vector<std::uint64_t> per_bucket = h.bucket_counts();
+  ASSERT_EQ(per_bucket.size(), 3u);
+  EXPECT_EQ(per_bucket[0], 3u);
+  EXPECT_EQ(per_bucket[1], 0u);
+  EXPECT_EQ(per_bucket[2], 3u);
+}
+
+TEST(MetricsDeltaTracker, BaselineSubtractsPreexistingValues) {
+  ObsOn on(true, false);
+  Counter& c = counter("test.remote.tracker.baseline");
+  c.reset();
+  c.inc(5);  // "supervisor" counts present before the fork point
+  MetricsDeltaTracker tracker;
+  EXPECT_EQ(tracker.take_delta(), "");  // nothing changed since the baseline
+  c.inc(3);
+  const std::string delta = tracker.take_delta();
+  ASSERT_FALSE(delta.empty());
+  // Applying the delta is a pure +3 — the pre-baseline 5 never ships.
+  apply_metrics_delta(delta);
+  EXPECT_EQ(c.value(), 11u);
+  // The baseline advanced: nothing new to ship (the apply above landed on
+  // this same registry, so the *next* delta sees it — consume it).
+  const std::string second = tracker.take_delta();
+  ASSERT_FALSE(second.empty());  // the applied +3 is itself a change
+  EXPECT_EQ(tracker.take_delta(), "");
+}
+
+TEST(MetricsDeltaTracker, HistogramDeltaRoundtrips) {
+  ObsOn on(true, false);
+  const std::vector<double> bounds = {0.1, 1.0};
+  Histogram& h = histogram("test.remote.tracker.hist", bounds);
+  h.reset();
+  MetricsDeltaTracker tracker;
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string delta = tracker.take_delta();
+  ASSERT_FALSE(delta.empty());
+  apply_metrics_delta(delta);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2 * (0.05 + 0.5 + 5.0));
+  const std::vector<std::uint64_t> per_bucket = h.bucket_counts();
+  ASSERT_EQ(per_bucket.size(), 3u);
+  EXPECT_EQ(per_bucket[0], 2u);
+  EXPECT_EQ(per_bucket[1], 2u);
+  EXPECT_EQ(per_bucket[2], 2u);
+}
+
+TEST(MetricsDeltaTracker, CorruptPayloadAppliesNothing) {
+  ObsOn on(true, false);
+  Counter& a = counter("test.remote.corrupt.a");
+  Counter& b = counter("test.remote.corrupt.b");
+  a.reset();
+  b.reset();
+  MetricsDeltaTracker tracker;
+  a.inc(7);
+  b.inc(9);
+  const std::string delta = tracker.take_delta();
+  ASSERT_GT(delta.size(), 4u);
+
+  // Truncation: the decode fails before anything touches the registry, so
+  // neither counter moves (all-or-nothing is the §16 merge contract).
+  EXPECT_THROW(apply_metrics_delta(delta.substr(0, delta.size() - 3)),
+               std::exception);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 9u);
+
+  // Unknown codec version: same story.
+  std::string bad_version = delta;
+  bad_version[0] = static_cast<char>(0x7f);
+  EXPECT_THROW(apply_metrics_delta(bad_version), std::exception);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 9u);
+
+  // The untampered payload still applies cleanly afterwards.
+  apply_metrics_delta(delta);
+  EXPECT_EQ(a.value(), 14u);
+  EXPECT_EQ(b.value(), 18u);
+}
+
+TEST(SpanBatch, RoundtripPreservesIdentityAndStampsOriginPid) {
+  ObsOn on(false, true);
+  static const SpanSite& site = span_site("test.remote.span.rt");
+  const std::uint64_t t0 = monotonic_ns();
+  record_span(site, t0, t0 + 1000, /*trace_id=*/0xabc, /*span_id=*/0x111,
+              /*parent_id=*/0x7, /*with_metrics=*/false);
+  const std::string batch = encode_span_batch();
+  ASSERT_FALSE(batch.empty());
+  // encode drains: the local buffer is empty now, so a second batch is too.
+  EXPECT_EQ(encode_span_batch(), "");
+
+  apply_span_batch(batch);
+  bool found = false;
+  for (const TraceEvent& e : trace_events()) {
+    if (e.span_id != 0x111) continue;
+    found = true;
+    EXPECT_STREQ(e.name, "test.remote.span.rt");
+    EXPECT_EQ(e.trace_id, 0xabcu);
+    EXPECT_EQ(e.parent_id, 0x7u);
+    EXPECT_EQ(e.pid, static_cast<std::uint32_t>(::getpid()));  // remote-marked
+    EXPECT_EQ(e.dur_ns, 1000u);
+  }
+  EXPECT_TRUE(found);
+  // Ingested remote events are not re-shipped by the receiving process.
+  EXPECT_EQ(encode_span_batch(), "");
+
+  EXPECT_THROW(apply_span_batch(batch.substr(0, batch.size() / 2)),
+               std::exception);
+}
+
+TEST(TraceContext, SpansNestUnderTheInstalledParent) {
+  ObsOn on(false, true);
+  const std::uint64_t trace_id = next_span_id();
+  const std::uint64_t root = next_span_id();
+  static const SpanSite& outer_site = span_site("test.remote.ctx.outer");
+  static const SpanSite& inner_site = span_site("test.remote.ctx.inner");
+  {
+    TraceContextScope scope(TraceContext{trace_id, root});
+    ObsSpan outer(outer_site);
+    { ObsSpan inner(inner_site); }
+  }
+  // Outside the scope, spans are context-free again.
+  EXPECT_EQ(trace_context().trace_id, 0u);
+
+  std::uint64_t outer_id = 0, inner_parent = 0, inner_trace = 0;
+  for (const TraceEvent& e : trace_events()) {
+    if (e.name == outer_site.name && e.trace_id == trace_id) {
+      EXPECT_EQ(e.parent_id, root);
+      outer_id = e.span_id;
+    }
+    if (e.name == inner_site.name && e.trace_id == trace_id) {
+      inner_parent = e.parent_id;
+      inner_trace = e.trace_id;
+    }
+  }
+  ASSERT_NE(outer_id, 0u);
+  EXPECT_EQ(inner_parent, outer_id);  // LIFO restore: inner under outer
+  EXPECT_EQ(inner_trace, trace_id);
+}
+
+TEST(TraceContext, SpanIdsEmbedThePid) {
+  const std::uint64_t a = next_span_id();
+  const std::uint64_t b = next_span_id();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a >> 32, static_cast<std::uint64_t>(::getpid()));
+  EXPECT_EQ(b >> 32, static_cast<std::uint64_t>(::getpid()));
+}
+
+TEST(TaskHeaderCodec, RoundtripAndShortPayloadThrows) {
+  proc::TaskHeader h;
+  h.crashes = 3;
+  h.trace_id = 0xdeadbeefcafef00dull;
+  h.parent_span = 0x123456789abcdef0ull;
+  h.dispatch_ns = 42ull;
+  const std::string wire = proc::encode_task_payload(h, "clip payload");
+  std::string body;
+  const proc::TaskHeader back = proc::decode_task_payload(wire, body);
+  EXPECT_EQ(back.crashes, 3u);
+  EXPECT_EQ(back.trace_id, h.trace_id);
+  EXPECT_EQ(back.parent_span, h.parent_span);
+  EXPECT_EQ(back.dispatch_ns, 42u);
+  EXPECT_EQ(body, "clip payload");
+
+  std::string ignored;
+  EXPECT_THROW(proc::decode_task_payload(wire.substr(0, 10), ignored),
+               StatusError);
+}
+
+}  // namespace
+}  // namespace ganopc::obs

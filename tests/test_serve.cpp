@@ -244,6 +244,90 @@ TEST_F(ServeTest, EndpointsOptimizeAndMaskRoundTrip) {
   EXPECT_EQ(serve_stop, 1);
 }
 
+// One header value out of a raw HTTP response ("" when absent).
+std::string header_of(const std::string& response, const std::string& name) {
+  const std::size_t at = response.find(name + ": ");
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + name.size() + 2;
+  return response.substr(begin, response.find("\r\n", begin) - begin);
+}
+
+// Value of a `ganopc_...` sample in a /metrics exposition (-1 when absent).
+double prom_value(const std::string& metrics, const std::string& sample) {
+  const std::size_t at = metrics.find("\n" + sample + " ");
+  if (at == std::string::npos) return -1.0;
+  return std::atof(metrics.c_str() + at + 1 + sample.size() + 1);
+}
+
+TEST_F(ServeTest, FleetMetricsStageHeadersAndTraceCrossTheWorkerBoundary) {
+  start_daemon("--workers 2 --trace-out " + path("trace.json"));
+
+  // /readyz carries build/runtime identity for fleet-skew triage.
+  const std::string ready = transact(get_request("/readyz"));
+  ASSERT_EQ(status_of(ready), "200") << ready;
+  EXPECT_NE(ready.find("\"version\":"), std::string::npos) << ready;
+  EXPECT_NE(ready.find("\"simd\":"), std::string::npos);
+  EXPECT_NE(ready.find("\"litho_backend\":"), std::string::npos);
+  EXPECT_NE(ready.find("\"tcc_kernels\":"), std::string::npos);
+  EXPECT_NE(ready.find("\"workers\":2"), std::string::npos) << ready;
+
+  const std::string opt = transact(optimize_request("traced_a", 0));
+  ASSERT_EQ(status_of(opt), "200") << opt << daemon_log();
+  // Per-request stage attribution rides the response headers; litho time is
+  // measured inside the *worker* and shipped back with the result.
+  const std::string trace_hex = header_of(opt, "X-Ganopc-Trace");
+  ASSERT_FALSE(trace_hex.empty()) << opt;
+  EXPECT_FALSE(header_of(opt, "X-Ganopc-Stage-Queue-S").empty()) << opt;
+  EXPECT_GT(std::atof(header_of(opt, "X-Ganopc-Stage-Litho-S").c_str()), 0.0)
+      << opt;
+  EXPECT_FALSE(header_of(opt, "X-Ganopc-Stage-Ilt-S").empty());
+  EXPECT_FALSE(header_of(opt, "X-Ganopc-Stage-Encode-S").empty());
+
+  // Worker-side litho/ILT/engine counters merged into the daemon's /metrics:
+  // nonzero after one request, monotonic across a second.
+  const std::string m1 = transact(get_request("/metrics"));
+  EXPECT_GT(prom_value(m1, "ganopc_litho_simulate_calls"), 0.0) << m1;
+  EXPECT_GT(prom_value(m1, "ganopc_ilt_optimize_calls"), 0.0);
+  EXPECT_GT(prom_value(m1, "ganopc_batch_clip_calls"), 0.0);
+  EXPECT_GT(prom_value(m1, "ganopc_serve_stage_litho_s_count"), 0.0) << m1;
+
+  ASSERT_EQ(status_of(transact(optimize_request("traced_b", 1))), "200");
+  const std::string m2 = transact(get_request("/metrics"));
+  EXPECT_GE(prom_value(m2, "ganopc_litho_simulate_calls"),
+            prom_value(m1, "ganopc_litho_simulate_calls"));
+  EXPECT_GE(prom_value(m2, "ganopc_ilt_optimize_calls"),
+            prom_value(m1, "ganopc_ilt_optimize_calls"));
+
+  const int status = stop_daemon();
+  ASSERT_TRUE(WIFEXITED(status)) << daemon_log();
+  EXPECT_EQ(WEXITSTATUS(status), 0) << daemon_log();
+
+  // The exit trace holds the supervisor's request span plus worker-recorded
+  // spans for the same trace id — the raw material tools/trace_stitch
+  // assembles into one nested tree (CI gates on that with --check).
+  const std::string trace = read_bytes(path("trace.json"));
+  ASSERT_FALSE(trace.empty()) << daemon_log();
+  EXPECT_NE(trace.find("\"name\":\"serve.request\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"proc.task\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"ilt.optimize\""), std::string::npos);
+  std::size_t traced_spans = 0;
+  for (std::size_t at = trace.find("\"trace\":\"" + trace_hex + "\"");
+       at != std::string::npos;
+       at = trace.find("\"trace\":\"" + trace_hex + "\"", at + 1))
+    ++traced_spans;
+  EXPECT_GE(traced_spans, 3u) << "request root + worker spans expected";
+
+  // request_end ledger rows carry the per-stage seconds.
+  const obs::LedgerFile lf = obs::read_ledger(path("serve.jsonl"));
+  bool saw_stages = false;
+  for (const auto& ev : lf.events)
+    if (ev.string_or("type", "") == "request_end" &&
+        ev.find("litho_s") != nullptr && ev.find("queue_s") != nullptr &&
+        ev.string_or("trace", "") != "")
+      saw_stages = true;
+  EXPECT_TRUE(saw_stages);
+}
+
 TEST_F(ServeTest, HostileClientsGetTypedErrorsAndTheDaemonSurvives) {
   start_daemon("--workers 1 --max-body-mb 1 --read-timeout-s 1");
 

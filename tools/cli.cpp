@@ -422,8 +422,38 @@ int cmd_optimize(const Args& args) {
   clip.id = args.get("id", "clip");
   engine::SubmitOptions opts;
   opts.want_mask = true;
+  // Observability parity with serve (DESIGN.md §16): the one-shot path mints
+  // the same trace root and request_start/request_end ledger events a daemon
+  // request gets, so a clip traced via `optimize --trace-out` and one traced
+  // through `serve --trace-out` produce the same span tree shape.
+  opts.trace_id = obs::next_span_id();
+  opts.parent_span = obs::next_span_id();
+  char trace_hex[32];
+  std::snprintf(trace_hex, sizeof trace_hex, "%llx",
+                static_cast<unsigned long long>(opts.trace_id));
+  const std::uint64_t admit_ns = obs::monotonic_ns();
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("request_start");
+    rec.field("id", clip.id).field("trace", trace_hex);
+    obs::ledger_emit(rec);
+  }
   const engine::MaskResult result = eng.submit(clip, opts);
+  const std::uint64_t done_ns = obs::monotonic_ns();
+  {
+    static const obs::SpanSite& request_site = obs::span_site("cli.request");
+    obs::record_span(request_site, admit_ns, done_ns, opts.trace_id,
+                     opts.parent_span, 0);
+  }
   const engine::BatchClipResult& row = result.row;
+  if (obs::ledger_enabled()) {
+    obs::LedgerRecord rec("request_end");
+    rec.field("id", row.id)
+        .field("code", status_code_name(row.code))
+        .field("stage", engine::batch_stage_name(row.stage))
+        .field("wall_s", static_cast<double>(done_ns - admit_ns) * 1e-9)
+        .field("trace", trace_hex);
+    obs::ledger_emit(rec);
+  }
   if (!row.ok()) {
     std::printf("%s: FAILED %s: %s\n", row.id.c_str(), status_code_name(row.code),
                 row.error.c_str());
@@ -520,6 +550,10 @@ int cmd_batch(const Args& args) {
 // sandboxed workers, a circuit breaker after consecutive worker deaths, and
 // graceful SIGTERM drain (exit 0).
 int cmd_serve(const Args& args) {
+  // The daemon always collects metrics: /metrics must reflect the whole
+  // fleet (worker deltas merge into this registry) whether or not the
+  // operator also asked for a --metrics-out exit snapshot.
+  obs::set_metrics_enabled(true);
   const engine::Engine eng(engine_options_from_args(args));
 
   serve::ServeConfig scfg;
